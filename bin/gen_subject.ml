@@ -1,0 +1,63 @@
+(* Emit a synthetic benchmark subject (MC source) to stdout or a file, plus
+   its ground-truth table as comments. *)
+
+open Cmdliner
+
+let name_arg =
+  Arg.(
+    value
+    & pos 0 string "custom"
+    & info [] ~docv:"SUBJECT" ~doc:"Subject name (see pinpoint-gen --list) or 'custom'")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Output file")
+
+let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List known subjects")
+
+let loc_arg =
+  Arg.(value & opt int 2000 & info [ "loc" ] ~doc:"Target LoC for 'custom'")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Seed for 'custom'")
+
+let run name out list_subjects loc seed =
+  if list_subjects then
+    List.iter
+      (fun (i : Pinpoint_workload.Subjects.info) ->
+        Printf.printf "%-14s %8.0f paper-KLoC -> %6d synthetic LoC\n"
+          i.Pinpoint_workload.Subjects.name i.paper_kloc
+          i.params.Pinpoint_workload.Gen.target_loc)
+      Pinpoint_workload.Subjects.all
+  else begin
+    let subject =
+      if name = "custom" then
+        Pinpoint_workload.Gen.generate ~name:"custom"
+          { Pinpoint_workload.Gen.default_params with seed; target_loc = loc }
+      else
+        match Pinpoint_workload.Subjects.find name with
+        | Some info -> Pinpoint_workload.Subjects.generate info
+        | None ->
+          Printf.eprintf "unknown subject %s\n" name;
+          exit 1
+    in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "// ground truth:\n";
+    List.iter
+      (fun (p : Pinpoint_workload.Truth.planted) ->
+        Buffer.add_string buf
+          (Printf.sprintf "//   %s line %d %s (%s) - %s\n" p.kind p.source_line
+             (if p.real then "REAL" else "trap")
+             p.fname p.descr))
+      subject.Pinpoint_workload.Gen.truth;
+    Buffer.add_string buf subject.Pinpoint_workload.Gen.source;
+    match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Buffer.contents buf);
+      close_out oc
+    | None -> print_string (Buffer.contents buf)
+  end
+
+let () =
+  let term = Term.(const run $ name_arg $ out_arg $ list_arg $ loc_arg $ seed_arg) in
+  let cmd = Cmd.v (Cmd.info "pinpoint-gen" ~doc:"Generate synthetic subjects") term in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,245 @@
+(* The pinpoint command-line driver.
+
+   Usage:
+     pinpoint check FILE.mc [-c use-after-free] [-c double-free] ...
+     pinpoint dump FILE.mc [--what cfg|seg|iface]
+     pinpoint baseline FILE.mc [--tool svf|infer|csa]
+     pinpoint list-checkers *)
+
+open Cmdliner
+
+let checkers_conv =
+  let parse s =
+    match Pinpoint.Checkers.by_name s with
+    | Some c -> Ok c
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown checker %s (try: %s)" s
+             (String.concat ", "
+                (List.map
+                   (fun (c : Pinpoint.Checker_spec.t) -> c.Pinpoint.Checker_spec.name)
+                   Pinpoint.Checkers.all))))
+  in
+  let print ppf (c : Pinpoint.Checker_spec.t) =
+    Format.pp_print_string ppf c.Pinpoint.Checker_spec.name
+  in
+  Arg.conv (parse, print)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MC source file")
+
+let checkers_arg =
+  Arg.(
+    value
+    & opt_all checkers_conv Pinpoint.Checkers.all
+    & info [ "c"; "checker" ] ~docv:"NAME" ~doc:"Checker to run (repeatable)")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print value-flow traces")
+
+let confirm_arg =
+  Arg.(
+    value & flag
+    & info [ "confirm" ]
+        ~doc:"Fuzz the program with the concrete interpreter and mark reports \
+              whose sink was observed at run time")
+
+let check_cmd =
+  let run file checkers verbose confirm =
+    match Pinpoint.Analysis.prepare_file file with
+    | exception Pinpoint_frontend.Parser.Error (msg, line) ->
+      Printf.eprintf "%s:%d: parse error: %s\n" file line msg;
+      exit 1
+    | exception Pinpoint_frontend.Lower.Error (msg, loc) ->
+      Printf.eprintf "%s:%d: error: %s\n" file loc.Pinpoint_ir.Stmt.line msg;
+      exit 1
+    | a ->
+      let any = ref false in
+      List.iter
+        (fun (spec : Pinpoint.Checker_spec.t) ->
+          let reports, stats = Pinpoint.Analysis.check a spec in
+          let reported = List.filter Pinpoint.Report.is_reported reports in
+          Format.printf "== %s: %d report(s) (%d sources, %d candidates)@."
+            spec.Pinpoint.Checker_spec.name (List.length reported)
+            stats.Pinpoint.Engine.n_sources stats.Pinpoint.Engine.n_candidates;
+          let statuses =
+            if confirm then
+              Pinpoint.Confirm.confirm_all a.Pinpoint.Analysis.prog reported
+            else List.map (fun r -> (r, `Unconfirmed)) reported
+          in
+          List.iter
+            (fun ((r : Pinpoint.Report.t), status) ->
+              any := true;
+              let suffix =
+                if confirm then
+                  Pinpoint_util.Pp.to_string
+                    (fun ppf () ->
+                      Format.fprintf ppf " [%a]" Pinpoint.Confirm.pp_status status)
+                    ()
+                else ""
+              in
+              if verbose then Format.printf "%a%s@." Pinpoint.Report.pp r suffix
+              else
+                Format.printf "%s: %a -> %a (%s -> %s)%s@."
+                  r.Pinpoint.Report.checker Pinpoint_ir.Stmt.pp_loc
+                  r.Pinpoint.Report.source_loc Pinpoint_ir.Stmt.pp_loc
+                  r.Pinpoint.Report.sink_loc r.Pinpoint.Report.source_fn
+                  r.Pinpoint.Report.sink_fn suffix)
+            statuses)
+        checkers;
+      if !any then exit 2
+  in
+  let term =
+    Term.(const run $ file_arg $ checkers_arg $ verbose_arg $ confirm_arg)
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Run checkers on an MC source file") term
+
+let what_arg =
+  Arg.(
+    value
+    & opt (enum [ ("cfg", `Cfg); ("seg", `Seg); ("iface", `Iface); ("ir", `Ir) ]) `Seg
+    & info [ "what" ] ~doc:"What to dump: cfg, seg, iface or ir")
+
+let dump_cmd =
+  let run file what =
+    let a = Pinpoint.Analysis.prepare_file file in
+    List.iter
+      (fun (f : Pinpoint_ir.Func.t) ->
+        match what with
+        | `Cfg -> print_string (Pinpoint_ir.Func.dot f)
+        | `Ir -> Format.printf "%a@." Pinpoint_ir.Func.pp f
+        | `Seg -> (
+          match Pinpoint.Analysis.seg_of a f.Pinpoint_ir.Func.fname with
+          | Some seg -> print_string (Pinpoint_seg.Seg.dot seg)
+          | None -> ())
+        | `Iface -> (
+          match
+            Hashtbl.find_opt
+              a.Pinpoint.Analysis.transform.Pinpoint_transform.Transform.ifaces
+              f.Pinpoint_ir.Func.fname
+          with
+          | Some iface ->
+            Format.printf "%s: %a@." f.Pinpoint_ir.Func.fname
+              Pinpoint_transform.Transform.pp_iface iface
+          | None -> ()))
+      (Pinpoint_ir.Prog.functions a.Pinpoint.Analysis.prog)
+  in
+  let term = Term.(const run $ file_arg $ what_arg) in
+  Cmd.v (Cmd.info "dump" ~doc:"Dump IR / CFG / SEG / interfaces") term
+
+let tool_arg =
+  Arg.(
+    value
+    & opt (enum [ ("svf", `Svf); ("infer", `Infer); ("csa", `Csa) ]) `Svf
+    & info [ "tool" ] ~doc:"Baseline tool: svf, infer or csa")
+
+let baseline_cmd =
+  let run file tool =
+    let prog = Pinpoint_frontend.Lower.compile_file file in
+    let print_report source_fn source_loc sink_loc =
+      Format.printf "use-after-free: %a -> %a (%s)@." Pinpoint_ir.Stmt.pp_loc
+        source_loc Pinpoint_ir.Stmt.pp_loc sink_loc source_fn
+    in
+    match tool with
+    | `Svf ->
+      let svf = Pinpoint_baselines.Svf.build prog in
+      let st = Pinpoint_baselines.Svf.stats svf in
+      Format.printf
+        "FSVFG: %d nodes, %d direct + %d indirect edges%s@." st.n_nodes
+        st.n_direct_edges st.n_indirect_edges
+        (if st.timed_out then " (timed out)" else "");
+      List.iter
+        (fun (r : Pinpoint_baselines.Svf.report) ->
+          print_report r.source_fn r.source_loc r.sink_loc)
+        (Pinpoint_baselines.Svf.check_uaf svf)
+    | `Infer ->
+      List.iter
+        (fun (r : Pinpoint_baselines.Infer_like.report) ->
+          print_report r.source_fn r.source_loc r.sink_loc)
+        (Pinpoint_baselines.Infer_like.check_uaf prog)
+    | `Csa ->
+      List.iter
+        (fun (r : Pinpoint_baselines.Csa_like.report) ->
+          print_report r.source_fn r.source_loc r.sink_loc)
+        (Pinpoint_baselines.Csa_like.check_uaf prog)
+  in
+  let term = Term.(const run $ file_arg $ tool_arg) in
+  Cmd.v (Cmd.info "baseline" ~doc:"Run a baseline tool on an MC source file") term
+
+let leaks_cmd =
+  let run file =
+    let a = Pinpoint.Analysis.prepare_file file in
+    let reports =
+      Pinpoint.Leak.check a.Pinpoint.Analysis.prog
+        ~seg_of:(Pinpoint.Analysis.seg_of a) ~rv:a.Pinpoint.Analysis.rv
+    in
+    Format.printf "== memory-leak: %d report(s)@." (List.length reports);
+    List.iter (fun r -> Format.printf "%a" Pinpoint.Leak.pp r) reports;
+    if reports <> [] then exit 2
+  in
+  let term = Term.(const run $ file_arg) in
+  Cmd.v (Cmd.info "leaks" ~doc:"Run the memory-leak checker") term
+
+let stats_cmd =
+  let run file =
+    let a = Pinpoint.Analysis.prepare_file file in
+    let v, e = Pinpoint.Analysis.seg_size a in
+    let prog = a.Pinpoint.Analysis.prog in
+    Format.printf "functions: %d   statements: %d   SEG: %d vertices, %d edges@."
+      (List.length (Pinpoint_ir.Prog.functions prog))
+      (Pinpoint_ir.Prog.n_stmts prog)
+      v e;
+    let m = a.Pinpoint.Analysis.metrics in
+    Format.printf "phases: frontend %a | transform+PTA %a | SEG %a | summaries %a@."
+      Pinpoint_util.Metrics.pp_duration m.Pinpoint.Analysis.frontend.wall_s
+      Pinpoint_util.Metrics.pp_duration m.Pinpoint.Analysis.transform.wall_s
+      Pinpoint_util.Metrics.pp_duration m.Pinpoint.Analysis.seg_build.wall_s
+      Pinpoint_util.Metrics.pp_duration m.Pinpoint.Analysis.summaries.wall_s;
+    Format.printf "@.%-24s %6s %6s %8s %8s  %s@." "function" "stmts" "blocks"
+      "SEG |V|" "SEG |E|" "interface";
+    List.iter
+      (fun (f : Pinpoint_ir.Func.t) ->
+        let name = f.Pinpoint_ir.Func.fname in
+        let iface =
+          match
+            Hashtbl.find_opt
+              a.Pinpoint.Analysis.transform.Pinpoint_transform.Transform.ifaces
+              name
+          with
+          | Some i ->
+            Pinpoint_util.Pp.to_string Pinpoint_transform.Transform.pp_iface i
+          | None -> "-"
+        in
+        let sv, se =
+          match Pinpoint.Analysis.seg_of a name with
+          | Some seg ->
+            (Pinpoint_seg.Seg.n_vertices seg, Pinpoint_seg.Seg.n_edges seg)
+          | None -> (0, 0)
+        in
+        Format.printf "%-24s %6d %6d %8d %8d  %s@." name
+          (Pinpoint_ir.Func.n_stmts f)
+          (Pinpoint_ir.Func.n_blocks f)
+          sv se iface)
+      (Pinpoint_ir.Prog.functions prog)
+  in
+  let term = Term.(const run $ file_arg) in
+  Cmd.v (Cmd.info "stats" ~doc:"Per-function analysis statistics") term
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (c : Pinpoint.Checker_spec.t) ->
+        Printf.printf "%-20s %s\n" c.Pinpoint.Checker_spec.name
+          c.Pinpoint.Checker_spec.description)
+      Pinpoint.Checkers.all
+  in
+  Cmd.v (Cmd.info "list-checkers" ~doc:"List available checkers")
+    Term.(const run $ const ())
+
+let main =
+  let doc = "Pinpoint: fast and precise sparse value-flow analysis" in
+  Cmd.group (Cmd.info "pinpoint" ~doc)
+    [ check_cmd; dump_cmd; baseline_cmd; stats_cmd; leaks_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,44 @@
+(* Recall on the Juliet-like suite (paper §5.1.2).
+
+   Run with:  dune exec examples/juliet_recall.exe -- [N]
+
+   Runs Pinpoint on N cases (default 120) drawn evenly from the 1421-case
+   suite and reports recall.  The full suite is exercised by
+   `bench/main.exe juliet`. *)
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 120 in
+  let cases = Pinpoint_workload.Juliet.cases () in
+  let total = List.length cases in
+  let step = max 1 (total / n) in
+  let picked =
+    List.filteri (fun i _ -> i mod step = 0) cases
+  in
+  let found = ref 0 and missed = ref [] in
+  List.iter
+    (fun (c : Pinpoint_workload.Juliet.case) ->
+      let prog = Pinpoint_workload.Juliet.compile c in
+      let analysis = Pinpoint.Analysis.prepare prog in
+      let spec =
+        match Pinpoint.Checkers.by_name c.kind with
+        | Some s -> s
+        | None -> assert false
+      in
+      let reports, _ = Pinpoint.Analysis.check analysis spec in
+      let keys =
+        List.filter_map
+          (fun (r : Pinpoint.Report.t) ->
+            if Pinpoint.Report.is_reported r then
+              Some (r.source_loc.Pinpoint_ir.Stmt.line, 0)
+            else None)
+          reports
+      in
+      let score = Pinpoint_workload.Truth.classify ~kind:c.kind c.truth keys in
+      if score.Pinpoint_workload.Truth.n_found >= 1 then incr found
+      else missed := c.id :: !missed)
+    picked;
+  Printf.printf "juliet_recall: %d/%d cases detected (%d flaw types, %d total cases)\n"
+    !found (List.length picked) Pinpoint_workload.Juliet.flaw_types
+    Pinpoint_workload.Juliet.total_cases;
+  List.iter (fun id -> Printf.printf "  MISSED %s\n" id) !missed;
+  assert (!missed = [])

@@ -1,0 +1,117 @@
+open Pinpoint_ir
+
+type report = {
+  source_fn : string;
+  source_loc : Stmt.loc;
+  sink_fn : string;
+  sink_loc : Stmt.loc;
+}
+
+let max_paths = ref 512
+
+(* A branch variable's "meaning" for correlation pruning: the hash-consed
+   id of its defining comparison, when it has one. *)
+let atom_of (f : Func.t) : Var.t -> int option =
+  let tbl = Var.Tbl.create 32 in
+  Func.iter_stmts f (fun _ s ->
+      match s.Stmt.kind with
+      | Stmt.Binop (v, op, a, b)
+        when v.Var.ty = Ty.Bool
+             && (op = Ops.Gt || op = Ops.Ge || op = Ops.Lt || op = Ops.Le
+               || op = Ops.Eq || op = Ops.Ne) ->
+        let expr =
+          Ops.apply_binop op (Stmt.operand_term a) (Stmt.operand_term b)
+        in
+        Var.Tbl.replace tbl v expr.Pinpoint_smt.Expr.id
+      | Stmt.Assign (v, Stmt.Ovar u) when v.Var.ty = Ty.Bool -> (
+        match Var.Tbl.find_opt tbl u with
+        | Some id -> Var.Tbl.replace tbl v id
+        | None -> ())
+      | _ -> ());
+  fun v -> Var.Tbl.find_opt tbl v
+
+let check_uaf (prog : Prog.t) : report list =
+  let reports = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Func.t) ->
+      let fname = f.Func.fname in
+      let atom = atom_of f in
+      let paths = ref 0 in
+      (* state: freed vars with their free location, env: atom id -> bool *)
+      let rec run bid (freed : Stmt.loc Var.Map.t) (env : (int * bool) list) =
+        if !paths < !max_paths then begin
+          let blk = Func.block f bid in
+          let freed = ref freed in
+          List.iter
+            (fun (s : Stmt.t) ->
+              match s.Stmt.kind with
+              | Stmt.Assign (v, Stmt.Ovar u) -> (
+                match Var.Map.find_opt u !freed with
+                | Some loc -> freed := Var.Map.add v loc !freed
+                | None -> ())
+              | Stmt.Phi (v, args) ->
+                List.iter
+                  (fun (a : Stmt.phi_arg) ->
+                    match a.Stmt.src with
+                    | Stmt.Ovar u -> (
+                      match Var.Map.find_opt u !freed with
+                      | Some loc -> freed := Var.Map.add v loc !freed
+                      | None -> ())
+                    | _ -> ())
+                  args
+              | Stmt.Call c when c.Stmt.callee = "free" -> (
+                match c.Stmt.args with
+                | Stmt.Ovar v :: _ ->
+                  (match Var.Map.find_opt v !freed with
+                  | Some floc ->
+                    (* double free on this path *)
+                    let key = (fname, floc.Stmt.line, s.Stmt.loc.Stmt.line) in
+                    if not (Hashtbl.mem reports key) then
+                      Hashtbl.add reports key
+                        {
+                          source_fn = fname;
+                          source_loc = floc;
+                          sink_fn = fname;
+                          sink_loc = s.Stmt.loc;
+                        }
+                  | None -> ());
+                  freed := Var.Map.add v s.Stmt.loc !freed
+                | _ -> ())
+              | Stmt.Load (_, Stmt.Ovar b, _) | Stmt.Store (Stmt.Ovar b, _, _) -> (
+                match Var.Map.find_opt b !freed with
+                | Some floc ->
+                  let key = (fname, floc.Stmt.line, s.Stmt.loc.Stmt.line) in
+                  if not (Hashtbl.mem reports key) then
+                    Hashtbl.add reports key
+                      {
+                        source_fn = fname;
+                        source_loc = floc;
+                        sink_fn = fname;
+                        sink_loc = s.Stmt.loc;
+                      }
+                | None -> ())
+              | _ -> ())
+            blk.Func.stmts;
+          match blk.Func.term with
+          | Func.Exit -> incr paths
+          | Func.Jump b -> run b !freed env
+          | Func.Br (cond, bt, be) -> (
+            let aid =
+              match cond with Stmt.Ovar cv -> atom cv | _ -> None
+            in
+            match aid with
+            | Some id -> (
+              match List.assoc_opt id env with
+              | Some true -> run bt !freed env
+              | Some false -> run be !freed env
+              | None ->
+                run bt !freed ((id, true) :: env);
+                run be !freed ((id, false) :: env))
+            | None ->
+              run bt !freed env;
+              run be !freed env)
+        end
+      in
+      run f.Func.entry Var.Map.empty [])
+    (Prog.functions prog);
+  Hashtbl.fold (fun _ r acc -> r :: acc) reports []

@@ -1,0 +1,85 @@
+open Pinpoint_ir
+
+type report = {
+  source_fn : string;
+  source_loc : Stmt.loc;
+  sink_fn : string;
+  sink_loc : Stmt.loc;
+}
+
+(* Intra-unit, path-insensitive: aliases = transitive copies (assign, φ,
+   load/store pairing by syntactic base equality), dereferences reported if
+   CFG-reachable from the free. *)
+let check_uaf (prog : Prog.t) : report list =
+  let reports = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Func.t) ->
+      let fname = f.Func.fname in
+      (* copy successors, ignoring conditions *)
+      let succ : Var.t list Var.Tbl.t = Var.Tbl.create 64 in
+      let add a b =
+        let cur = Option.value (Var.Tbl.find_opt succ a) ~default:[] in
+        Var.Tbl.replace succ a (b :: cur)
+      in
+      (* memory modelled by a single cell per base variable NAME prefix —
+         deliberately naive *)
+      let mem : (string, Var.t list) Hashtbl.t = Hashtbl.create 16 in
+      Func.iter_stmts f (fun _ s ->
+          match s.Stmt.kind with
+          | Stmt.Assign (v, Stmt.Ovar u) -> add u v
+          | Stmt.Phi (v, args) ->
+            List.iter
+              (fun (a : Stmt.phi_arg) ->
+                match a.Stmt.src with Stmt.Ovar u -> add u v | _ -> ())
+              args
+          | Stmt.Store (Stmt.Ovar b, _, Stmt.Ovar u) ->
+            let cur = Option.value (Hashtbl.find_opt mem b.Var.name) ~default:[] in
+            Hashtbl.replace mem b.Var.name (u :: cur)
+          | Stmt.Load (v, Stmt.Ovar b, _) ->
+            List.iter
+              (fun u -> add u v)
+              (Option.value (Hashtbl.find_opt mem b.Var.name) ~default:[])
+          | _ -> ());
+      (* frees and derefs *)
+      let frees = ref [] and derefs = ref [] in
+      Func.iter_stmts f (fun _ s ->
+          match s.Stmt.kind with
+          | Stmt.Call c when c.Stmt.callee = "free" -> (
+            match c.Stmt.args with
+            | Stmt.Ovar v :: _ -> frees := (v, s) :: !frees
+            | _ -> ())
+          | Stmt.Load (_, Stmt.Ovar b, _) | Stmt.Store (Stmt.Ovar b, _, _) ->
+            derefs := (b, s) :: !derefs
+          | _ -> ());
+      List.iter
+        (fun ((fv : Var.t), (fs : Stmt.t)) ->
+          (* aliases of the freed value *)
+          let aliased = Var.Tbl.create 16 in
+          let rec go v =
+            if not (Var.Tbl.mem aliased v) then begin
+              Var.Tbl.add aliased v ();
+              List.iter go (Option.value (Var.Tbl.find_opt succ v) ~default:[])
+            end
+          in
+          go fv;
+          List.iter
+            (fun ((dv : Var.t), (ds : Stmt.t)) ->
+              if
+                Var.Tbl.mem aliased dv
+                && ds.Stmt.sid <> fs.Stmt.sid
+                && Func.reaches f fs.Stmt.sid ds.Stmt.sid
+              then begin
+                let key = (fname, fs.Stmt.loc.Stmt.line, ds.Stmt.loc.Stmt.line) in
+                if not (Hashtbl.mem reports key) then
+                  Hashtbl.add reports key
+                    {
+                      source_fn = fname;
+                      source_loc = fs.Stmt.loc;
+                      sink_fn = fname;
+                      sink_loc = ds.Stmt.loc;
+                    }
+              end)
+            !derefs)
+        !frees)
+    (Prog.functions prog);
+  Hashtbl.fold (fun _ r acc -> r :: acc) reports []

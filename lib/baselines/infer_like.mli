@@ -1,0 +1,18 @@
+(** An Infer-flavoured baseline (paper §5.4, Table 3).
+
+    Mirrors the behavioural signature the paper measured: fast, confined
+    to one compilation unit, path-insensitive.  Per function it tracks the
+    freed value through copies (flow-insensitively, ignoring branch
+    conditions and φ gates) and reports any dereference of an alias that
+    is CFG-reachable from the free — so branch-correlated frees/uses
+    become false positives, and bugs spanning compilation units are
+    missed. *)
+
+type report = {
+  source_fn : string;
+  source_loc : Pinpoint_ir.Stmt.loc;
+  sink_fn : string;
+  sink_loc : Pinpoint_ir.Stmt.loc;
+}
+
+val check_uaf : Pinpoint_ir.Prog.t -> report list

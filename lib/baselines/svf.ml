@@ -1,0 +1,211 @@
+open Pinpoint_ir
+module Metrics = Pinpoint_util.Metrics
+module ISet = Andersen.ISet
+
+type node = int
+(* FSVFG nodes are Andersen variable nodes; we reuse their ids. *)
+
+type t = {
+  prog : Prog.t;
+  pta : Andersen.t;
+  succ : (node, node list) Hashtbl.t;
+  mutable n_direct : int;
+  mutable n_indirect : int;
+  mutable timed_out : bool;
+  (* sources: (fname, sid, loc, node of freed var) *)
+  mutable frees : (string * int * Stmt.loc * node) list;
+  (* sinks: node -> (fname, loc) dereference sites *)
+  deref_sites : (node, (string * Stmt.loc) list) Hashtbl.t;
+}
+
+type build_stats = {
+  n_nodes : int;
+  n_direct_edges : int;
+  n_indirect_edges : int;
+  pta_iterations : int;
+  timed_out : bool;
+}
+
+type report = {
+  source_fn : string;
+  source_loc : Stmt.loc;
+  sink_fn : string;
+  sink_loc : Stmt.loc;
+}
+
+let add_edge t a b =
+  let cur = Option.value (Hashtbl.find_opt t.succ a) ~default:[] in
+  Hashtbl.replace t.succ a (b :: cur)
+
+let add_deref t n fname loc =
+  let cur = Option.value (Hashtbl.find_opt t.deref_sites n) ~default:[] in
+  Hashtbl.replace t.deref_sites n ((fname, loc) :: cur)
+
+let build ?(deadline = Metrics.no_deadline) (prog : Prog.t) : t =
+  let pta = Andersen.run ~deadline prog in
+  let pta_timed_out = Andersen.timed_out pta in
+  let t =
+    {
+      prog;
+      pta;
+      succ = Hashtbl.create 4096;
+      n_direct = 0;
+      n_indirect = 0;
+      timed_out = false;
+      frees = [];
+      deref_sites = Hashtbl.create 256;
+    }
+  in
+  t.timed_out <- pta_timed_out;
+  let node fname v = Andersen.node_of_var pta fname v in
+  (try
+     (* Direct def-use edges + collect loads/stores/uses. *)
+     let all_loads = ref [] in
+     (* (obj set of base, dst node) *)
+     let all_stores = ref [] in
+     (* (obj set of base, src node) *)
+     List.iter
+       (fun (f : Func.t) ->
+         let fname = f.Func.fname in
+         Func.iter_stmts f (fun _ s ->
+             Metrics.check deadline;
+             let direct src dst =
+               match (src, dst) with
+               | Some a, Some b ->
+                 add_edge t a b;
+                 t.n_direct <- t.n_direct + 1
+               | _ -> ()
+             in
+             let opnode = function
+               | Stmt.Ovar v -> node fname v
+               | _ -> None
+             in
+             match s.Stmt.kind with
+             | Stmt.Assign (v, o) -> direct (opnode o) (node fname v)
+             | Stmt.Phi (v, args) ->
+               List.iter
+                 (fun (a : Stmt.phi_arg) -> direct (opnode a.Stmt.src) (node fname v))
+                 args
+             | Stmt.Binop (v, (Ops.Add | Ops.Sub), a, b) ->
+               direct (opnode a) (node fname v);
+               direct (opnode b) (node fname v)
+             | Stmt.Binop _ | Stmt.Unop _ | Stmt.Alloc _ -> ()
+             | Stmt.Load (v, base, _k) -> (
+               match (base, opnode base) with
+               | Stmt.Ovar bv, Some bn ->
+                 add_deref t bn fname s.Stmt.loc;
+                 ignore bv;
+                 all_loads := (Andersen.pts pta bn, node fname v) :: !all_loads
+               | _ -> ())
+             | Stmt.Store (base, _k, value) -> (
+               match (base, opnode base) with
+               | Stmt.Ovar _, Some bn ->
+                 add_deref t bn fname s.Stmt.loc;
+                 all_stores := (Andersen.pts pta bn, opnode value) :: !all_stores
+               | _ -> ())
+             | Stmt.Call c ->
+               (if c.Stmt.callee = "free" then
+                  match c.Stmt.args with
+                  | Stmt.Ovar v :: _ -> (
+                    match node fname v with
+                    | Some n -> t.frees <- (fname, s.Stmt.sid, s.Stmt.loc, n) :: t.frees
+                    | None -> ())
+                  | _ -> ());
+               (match Prog.find prog c.Stmt.callee with
+               | Some callee ->
+                 List.iteri
+                   (fun i arg ->
+                     match List.nth_opt callee.Func.params i with
+                     | Some p ->
+                       direct (opnode arg) (node callee.Func.fname p)
+                     | None -> ())
+                   c.Stmt.args;
+                 (match Func.return_stmt callee with
+                 | Some { Stmt.kind = Stmt.Return ops; _ } ->
+                   List.iteri
+                     (fun j op ->
+                       match (op, List.nth_opt c.Stmt.recvs j) with
+                       | Stmt.Ovar rv, Some r ->
+                         direct (node callee.Func.fname rv) (node fname r)
+                       | _ -> ())
+                     ops
+                 | _ -> ())
+               | None -> ())
+             | Stmt.Return _ -> ()))
+       (Prog.functions prog);
+     (* Indirect store→load edges via shared objects: index stores per
+        object, then cross with loads.  This is where the flow-insensitive
+        blob explodes. *)
+     let stores_by_obj : (int, node list) Hashtbl.t = Hashtbl.create 256 in
+     List.iter
+       (fun (objs, src) ->
+         match src with
+         | Some src ->
+           ISet.iter
+             (fun o ->
+               let cur = Option.value (Hashtbl.find_opt stores_by_obj o) ~default:[] in
+               Hashtbl.replace stores_by_obj o (src :: cur))
+             objs
+         | None -> ())
+       !all_stores;
+     List.iter
+       (fun (objs, dst) ->
+         match dst with
+         | Some dst ->
+           ISet.iter
+             (fun o ->
+               Metrics.check deadline;
+               List.iter
+                 (fun src ->
+                   add_edge t src dst;
+                   t.n_indirect <- t.n_indirect + 1)
+                 (Option.value (Hashtbl.find_opt stores_by_obj o) ~default:[]))
+             objs
+         | None -> ())
+       !all_loads
+   with Metrics.Timeout -> t.timed_out <- true);
+  t
+
+let stats t =
+  {
+    n_nodes = Andersen.n_nodes t.pta;
+    n_direct_edges = t.n_direct;
+    n_indirect_edges = t.n_indirect;
+    pta_iterations = Andersen.n_iterations t.pta;
+    timed_out = t.timed_out;
+  }
+
+let check_uaf ?(deadline = Metrics.no_deadline) (t : t) : report list =
+  let reports = Hashtbl.create 256 in
+  (try
+     List.iter
+       (fun (sfn, _sid, sloc, start) ->
+         (* plain forward reachability, no conditions *)
+         let visited = Hashtbl.create 256 in
+         let q = Queue.create () in
+         Queue.add start q;
+         Hashtbl.add visited start ();
+         while not (Queue.is_empty q) do
+           Metrics.check deadline;
+           let n = Queue.pop q in
+           (match Hashtbl.find_opt t.deref_sites n with
+           | Some sites ->
+             List.iter
+               (fun (kfn, kloc) ->
+                 let key = (sfn, sloc.Stmt.line, kfn, kloc.Stmt.line) in
+                 if not (Hashtbl.mem reports key) then
+                   Hashtbl.add reports key
+                     { source_fn = sfn; source_loc = sloc; sink_fn = kfn; sink_loc = kloc })
+               sites
+           | None -> ());
+           List.iter
+             (fun m ->
+               if not (Hashtbl.mem visited m) then begin
+                 Hashtbl.add visited m ();
+                 Queue.add m q
+               end)
+             (Option.value (Hashtbl.find_opt t.succ n) ~default:[])
+         done)
+       t.frees
+   with Metrics.Timeout -> ());
+  Hashtbl.fold (fun _ r acc -> r :: acc) reports []

@@ -1,0 +1,44 @@
+(** The "layered" SVFA baseline: SVF-style full-sparse value-flow graph
+    (FSVFG) construction on top of the Andersen points-to analysis, plus a
+    condition-free use-after-free checker over it (paper §5.1).
+
+    The FSVFG has one node per SSA variable occurrence; its edges are
+
+    - direct def-use copies (assignment, φ, argument/parameter,
+      return/receiver), and
+    - indirect store→load edges: a load of [*p] gets an edge from every
+      store [*q <- u] such that [pts(p) ∩ pts(q) ≠ ∅] — with the
+      flow-insensitive Andersen sets, a single shared blob object links
+      {e every} store to {e every} load, which is the super-linear blow-up
+      ("pointer trap") Figures 7–8 measure.
+
+    The checker is graph reachability from each [free] argument to any
+    dereference — no path conditions, no SMT — mirroring how Saber/SVF
+    clients work, and yielding the warning flood of Table 1. *)
+
+type t
+
+type build_stats = {
+  n_nodes : int;
+  n_direct_edges : int;
+  n_indirect_edges : int;
+  pta_iterations : int;
+  timed_out : bool;
+}
+
+val build :
+  ?deadline:Pinpoint_util.Metrics.deadline -> Pinpoint_ir.Prog.t -> t
+(** Build (Andersen + FSVFG).  On deadline expiry the result is marked
+    timed-out; the partial graph remains usable. *)
+
+val stats : t -> build_stats
+
+type report = {
+  source_fn : string;
+  source_loc : Pinpoint_ir.Stmt.loc;
+  sink_fn : string;
+  sink_loc : Pinpoint_ir.Stmt.loc;
+}
+
+val check_uaf : ?deadline:Pinpoint_util.Metrics.deadline -> t -> report list
+(** Use-after-free reports (deduplicated by source/sink location). *)

@@ -1,0 +1,77 @@
+module Metrics = Pinpoint_util.Metrics
+module Seg = Pinpoint_seg.Seg
+
+type phase_metrics = {
+  frontend : Metrics.measurement;
+  transform : Metrics.measurement;
+  seg_build : Metrics.measurement;
+  summaries : Metrics.measurement;
+}
+
+type t = {
+  prog : Pinpoint_ir.Prog.t;
+  transform : Pinpoint_transform.Transform.result;
+  segs : (string, Seg.t) Hashtbl.t;
+  rv : Pinpoint_summary.Rv.t;
+  metrics : phase_metrics;
+}
+
+let seg_of t name = Hashtbl.find_opt t.segs name
+
+let prepare_with frontend_m (prog : Pinpoint_ir.Prog.t) : t =
+  let transform, tm = Metrics.measure (fun () -> Pinpoint_transform.Transform.run prog) in
+  let segs, sm =
+    Metrics.measure (fun () ->
+        let segs = Hashtbl.create 64 in
+        List.iter
+          (fun (f : Pinpoint_ir.Func.t) ->
+            match
+              Hashtbl.find_opt transform.Pinpoint_transform.Transform.ptas
+                f.Pinpoint_ir.Func.fname
+            with
+            | Some pta -> Hashtbl.replace segs f.Pinpoint_ir.Func.fname (Seg.build f pta)
+            | None -> ())
+          (Pinpoint_ir.Prog.functions prog);
+        segs)
+  in
+  let rv, rm =
+    Metrics.measure (fun () ->
+        Pinpoint_summary.Rv.generate prog (Hashtbl.find_opt segs))
+  in
+  {
+    prog;
+    transform;
+    segs;
+    rv;
+    metrics =
+      { frontend = frontend_m; transform = tm; seg_build = sm; summaries = rm };
+  }
+
+let zero_m = { Metrics.wall_s = 0.0; alloc_bytes = 0.0; major_words = 0.0 }
+
+let prepare prog = prepare_with zero_m prog
+
+let prepare_source ?(file = "<string>") src =
+  let prog, fm =
+    Metrics.measure (fun () -> Pinpoint_frontend.Lower.compile_string ~file src)
+  in
+  prepare_with fm prog
+
+let prepare_file path =
+  let prog, fm = Metrics.measure (fun () -> Pinpoint_frontend.Lower.compile_file path) in
+  prepare_with fm prog
+
+let seg_size t =
+  Hashtbl.fold
+    (fun _ seg (v, e) -> (v + Seg.n_vertices seg, e + Seg.n_edges seg))
+    t.segs (0, 0)
+
+let check ?config t spec =
+  Engine.run ?config t.prog ~seg_of:(seg_of t) ~rv:t.rv spec
+
+let check_all ?config t specs =
+  List.map
+    (fun (spec : Checker_spec.t) ->
+      let reports, stats = check ?config t spec in
+      (spec.Checker_spec.name, reports, stats))
+    specs

@@ -1,0 +1,47 @@
+(** The end-to-end Pinpoint pipeline (paper Figure 6):
+
+    MC source → IR (SSA, gated) → call-site rewriting + Mod/Ref → connector
+    transformation → SEG per function → RV summaries → demand-driven
+    checking with SMT feasibility.
+
+    Phase timings and allocation are captured for the benchmark harness
+    (Figures 7–10). *)
+
+type phase_metrics = {
+  frontend : Pinpoint_util.Metrics.measurement;
+  transform : Pinpoint_util.Metrics.measurement;  (** PTA + connectors *)
+  seg_build : Pinpoint_util.Metrics.measurement;
+  summaries : Pinpoint_util.Metrics.measurement;
+}
+
+type t = {
+  prog : Pinpoint_ir.Prog.t;
+  transform : Pinpoint_transform.Transform.result;
+  segs : (string, Pinpoint_seg.Seg.t) Hashtbl.t;
+  rv : Pinpoint_summary.Rv.t;
+  metrics : phase_metrics;
+}
+
+val seg_of : t -> string -> Pinpoint_seg.Seg.t option
+
+val prepare : Pinpoint_ir.Prog.t -> t
+(** Run every phase up to (and including) summary generation on an
+    already-compiled program. *)
+
+val prepare_source : ?file:string -> string -> t
+(** Parse, compile and prepare MC source text. *)
+
+val prepare_file : string -> t
+
+val seg_size : t -> int * int
+(** Total (vertices, edges) over all SEGs — the Figure 7/8 size metric. *)
+
+val check :
+  ?config:Engine.config -> t -> Checker_spec.t -> Report.t list * Engine.stats
+(** Run one checker. *)
+
+val check_all :
+  ?config:Engine.config ->
+  t ->
+  Checker_spec.t list ->
+  (string * Report.t list * Engine.stats) list

@@ -1,0 +1,23 @@
+module I = Pinpoint_interp.Interp
+
+type status = [ `Confirmed | `Unconfirmed ]
+
+let confirm_all ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) prog (reports : Report.t list) :
+    (Report.t * status) list =
+  let events = I.run_all ~seeds prog in
+  List.map
+    (fun (r : Report.t) ->
+      let matches (e : I.event) =
+        I.checker_of_event e.I.kind = r.Report.checker
+        && e.I.loc.Pinpoint_ir.Stmt.line = r.Report.sink_loc.Pinpoint_ir.Stmt.line
+        && e.I.fname = r.Report.sink_fn
+      in
+      let status : status =
+        if List.exists matches events then `Confirmed else `Unconfirmed
+      in
+      (r, status))
+    reports
+
+let pp_status ppf = function
+  | `Confirmed -> Format.pp_print_string ppf "dynamically confirmed"
+  | `Unconfirmed -> Format.pp_print_string ppf "unconfirmed"

@@ -1,0 +1,24 @@
+(** Dynamic confirmation of reports.
+
+    The paper's true-positive criterion is "confirmed by the developers of
+    the evaluated subjects" (§5.1); this module automates a lightweight
+    version: it fuzzes every function of the analysed program with the
+    concrete interpreter ({!Pinpoint_interp.Interp}) and matches the
+    observed safety events against a report's checker and sink location.
+
+    Confirmation is one-sided evidence: a [`Confirmed] report definitely
+    corresponds to a real run-time event; [`Unconfirmed] may still be a
+    true positive whose trigger the fuzzing seeds missed (or a false
+    positive). *)
+
+type status = [ `Confirmed | `Unconfirmed ]
+
+val confirm_all :
+  ?seeds:int list ->
+  Pinpoint_ir.Prog.t ->
+  Report.t list ->
+  (Report.t * status) list
+(** Run the interpreter once over all functions and classify each
+    report. *)
+
+val pp_status : Format.formatter -> status -> unit

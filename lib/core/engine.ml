@@ -1,0 +1,358 @@
+open Pinpoint_ir
+module E = Pinpoint_smt.Expr
+module Solver = Pinpoint_smt.Solver
+module Seg = Pinpoint_seg.Seg
+module Vf = Pinpoint_summary.Vf
+module Rv = Pinpoint_summary.Rv
+module Metrics = Pinpoint_util.Metrics
+
+type config = {
+  max_call_depth : int;
+  max_expansions : int;
+  max_steps : int;
+  max_reports_per_source : int;
+  check_feasibility : bool;
+  use_vf_pruning : bool;
+  deadline : Metrics.deadline;
+}
+
+let default_config =
+  {
+    max_call_depth = 6;
+    max_expansions = 6;
+    max_steps = 20_000;
+    max_reports_per_source = 16;
+    check_feasibility = true;
+    use_vf_pruning = true;
+    deadline = Metrics.no_deadline;
+  }
+
+type stats = {
+  mutable n_sources : int;
+  mutable n_candidates : int;
+  mutable n_steps : int;
+  mutable n_solver_calls : int;
+}
+
+(* Reverse call index: callee name -> (caller function, call statement). *)
+let reverse_calls (prog : Prog.t) : (string, (Func.t * Stmt.t) list) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Func.t) ->
+      Func.iter_stmts f (fun _ s ->
+          match s.Stmt.kind with
+          | Stmt.Call c when Prog.is_defined prog c.Stmt.callee ->
+            let cur = Option.value (Hashtbl.find_opt tbl c.Stmt.callee) ~default:[] in
+            Hashtbl.replace tbl c.Stmt.callee ((f, s) :: cur)
+          | _ -> ()))
+    (Prog.functions prog);
+  tbl
+
+type search_ctx = {
+  prog : Prog.t;
+  seg_of : string -> Seg.t option;
+  rv : Rv.t;
+  vf : Vf.t;
+  spec : Checker_spec.t;
+  rev : (string, (Func.t * Stmt.t) list) Hashtbl.t;
+  cfg : config;
+  stats : stats;
+  mutable reports : Report.t list;
+  mutable found_for_source : int;
+  mutable steps_this_source : int;
+  seen : (string * int * int, unit) Hashtbl.t;  (** (fname, vid, ctx hash) *)
+  dedup : (string * int * string * int, unit) Hashtbl.t;
+}
+
+let loc_of_sid ctx fname sid =
+  match ctx.seg_of fname with
+  | None -> Stmt.no_loc
+  | Some seg -> (
+    match Func.find_stmt (Seg.func seg) sid with
+    | Some (_, s) -> s.Stmt.loc
+    | None -> Stmt.no_loc)
+
+let emit ctx (path : Vpath.t) =
+  ctx.stats.n_candidates <- ctx.stats.n_candidates + 1;
+  match Vpath.source_sink path with
+  | Some (sf, ss), Some (kf, ks) ->
+    let source_loc = loc_of_sid ctx sf ss and sink_loc = loc_of_sid ctx kf ks in
+    let dk = (sf, source_loc.Stmt.line, kf, sink_loc.Stmt.line) in
+    if not (Hashtbl.mem ctx.dedup dk) then begin
+      Hashtbl.add ctx.dedup dk ();
+      let cond, verdict, hints =
+        if ctx.cfg.check_feasibility then begin
+          let cond = Vpath.condition ~seg_of:ctx.seg_of ~rv:ctx.rv path in
+          ctx.stats.n_solver_calls <- ctx.stats.n_solver_calls + 1;
+          match Solver.check_with_model cond with
+          | Solver.Sat, model -> (cond, Report.Feasible, model)
+          | Solver.Unknown, _ -> (cond, Report.Feasible_unknown, [])
+          | Solver.Unsat, _ -> (cond, Report.Infeasible, [])
+        end
+        else (E.tru, Report.Feasible_unknown, [])
+      in
+      let r =
+        {
+          Report.checker = ctx.spec.Checker_spec.name;
+          source_fn = sf;
+          source_loc;
+          sink_fn = kf;
+          sink_loc;
+          path;
+          cond;
+          verdict;
+          hints;
+        }
+      in
+      ctx.reports <- r :: ctx.reports;
+      if Report.is_reported r then
+        ctx.found_for_source <- ctx.found_for_source + 1
+    end
+  | _ -> ()
+
+exception Stop_search
+
+let ctx_hash (stack : (string * Stmt.t) list) (expansions : int) =
+  List.fold_left
+    (fun acc (_, (s : Stmt.t)) -> (acc * 8191) + s.Stmt.sid + 1)
+    expansions stack
+
+(* DFS from (fname, var).  [stack] holds the call sites we descended
+   through; [expansions] counts bottom-up caller crossings; [anchor] is the
+   statement (in the current function) after which the buggy value exists —
+   uses that cannot execute after it are ignored; [rpath] is the reversed
+   hop list. *)
+let rec dfs ctx ~fname ~(var : Var.t) ~stack ~expansions ~anchor ~src_fn
+    ~src_sid rpath =
+  Metrics.check ctx.cfg.deadline;
+  ctx.stats.n_steps <- ctx.stats.n_steps + 1;
+  ctx.steps_this_source <- ctx.steps_this_source + 1;
+  if ctx.steps_this_source > ctx.cfg.max_steps then raise Stop_search;
+  if ctx.found_for_source >= ctx.cfg.max_reports_per_source then raise Stop_search;
+  let key =
+    ( fname,
+      var.Var.vid,
+      (ctx_hash stack expansions * 31) + Option.value anchor ~default:(-1) + 1 )
+  in
+  if not (Hashtbl.mem ctx.seen key) then begin
+    Hashtbl.add ctx.seen key ();
+    match ctx.seg_of fname with
+    | None -> ()
+    | Some seg ->
+      let f = Seg.func seg in
+      let after_anchor sid =
+        match anchor with
+        | Some a -> Func.reaches f a sid
+        | None -> true
+      in
+      (* 1. sinks at this variable *)
+      List.iter
+        (fun (u : Seg.use) ->
+          if ctx.spec.Checker_spec.is_sink seg u then begin
+            let same_stmt = fname = src_fn && u.Seg.sid = src_sid in
+            if
+              after_anchor u.Seg.sid
+              && not (same_stmt && ctx.spec.Checker_spec.exclude_same_sid)
+            then
+              emit ctx
+                (List.rev
+                   (Vpath.Hsink { fname; var; sid = u.Seg.sid } :: rpath))
+          end)
+        (Seg.uses_of seg var);
+      (* 2. intra-procedural value flow *)
+      List.iter
+        (fun (e : Seg.edge) ->
+          let follow =
+            match e.Seg.kind with
+            | Seg.Copy -> true
+            | Seg.Operand -> ctx.spec.Checker_spec.follow_operands
+          in
+          if follow then
+            dfs ctx ~fname ~var:e.Seg.dst ~stack ~expansions ~anchor ~src_fn
+              ~src_sid
+              (Vpath.Hflow
+                 {
+                   fname;
+                   src = var;
+                   dst = e.Seg.dst;
+                   cond = e.Seg.cond;
+                   kind = e.Seg.kind;
+                 }
+              :: rpath))
+        (Seg.succs seg var);
+      (* 3. descend into callees on demand (VF1 / VF4) *)
+      if List.length stack < ctx.cfg.max_call_depth then
+        List.iter
+          (fun (u : Seg.use) ->
+            match u.Seg.ukind with
+            | Seg.Call_arg { callee; arg_index } -> (
+              match (ctx.seg_of callee, Vf.find ctx.vf callee) with
+              | Some callee_seg, Some vfsum ->
+                let i1 = arg_index + 1 in
+                let wanted =
+                  (not ctx.cfg.use_vf_pruning)
+                  || List.exists (fun (i, _) -> i = i1) vfsum.Vf.vf1
+                  || List.mem i1 vfsum.Vf.vf4
+                in
+                if wanted && after_anchor u.Seg.sid then begin
+                  match Func.find_stmt f u.Seg.sid with
+                  | Some (_, ({ Stmt.kind = Stmt.Call c; _ } as cs)) -> (
+                    match
+                      List.nth_opt (Seg.func callee_seg).Func.params arg_index
+                    with
+                    | Some param ->
+                      dfs ctx ~fname:callee ~var:param
+                        ~stack:((fname, cs) :: stack)
+                        ~expansions ~anchor:None ~src_fn ~src_sid
+                        (Vpath.Hcall
+                           {
+                             caller = fname;
+                             call_sid = u.Seg.sid;
+                             callee;
+                             arg_index;
+                             param;
+                             args = c.Stmt.args;
+                           }
+                        :: rpath)
+                    | None -> ())
+                  | _ -> ()
+                end
+              | _ -> ())
+            | _ -> ())
+          (Seg.uses_of seg var);
+      (* 4. flow out through the return *)
+      List.iter
+        (fun (u : Seg.use) ->
+          match u.Seg.ukind with
+          | Seg.Ret_op j when after_anchor u.Seg.sid -> (
+            match stack with
+            | (caller, cs) :: rest -> (
+              match cs.Stmt.kind with
+              | Stmt.Call c -> (
+                match List.nth_opt c.Stmt.recvs j with
+                | Some recv ->
+                  dfs ctx ~fname:caller ~var:recv ~stack:rest ~expansions
+                    ~anchor:(Some cs.Stmt.sid) ~src_fn ~src_sid
+                    (Vpath.Hret
+                       {
+                         callee = fname;
+                         ret_var = var;
+                         ret_index = j;
+                         caller;
+                         call_sid = cs.Stmt.sid;
+                         recv;
+                         args = c.Stmt.args;
+                         popped = true;
+                       }
+                    :: rpath)
+                | None -> ())
+              | _ -> ())
+            | [] ->
+              if expansions < ctx.cfg.max_expansions then
+                List.iter
+                  (fun ((caller_f : Func.t), (cs : Stmt.t)) ->
+                    match cs.Stmt.kind with
+                    | Stmt.Call c -> (
+                      match List.nth_opt c.Stmt.recvs j with
+                      | Some recv ->
+                        dfs ctx ~fname:caller_f.Func.fname ~var:recv ~stack:[]
+                          ~expansions:(expansions + 1)
+                          ~anchor:(Some cs.Stmt.sid) ~src_fn ~src_sid
+                          (Vpath.Hret
+                             {
+                               callee = fname;
+                               ret_var = var;
+                               ret_index = j;
+                               caller = caller_f.Func.fname;
+                               call_sid = cs.Stmt.sid;
+                               recv;
+                               args = c.Stmt.args;
+                               popped = false;
+                             }
+                          :: rpath)
+                      | None -> ())
+                    | _ -> ())
+                  (Option.value (Hashtbl.find_opt ctx.rev fname) ~default:[]))
+          | _ -> ())
+        (Seg.uses_of seg var);
+      (* 5. the buggy value rode in through a parameter (VF3 direction):
+         when the context is unknown, it also lives in every caller's
+         actual after the corresponding call. *)
+      if stack = [] && expansions < ctx.cfg.max_expansions then begin
+        let param_index =
+          let rec idx i = function
+            | [] -> -1
+            | p :: rest -> if Var.equal p var then i else idx (i + 1) rest
+          in
+          idx 0 f.Func.params
+        in
+        if param_index >= 0 then
+          List.iter
+            (fun ((caller_f : Func.t), (cs : Stmt.t)) ->
+              match cs.Stmt.kind with
+              | Stmt.Call c -> (
+                match List.nth_opt c.Stmt.args param_index with
+                | Some (Stmt.Ovar actual) ->
+                  dfs ctx ~fname:caller_f.Func.fname ~var:actual ~stack:[]
+                    ~expansions:(expansions + 1) ~anchor:(Some cs.Stmt.sid)
+                    ~src_fn ~src_sid
+                    (Vpath.Hparam_up
+                       {
+                         callee = fname;
+                         param = var;
+                         caller = caller_f.Func.fname;
+                         call_sid = cs.Stmt.sid;
+                         actual;
+                         args = c.Stmt.args;
+                       }
+                    :: rpath)
+                | _ -> ())
+              | _ -> ())
+            (Option.value (Hashtbl.find_opt ctx.rev fname) ~default:[])
+      end
+  end
+
+let run ?(config = default_config) (prog : Prog.t) ~seg_of ~rv
+    (spec : Checker_spec.t) : Report.t list * stats =
+  let stats = { n_sources = 0; n_candidates = 0; n_steps = 0; n_solver_calls = 0 } in
+  let vf = Vf.generate prog seg_of (Checker_spec.vf_spec spec) in
+  let ctx =
+    {
+      prog;
+      seg_of;
+      rv;
+      vf;
+      spec;
+      rev = reverse_calls prog;
+      cfg = config;
+      stats;
+      reports = [];
+      found_for_source = 0;
+      steps_this_source = 0;
+      seen = Hashtbl.create 1024;
+      dedup = Hashtbl.create 64;
+    }
+  in
+  List.iter
+    (fun (f : Func.t) ->
+      match seg_of f.Func.fname with
+      | None -> ()
+      | Some seg ->
+        List.iter
+          (fun ((v : Var.t), sid) ->
+            stats.n_sources <- stats.n_sources + 1;
+            ctx.found_for_source <- 0;
+            ctx.steps_this_source <- 0;
+            Hashtbl.reset ctx.seen;
+            let rpath =
+              [ Vpath.Hsource { fname = f.Func.fname; var = v; sid } ]
+            in
+            try
+              dfs ctx ~fname:f.Func.fname ~var:v ~stack:[] ~expansions:0
+                ~anchor:(Some sid) ~src_fn:f.Func.fname ~src_sid:sid rpath
+            with
+            | Stop_search -> ()
+            | Metrics.Timeout -> ())
+          (spec.Checker_spec.sources seg))
+    (Prog.functions prog);
+  (List.rev ctx.reports, stats)

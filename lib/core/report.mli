@@ -1,0 +1,29 @@
+(** Bug reports. *)
+
+type verdict = Feasible | Feasible_unknown | Infeasible
+(** Solver verdict on the path condition.  Soundy clients report
+    [Feasible] and [Feasible_unknown] (never drop a path the solver could
+    not refute). *)
+
+type t = {
+  checker : string;
+  source_fn : string;
+  source_loc : Pinpoint_ir.Stmt.loc;
+  sink_fn : string;
+  sink_loc : Pinpoint_ir.Stmt.loc;
+  path : Vpath.t;
+  cond : Pinpoint_smt.Expr.t;
+  verdict : verdict;
+  hints : (Pinpoint_smt.Expr.t * bool) list;
+      (** on [Feasible]: a propositional model of the path condition's
+          atoms — the branch outcomes that trigger the bug *)
+}
+
+val is_reported : t -> bool
+(** [Feasible] or [Feasible_unknown]. *)
+
+val key : t -> string * int * string * int
+(** Dedup key: source function/line + sink function/line. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_summary : Format.formatter -> t list -> unit

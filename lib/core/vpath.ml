@@ -1,0 +1,228 @@
+open Pinpoint_ir
+module E = Pinpoint_smt.Expr
+module Seg = Pinpoint_seg.Seg
+module Rv = Pinpoint_summary.Rv
+module Clone = Pinpoint_summary.Clone
+
+type hop =
+  | Hsource of { fname : string; var : Var.t; sid : int }
+  | Hflow of { fname : string; src : Var.t; dst : Var.t; cond : E.t; kind : Seg.ekind }
+  | Hcall of {
+      caller : string;
+      call_sid : int;
+      callee : string;
+      arg_index : int;
+      param : Var.t;
+      args : Stmt.operand list;
+    }
+  | Hret of {
+      callee : string;
+      ret_var : Var.t;
+      ret_index : int;
+      caller : string;
+      call_sid : int;
+      recv : Var.t;
+      args : Stmt.operand list;
+      popped : bool;
+    }
+  | Hparam_up of {
+      callee : string;
+      param : Var.t;
+      caller : string;
+      call_sid : int;
+      actual : Var.t;
+      args : Stmt.operand list;
+    }
+  | Hsink of { fname : string; var : Var.t; sid : int }
+
+type t = hop list
+
+type frame = { fname : string; seg : Seg.t; clone : Clone.t }
+
+let frame_counter = ref 0
+
+let new_frame seg_of fname =
+  incr frame_counter;
+  match seg_of fname with
+  | Some seg ->
+    Some { fname; seg; clone = Clone.create (Printf.sprintf "%s_f%d" fname !frame_counter) }
+  | None -> None
+
+(* Close a constraint against the RV summaries, then clone it into the
+   frame. *)
+let closed_in rv (fr : frame) (cres : Seg.cres) : E.t =
+  let f, _params = Rv.close rv fr.seg cres in
+  Clone.subst fr.clone f
+
+let add_cd rv fr acc sid = E.and_ acc (closed_in rv fr (Seg.cd_stmt fr.seg sid))
+
+let add_formula rv fr acc formula =
+  (* the formula itself plus the DD closure of its variables *)
+  let dd = closed_in rv fr (Seg.dd_expr fr.seg formula) in
+  E.and_ acc (E.and_ (Clone.subst fr.clone formula) dd)
+
+let condition ~seg_of ~rv (path : t) : E.t =
+  frame_counter := 0;
+  let acc = ref E.tru in
+  let stack : frame list ref = ref [] in
+  let push fname =
+    match new_frame seg_of fname with
+    | Some fr -> stack := fr :: !stack
+    | None -> ()
+  in
+  let cur () = match !stack with fr :: _ -> Some fr | [] -> None in
+  List.iter
+    (fun hop ->
+      match hop with
+      | Hsource { fname; sid; _ } -> (
+        push fname;
+        match cur () with
+        | Some fr -> acc := add_cd rv fr !acc sid
+        | None -> ())
+      | Hflow { src; dst; cond; kind; _ } -> (
+        match cur () with
+        | Some fr ->
+          acc := add_formula rv fr !acc cond;
+          (match kind with
+          | Seg.Copy ->
+            acc :=
+              E.and_ !acc
+                (Clone.subst fr.clone (E.eq (Var.term dst) (Var.term src)))
+          | Seg.Operand ->
+            (* the operator's defining constraint relates dst to src *)
+            acc := E.and_ !acc (closed_in rv fr (Seg.dd fr.seg dst)));
+          (match Seg.def_of fr.seg dst with
+          | Some s -> acc := add_cd rv fr !acc s.Stmt.sid
+          | None -> ())
+        | None -> ())
+      | Hcall { callee; call_sid; args; _ } -> (
+        let caller_fr = cur () in
+        push callee;
+        match (cur (), caller_fr) with
+        | Some callee_fr, Some caller_fr when callee_fr != caller_fr ->
+          (* the call statement itself must be reachable *)
+          acc := add_cd rv caller_fr !acc call_sid;
+          (* bind callee formals to (cloned) actual terms *)
+          List.iteri
+            (fun i (p : Var.t) ->
+              match List.nth_opt args i with
+              | Some actual ->
+                Clone.bind callee_fr.clone (Var.symbol p)
+                  (Clone.subst caller_fr.clone (Stmt.operand_term actual));
+                (* the actual's own data dependence, in the caller frame *)
+                (match actual with
+                | Stmt.Ovar av ->
+                  acc :=
+                    E.and_ !acc (closed_in rv caller_fr (Seg.dd caller_fr.seg av))
+                | _ -> ())
+              | None -> ())
+            (Seg.func callee_fr.seg).Func.params
+        | _ -> ())
+      | Hret { ret_var; caller; call_sid; recv; args; popped; _ } -> (
+        let callee_fr = cur () in
+        (match callee_fr with
+        | Some fr ->
+          (* the return is reachable under the callee frame *)
+          (match Seg.def_of fr.seg ret_var with
+          | Some s -> acc := add_cd rv fr !acc s.Stmt.sid
+          | None -> ())
+        | None -> ());
+        stack := (match !stack with _ :: rest -> rest | [] -> []);
+        if not popped then push caller;
+        match (cur (), callee_fr) with
+        | Some caller_fr, Some callee_fr ->
+          acc := add_cd rv caller_fr !acc call_sid;
+          acc :=
+            E.and_ !acc
+              (E.eq
+                 (Clone.subst caller_fr.clone (Var.term recv))
+                 (Clone.subst callee_fr.clone (Var.term ret_var)));
+          (* On bottom-up expansion, relate the callee's formals to the
+             actuals we just discovered (the callee frame may already have
+             cloned them, so use equalities rather than bindings). *)
+          if not popped then
+            List.iteri
+              (fun i (p : Var.t) ->
+                match List.nth_opt args i with
+                | Some actual ->
+                  acc :=
+                    E.and_ !acc
+                      (E.eq
+                         (Clone.subst callee_fr.clone (Var.term p))
+                         (Clone.subst caller_fr.clone (Stmt.operand_term actual)))
+                | None -> ())
+              (Seg.func callee_fr.seg).Func.params
+        | _ -> ())
+      | Hparam_up { param; caller; call_sid; actual; args; _ } -> (
+        let callee_fr = cur () in
+        stack := (match !stack with _ :: rest -> rest | [] -> []);
+        push caller;
+        match (cur (), callee_fr) with
+        | Some caller_fr, Some callee_fr ->
+          (* the call statement is reachable in the caller *)
+          acc := add_cd rv caller_fr !acc call_sid;
+          (* the actual the value rode in on *)
+          acc :=
+            E.and_ !acc
+              (E.eq
+                 (Clone.subst callee_fr.clone (Var.term param))
+                 (Clone.subst caller_fr.clone (Var.term actual)));
+          (* relate the other formals to their actuals too *)
+          List.iteri
+            (fun i (p : Var.t) ->
+              match List.nth_opt args i with
+              | Some a ->
+                acc :=
+                  E.and_ !acc
+                    (E.eq
+                       (Clone.subst callee_fr.clone (Var.term p))
+                       (Clone.subst caller_fr.clone (Stmt.operand_term a)))
+              | None -> ())
+            (Seg.func callee_fr.seg).Func.params
+        | _ -> ())
+      | Hsink { sid; var; _ } -> (
+        match cur () with
+        | Some fr ->
+          acc := add_cd rv fr !acc sid;
+          acc := E.and_ !acc (closed_in rv fr (Seg.dd fr.seg var))
+        | None -> ()))
+    path;
+  !acc
+
+let pp ppf (path : t) =
+  List.iter
+    (fun hop ->
+      match hop with
+      | Hsource { fname; var; sid } ->
+        Format.fprintf ppf "  source  %s: %s@@s%d@." fname var.Var.name sid
+      | Hflow { fname; src; dst; cond; _ } ->
+        if E.is_true cond then
+          Format.fprintf ppf "  flow    %s: %s -> %s@." fname src.Var.name
+            dst.Var.name
+        else
+          Format.fprintf ppf "  flow    %s: %s -> %s  [%a]@." fname src.Var.name
+            dst.Var.name E.pp cond
+      | Hcall { caller; callee; call_sid; param; _ } ->
+        Format.fprintf ppf "  call    %s -> %s(%s)@@s%d@." caller callee
+          param.Var.name call_sid
+      | Hret { callee; caller; recv; ret_var; call_sid; popped; _ } ->
+        Format.fprintf ppf "  %s  %s: %s -> %s:%s@@s%d@."
+          (if popped then "return" else "expand")
+          callee ret_var.Var.name caller recv.Var.name call_sid
+      | Hparam_up { callee; param; caller; actual; call_sid; _ } ->
+        Format.fprintf ppf "  dangles %s(%s) -> %s:%s@@s%d@." callee
+          param.Var.name caller actual.Var.name call_sid
+      | Hsink { fname; var; sid } ->
+        Format.fprintf ppf "  sink    %s: %s@@s%d@." fname var.Var.name sid)
+    path
+
+let source_sink (path : t) =
+  let src = ref None and snk = ref None in
+  List.iter
+    (fun hop ->
+      match hop with
+      | Hsource { fname; sid; _ } -> if !src = None then src := Some (fname, sid)
+      | Hsink { fname; sid; _ } -> snk := Some (fname, sid)
+      | _ -> ())
+    path;
+  (!src, !snk)

@@ -1,0 +1,112 @@
+type loc = Pinpoint_ir.Stmt.loc
+type ty = Pinpoint_ir.Ty.t
+type binop = Pinpoint_ir.Ops.binop
+type unop = Pinpoint_ir.Ops.unop
+
+type expr = { eloc : loc; enode : enode }
+
+and enode =
+  | Eint of int
+  | Ebool of bool
+  | Enull
+  | Evar of string
+  | Ederef of expr * int
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Ecall of string * expr list
+  | Evcall of string * expr list
+  | Emalloc
+
+type stmt = { sloc : loc; snode : snode }
+
+and snode =
+  | Sdecl of ty * string * expr option
+  | Sassign of string * expr
+  | Sstore of int * string * expr
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sreturn of expr option
+  | Sexpr of expr
+  | Sblock of stmt list
+
+type fdecl = {
+  fname : string;
+  params : (ty * string) list;
+  ret : ty option;
+  body : stmt;
+  floc : loc;
+  unit_name : string;
+  group : string option;
+}
+
+type program = { funcs : fdecl list }
+
+open Format
+
+let stars n = String.make n '*'
+
+let pp_ty ppf (t : ty) =
+  let rec base = function
+    | Pinpoint_ir.Ty.Int -> "int"
+    | Pinpoint_ir.Ty.Bool -> "bool"
+    | Pinpoint_ir.Ty.Ptr t -> base t
+  in
+  fprintf ppf "%s%s" (base t) (stars (Pinpoint_ir.Ty.pointer_depth t))
+
+let rec pp_expr ppf e =
+  match e.enode with
+  | Eint n -> pp_print_int ppf n
+  | Ebool b -> pp_print_bool ppf b
+  | Enull -> pp_print_string ppf "null"
+  | Evar x -> pp_print_string ppf x
+  | Ederef (e, k) -> fprintf ppf "(%s%a)" (stars k) pp_expr e
+  | Ebin (op, a, b) ->
+    fprintf ppf "(%a %a %a)" pp_expr a Pinpoint_ir.Ops.pp_binop op pp_expr b
+  | Eun (op, a) -> fprintf ppf "(%a%a)" Pinpoint_ir.Ops.pp_unop op pp_expr a
+  | Ecall (f, args) ->
+    fprintf ppf "%s(%a)" f (Pinpoint_util.Pp.list pp_expr) args
+  | Evcall (g, args) ->
+    fprintf ppf "vcall %S(%a)" g (Pinpoint_util.Pp.list pp_expr) args
+  | Emalloc -> pp_print_string ppf "malloc()"
+
+let rec pp_stmt ppf s =
+  match s.snode with
+  | Sdecl (t, x, None) -> fprintf ppf "%a %s;" pp_ty t x
+  | Sdecl (t, x, Some e) -> fprintf ppf "%a %s = %a;" pp_ty t x pp_expr e
+  | Sassign (x, e) -> fprintf ppf "%s = %a;" x pp_expr e
+  | Sstore (k, x, e) -> fprintf ppf "%s%s = %a;" (stars k) x pp_expr e
+  | Sif (c, t, None) -> fprintf ppf "if (%a) %a" pp_expr c pp_stmt t
+  | Sif (c, t, Some e) ->
+    fprintf ppf "if (%a) %a else %a" pp_expr c pp_stmt t pp_stmt e
+  | Swhile (c, b) -> fprintf ppf "while (%a) %a" pp_expr c pp_stmt b
+  | Sreturn None -> pp_print_string ppf "return;"
+  | Sreturn (Some e) -> fprintf ppf "return %a;" pp_expr e
+  | Sexpr e -> fprintf ppf "%a;" pp_expr e
+  | Sblock stmts ->
+    fprintf ppf "{@[<v 2>";
+    List.iter (fun s -> fprintf ppf "@,%a" pp_stmt s) stmts;
+    fprintf ppf "@]@,}"
+
+let pp_fdecl ppf (f : fdecl) =
+  let ret ppf = function
+    | None -> pp_print_string ppf "void"
+    | Some t -> pp_ty ppf t
+  in
+  (match f.group with
+  | Some g -> fprintf ppf "method %S " g
+  | None -> ());
+  fprintf ppf "@[<v>%a %s(%a) %a@]@." ret f.ret f.fname
+    (Pinpoint_util.Pp.list (fun ppf (t, x) -> fprintf ppf "%a %s" pp_ty t x))
+    f.params pp_stmt f.body
+
+let pp_program ppf (p : program) =
+  let current_unit = ref "" in
+  List.iter
+    (fun f ->
+      if f.unit_name <> !current_unit then begin
+        fprintf ppf "unit %S;@.@." f.unit_name;
+        current_unit := f.unit_name
+      end;
+      pp_fdecl ppf f;
+      pp_print_newline ppf ())
+    p.funcs

@@ -1,0 +1,64 @@
+(** Abstract syntax of MC, the mini-C surface language.
+
+    MC is the concrete syntax for the paper's analysis language (§3): it
+    has integers, booleans, multi-level pointers, [malloc]/[free],
+    [if]/[else], [while], calls and returns — and deliberately no
+    address-of operator, no arrays and no structs (the paper collapses
+    arrays/unions to single elements anyway, §4.2).  Pointers therefore
+    originate only from [malloc], parameters and loads, exactly as in the
+    paper's examples. *)
+
+type loc = Pinpoint_ir.Stmt.loc
+
+type ty = Pinpoint_ir.Ty.t
+
+type binop = Pinpoint_ir.Ops.binop
+type unop = Pinpoint_ir.Ops.unop
+
+type expr = { eloc : loc; enode : enode }
+
+and enode =
+  | Eint of int
+  | Ebool of bool
+  | Enull
+  | Evar of string
+  | Ederef of expr * int      (** [*...*e] with the star count *)
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Ecall of string * expr list
+  | Evcall of string * expr list
+      (** virtual dispatch to a method group, resolved CHA-style *)
+  | Emalloc                   (** [malloc()] *)
+
+type stmt = { sloc : loc; snode : snode }
+
+and snode =
+  | Sdecl of ty * string * expr option   (** [ty x = e;] *)
+  | Sassign of string * expr             (** [x = e;] *)
+  | Sstore of int * string * expr        (** [*...*x = e;] with star count *)
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sreturn of expr option
+  | Sexpr of expr                        (** expression statement (calls) *)
+  | Sblock of stmt list
+
+type fdecl = {
+  fname : string;
+  params : (ty * string) list;
+  ret : ty option;
+  body : stmt;
+  floc : loc;
+  unit_name : string;  (** "compilation unit" the function belongs to *)
+  group : string option;
+      (** method group for virtual dispatch ([method "g" ...]) *)
+}
+
+type program = { funcs : fdecl list }
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_fdecl : Format.formatter -> fdecl -> unit
+val pp_program : Format.formatter -> program -> unit
+(** Printers emit valid MC concrete syntax; [Parser.parse_string] of the
+    output re-parses to an equivalent program (round-trip property tested
+    in the suite). *)

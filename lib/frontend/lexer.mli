@@ -1,0 +1,25 @@
+(** Hand-written lexer for MC.
+
+    Produces the full token stream eagerly with positions; the recursive-
+    descent parser then walks the array.  Supports [//] line comments and
+    [/* ... */] block comments. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | STRING of string
+  | KW_INT | KW_BOOL | KW_VOID | KW_IF | KW_ELSE | KW_WHILE | KW_RETURN
+  | KW_TRUE | KW_FALSE | KW_NULL | KW_UNIT | KW_MALLOC | KW_METHOD | KW_VCALL
+  | LPAREN | RPAREN | LBRACE | RBRACE | COMMA | SEMI
+  | STAR | PLUS | MINUS | BANG
+  | ASSIGN | EQ | NE | LT | LE | GT | GE | ANDAND | OROR
+  | EOF
+
+type located = { tok : token; line : int }
+
+exception Error of string * int  (** message, line *)
+
+val tokenize : ?file:string -> string -> located array
+(** Lex a source string.  Raises {!Error} on invalid input. *)
+
+val pp_token : Format.formatter -> token -> unit

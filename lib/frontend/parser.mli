@@ -1,0 +1,29 @@
+(** Recursive-descent parser for MC.
+
+    Grammar (precedence low to high: [||], [&&], equality, relational,
+    additive, multiplicative, unary):
+
+    {v
+      program  := (unitdecl | func)*
+      unitdecl := "unit" STRING ";"
+      func     := rettype IDENT "(" params? ")" block
+      rettype  := ("int" | "bool") "*"* | "void"
+      params   := ty IDENT ("," ty IDENT)*
+      ty       := ("int" | "bool") "*"*
+      block    := "{" stmt* "}"
+      stmt     := ty IDENT ("=" expr)? ";"
+                | IDENT "=" expr ";"
+                | "*"+ IDENT "=" expr ";"
+                | "if" "(" expr ")" stmt ("else" stmt)?
+                | "while" "(" expr ")" stmt
+                | "return" expr? ";"
+                | expr ";"
+                | block
+      primary  := INT | "true" | "false" | "null" | "malloc" "(" ")"
+                | IDENT | IDENT "(" args? ")" | "(" expr ")"
+    v} *)
+
+exception Error of string * int  (** message, line *)
+
+val parse_string : ?file:string -> string -> Ast.program
+val parse_file : string -> Ast.program

@@ -1,0 +1,15 @@
+open Pinpoint_ir
+
+type t = { ret : Ty.t option; params : Ty.t list option }
+
+let intrinsic = function
+  | "free" -> Some { ret = None; params = Some [ Ty.Ptr Ty.Int ] }
+  | "print" | "output" | "use" -> Some { ret = None; params = None }
+  | "fgetc" | "input" -> Some { ret = Some Ty.Int; params = Some [] }
+  | "vselect" -> Some { ret = Some Ty.Int; params = Some [] }
+  | "getpass" -> Some { ret = Some Ty.Int; params = Some [] }
+  | "fopen" -> Some { ret = Some (Ty.Ptr Ty.Int); params = Some [ Ty.Int ] }
+  | "sendto" -> Some { ret = None; params = Some [ Ty.Int ] }
+  | "memset" -> Some { ret = None; params = None }
+  | "memcpy" -> Some { ret = None; params = None }
+  | _ -> None

@@ -1,0 +1,15 @@
+(** Function type signatures, including the built-in models for intrinsics
+    (§4.2: "we manually model some standard C libraries"). *)
+
+type t = {
+  ret : Pinpoint_ir.Ty.t option;
+  params : Pinpoint_ir.Ty.t list option;
+      (** [None] means variadic/unchecked (e.g. [print]). *)
+}
+
+val intrinsic : string -> t option
+(** The signature of a modelled intrinsic, if the name is one:
+    [free], [print]/[output]/[use] (variadic observers),
+    [fgetc]/[input] (tainted integer sources), [getpass] (sensitive string
+    source), [fopen] (file-name sink returning a handle), [sendto]
+    (transmission sink), [memset]/[memcpy]. *)

@@ -1,0 +1,317 @@
+open Pinpoint_ir
+module Prng = Pinpoint_util.Prng
+
+type event_kind =
+  | Use_after_free
+  | Double_free
+  | Null_deref
+  | Taint_flow of { source : string; sink : string }
+
+type event = { kind : event_kind; loc : Stmt.loc; fname : string }
+
+type outcome = {
+  events : event list;
+  steps : int;
+  completed : bool;
+  leaked_allocs : int;
+}
+
+let checker_of_event = function
+  | Use_after_free -> "use-after-free"
+  | Double_free -> "double-free"
+  | Null_deref -> "null-deref"
+  | Taint_flow { source = "getpass"; _ } -> "data-transmission"
+  | Taint_flow _ -> "path-traversal"
+
+(* Runtime values.  Taints record the generating intrinsic names. *)
+module SSet = Set.Make (String)
+
+type value = { v : base; taint : SSet.t }
+and base = VInt of int | VBool of bool | VPtr of int
+
+let vint ?(taint = SSet.empty) n = { v = VInt n; taint }
+let vbool ?(taint = SSet.empty) b = { v = VBool b; taint }
+let vptr ?(taint = SSet.empty) a = { v = VPtr a; taint }
+let untainted v = { v; taint = SSet.empty }
+
+exception Stop of string
+
+type state = {
+  prog : Prog.t;
+  rng : Prng.t;
+  heap : (int, value) Hashtbl.t;
+  freed_set : (int, unit) Hashtbl.t;
+  alloc_set : (int, unit) Hashtbl.t;  (* program mallocs only *)
+  mutable next_addr : int;
+  mutable events : event list;
+  mutable steps : int;
+  max_steps : int;
+  max_call_depth : int;
+}
+
+let fresh_addr st =
+  let a = st.next_addr in
+  st.next_addr <- a + 8;
+  a
+
+let record st fname kind loc = st.events <- { kind; loc; fname } :: st.events
+
+let tick st =
+  st.steps <- st.steps + 1;
+  if st.steps > st.max_steps then raise (Stop "step budget")
+
+(* Allocate the cell structure behind a pointer type: int** gets a cell
+   holding a fresh int* which holds a fresh int. *)
+let rec synth_value st (ty : Ty.t) : value =
+  match ty with
+  | Ty.Int -> vint (Prng.in_range st.rng (-50) 50)
+  | Ty.Bool -> vbool (Prng.bool st.rng)
+  | Ty.Ptr inner ->
+    let a = fresh_addr st in
+    Hashtbl.replace st.heap a (synth_value st inner);
+    vptr a
+
+let as_int v = match v.v with VInt n -> n | VBool b -> if b then 1 else 0 | VPtr a -> a
+let as_bool v =
+  match v.v with VBool b -> b | VInt n -> n <> 0 | VPtr a -> a <> 0
+
+let eval_binop op a b =
+  let taint = SSet.union a.taint b.taint in
+  match op with
+  | Ops.Add -> { v = VInt (as_int a + as_int b); taint }
+  | Ops.Sub -> { v = VInt (as_int a - as_int b); taint }
+  | Ops.Mul -> { v = VInt (as_int a * as_int b); taint }
+  | Ops.Land -> { v = VBool (as_bool a && as_bool b); taint }
+  | Ops.Lor -> { v = VBool (as_bool a || as_bool b); taint }
+  | Ops.Gt -> { v = VBool (as_int a > as_int b); taint }
+  | Ops.Ge -> { v = VBool (as_int a >= as_int b); taint }
+  | Ops.Lt -> { v = VBool (as_int a < as_int b); taint }
+  | Ops.Le -> { v = VBool (as_int a <= as_int b); taint }
+  | Ops.Eq -> { v = VBool (as_int a = as_int b); taint }
+  | Ops.Ne -> { v = VBool (as_int a <> as_int b); taint }
+
+let eval_unop op a =
+  match op with
+  | Ops.Neg -> { a with v = VInt (-as_int a) }
+  | Ops.Lnot -> { a with v = VBool (not (as_bool a)) }
+
+(* Dereference one level, recording events.  Returns the address read. *)
+let check_deref st fname loc (p : value) =
+  match p.v with
+  | VPtr 0 ->
+    record st fname Null_deref loc;
+    None
+  | VPtr a ->
+    if Hashtbl.mem st.freed_set a then record st fname Use_after_free loc;
+    Some a
+  | VInt 0 ->
+    record st fname Null_deref loc;
+    None
+  | VInt a -> Some a
+  | VBool _ -> None
+
+let rec deref_chain st fname loc (p : value) k : int option =
+  match check_deref st fname loc p with
+  | None -> None
+  | Some a ->
+    if k <= 1 then Some a
+    else
+      let inner =
+        match Hashtbl.find_opt st.heap a with
+        | Some v -> v
+        | None -> untainted (VInt 0)
+      in
+      deref_chain st fname loc inner (k - 1)
+
+let rec exec_function st depth (f : Func.t) (args : value list) : value list =
+  if depth > st.max_call_depth then raise (Stop "call depth");
+  let env : value Var.Tbl.t = Var.Tbl.create 32 in
+  List.iteri
+    (fun i (p : Var.t) ->
+      let v =
+        match List.nth_opt args i with
+        | Some v -> v
+        | None -> synth_value st p.Var.ty
+      in
+      Var.Tbl.replace env p v)
+    f.Func.params;
+  let lookup v =
+    match Var.Tbl.find_opt env v with
+    | Some x -> x
+    | None -> untainted (VInt 0) (* undefined along this path *)
+  in
+  let operand = function
+    | Stmt.Ovar v -> lookup v
+    | Stmt.Oint n -> untainted (VInt n)
+    | Stmt.Obool b -> untainted (VBool b)
+    | Stmt.Onull -> untainted (VPtr 0)
+  in
+  let fname = f.Func.fname in
+  let ret = ref [] in
+  let rec run_block prev bid =
+    tick st;
+    let blk = Func.block f bid in
+    List.iter
+      (fun (s : Stmt.t) ->
+        tick st;
+        match s.Stmt.kind with
+        | Stmt.Assign (v, o) -> Var.Tbl.replace env v (operand o)
+        | Stmt.Phi (v, phi_args) -> (
+          match
+            List.find_opt (fun (a : Stmt.phi_arg) -> a.Stmt.pred = prev) phi_args
+          with
+          | Some a -> Var.Tbl.replace env v (operand a.Stmt.src)
+          | None -> ())
+        | Stmt.Binop (v, op, a, b) ->
+          Var.Tbl.replace env v (eval_binop op (operand a) (operand b))
+        | Stmt.Unop (v, op, a) -> Var.Tbl.replace env v (eval_unop op (operand a))
+        | Stmt.Alloc v ->
+          let a = fresh_addr st in
+          Hashtbl.replace st.heap a (untainted (VInt 0));
+          Hashtbl.replace st.alloc_set a ();
+          Var.Tbl.replace env v (vptr a)
+        | Stmt.Load (v, base, k) -> (
+          match deref_chain st fname s.Stmt.loc (operand base) k with
+          | Some a ->
+            let cell =
+              match Hashtbl.find_opt st.heap a with
+              | Some x -> x
+              | None -> untainted (VInt 0)
+            in
+            Var.Tbl.replace env v cell
+          | None -> Var.Tbl.replace env v (untainted (VInt 0)))
+        | Stmt.Store (base, k, value) -> (
+          match deref_chain st fname s.Stmt.loc (operand base) k with
+          | Some a -> Hashtbl.replace st.heap a (operand value)
+          | None -> ())
+        | Stmt.Call c -> exec_call st depth env fname s c
+        | Stmt.Return ops -> ret := List.map operand ops)
+      blk.Func.stmts;
+    match blk.Func.term with
+    | Func.Jump b -> run_block bid b
+    | Func.Br (cond, bt, be) ->
+      if as_bool (operand cond) then run_block bid bt else run_block bid be
+    | Func.Exit -> ()
+  in
+  run_block (-1) f.Func.entry;
+  !ret
+
+and exec_call st depth env fname (s : Stmt.t) (c : Stmt.call) =
+  let operand = function
+    | Stmt.Ovar v -> (
+      match Var.Tbl.find_opt env v with Some x -> x | None -> untainted (VInt 0))
+    | Stmt.Oint n -> untainted (VInt n)
+    | Stmt.Obool b -> untainted (VBool b)
+    | Stmt.Onull -> untainted (VPtr 0)
+  in
+  let args = List.map operand c.Stmt.args in
+  let set_recvs values =
+    List.iteri
+      (fun i (r : Var.t) ->
+        let v =
+          match List.nth_opt values i with
+          | Some v -> v
+          | None -> synth_value st r.Var.ty
+        in
+        Var.Tbl.replace env r v)
+      c.Stmt.recvs
+  in
+  match c.Stmt.callee with
+  | "free" -> (
+    match args with
+    | { v = VPtr 0; _ } :: _ -> () (* free(NULL) is a no-op *)
+    | { v = VPtr a; _ } :: _ ->
+      if Hashtbl.mem st.freed_set a then
+        record st fname Double_free s.Stmt.loc
+      else Hashtbl.replace st.freed_set a ();
+      ()
+    | _ -> ())
+  | "vselect" ->
+    (* virtual-dispatch selector: small range so every member of a
+       reasonable method group gets exercised across seeds *)
+    set_recvs [ vint (Prng.in_range st.rng 0 3) ]
+  | "input" | "fgetc" ->
+    set_recvs [ vint ~taint:(SSet.singleton "input") (Prng.in_range st.rng (-50) 50) ]
+  | "getpass" ->
+    set_recvs [ vint ~taint:(SSet.singleton "getpass") (Prng.in_range st.rng 1 1000) ]
+  | "fopen" ->
+    (match args with
+    | a :: _ when SSet.mem "input" a.taint ->
+      record st fname (Taint_flow { source = "input"; sink = "fopen" }) s.Stmt.loc
+    | _ -> ());
+    let addr = fresh_addr st in
+    Hashtbl.replace st.heap addr (untainted (VInt 1));
+    set_recvs [ vptr addr ]
+  | "sendto" -> (
+    match args with
+    | a :: _ when SSet.mem "getpass" a.taint ->
+      record st fname (Taint_flow { source = "getpass"; sink = "sendto" }) s.Stmt.loc
+    | _ -> ())
+  | "print" | "output" | "use" | "memset" | "memcpy" -> set_recvs []
+  | callee -> (
+    match Prog.find st.prog callee with
+    | Some f -> set_recvs (exec_function st (depth + 1) f args)
+    | None -> set_recvs [])
+
+let make_state ?(seed = 1) ?(max_steps = 100_000) ?(max_call_depth = 64) prog =
+  {
+    prog;
+    rng = Prng.create seed;
+    heap = Hashtbl.create 1024;
+    freed_set = Hashtbl.create 64;
+    alloc_set = Hashtbl.create 64;
+    next_addr = 1000;
+    events = [];
+    steps = 0;
+    max_steps;
+    max_call_depth;
+  }
+
+let run_function ?(seed = 1) ?(max_steps = 100_000) ?(max_call_depth = 64) prog
+    fname : outcome =
+  match Prog.find prog fname with
+  | None -> { events = []; steps = 0; completed = false; leaked_allocs = 0 }
+  | Some f ->
+    let st = make_state ~seed ~max_steps ~max_call_depth prog in
+    let args = List.map (fun (p : Var.t) -> synth_value st p.Var.ty) f.Func.params in
+    let completed =
+      match exec_function st 0 f args with
+      | _ -> true
+      | exception Stop _ -> false
+    in
+    let leaked =
+      Hashtbl.fold
+        (fun a () n -> if Hashtbl.mem st.freed_set a then n else n + 1)
+        st.alloc_set 0
+    in
+    { events = List.rev st.events; steps = st.steps; completed; leaked_allocs = leaked }
+
+let run_all ?(seeds = [ 1; 2; 3; 4; 5 ]) ?(max_steps = 100_000) prog : event list =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  List.iter
+    (fun (f : Func.t) ->
+      List.iter
+        (fun seed ->
+          let o = run_function ~seed ~max_steps prog f.Func.fname in
+          List.iter
+            (fun e ->
+              let key = (e.kind, e.fname, e.loc.Stmt.line) in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
+                acc := e :: !acc
+              end)
+            o.events)
+        seeds)
+    (Prog.functions prog);
+  List.rev !acc
+
+let pp_event ppf e =
+  let kind =
+    match e.kind with
+    | Use_after_free -> "use-after-free"
+    | Double_free -> "double-free"
+    | Null_deref -> "null-deref"
+    | Taint_flow { source; sink } -> Printf.sprintf "taint %s->%s" source sink
+  in
+  Format.fprintf ppf "%s at %a in %s" kind Stmt.pp_loc e.loc e.fname

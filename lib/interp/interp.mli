@@ -1,0 +1,59 @@
+(** A concrete interpreter for the (pre-transformation) IR.
+
+    This is the repository's dynamic oracle: it executes the same unrolled
+    program the static analysis sees, with a real heap, a free-list, and
+    taint bits, and records the safety events a human debugger would
+    confirm — the stand-in for the paper's "confirmed by the developers"
+    loop (§5.1.2) and the ground truth for differential testing:
+
+    - every event observed dynamically should be reported statically
+      (soundiness direction, modulo search budgets);
+    - the generator's "trap" patterns must never produce an event on any
+      input (validating their [real = false] labels).
+
+    Functions are run as entry points, fuzzing-harness style: integer
+    parameters and [input()]/[fgetc()]/[getpass()] results come from a
+    seeded PRNG; pointer parameters receive fresh allocations (chains of
+    cells for multi-level pointers).  Taint propagates through arithmetic
+    and copies; [fopen]/[sendto] check their argument's taint. *)
+
+type event_kind =
+  | Use_after_free
+  | Double_free
+  | Null_deref
+  | Taint_flow of { source : string; sink : string }
+
+type event = { kind : event_kind; loc : Pinpoint_ir.Stmt.loc; fname : string }
+
+type outcome = {
+  events : event list;  (** in occurrence order *)
+  steps : int;
+  completed : bool;  (** false when a budget stopped execution *)
+  leaked_allocs : int;
+      (** allocations neither freed nor synthesised by the end of the run
+          — a dynamic cross-check for the static memory-leak checker
+          (escaping allocations still count here, so compare against the
+          checker only on non-escaping programs) *)
+}
+
+val checker_of_event : event_kind -> string
+(** The checker name whose reports should cover the event. *)
+
+val run_function :
+  ?seed:int ->
+  ?max_steps:int ->
+  ?max_call_depth:int ->
+  Pinpoint_ir.Prog.t ->
+  string ->
+  outcome
+(** Execute one function as an entry point. *)
+
+val run_all :
+  ?seeds:int list ->
+  ?max_steps:int ->
+  Pinpoint_ir.Prog.t ->
+  event list
+(** Run every function under several seeds and collect the distinct
+    events (deduplicated by kind, function and line). *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,48 @@
+module D = Pinpoint_util.Digraph
+
+type dep = { branch_block : int; cond : Stmt.operand; polarity : bool }
+
+type t = dep list array
+
+let compute (f : Func.t) : t =
+  let g = Func.cfg f in
+  let nb = Func.n_blocks f in
+  let deps = Array.make nb [] in
+  let pdom = D.post_dominators g f.Func.exit_ in
+  (* For each branch edge (u, v): walk the post-dominator tree from v up to
+     (but excluding) ipdom(u); every node on the way is control dependent on
+     (u, v). *)
+  Func.iter_blocks f (fun blk ->
+      match blk.Func.term with
+      | Func.Br (cond, tgt, els) when tgt <> els ->
+        let u = blk.Func.bid in
+        let ipdom_u = pdom.D.idom.(u) in
+        let walk v polarity =
+          let cur = ref v in
+          while
+            !cur <> -1 && !cur <> ipdom_u
+            && not (List.exists (fun d -> d.branch_block = u && d.polarity = polarity) deps.(!cur))
+          do
+            deps.(!cur) <- { branch_block = u; cond; polarity } :: deps.(!cur);
+            let nxt = pdom.D.idom.(!cur) in
+            cur := (if nxt = !cur then -1 else nxt)
+          done
+        in
+        walk tgt true;
+        walk els false
+      | _ -> ());
+  deps
+
+let deps_of_block (t : t) b = if b < Array.length t then t.(b) else []
+
+let pp (f : Func.t) ppf (t : t) =
+  Func.iter_blocks f (fun blk ->
+      let b = blk.Func.bid in
+      match t.(b) with
+      | [] -> ()
+      | deps ->
+        Format.fprintf ppf "b%d <- %a@." b
+          (Pinpoint_util.Pp.list (fun ppf d ->
+               Format.fprintf ppf "(b%d:%a=%b)" d.branch_block Stmt.pp_operand
+                 d.cond d.polarity))
+          deps)

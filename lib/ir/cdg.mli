@@ -1,0 +1,29 @@
+(** Control dependence (Ferrante–Ottenstein–Warren, used by SEG's Gc
+    subgraph, Definition 3.2).
+
+    Block [b] is control dependent on branch edge [(u, v)] iff [b]
+    post-dominates [v] but does not post-dominate [u].  We record, per
+    block, the list of [(branch variable operand, polarity)] pairs: the
+    statement is reachable only if each branch variable evaluates to the
+    recorded polarity (Example 3.5).
+
+    Requires the single-exit CFG the frontend guarantees.  An always-true
+    virtual exit edge is not needed because the lowering produces exactly
+    one exit block. *)
+
+type dep = {
+  branch_block : int;
+  cond : Stmt.operand;  (** the branch-condition variable of that block *)
+  polarity : bool;      (** [true] when reached via the then-edge *)
+}
+
+type t
+
+val compute : Func.t -> t
+
+val deps_of_block : t -> int -> dep list
+(** Direct control dependences of a block (not transitively closed; the SEG
+    follows the chain through the branch variables' definitions, as in
+    Example 3.8). *)
+
+val pp : Func.t -> Format.formatter -> t -> unit

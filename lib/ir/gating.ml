@@ -1,0 +1,70 @@
+module D = Pinpoint_util.Digraph
+open Pinpoint_smt
+
+let edge_guard (f : Func.t) p b =
+  let blk = Func.block f p in
+  match blk.Func.term with
+  | Func.Br (c, t, e) ->
+    let c_expr = Stmt.operand_term c in
+    (* A degenerate branch with both targets equal is unconditional. *)
+    if t = e then Expr.tru
+    else if t = b then c_expr
+    else if e = b then Expr.not_ c_expr
+    else Expr.tru
+  | Func.Jump _ | Func.Exit -> Expr.tru
+
+let reaching_conditions (f : Func.t) ~root =
+  let g = Func.cfg f in
+  let nb = Func.n_blocks f in
+  let rc = Array.make nb Expr.fls in
+  let order =
+    match D.topo_sort g with
+    | Some o -> o
+    | None -> invalid_arg "Gating.reaching_conditions: cyclic CFG"
+  in
+  rc.(root) <- Expr.tru;
+  List.iter
+    (fun b ->
+      if b <> root then begin
+        let cond =
+          List.fold_left
+            (fun acc p -> Expr.or_ acc (Expr.and_ rc.(p) (edge_guard f p b)))
+            Expr.fls (D.preds g b)
+        in
+        rc.(b) <- cond
+      end)
+    order;
+  rc
+
+let run (f : Func.t) =
+  let g = Func.cfg f in
+  let dom = D.dominators g f.Func.entry in
+  (* Cache reaching-condition arrays per root (φ blocks often share an
+     immediate dominator). *)
+  let cache : (int, Expr.t array) Hashtbl.t = Hashtbl.create 8 in
+  let rc_from root =
+    match Hashtbl.find_opt cache root with
+    | Some rc -> rc
+    | None ->
+      let rc = reaching_conditions f ~root in
+      Hashtbl.add cache root rc;
+      rc
+  in
+  Func.iter_blocks f (fun blk ->
+      List.iter
+        (fun s ->
+          match s.Stmt.kind with
+          | Stmt.Phi (_, args) ->
+            let b = blk.Func.bid in
+            let root =
+              if dom.D.idom.(b) = -1 then f.Func.entry else dom.D.idom.(b)
+            in
+            let rc = rc_from root in
+            List.iter
+              (fun (a : Stmt.phi_arg) ->
+                let p = a.Stmt.pred in
+                let gate = Expr.and_ rc.(p) (edge_guard f p b) in
+                a.Stmt.gate <- Some gate)
+              args
+          | _ -> ())
+        blk.Func.stmts)

@@ -1,0 +1,28 @@
+(** Gated-φ conditions (paper §3.2.1).
+
+    For each φ-assignment [v <- phi(v1, ..., vn)] the condition for
+    selecting [vi] is the "gated function", computable in almost-linear
+    time on the unrolled (DAG) CFG.  We compute, for every φ block [b] and
+    predecessor [p], the reaching condition from [idom b] to [p] conjoined
+    with the guard of the edge [p -> b]; this is exactly the selector in
+    Example 3.4 (the edge from [b] to [Y] is labelled [m = ¬θ3 ∧ θ4]).
+
+    Computing the gate relative to the immediate dominator — rather than
+    the function entry — is what keeps SEG conditions succinct ("efficient
+    path conditions", §3.2.2): the path prefix up to the dominator is
+    contributed once by the control-dependence part, not duplicated into
+    every gate. *)
+
+val edge_guard : Func.t -> int -> int -> Pinpoint_smt.Expr.t
+(** The branch condition labelling the CFG edge [p -> b]: the branch
+    variable (or its negation) for conditional edges, [true] for
+    unconditional ones. *)
+
+val reaching_conditions : Func.t -> root:int -> Pinpoint_smt.Expr.t array
+(** Forward reaching conditions from [root] over the DAG CFG:
+    [rc.(root) = true], [rc.(b) = ∨ over preds p (rc.(p) ∧ guard(p->b))].
+    Blocks unreachable from [root] get [false].  Raises
+    [Invalid_argument] on cyclic CFGs (run loop unrolling first). *)
+
+val run : Func.t -> unit
+(** Fill the [gate] field of every φ argument in place. *)

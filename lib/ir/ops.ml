@@ -1,0 +1,47 @@
+type binop = Add | Sub | Mul | Land | Lor | Gt | Ge | Lt | Le | Eq | Ne
+type unop = Neg | Lnot
+
+let binop_result op operand_ty =
+  match op with
+  | Add | Sub | Mul -> operand_ty
+  | Land | Lor -> Ty.Bool
+  | Gt | Ge | Lt | Le | Eq | Ne -> Ty.Bool
+
+let unop_result op operand_ty =
+  match op with Neg -> operand_ty | Lnot -> Ty.Bool
+
+open Pinpoint_smt
+
+let apply_binop op a b =
+  match op with
+  | Add -> Expr.add a b
+  | Sub -> Expr.sub a b
+  | Mul -> Expr.mul a b
+  | Land -> Expr.and_ a b
+  | Lor -> Expr.or_ a b
+  | Gt -> Expr.gt a b
+  | Ge -> Expr.ge a b
+  | Lt -> Expr.lt a b
+  | Le -> Expr.le a b
+  | Eq -> Expr.eq a b
+  | Ne -> Expr.ne a b
+
+let apply_unop op a = match op with Neg -> Expr.neg a | Lnot -> Expr.not_ a
+
+let pp_binop ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Add -> "+"
+    | Sub -> "-"
+    | Mul -> "*"
+    | Land -> "&&"
+    | Lor -> "||"
+    | Gt -> ">"
+    | Ge -> ">="
+    | Lt -> "<"
+    | Le -> "<="
+    | Eq -> "=="
+    | Ne -> "!=")
+
+let pp_unop ppf op =
+  Format.pp_print_string ppf (match op with Neg -> "-" | Lnot -> "!")

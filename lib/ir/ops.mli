@@ -1,0 +1,30 @@
+(** Binary and unary operators of the IR (paper §3, "Language"). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Land  (** logical and, on booleans *)
+  | Lor   (** logical or, on booleans *)
+  | Gt
+  | Ge
+  | Lt
+  | Le
+  | Eq
+  | Ne
+
+type unop = Neg | Lnot
+
+val binop_result : binop -> Ty.t -> Ty.t
+(** Result type given the (left) operand type. *)
+
+val unop_result : unop -> Ty.t -> Ty.t
+
+val apply_binop :
+  binop -> Pinpoint_smt.Expr.t -> Pinpoint_smt.Expr.t -> Pinpoint_smt.Expr.t
+(** Build the SMT expression for the operation. *)
+
+val apply_unop : unop -> Pinpoint_smt.Expr.t -> Pinpoint_smt.Expr.t
+
+val pp_binop : Format.formatter -> binop -> unit
+val pp_unop : Format.formatter -> unop -> unit

@@ -1,0 +1,18 @@
+(** SSA construction (Cytron et al.): φ placement on dominance frontiers
+    followed by renaming along the dominator tree.
+
+    The paper's language assumes SSA form (§3 "Language"); the frontend
+    produces a non-SSA CFG and this pass rewrites it in place.  All IR
+    variables are registers (the language has no address-of operator, so
+    nothing is address-taken) which keeps the construction textbook.
+
+    φ-argument [gate] fields are left empty; {!Gating} fills them. *)
+
+val run : Func.t -> unit
+(** Rewrite the function into SSA form in place.  Requires a reducible CFG
+    with reachable blocks only; the single [Return] statement is rewritten
+    like any other use. *)
+
+val is_ssa : Func.t -> bool
+(** Every variable has at most one defining statement and every use is
+    dominated by its definition (parameters are defined at entry). *)

@@ -1,0 +1,106 @@
+type loc = { file : string; line : int }
+
+let no_loc = { file = "<none>"; line = 0 }
+let pp_loc ppf l = Format.fprintf ppf "%s:%d" l.file l.line
+
+type operand = Ovar of Var.t | Oint of int | Obool of bool | Onull
+
+type phi_arg = {
+  pred : int;
+  mutable src : operand;
+  mutable gate : Pinpoint_smt.Expr.t option;
+}
+
+type kind =
+  | Assign of Var.t * operand
+  | Phi of Var.t * phi_arg list
+  | Binop of Var.t * Ops.binop * operand * operand
+  | Unop of Var.t * Ops.unop * operand
+  | Load of Var.t * operand * int
+  | Store of operand * int * operand
+  | Alloc of Var.t
+  | Call of call
+  | Return of operand list
+
+and call = {
+  callee : string;
+  mutable args : operand list;
+  mutable recvs : Var.t list;
+}
+
+type t = { sid : int; mutable kind : kind; loc : loc }
+
+let make gen ?(loc = no_loc) kind =
+  { sid = Pinpoint_util.Id_gen.fresh gen; kind; loc }
+
+let def s =
+  match s.kind with
+  | Assign (v, _) | Phi (v, _) | Binop (v, _, _, _) | Unop (v, _, _)
+  | Load (v, _, _) | Alloc v ->
+    [ v ]
+  | Call c -> c.recvs
+  | Store _ | Return _ -> []
+
+let var_of = function Ovar v -> [ v ] | _ -> []
+
+let uses s =
+  match s.kind with
+  | Assign (_, o) | Unop (_, _, o) -> var_of o
+  | Phi (_, args) -> List.concat_map (fun a -> var_of a.src) args
+  | Binop (_, _, a, b) -> var_of a @ var_of b
+  | Load (_, base, _) -> var_of base
+  | Store (base, _, value) -> var_of base @ var_of value
+  | Alloc _ -> []
+  | Call c -> List.concat_map var_of c.args
+  | Return os -> List.concat_map var_of os
+
+let operand_ty = function
+  | Ovar v -> Some v.Var.ty
+  | Oint _ -> Some Ty.Int
+  | Obool _ -> Some Ty.Bool
+  | Onull -> None
+
+open Pinpoint_smt
+
+let operand_term = function
+  | Ovar v -> Var.term v
+  | Oint n -> Expr.int n
+  | Obool b -> Expr.bool b
+  | Onull -> Expr.int 0
+
+let equal a b = a.sid = b.sid
+
+let pp_operand ppf = function
+  | Ovar v -> Var.pp ppf v
+  | Oint n -> Format.pp_print_int ppf n
+  | Obool b -> Format.pp_print_bool ppf b
+  | Onull -> Format.pp_print_string ppf "null"
+
+let pp ppf s =
+  match s.kind with
+  | Assign (v, o) -> Format.fprintf ppf "%a <- %a" Var.pp v pp_operand o
+  | Phi (v, args) ->
+    Format.fprintf ppf "%a <- phi(%a)" Var.pp v
+      (Pinpoint_util.Pp.list (fun ppf a ->
+           Format.fprintf ppf "[%d] %a" a.pred pp_operand a.src))
+      args
+  | Binop (v, op, a, b) ->
+    Format.fprintf ppf "%a <- %a %a %a" Var.pp v pp_operand a Ops.pp_binop op
+      pp_operand b
+  | Unop (v, op, a) ->
+    Format.fprintf ppf "%a <- %a%a" Var.pp v Ops.pp_unop op pp_operand a
+  | Load (v, base, k) ->
+    Format.fprintf ppf "%a <- *(%a, %d)" Var.pp v pp_operand base k
+  | Store (base, k, value) ->
+    Format.fprintf ppf "*(%a, %d) <- %a" pp_operand base k pp_operand value
+  | Alloc v -> Format.fprintf ppf "%a <- malloc()  /* site s%d */" Var.pp v s.sid
+  | Call c ->
+    (match c.recvs with
+    | [] -> ()
+    | recvs ->
+      Format.fprintf ppf "{%a} <- " (Pinpoint_util.Pp.list Var.pp) recvs);
+    Format.fprintf ppf "call %s(%a)" c.callee
+      (Pinpoint_util.Pp.list pp_operand)
+      c.args
+  | Return os ->
+    Format.fprintf ppf "return {%a}" (Pinpoint_util.Pp.list pp_operand) os

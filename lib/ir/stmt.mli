@@ -1,0 +1,64 @@
+(** IR statements (paper §3 "Language", extended with the heap intrinsics
+    the examples use).
+
+    Statements carry a dense per-function id [sid], used to name SEG
+    vertices [v@s], and a source location for reports. *)
+
+type loc = { file : string; line : int }
+
+val no_loc : loc
+val pp_loc : Format.formatter -> loc -> unit
+
+type operand =
+  | Ovar of Var.t
+  | Oint of int
+  | Obool of bool
+  | Onull  (** null pointer literal (address 0) *)
+
+type phi_arg = {
+  pred : int;  (** CFG predecessor block id this value arrives from *)
+  mutable src : operand;
+  mutable gate : Pinpoint_smt.Expr.t option;
+      (** the gated-φ selection condition, filled by {!Gating} *)
+}
+
+type kind =
+  | Assign of Var.t * operand                  (** [v1 <- v2] *)
+  | Phi of Var.t * phi_arg list                (** [v <- phi(...)] *)
+  | Binop of Var.t * Ops.binop * operand * operand
+  | Unop of Var.t * Ops.unop * operand
+  | Load of Var.t * operand * int              (** [v1 <- *(v2, k)] *)
+  | Store of operand * int * operand           (** [*(v1, k) <- v2] *)
+  | Alloc of Var.t                             (** [v <- malloc()] *)
+  | Call of call
+  | Return of operand list
+      (** single return statement per function; multiple operands appear
+          after the connector transformation (Fig. 3) *)
+
+and call = {
+  callee : string;
+  mutable args : operand list;
+  mutable recvs : Var.t list;
+      (** receivers; empty for a void call, extended by the transformation *)
+}
+
+type t = { sid : int; mutable kind : kind; loc : loc }
+
+val make : Pinpoint_util.Id_gen.t -> ?loc:loc -> kind -> t
+
+val def : t -> Var.t list
+(** Variables defined by the statement. *)
+
+val uses : t -> Var.t list
+(** Variables read by the statement (φ-argument sources included). *)
+
+val operand_ty : operand -> Ty.t option
+(** The type of an operand when it is intrinsic to the operand ([None] for
+    [Onull], whose type comes from context). *)
+
+val operand_term : operand -> Pinpoint_smt.Expr.t
+(** SMT term for an operand ([Onull] is the address 0). *)
+
+val equal : t -> t -> bool
+val pp_operand : Format.formatter -> operand -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+type t = Int | Bool | Ptr of t
+
+let rec equal a b =
+  match (a, b) with
+  | Int, Int | Bool, Bool -> true
+  | Ptr a, Ptr b -> equal a b
+  | _ -> false
+
+let rec compare a b =
+  match (a, b) with
+  | Int, Int | Bool, Bool -> 0
+  | Ptr a, Ptr b -> compare a b
+  | Int, _ -> -1
+  | _, Int -> 1
+  | Bool, _ -> -1
+  | _, Bool -> 1
+
+let is_pointer = function Ptr _ -> true | _ -> false
+
+let rec pointer_depth = function Ptr t -> 1 + pointer_depth t | _ -> 0
+
+let deref = function Ptr t -> Some t | _ -> None
+
+let rec deref_k t k =
+  if k <= 0 then Some t
+  else match t with Ptr t' -> deref_k t' (k - 1) | _ -> None
+
+let ptr t = Ptr t
+
+let rec ptr_k t k = if k <= 0 then t else ptr_k (Ptr t) (k - 1)
+
+let sort = function
+  | Bool -> Pinpoint_smt.Symbol.Bool
+  | Int | Ptr _ -> Pinpoint_smt.Symbol.Int
+
+let rec pp ppf = function
+  | Int -> Format.pp_print_string ppf "int"
+  | Bool -> Format.pp_print_string ppf "bool"
+  | Ptr t ->
+    pp ppf t;
+    Format.pp_print_char ppf '*'
+
+let to_string t = Format.asprintf "%a" pp t

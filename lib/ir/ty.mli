@@ -1,0 +1,35 @@
+(** Types of the IR.
+
+    The paper's language is essentially untyped; we keep just enough typing
+    to know pointer depths (which drive the [*(v,k)] access-path machinery)
+    and to give SMT symbols the right sort. *)
+
+type t =
+  | Int   (** machine integer *)
+  | Bool  (** branch conditions *)
+  | Ptr of t  (** typed pointer *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val is_pointer : t -> bool
+
+val pointer_depth : t -> int
+(** [pointer_depth (Ptr (Ptr Int))] is [2]; non-pointers are [0]. *)
+
+val deref : t -> t option
+(** The pointee type, if a pointer. *)
+
+val deref_k : t -> int -> t option
+(** Strip [k] pointer layers. *)
+
+val ptr : t -> t
+val ptr_k : t -> int -> t
+(** Wrap in [k] pointer layers. *)
+
+val sort : t -> Pinpoint_smt.Symbol.sort
+(** SMT sort: [Bool] for booleans, [Int] for integers and pointers
+    (pointers are modelled as integer addresses; null is 0). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,66 @@
+type kind =
+  | Local
+  | Formal
+  | Aux_formal of { root : t; depth : int }
+  | Aux_return of { root : t; depth : int }
+  | Aux_actual of { arg_index : int }
+  | Aux_receiver of { ret_index : int }
+
+and t = {
+  vid : int;
+  name : string;
+  ty : Ty.t;
+  kind : kind;
+  mutable sym : Pinpoint_smt.Symbol.t option;
+}
+
+let make gen ?(kind = Local) name ty =
+  { vid = Pinpoint_util.Id_gen.fresh gen; name; ty; kind; sym = None }
+
+let with_version gen v version =
+  {
+    vid = Pinpoint_util.Id_gen.fresh gen;
+    name = Printf.sprintf "%s.%d" v.name version;
+    ty = v.ty;
+    kind = v.kind;
+    sym = None;
+  }
+
+let symbol v =
+  match v.sym with
+  | Some s -> s
+  | None ->
+    let s = Pinpoint_smt.Symbol.fresh v.name (Ty.sort v.ty) in
+    v.sym <- Some s;
+    s
+
+let term v = Pinpoint_smt.Expr.var (symbol v)
+let equal a b = a.vid = b.vid
+let compare a b = Int.compare a.vid b.vid
+let hash a = a.vid
+
+let is_aux v =
+  match v.kind with
+  | Aux_formal _ | Aux_return _ | Aux_actual _ | Aux_receiver _ -> true
+  | Local | Formal -> false
+
+let is_interface v =
+  match v.kind with Formal | Aux_formal _ -> true | _ -> false
+
+let pp ppf v = Format.fprintf ppf "%s" v.name
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

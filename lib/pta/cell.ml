@@ -1,0 +1,31 @@
+type t = CAlloc of int | CDeref of Pinpoint_ir.Var.t
+
+let equal a b =
+  match (a, b) with
+  | CAlloc x, CAlloc y -> x = y
+  | CDeref x, CDeref y -> Pinpoint_ir.Var.equal x y
+  | _ -> false
+
+let compare a b =
+  match (a, b) with
+  | CAlloc x, CAlloc y -> Int.compare x y
+  | CDeref x, CDeref y -> Pinpoint_ir.Var.compare x y
+  | CAlloc _, CDeref _ -> -1
+  | CDeref _, CAlloc _ -> 1
+
+let hash = function
+  | CAlloc s -> s * 2
+  | CDeref v -> (Pinpoint_ir.Var.hash v * 2) + 1
+
+let pp ppf = function
+  | CAlloc s -> Format.fprintf ppf "alloc@s%d" s
+  | CDeref v -> Format.fprintf ppf "*(%s)" v.Pinpoint_ir.Var.name
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

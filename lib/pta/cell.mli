@@ -1,0 +1,23 @@
+(** Abstract memory cells for the intra-procedural points-to analysis.
+
+    A cell is either the object allocated at a [malloc] site, or the cell
+    pointed to by a pointer-valued variable whose contents arrive from
+    outside the function: a formal parameter, an auxiliary formal
+    (connector input), a call receiver, or a materialised "incoming" value.
+    The access path [*(p, k)] of the paper is the chain
+    [CDeref p → CDeref i1 → ... ] where each [i] is the incoming value
+    materialised one level down. *)
+
+type t =
+  | CAlloc of int
+      (** the object created by the [Alloc] statement with this sid *)
+  | CDeref of Pinpoint_ir.Var.t
+      (** the cell pointed to by this root variable's incoming value *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

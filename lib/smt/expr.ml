@@ -1,0 +1,358 @@
+type t = { id : int; node : node }
+
+and node =
+  | True
+  | False
+  | Int of int
+  | Var of Symbol.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Eq of t * t
+  | Ne of t * t
+  | Lt of t * t
+  | Le of t * t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Neg of t
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash a = a.id
+
+(* Structural keys used for hash-consing: children are identified by id. *)
+type key =
+  | KTrue
+  | KFalse
+  | KInt of int
+  | KVar of int
+  | KNot of int
+  | KAnd of int * int
+  | KOr of int * int
+  | KEq of int * int
+  | KNe of int * int
+  | KLt of int * int
+  | KLe of int * int
+  | KAdd of int * int
+  | KSub of int * int
+  | KMul of int * int
+  | KNeg of int
+
+let key_of = function
+  | True -> KTrue
+  | False -> KFalse
+  | Int n -> KInt n
+  | Var v -> KVar v
+  | Not a -> KNot a.id
+  | And (a, b) -> KAnd (a.id, b.id)
+  | Or (a, b) -> KOr (a.id, b.id)
+  | Eq (a, b) -> KEq (a.id, b.id)
+  | Ne (a, b) -> KNe (a.id, b.id)
+  | Lt (a, b) -> KLt (a.id, b.id)
+  | Le (a, b) -> KLe (a.id, b.id)
+  | Add (a, b) -> KAdd (a.id, b.id)
+  | Sub (a, b) -> KSub (a.id, b.id)
+  | Mul (a, b) -> KMul (a.id, b.id)
+  | Neg a -> KNeg a.id
+
+let table : (key, t) Hashtbl.t = Hashtbl.create 4096
+let counter = ref 0
+
+let make node =
+  let k = key_of node in
+  match Hashtbl.find_opt table k with
+  | Some e -> e
+  | None ->
+    let e = { id = !counter; node } in
+    incr counter;
+    Hashtbl.add table k e;
+    e
+
+let n_created () = !counter
+let tru = make True
+let fls = make False
+let bool b = if b then tru else fls
+let int n = make (Int n)
+let var v = make (Var v)
+let is_true e = e.node = True
+let is_false e = e.node = False
+
+(* Commutative operators order their operands by id so that [a op b] and
+   [b op a] share a node. *)
+let ordered a b = if a.id <= b.id then (a, b) else (b, a)
+
+let sort_of e =
+  match e.node with
+  | True | False | Not _ | And _ | Or _ | Eq _ | Ne _ | Lt _ | Le _ -> Symbol.Bool
+  | Int _ | Add _ | Sub _ | Mul _ | Neg _ -> Symbol.Int
+  | Var v -> Symbol.sort v
+
+let is_bool e = sort_of e = Symbol.Bool
+
+let rec not_ e =
+  match e.node with
+  | True -> fls
+  | False -> tru
+  | Not a -> a
+  | Lt (a, b) -> le b a
+  | Le (a, b) -> lt b a
+  | Eq (a, b) -> ne a b
+  | Ne (a, b) -> eq a b
+  | _ -> make (Not e)
+
+and and_ a b =
+  if is_false a || is_false b then fls
+  else if is_true a then b
+  else if is_true b then a
+  else if equal a b then a
+  else if (match a.node with Not x -> equal x b | _ -> false) then fls
+  else if (match b.node with Not x -> equal x a | _ -> false) then fls
+  else
+    let a, b = ordered a b in
+    make (And (a, b))
+
+and or_ a b =
+  if is_true a || is_true b then tru
+  else if is_false a then b
+  else if is_false b then a
+  else if equal a b then a
+  else if (match a.node with Not x -> equal x b | _ -> false) then tru
+  else if (match b.node with Not x -> equal x a | _ -> false) then tru
+  else
+    (* Absorption: a ∨ (a ∧ c) = a. *)
+    match (a.node, b.node) with
+    | _, And (x, y) when equal a x || equal a y -> a
+    | And (x, y), _ when equal b x || equal b y -> b
+    (* Factoring: (p ∧ q) ∨ (p ∧ r) = p ∧ (q ∨ r); keeps φ gates compact. *)
+    | And (x1, y1), And (x2, y2) when equal x1 x2 -> and_ x1 (or_ y1 y2)
+    | And (x1, y1), And (x2, y2) when equal x1 y2 -> and_ x1 (or_ y1 x2)
+    | And (x1, y1), And (x2, y2) when equal y1 x2 -> and_ y1 (or_ x1 y2)
+    | And (x1, y1), And (x2, y2) when equal y1 y2 -> and_ y1 (or_ x1 x2)
+    | _ ->
+      let a, b = ordered a b in
+      make (Or (a, b))
+
+and eq a b =
+  if equal a b then tru
+  else
+    match (a.node, b.node) with
+    | Int x, Int y -> bool (x = y)
+    | True, True | False, False -> tru
+    | True, False | False, True -> fls
+    | _ when is_bool a && is_bool b ->
+      (* Boolean equality is an iff, so the SAT core can reason about it
+         (a ≡ b  ⇔  (a ∧ b) ∨ (¬a ∧ ¬b)). *)
+      or_ (and_ a b) (and_ (not_ a) (not_ b))
+    | _ ->
+      let a, b = ordered a b in
+      make (Eq (a, b))
+
+and ne a b =
+  if equal a b then fls
+  else
+    match (a.node, b.node) with
+    | Int x, Int y -> bool (x <> y)
+    | True, True | False, False -> fls
+    | True, False | False, True -> tru
+    | _ when is_bool a && is_bool b ->
+      or_ (and_ a (not_ b)) (and_ (not_ a) b)
+    | _ ->
+      let a, b = ordered a b in
+      make (Ne (a, b))
+
+and lt a b =
+  if equal a b then fls
+  else
+    match (a.node, b.node) with
+    | Int x, Int y -> bool (x < y)
+    | _ -> make (Lt (a, b))
+
+and le a b =
+  if equal a b then tru
+  else
+    match (a.node, b.node) with
+    | Int x, Int y -> bool (x <= y)
+    | _ -> make (Le (a, b))
+
+let gt a b = lt b a
+let ge a b = le b a
+let implies a b = or_ (not_ a) b
+let conj l = List.fold_left and_ tru l
+let disj l = List.fold_left or_ fls l
+
+let add a b =
+  match (a.node, b.node) with
+  | Int x, Int y -> int (x + y)
+  | Int 0, _ -> b
+  | _, Int 0 -> a
+  | _ ->
+    let a, b = ordered a b in
+    make (Add (a, b))
+
+let sub a b =
+  match (a.node, b.node) with
+  | Int x, Int y -> int (x - y)
+  | _, Int 0 -> a
+  | _ -> if equal a b then int 0 else make (Sub (a, b))
+
+let mul a b =
+  match (a.node, b.node) with
+  | Int x, Int y -> int (x * y)
+  | Int 0, _ | _, Int 0 -> int 0
+  | Int 1, _ -> b
+  | _, Int 1 -> a
+  | _ ->
+    let a, b = ordered a b in
+    make (Mul (a, b))
+
+let neg a = match a.node with Int x -> int (-x) | Neg x -> x | _ -> make (Neg a)
+
+let atoms e =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let rec go e =
+    if not (Hashtbl.mem seen e.id) then begin
+      Hashtbl.add seen e.id ();
+      match e.node with
+      | True | False -> ()
+      | Not a -> go a
+      | And (a, b) | Or (a, b) ->
+        go a;
+        go b
+      | Var v -> if Symbol.sort v = Symbol.Bool then acc := e :: !acc
+      | Eq _ | Ne _ | Lt _ | Le _ -> acc := e :: !acc
+      | Int _ | Add _ | Sub _ | Mul _ | Neg _ -> ()
+    end
+  in
+  go e;
+  List.rev !acc
+
+let vars e =
+  let seen = Hashtbl.create 64 in
+  let vs = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec go e =
+    if not (Hashtbl.mem seen e.id) then begin
+      Hashtbl.add seen e.id ();
+      match e.node with
+      | Var v ->
+        if not (Hashtbl.mem vs v) then begin
+          Hashtbl.add vs v ();
+          acc := v :: !acc
+        end
+      | True | False | Int _ -> ()
+      | Not a | Neg a -> go a
+      | And (a, b) | Or (a, b) | Eq (a, b) | Ne (a, b) | Lt (a, b) | Le (a, b)
+      | Add (a, b) | Sub (a, b) | Mul (a, b) ->
+        go a;
+        go b
+    end
+  in
+  go e;
+  List.rev !acc
+
+let size e =
+  let seen = Hashtbl.create 64 in
+  let n = ref 0 in
+  let rec go e =
+    if not (Hashtbl.mem seen e.id) then begin
+      Hashtbl.add seen e.id ();
+      incr n;
+      match e.node with
+      | True | False | Int _ | Var _ -> ()
+      | Not a | Neg a -> go a
+      | And (a, b) | Or (a, b) | Eq (a, b) | Ne (a, b) | Lt (a, b) | Le (a, b)
+      | Add (a, b) | Sub (a, b) | Mul (a, b) ->
+        go a;
+        go b
+    end
+  in
+  go e;
+  !n
+
+let subst f e =
+  let memo = Hashtbl.create 64 in
+  let rec go e =
+    match Hashtbl.find_opt memo e.id with
+    | Some r -> r
+    | None ->
+      let r =
+        match e.node with
+        | True | False | Int _ -> e
+        | Var v -> ( match f v with Some r -> r | None -> e)
+        | Not a -> not_ (go a)
+        | Neg a -> neg (go a)
+        | And (a, b) -> and_ (go a) (go b)
+        | Or (a, b) -> or_ (go a) (go b)
+        | Eq (a, b) -> eq (go a) (go b)
+        | Ne (a, b) -> ne (go a) (go b)
+        | Lt (a, b) -> lt (go a) (go b)
+        | Le (a, b) -> le (go a) (go b)
+        | Add (a, b) -> add (go a) (go b)
+        | Sub (a, b) -> sub (go a) (go b)
+        | Mul (a, b) -> mul (go a) (go b)
+      in
+      Hashtbl.add memo e.id r;
+      r
+  in
+  go e
+
+type value = VBool of bool | VInt of int
+
+let eval env e =
+  let memo = Hashtbl.create 64 in
+  let as_bool = function
+    | VBool b -> b
+    | VInt _ -> invalid_arg "Expr.eval: expected bool"
+  in
+  let as_int = function
+    | VInt n -> n
+    | VBool _ -> invalid_arg "Expr.eval: expected int"
+  in
+  let rec go e =
+    match Hashtbl.find_opt memo e.id with
+    | Some v -> v
+    | None ->
+      let v =
+        match e.node with
+        | True -> VBool true
+        | False -> VBool false
+        | Int n -> VInt n
+        | Var v -> env v
+        | Not a -> VBool (not (as_bool (go a)))
+        | And (a, b) -> VBool (as_bool (go a) && as_bool (go b))
+        | Or (a, b) -> VBool (as_bool (go a) || as_bool (go b))
+        | Eq (a, b) -> VBool (go a = go b)
+        | Ne (a, b) -> VBool (go a <> go b)
+        | Lt (a, b) -> VBool (as_int (go a) < as_int (go b))
+        | Le (a, b) -> VBool (as_int (go a) <= as_int (go b))
+        | Add (a, b) -> VInt (as_int (go a) + as_int (go b))
+        | Sub (a, b) -> VInt (as_int (go a) - as_int (go b))
+        | Mul (a, b) -> VInt (as_int (go a) * as_int (go b))
+        | Neg a -> VInt (-as_int (go a))
+      in
+      Hashtbl.add memo e.id v;
+      v
+  in
+  go e
+
+let rec pp ppf e =
+  match e.node with
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Int n -> Format.pp_print_int ppf n
+  | Var v -> Symbol.pp ppf v
+  | Not a -> Format.fprintf ppf "!(%a)" pp a
+  | And (a, b) -> Format.fprintf ppf "(%a && %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a || %a)" pp a pp b
+  | Eq (a, b) -> Format.fprintf ppf "(%a == %a)" pp a pp b
+  | Ne (a, b) -> Format.fprintf ppf "(%a != %a)" pp a pp b
+  | Lt (a, b) -> Format.fprintf ppf "(%a < %a)" pp a pp b
+  | Le (a, b) -> Format.fprintf ppf "(%a <= %a)" pp a pp b
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp a pp b
+  | Neg a -> Format.fprintf ppf "(-%a)" pp a
+
+let to_string e = Format.asprintf "%a" pp e

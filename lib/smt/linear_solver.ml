@@ -1,0 +1,65 @@
+type verdict = Unsat | Maybe
+
+module ISet = Set.Make (Int)
+
+let n_checks = ref 0
+let n_unsat = ref 0
+
+(* Canonical atom id and polarity of an atomic boolean expression.
+   Complement pairs map to the same canonical id with opposite polarity:
+   [Lt (a,b)] and [Le (b,a)], [Eq (a,b)] and [Ne (a,b)]. *)
+let canon (e : Expr.t) : int * bool =
+  match e.node with
+  | Expr.Le (a, b) -> ((Expr.lt b a).id, false)
+  | Expr.Ne (a, b) -> ((Expr.eq a b).id, false)
+  | _ -> (e.id, true)
+
+(* P and N sets as sets of canonical atom ids.
+
+   The paper's rules assume negation normal form (the ¬ rule as stated is
+   only exact over atoms: ¬(a ∧ b) must read as ¬a ∨ ¬b, or the solver
+   would wrongly refute b1 ∧ ¬(b1 ∧ b2)).  We therefore push polarity
+   through the connectives De-Morgan style during the single traversal —
+   still linear in the number of atomic constraints. *)
+let rec pn polarity (e : Expr.t) : ISet.t * ISet.t =
+  match e.node with
+  | Expr.True | Expr.False -> (ISet.empty, ISet.empty)
+  | Expr.Not c -> pn (not polarity) c
+  | Expr.And (a, b) ->
+    let pa, na = pn polarity a and pb, nb = pn polarity b in
+    if polarity then (ISet.union pa pb, ISet.union na nb)
+    else (* ¬(a ∧ b) = ¬a ∨ ¬b *)
+      (ISet.inter pa pb, ISet.inter na nb)
+  | Expr.Or (a, b) ->
+    let pa, na = pn polarity a and pb, nb = pn polarity b in
+    if polarity then (ISet.inter pa pb, ISet.inter na nb)
+    else (* ¬(a ∨ b) = ¬a ∧ ¬b *)
+      (ISet.union pa pb, ISet.union na nb)
+  | Expr.Var _ | Expr.Eq _ | Expr.Ne _ | Expr.Lt _ | Expr.Le _ ->
+    let id, pos = canon e in
+    let pos = pos = polarity in
+    if pos then (ISet.singleton id, ISet.empty) else (ISet.empty, ISet.singleton id)
+  | Expr.Int _ | Expr.Add _ | Expr.Sub _ | Expr.Mul _ | Expr.Neg _ ->
+    (* Not boolean; cannot appear as a condition, but be defensive. *)
+    (ISet.empty, ISet.empty)
+
+let check e =
+  incr n_checks;
+  if Expr.is_false e then begin
+    incr n_unsat;
+    Unsat
+  end
+  else begin
+    let p, n = pn true e in
+    if ISet.is_empty (ISet.inter p n) then Maybe
+    else begin
+      incr n_unsat;
+      Unsat
+    end
+  end
+
+let stats () = (!n_checks, !n_unsat)
+
+let reset_stats () =
+  n_checks := 0;
+  n_unsat := 0

@@ -1,0 +1,24 @@
+(** Small exact rational arithmetic on native ints (normalised by gcd).
+
+    Good enough for the linear constraints that appear in path conditions,
+    whose coefficients are small program constants.  Overflow is not
+    checked; the theory solver caps constraint sizes well below any
+    realistic overflow. *)
+
+type t = { num : int; den : int }
+(** Invariant: [den > 0] and [gcd (abs num) den = 1]. *)
+
+val zero : t
+val one : t
+val of_int : int -> t
+val make : int -> int -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val pp : Format.formatter -> t -> unit

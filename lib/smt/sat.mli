@@ -1,0 +1,28 @@
+(** A small DPLL SAT core over CNF clauses.
+
+    Variables are positive integers; literals are non-zero integers, DIMACS
+    style ([v] positive, [-v] negated).  Supports incremental clause
+    addition, which the lazy DPLL(T) loop uses for theory blocking
+    clauses. *)
+
+type t
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate the next variable (starting at 1). *)
+
+val ensure_vars : t -> int -> unit
+(** Make sure variables up to the given id exist. *)
+
+val add_clause : t -> int list -> unit
+(** Add a clause (list of literals).  The empty clause makes the instance
+    trivially unsatisfiable. *)
+
+type result =
+  | Sat of bool array
+      (** [model.(v)] is the value of variable [v]; index 0 is unused. *)
+  | Unsat
+
+val solve : ?budget:int -> t -> result option
+(** Solve with a decision budget; [None] means the budget was exhausted. *)

@@ -1,0 +1,157 @@
+type verdict = Sat | Unsat | Unknown
+
+type stats = {
+  mutable n_queries : int;
+  mutable n_sat : int;
+  mutable n_unsat : int;
+  mutable n_unknown : int;
+  mutable n_theory_calls : int;
+}
+
+let stats = { n_queries = 0; n_sat = 0; n_unsat = 0; n_unknown = 0; n_theory_calls = 0 }
+
+let reset_stats () =
+  stats.n_queries <- 0;
+  stats.n_sat <- 0;
+  stats.n_unsat <- 0;
+  stats.n_unknown <- 0;
+  stats.n_theory_calls <- 0
+
+let sat_or_unknown = function Sat | Unknown -> true | Unsat -> false
+
+(* Tseitin encoding: returns the literal representing the expression and
+   populates [sat] with defining clauses.  Atom expressions map to dedicated
+   variables recorded in [atom_vars]. *)
+let encode sat atom_vars (e : Expr.t) : int =
+  let memo : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let rec enc (e : Expr.t) : int =
+    match Hashtbl.find_opt memo e.id with
+    | Some l -> l
+    | None ->
+      let l =
+        match e.node with
+        | Expr.True ->
+          let v = Sat.new_var sat in
+          Sat.add_clause sat [ v ];
+          v
+        | Expr.False ->
+          let v = Sat.new_var sat in
+          Sat.add_clause sat [ -v ];
+          v
+        | Expr.Not a -> -enc a
+        | Expr.And (a, b) ->
+          let la = enc a and lb = enc b in
+          let v = Sat.new_var sat in
+          Sat.add_clause sat [ -v; la ];
+          Sat.add_clause sat [ -v; lb ];
+          Sat.add_clause sat [ v; -la; -lb ];
+          v
+        | Expr.Or (a, b) ->
+          let la = enc a and lb = enc b in
+          let v = Sat.new_var sat in
+          Sat.add_clause sat [ -v; la; lb ];
+          Sat.add_clause sat [ v; -la ];
+          Sat.add_clause sat [ v; -lb ];
+          v
+        | Expr.Var _ | Expr.Eq _ | Expr.Ne _ | Expr.Lt _ | Expr.Le _ -> (
+          match Hashtbl.find_opt atom_vars e.id with
+          | Some v -> v
+          | None ->
+            let v = Sat.new_var sat in
+            Hashtbl.add atom_vars e.id v;
+            v)
+        | Expr.Int _ | Expr.Add _ | Expr.Sub _ | Expr.Mul _ | Expr.Neg _ ->
+          invalid_arg "Solver.check: arithmetic term used as a formula"
+      in
+      Hashtbl.add memo e.id l;
+      l
+  in
+  enc e
+
+let check_with_model ?(max_iters = 400) (e : Expr.t) :
+    verdict * (Expr.t * bool) list =
+  stats.n_queries <- stats.n_queries + 1;
+  let sat_model : (Expr.t * bool) list ref = ref [] in
+  let record v =
+    (match v with
+    | Sat -> stats.n_sat <- stats.n_sat + 1
+    | Unsat -> stats.n_unsat <- stats.n_unsat + 1
+    | Unknown -> stats.n_unknown <- stats.n_unknown + 1);
+    (v, if v = Sat then !sat_model else [])
+  in
+  if Expr.is_true e then record Sat
+  else if Expr.is_false e then record Unsat
+  else begin
+    (* Fast path: the linear-time contradiction check. *)
+    match Linear_solver.check e with
+    | Linear_solver.Unsat -> record Unsat
+    | Linear_solver.Maybe ->
+      let sat = Sat.create () in
+      let atom_vars : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      let root = encode sat atom_vars e in
+      Sat.add_clause sat [ root ];
+      (* Map SAT var -> atom expression for model extraction. *)
+      let atoms = Expr.atoms e in
+      let var_atom : (int, Expr.t) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun a ->
+          match Hashtbl.find_opt atom_vars a.Expr.id with
+          | Some v -> Hashtbl.add var_atom v a
+          | None -> ())
+        atoms;
+      let rec loop iter =
+        if iter >= max_iters then Unknown
+        else
+          match Sat.solve sat with
+          | None -> Unknown
+          | Some Sat.Unsat -> Unsat
+          | Some (Sat.Sat model) -> (
+            let literals =
+              Hashtbl.fold
+                (fun v atom acc -> (atom, model.(v)) :: acc)
+                var_atom []
+            in
+            stats.n_theory_calls <- stats.n_theory_calls + 1;
+            match Theory.check literals with
+            | Theory.Sat ->
+              sat_model := literals;
+              Sat
+            | Theory.Unknown -> Unknown
+            | Theory.Unsat ->
+              (* Shrink to an (approximate) unsat core by deletion, so the
+                 blocking clause prunes as much of the search as possible. *)
+              let theory_lits =
+                List.filter
+                  (fun (atom, _) ->
+                    match atom.Expr.node with
+                    | Expr.Eq _ | Expr.Ne _ | Expr.Lt _ | Expr.Le _ -> true
+                    | _ -> false)
+                  literals
+              in
+              let core = ref theory_lits in
+              List.iter
+                (fun lit ->
+                  let without = List.filter (fun l -> l != lit) !core in
+                  if
+                    List.length without < List.length !core
+                    && Theory.check without = Theory.Unsat
+                  then core := without)
+                theory_lits;
+              let blocking =
+                List.map
+                  (fun (atom, b) ->
+                    let v = Hashtbl.find atom_vars atom.Expr.id in
+                    if b then -v else v)
+                  !core
+              in
+              if blocking = [] then Unsat
+              else begin
+                Sat.add_clause sat blocking;
+                loop (iter + 1)
+              end)
+      in
+      record (loop 0)
+  end
+
+
+let check ?max_iters e = fst (check_with_model ?max_iters e)

@@ -1,0 +1,43 @@
+(** The full SMT solver — Pinpoint's stand-in for Z3 (see DESIGN.md §1).
+
+    A classic lazy-SMT loop: the boolean skeleton of the formula is
+    Tseitin-encoded and handed to the DPLL core ({!Sat}); whenever the core
+    finds a propositional model, the conjunction of the atom literals it
+    assigns is checked by the linear-arithmetic theory solver ({!Theory});
+    theory conflicts are returned to the core as blocking clauses.
+
+    Used only at the bug-detection stage to decide the feasibility of
+    candidate value-flow paths (§3.3); the points-to stage uses the
+    linear-time solver instead (§3.1.1). *)
+
+type verdict =
+  | Sat      (** a propositional model passed the theory check *)
+  | Unsat    (** no propositional model survives the theory *)
+  | Unknown  (** budget exhausted or theory gave up; treated as Sat by
+                 soundy clients *)
+
+val check : ?max_iters:int -> Expr.t -> verdict
+(** Decide satisfiability of a formula.  [max_iters] caps the number of
+    theory-refutation rounds (default 400). *)
+
+val check_with_model :
+  ?max_iters:int -> Expr.t -> verdict * (Expr.t * bool) list
+(** Like {!check}, but on [Sat] also returns the propositional model of
+    the formula's atoms (atom expression, assigned polarity) — the branch
+    outcomes that make a bug path feasible, used as trigger hints in
+    reports.  The list is empty for [Unsat]/[Unknown]. *)
+
+val sat_or_unknown : verdict -> bool
+(** The soundy reading used by checkers: keep the report unless the path
+    condition is definitely unsatisfiable. *)
+
+type stats = {
+  mutable n_queries : int;
+  mutable n_sat : int;
+  mutable n_unsat : int;
+  mutable n_unknown : int;
+  mutable n_theory_calls : int;
+}
+
+val stats : stats
+val reset_stats : unit -> unit

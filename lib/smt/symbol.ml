@@ -1,0 +1,35 @@
+type t = int
+type sort = Bool | Int
+
+(* Dynamic arrays for the registry; grow by doubling. *)
+let names = ref (Array.make 1024 "")
+let sorts = ref (Array.make 1024 Bool)
+let next = ref 0
+
+let grow n =
+  if n > Array.length !names then begin
+    let cap = max n (2 * Array.length !names) in
+    let names' = Array.make cap "" in
+    Array.blit !names 0 names' 0 !next;
+    names := names';
+    let sorts' = Array.make cap Bool in
+    Array.blit !sorts 0 sorts' 0 !next;
+    sorts := sorts'
+  end
+
+let fresh nm so =
+  grow (!next + 1);
+  let id = !next in
+  !names.(id) <- nm;
+  !sorts.(id) <- so;
+  incr next;
+  id
+
+let name id = !names.(id)
+let sort id = !sorts.(id)
+let count () = !next
+let pp ppf id = Format.fprintf ppf "%s#%d" (name id) id
+
+let pp_sort ppf = function
+  | Bool -> Format.pp_print_string ppf "bool"
+  | Int -> Format.pp_print_string ppf "int"

@@ -1,0 +1,24 @@
+(** Global symbol registry for SMT variables.
+
+    A symbol is a small integer naming a logical variable together with its
+    sort.  Symbols are allocated once and shared by reference everywhere
+    (SEG vertices, points-to conditions, path conditions), which is what
+    makes formula construction cheap. *)
+
+type t = int
+(** Symbol ids are dense non-negative integers. *)
+
+type sort = Bool | Int
+
+val fresh : string -> sort -> t
+(** Register a new symbol.  The name is for printing only; distinct symbols
+    may share a name. *)
+
+val name : t -> string
+val sort : t -> sort
+val count : unit -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["name#id"]. *)
+
+val pp_sort : Format.formatter -> sort -> unit

@@ -1,0 +1,21 @@
+module E = Pinpoint_smt.Expr
+module Sym = Pinpoint_smt.Symbol
+
+type t = { tag : string; tbl : (Sym.t, E.t) Hashtbl.t }
+
+let create tag = { tag; tbl = Hashtbl.create 32 }
+
+let bind t sym e = Hashtbl.replace t.tbl sym e
+
+let lookup t sym =
+  match Hashtbl.find_opt t.tbl sym with
+  | Some e -> e
+  | None ->
+    let clone = Sym.fresh (Printf.sprintf "%s@%s" (Sym.name sym) t.tag) (Sym.sort sym) in
+    let e = E.var clone in
+    Hashtbl.replace t.tbl sym e;
+    e
+
+let subst t e = E.subst (fun sym -> Some (lookup t sym)) e
+
+let subst_var t v = lookup t (Pinpoint_ir.Var.symbol v)

@@ -1,0 +1,25 @@
+(** Cloning-based context sensitivity (paper §3.3.1(2)).
+
+    When a function's SEG constraints are used at a call site, every symbol
+    that is not explicitly bound (to an actual-parameter term or a
+    return-value receiver) is renamed to a fresh clone, so that two call
+    sites of the same function never share constraint variables.  A frame
+    caches its clones, so repeated substitutions at the same site are
+    consistent. *)
+
+type t
+
+val create : string -> t
+(** [create tag] — the tag shows up in cloned symbol names, which makes
+    solver models debuggable. *)
+
+val bind : t -> Pinpoint_smt.Symbol.t -> Pinpoint_smt.Expr.t -> unit
+(** Explicit binding (formal parameter -> actual term, return value ->
+    receiver term).  Must precede any {!subst} touching that symbol. *)
+
+val subst : t -> Pinpoint_smt.Expr.t -> Pinpoint_smt.Expr.t
+(** Substitute: bound symbols get their binding, unbound symbols get a
+    fresh clone (cached in the frame). *)
+
+val subst_var : t -> Pinpoint_ir.Var.t -> Pinpoint_smt.Expr.t
+(** The (possibly cloned) term standing for a variable in this frame. *)

@@ -1,0 +1,117 @@
+open Pinpoint_ir
+module E = Pinpoint_smt.Expr
+module Seg = Pinpoint_seg.Seg
+
+type entry = { var : Var.t; closed : E.t; params : Var.Set.t }
+
+type t = {
+  tbl : (string, entry option array) Hashtbl.t;
+  seg_of : string -> Seg.t option;
+}
+
+let max_close_depth = ref 6
+let max_summary_size = ref 4000
+
+let find t name = Hashtbl.find_opt t.tbl name
+
+(* Close a constraint: resolve its receiver dependences with callee RV
+   summaries, cloning callee symbols and binding callee formals to actual
+   terms; recursively pull in the data dependence of those actuals. *)
+let rec close_cres t (seg : Seg.t) depth (cres : Seg.cres) : E.t * Var.Set.t =
+  if depth <= 0 then (cres.Seg.f, cres.Seg.params)
+  else begin
+    let acc_f = ref cres.Seg.f in
+    let acc_p = ref cres.Seg.params in
+    List.iter
+      (fun (r : Seg.recv_dep) ->
+        match Hashtbl.find_opt t.tbl r.Seg.callee with
+        | Some entries
+          when r.Seg.ret_index >= 0 && r.Seg.ret_index < Array.length entries -> (
+          match entries.(r.Seg.ret_index) with
+          | Some sum ->
+            let frame =
+              Clone.create (Printf.sprintf "%s_s%d" r.Seg.callee r.Seg.call_sid)
+            in
+            (* ① the receiver equals the returned value *)
+            Clone.bind frame (Var.symbol sum.var) (Var.term r.Seg.rvar);
+            (* ③ callee formals are the actual terms *)
+            (match t.seg_of r.Seg.callee with
+            | Some callee_seg ->
+              let callee_params = (Seg.func callee_seg).Func.params in
+              List.iteri
+                (fun i (p : Var.t) ->
+                  if Var.Set.mem p sum.params then
+                    match List.nth_opt r.Seg.args i with
+                    | Some actual ->
+                      Clone.bind frame (Var.symbol p) (Stmt.operand_term actual);
+                      (* pull in the actual's own data dependence *)
+                      (match actual with
+                      | Stmt.Ovar av ->
+                        let f', p' = close_cres t seg (depth - 1) (Seg.dd seg av) in
+                        acc_f := E.and_ !acc_f f';
+                        acc_p := Var.Set.union !acc_p p'
+                      | _ -> ())
+                    | None -> ())
+                callee_params
+            | None -> ());
+            (* ② the callee's closed range constraint, cloned *)
+            acc_f := E.and_ !acc_f (Clone.subst frame sum.closed)
+          | None -> ())
+        | _ -> () (* unknown callee / SCC-internal: receiver stays free *))
+      cres.Seg.recvs;
+    if E.size !acc_f > !max_summary_size then (cres.Seg.f, cres.Seg.params)
+    else (!acc_f, !acc_p)
+  end
+
+let close t seg ?(depth = !max_close_depth) cres = close_cres t seg depth cres
+
+let generate (prog : Prog.t) (seg_of : string -> Seg.t option) : t =
+  let t = { tbl = Hashtbl.create 64; seg_of } in
+  let sccs = Prog.bottom_up_sccs prog in
+  List.iter
+    (fun scc ->
+      List.iter
+        (fun (f : Func.t) ->
+          match seg_of f.Func.fname with
+          | None -> ()
+          | Some seg ->
+            let entries =
+              match Func.return_stmt f with
+              | Some { Stmt.kind = Stmt.Return ops; _ } ->
+                Array.of_list
+                  (List.map
+                     (function
+                       | Stmt.Ovar v ->
+                         let cres = Seg.dd seg v in
+                         let closed, params =
+                           close_cres t seg !max_close_depth cres
+                         in
+                         let closed =
+                           if E.size closed > !max_summary_size then E.tru
+                           else closed
+                         in
+                         Some { var = v; closed; params }
+                       | _ -> None)
+                     ops)
+              | _ -> [||]
+            in
+            Hashtbl.replace t.tbl f.Func.fname entries)
+        scc)
+    sccs;
+  t
+
+let pp ppf t =
+  Hashtbl.iter
+    (fun name entries ->
+      Format.fprintf ppf "RV %s:@." name;
+      Array.iteri
+        (fun i e ->
+          match e with
+          | Some e ->
+            Format.fprintf ppf "  [%d] %s: %a  (P={%a})@." i e.var.Var.name E.pp
+              e.closed
+              (Pinpoint_util.Pp.list Var.pp)
+              (Var.Set.elements e.params)
+          | None -> Format.fprintf ppf "  [%d] -@." i)
+        entries)
+    t.tbl

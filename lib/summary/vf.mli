@@ -1,0 +1,45 @@
+(** Value-flow (VF) summaries (paper §3.3.2).
+
+    Four kinds of reachability summaries per function, relating a
+    checker's bug-specific "source" and "sink" vertices to the function's
+    interface values:
+
+    - VF1: a parameter flows to a return position (should the search
+      continue from the receiver after a call?);
+    - VF2: a source flows to a return position (a receiver becomes buggy
+      after the call);
+    - VF3: a parameter flows to a source (an actual becomes buggy after
+      the call — e.g. the callee frees it);
+    - VF4: a parameter flows to a sink (a bug may complete inside the
+      callee).
+
+    Summaries are reachability-only; the precise conditions are recovered
+    on demand during path-condition computation (§3.3.1), which is what
+    keeps summary generation cheap.  Generated bottom-up; recursion is cut
+    once.  Parameter and return indices refer to the {e extended}
+    (post-transformation) interface, so value flows through memory
+    side-effects ride the connector variables. *)
+
+type spec = {
+  follow_operands : bool;
+      (** follow operator edges too (taint) or only value-preserving
+          copies (use-after-free) *)
+  source_vars : Pinpoint_seg.Seg.t -> (Pinpoint_ir.Var.t * int) list;
+      (** variables that carry a source value from statement [sid] on *)
+  is_sink_use : Pinpoint_seg.Seg.t -> Pinpoint_seg.Seg.use -> bool;
+}
+
+type fsum = {
+  vf1 : (int * int) list;  (** (param index, ret position), 1-based params *)
+  vf2 : int list;          (** ret positions carrying a source value *)
+  vf3 : int list;          (** params that reach a source *)
+  vf4 : int list;          (** params that reach a sink (transitively) *)
+}
+
+type t
+
+val generate :
+  Pinpoint_ir.Prog.t -> (string -> Pinpoint_seg.Seg.t option) -> spec -> t
+
+val find : t -> string -> fsum option
+val pp : Format.formatter -> t -> unit

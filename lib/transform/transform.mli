@@ -1,0 +1,49 @@
+(** The connector model (paper §3.1.2, Figure 3).
+
+    Processing functions bottom-up over call-graph SCCs, this pass:
+
+    + rewrites every call site whose callee has already been processed:
+      for each callee REF path [*(v_j, k)] it inserts
+      [A_i <- *(u_j, k)] before the call and passes [A_i] as an extra
+      actual; for each callee MOD path [*(v_q, r)] it adds an extra
+      receiver [C_p] and inserts [*(u_q, r) <- C_p] after the call
+      (Fig. 3b);
+    + runs the quasi path-sensitive points-to analysis to discover the
+      function's own side effects (Mod/Ref, §3.1.1);
+    + exposes those side effects on the interface: an {e Aux formal
+      parameter} [F_i] with an entry store [*(v_j, k) <- F_i] per REF
+      path, and an {e Aux return value} [R_p] with an exit load
+      [R_p <- *(v_q, r)] and an extended return per MOD path (Fig. 3a);
+    + runs the points-to analysis once more on the transformed body — the
+      result is what the SEG builder consumes.
+
+    Calls within one call-graph SCC are left un-rewritten (the paper
+    unrolls recursion once, §4.2).  REF paths always include the
+    formal-rooted MOD paths: a conditionally-modified location must also
+    flow its incoming value to the exit load (this is why Figure 2's [bar]
+    has both [X] and [Y] for [*(q,1)]). *)
+
+type iface = {
+  ref_paths : (int * int * Pinpoint_ir.Var.t) list;
+      (** (param index >= 1, depth, F variable), in parameter order *)
+  mod_paths : (int * int * Pinpoint_ir.Var.t) list;
+      (** (root index; 0 = return value, depth, R variable), in return
+          order *)
+  has_orig_ret : bool;
+}
+
+type result = {
+  ifaces : (string, iface) Hashtbl.t;
+  ptas : (string, Pinpoint_pta.Pta.t) Hashtbl.t;
+      (** final (post-transformation) points-to results per function *)
+}
+
+val max_conduits : int ref
+(** Cap on conduits per function (guards against side-effect-summary
+    explosion, §3.1.2; default 64). *)
+
+val run : Pinpoint_ir.Prog.t -> result
+(** Transform the whole program in place and return the interface and
+    points-to tables. *)
+
+val pp_iface : Format.formatter -> iface -> unit

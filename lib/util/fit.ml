@@ -1,0 +1,57 @@
+type linear_fit = { slope : float; intercept : float; r2 : float }
+
+let mean xs n =
+  let s = ref 0.0 in
+  Array.iter (fun x -> s := !s +. x) xs;
+  !s /. float_of_int n
+
+let r2_of ~f pts =
+  let n = Array.length pts in
+  if n = 0 then 0.0
+  else begin
+    let ys = Array.map snd pts in
+    let ybar = mean ys n in
+    let ss_tot = ref 0.0 and ss_res = ref 0.0 in
+    Array.iter
+      (fun (x, y) ->
+        ss_tot := !ss_tot +. ((y -. ybar) ** 2.0);
+        ss_res := !ss_res +. ((y -. f x) ** 2.0))
+      pts;
+    if !ss_tot = 0.0 then if !ss_res = 0.0 then 1.0 else 0.0
+    else 1.0 -. (!ss_res /. !ss_tot)
+  end
+
+let linear pts =
+  let n = Array.length pts in
+  if n < 2 then
+    { slope = 0.0; intercept = (if n = 1 then snd pts.(0) else 0.0); r2 = 1.0 }
+  else begin
+    let xs = Array.map fst pts and ys = Array.map snd pts in
+    let xbar = mean xs n and ybar = mean ys n in
+    let sxy = ref 0.0 and sxx = ref 0.0 in
+    Array.iter
+      (fun (x, y) ->
+        sxy := !sxy +. ((x -. xbar) *. (y -. ybar));
+        sxx := !sxx +. ((x -. xbar) ** 2.0))
+      pts;
+    if !sxx = 0.0 then { slope = 0.0; intercept = ybar; r2 = 0.0 }
+    else begin
+      let slope = !sxy /. !sxx in
+      let intercept = ybar -. (slope *. xbar) in
+      let r2 = r2_of ~f:(fun x -> (slope *. x) +. intercept) pts in
+      { slope; intercept; r2 }
+    end
+  end
+
+let power pts =
+  let logpts =
+    Array.map
+      (fun (x, y) ->
+        if x <= 0.0 || y <= 0.0 then invalid_arg "Fit.power: points must be positive"
+        else (log x, log y))
+      pts
+  in
+  let lf = linear logpts in
+  let a = exp lf.intercept and b = lf.slope in
+  let r2 = r2_of ~f:(fun x -> a *. (x ** b)) pts in
+  { slope = b; intercept = a; r2 }

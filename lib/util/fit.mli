@@ -1,0 +1,24 @@
+(** Least-squares curve fitting and the coefficient of determination.
+
+    Used to reproduce Figure 10 of the paper, which fits the per-subject
+    time and memory costs against program size and reports the R² of a
+    linear fit (the paper observes R² > 0.9, i.e. near-linear scaling). *)
+
+type linear_fit = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** Coefficient of determination of the fit. *)
+}
+
+val linear : (float * float) array -> linear_fit
+(** Ordinary least-squares line through [(x, y)] points.  Requires at least
+    two points with distinct x values; degenerate inputs give slope 0 and
+    the mean as intercept. *)
+
+val r2_of : f:(float -> float) -> (float * float) array -> float
+(** R² of an arbitrary model [f] against the data (1 - SSres/SStot). *)
+
+val power : (float * float) array -> linear_fit
+(** Fit [y = a * x^b] by linear regression in log-log space (all points must
+    be positive); returns slope=[b], intercept=[a], and the R² measured in
+    the original space. *)

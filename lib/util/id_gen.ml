@@ -1,0 +1,12 @@
+type t = { mutable next : int }
+
+let create () = { next = 0 }
+
+let fresh t =
+  let i = t.next in
+  t.next <- i + 1;
+  i
+
+let peek t = t.next
+let count t = t.next
+let reset t = t.next <- 0

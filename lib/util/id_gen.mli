@@ -1,0 +1,23 @@
+(** Monotonic integer id generators.
+
+    Every structural entity in the analysis (variables, statements, blocks,
+    SEG vertices, abstract memory objects, ...) carries a small integer id
+    allocated from a generator.  Generators are independent, so ids are only
+    unique within one generator. *)
+
+type t
+
+val create : unit -> t
+(** A fresh generator starting at [0]. *)
+
+val fresh : t -> int
+(** Allocate the next id. *)
+
+val peek : t -> int
+(** The id that the next call to {!fresh} would return. *)
+
+val count : t -> int
+(** Number of ids allocated so far. *)
+
+val reset : t -> unit
+(** Restart at [0].  Only used by tests. *)

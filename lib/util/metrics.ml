@@ -1,0 +1,45 @@
+type measurement = { wall_s : float; alloc_bytes : float; major_words : float }
+
+exception Timeout
+
+let now () = Unix.gettimeofday ()
+
+let measure f =
+  let a0 = Gc.allocated_bytes () in
+  let s0 = Gc.quick_stat () in
+  let t0 = now () in
+  let r = f () in
+  let t1 = now () in
+  let s1 = Gc.quick_stat () in
+  let a1 = Gc.allocated_bytes () in
+  ( r,
+    {
+      wall_s = t1 -. t0;
+      alloc_bytes = a1 -. a0;
+      major_words = s1.Gc.major_words -. s0.Gc.major_words;
+    } )
+
+type deadline = float (* absolute time; infinity = none *)
+
+let no_deadline = infinity
+let deadline_after s = if s <= 0.0 then infinity else now () +. s
+let expired d = now () > d
+let check d = if expired d then raise Timeout
+
+let with_timeout budget f =
+  let _ = budget in
+  try Some (f ()) with Timeout -> None
+
+let pp_bytes ppf b =
+  let abs = Float.abs b in
+  if abs >= 1.0e9 then Format.fprintf ppf "%.2fGB" (b /. 1.0e9)
+  else if abs >= 1.0e6 then Format.fprintf ppf "%.2fMB" (b /. 1.0e6)
+  else if abs >= 1.0e3 then Format.fprintf ppf "%.2fKB" (b /. 1.0e3)
+  else Format.fprintf ppf "%.0fB" b
+
+let pp_duration ppf s =
+  let abs = Float.abs s in
+  if abs >= 60.0 then Format.fprintf ppf "%.1fmin" (s /. 60.0)
+  else if abs >= 1.0 then Format.fprintf ppf "%.2fs" s
+  else if abs >= 1.0e-3 then Format.fprintf ppf "%.2fms" (s *. 1.0e3)
+  else Format.fprintf ppf "%.0fus" (s *. 1.0e6)

@@ -1,0 +1,40 @@
+(** Time and allocation measurement used by the benchmark harness.
+
+    The paper measures wall-clock hours and resident-set gigabytes; our
+    substitute (documented in DESIGN.md §1) is wall-clock seconds via
+    [Unix.gettimeofday] and allocated bytes via [Gc.allocated_bytes] deltas.
+    Relative ordering and growth shape are what the experiments compare. *)
+
+type measurement = {
+  wall_s : float;      (** Elapsed wall-clock seconds. *)
+  alloc_bytes : float; (** Bytes allocated on the OCaml heap during the run. *)
+  major_words : float; (** Major-heap words promoted/allocated (coarse RSS proxy). *)
+}
+
+val measure : (unit -> 'a) -> 'a * measurement
+(** Run the thunk and capture elapsed time and allocation. *)
+
+val with_timeout : float -> (unit -> 'a) -> 'a option
+(** [with_timeout budget f] runs [f]; returns [None] if a cooperative
+    timeout was signalled via {!Timeout} *escaping* from [f].  The analyses
+    poll {!check} themselves; this is cooperative, not preemptive. *)
+
+exception Timeout
+
+type deadline
+
+val deadline_after : float -> deadline
+(** A deadline [s] seconds from now.  Non-positive means "no deadline". *)
+
+val no_deadline : deadline
+
+val check : deadline -> unit
+(** Raise {!Timeout} if the deadline has passed. *)
+
+val expired : deadline -> bool
+
+val pp_bytes : Format.formatter -> float -> unit
+(** Human-readable byte counts ("1.5MB"). *)
+
+val pp_duration : Format.formatter -> float -> unit
+(** Human-readable durations ("1.2s", "3.4ms"). *)

@@ -1,0 +1,51 @@
+let list ?(sep = ", ") pp_elt ppf l =
+  let rec go = function
+    | [] -> ()
+    | [ x ] -> pp_elt ppf x
+    | x :: rest ->
+      pp_elt ppf x;
+      Format.pp_print_string ppf sep;
+      go rest
+  in
+  go l
+
+let opt pp_elt ppf = function
+  | None -> Format.pp_print_string ppf "-"
+  | Some x -> pp_elt ppf x
+
+let to_string pp x = Format.asprintf "%a" pp x
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let table ~header ~rows ppf () =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let print_row row =
+    let cells = List.mapi (fun i c -> pad c widths.(i)) row in
+    Format.fprintf ppf "| %s |@." (String.concat " | " cells)
+  in
+  let rule () =
+    let dashes = Array.to_list (Array.map (fun w -> String.make w '-') widths) in
+    Format.fprintf ppf "+-%s-+@." (String.concat "-+-" dashes)
+  in
+  rule ();
+  print_row header;
+  rule ();
+  List.iter print_row rows;
+  rule ()

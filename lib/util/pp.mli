@@ -1,0 +1,18 @@
+(** Small pretty-printing helpers shared across the project. *)
+
+val list : ?sep:string -> (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a list -> unit
+(** Print a list with a separator (default [", "]). *)
+
+val opt : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a option -> unit
+(** Print ["-"] for [None]. *)
+
+val to_string : (Format.formatter -> 'a -> unit) -> 'a -> string
+(** Render with a printer into a string. *)
+
+val quote : string -> string
+(** Escape for embedding in DOT labels. *)
+
+val table :
+  header:string list -> rows:string list list -> Format.formatter -> unit -> unit
+(** Render an aligned ASCII table (used by the bench harness to print the
+    paper's tables). *)

@@ -1,0 +1,67 @@
+type t = { mutable s0 : int64; mutable s1 : int64 }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let create seed =
+  let s = Int64.of_int seed in
+  { s0 = mix (Int64.add s 0x9e3779b97f4a7c15L); s1 = mix (Int64.add s 0x6a09e667f3bcc909L) }
+
+let next t =
+  let s0 = t.s0 and s1 = t.s1 in
+  let r = Int64.add s0 s1 in
+  let s1 = Int64.logxor s1 s0 in
+  t.s0 <- Int64.logxor (Int64.logxor (Int64.logor (Int64.shift_left s0 55) (Int64.shift_right_logical s0 9)) s1) (Int64.shift_left s1 14);
+  t.s1 <- Int64.logor (Int64.shift_left s1 36) (Int64.shift_right_logical s1 28);
+  mix r
+
+let split t =
+  let a = next t in
+  { s0 = mix a; s1 = mix (Int64.logxor a 0x2545f4914f6cdd1dL) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  r mod bound
+
+let in_range t lo hi =
+  if hi < lo then invalid_arg "Prng.in_range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  bound *. (r /. 9007199254740992.0)
+
+let chance t p = float t 1.0 < p
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let choose_list t l =
+  match l with
+  | [] -> invalid_arg "Prng.choose_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + max w 0) 0 choices in
+  if total <= 0 then invalid_arg "Prng.weighted: no positive weight";
+  let k = int t total in
+  let rec go k = function
+    | [] -> assert false
+    | (w, x) :: rest ->
+      let w = max w 0 in
+      if k < w then x else go (k - w) rest
+  in
+  go k choices

@@ -1,0 +1,40 @@
+(** Deterministic splittable PRNG (xoshiro-style 64-bit state mix).
+
+    All workload generators use this instead of [Random] so that every table
+    and figure in the benchmark harness regenerates identically across runs
+    and machines. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator.  Equal seeds give equal streams. *)
+
+val split : t -> t
+(** Derive an independent generator; the parent stream is advanced once. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound).  [bound] must be > 0. *)
+
+val in_range : t -> int -> int -> int
+(** [in_range t lo hi] draws uniformly from [lo, hi] inclusive. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val float : t -> float -> float
+(** Uniform in [0, bound). *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val choose_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val weighted : t -> (int * 'a) list -> 'a
+(** [weighted t choices] draws according to the integer weights (all >= 0,
+    at least one positive). *)

@@ -1,0 +1,64 @@
+type t = {
+  mutable parent : int array;
+  mutable rank : int array;
+  mutable len : int;
+}
+
+let create n =
+  { parent = Array.init (max n 1) (fun i -> i); rank = Array.make (max n 1) 0; len = n }
+
+let size t = t.len
+
+let extend t n =
+  if n > t.len then begin
+    let cap = Array.length t.parent in
+    if n > cap then begin
+      let cap' = max n (2 * cap) in
+      let parent' = Array.init cap' (fun i -> i) in
+      Array.blit t.parent 0 parent' 0 t.len;
+      let rank' = Array.make cap' 0 in
+      Array.blit t.rank 0 rank' 0 t.len;
+      t.parent <- parent';
+      t.rank <- rank'
+    end else
+      for i = t.len to n - 1 do
+        t.parent.(i) <- i;
+        t.rank.(i) <- 0
+      done;
+    t.len <- n
+  end
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let r = find t p in
+    t.parent.(x) <- r;
+    r
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then rx
+  else if t.rank.(rx) < t.rank.(ry) then begin
+    t.parent.(rx) <- ry;
+    ry
+  end
+  else if t.rank.(rx) > t.rank.(ry) then begin
+    t.parent.(ry) <- rx;
+    rx
+  end
+  else begin
+    t.parent.(ry) <- rx;
+    t.rank.(rx) <- t.rank.(rx) + 1;
+    rx
+  end
+
+let equiv t x y = find t x = find t y
+
+let n_classes t =
+  let n = ref 0 in
+  for i = 0 to t.len - 1 do
+    if t.parent.(i) = i then incr n
+  done;
+  !n

@@ -1,0 +1,28 @@
+(** Imperative union-find (disjoint sets) over dense integer keys.
+
+    Used by the points-to analyses for cycle collapsing and by the alias
+    machinery for unification.  Path compression + union by rank. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets [0 .. n-1]. *)
+
+val extend : t -> int -> unit
+(** [extend t n] grows the universe so keys up to [n-1] are valid.  New keys
+    become singletons.  No-op if already large enough. *)
+
+val size : t -> int
+(** Current universe size. *)
+
+val find : t -> int -> int
+(** Canonical representative of the set containing the key. *)
+
+val union : t -> int -> int -> int
+(** Merge the two sets; returns the surviving representative. *)
+
+val equiv : t -> int -> int -> bool
+(** Whether the two keys are in the same set. *)
+
+val n_classes : t -> int
+(** Number of distinct equivalence classes. *)

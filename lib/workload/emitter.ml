@@ -1,0 +1,17 @@
+type t = { buf : Buffer.t; mutable next_line : int }
+
+let create () = { buf = Buffer.create 65536; next_line = 1 }
+
+let line t s =
+  Buffer.add_string t.buf s;
+  Buffer.add_char t.buf '\n';
+  let n = t.next_line in
+  t.next_line <- n + 1;
+  n
+
+let linef t fmt = Printf.ksprintf (fun s -> line t s) fmt
+
+let blank t = ignore (line t "")
+
+let contents t = Buffer.contents t.buf
+let current_line t = t.next_line

@@ -1,0 +1,22 @@
+(** Line-tracking MC source emitter.
+
+    The synthetic subject and Juliet-like generators emit MC concrete
+    syntax; statements with ground-truth significance (planted bug
+    sources, sinks) need their source line recorded so reports can be
+    classified mechanically.  The emitter hands out the line number of
+    every emitted line. *)
+
+type t
+
+val create : unit -> t
+
+val line : t -> string -> int
+(** Emit a line, return its 1-based line number. *)
+
+val linef : t -> ('a, unit, string, int) format4 -> 'a
+(** [Printf]-style {!line}. *)
+
+val blank : t -> unit
+val contents : t -> string
+val current_line : t -> int
+(** The line number the next {!line} call will get. *)

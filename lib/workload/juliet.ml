@@ -1,0 +1,189 @@
+module E = Emitter
+
+type case = {
+  id : string;
+  flaw_type : int;
+  kind : string;
+  source : string;
+  truth : Truth.planted list;
+}
+
+let flaw_types = 51
+let total_cases = 1421
+
+(* 51 = first 51 of the (2 kinds x 5 control wrappers x 6 data shapes)
+   cross product. *)
+let combo_of_type ft =
+  (* ft in 1..51 *)
+  let i = ft - 1 in
+  let kind = i mod 2 in
+  let cf = i / 2 mod 5 in
+  let df = i / 10 mod 6 in
+  (kind, cf, df)
+
+(* Per-type variant counts summing to 1421: the first 44 types get 28
+   variants, the remaining 7 get 27.  (44*28 + 7*27 = 1421.) *)
+let variants_of_type ft = if ft <= 44 then 28 else 27
+
+(* Emit the "free" event wrapped in the control-flow shape; returns the
+   free's line number.  [v] is the variant index, used to vary guard
+   constants. *)
+let emit_free em cf v ptr =
+  match cf with
+  | 0 ->
+    (* plain *)
+    E.linef em "  free(%s);" ptr
+  | 1 ->
+    (* overlapping input guards: x > v+1 for the free *)
+    ignore (E.linef em "  bool gf = x > %d;" (v + 1));
+    ignore (E.linef em "  if (gf) {");
+    let l = E.linef em "    free(%s);" ptr in
+    ignore (E.linef em "  }");
+    l
+  | 2 ->
+    (* free on the else branch *)
+    ignore (E.linef em "  bool ge = x == %d;" v);
+    ignore (E.linef em "  if (ge) {");
+    ignore (E.linef em "    print(x);");
+    ignore (E.linef em "  } else {");
+    let l = E.linef em "    free(%s);" ptr in
+    ignore (E.linef em "  }");
+    l
+  | 3 ->
+    (* nested feasible guards *)
+    ignore (E.linef em "  bool g1 = x > %d;" v);
+    ignore (E.linef em "  bool g2 = x > %d;" (v + 2));
+    ignore (E.linef em "  if (g1) {");
+    ignore (E.linef em "    if (g2) {");
+    let l = E.linef em "      free(%s);" ptr in
+    ignore (E.linef em "    }");
+    ignore (E.linef em "  }");
+    l
+  | _ ->
+    (* loop body (unrolled once by the frontend) *)
+    ignore (E.linef em "  int n = 0;");
+    ignore (E.linef em "  while (n < x) {");
+    let l = E.linef em "    free(%s);" ptr in
+    ignore (E.linef em "    n = n + 1;");
+    ignore (E.linef em "  }");
+    l
+
+(* Emit the sink for the kind. *)
+let emit_sink em kind ptr =
+  if kind = 0 then ignore (E.linef em "  print(*%s);" ptr)
+  else ignore (E.linef em "  free(%s);" ptr)
+
+let kind_name = function 0 -> "use-after-free" | _ -> "double-free"
+
+let make_case ft v : case =
+  let kind, cf, df = combo_of_type ft in
+  let id = Printf.sprintf "CWE%d_cf%d_df%d_v%d" (if kind = 0 then 416 else 415) cf df v in
+  let em = E.create () in
+  let truth = ref [] in
+  let plant line fname =
+    truth :=
+      {
+        Truth.kind = kind_name kind;
+        fname;
+        source_line = line;
+        real = true;
+        descr = id;
+      }
+      :: !truth
+  in
+  (match df with
+  | 0 ->
+    (* direct *)
+    ignore (E.linef em "void bad(int x) {");
+    ignore (E.linef em "  int *p = malloc();");
+    ignore (E.linef em "  *p = x;");
+    let l = emit_free em cf v "p" in
+    plant l "bad";
+    emit_sink em kind "p";
+    ignore (E.linef em "}")
+  | 1 ->
+    (* copy chain *)
+    ignore (E.linef em "void bad(int x) {");
+    ignore (E.linef em "  int *p = malloc();");
+    ignore (E.linef em "  *p = x;");
+    ignore (E.linef em "  int *q = p;");
+    ignore (E.linef em "  int *r = q;");
+    let l = emit_free em cf v "p" in
+    plant l "bad";
+    emit_sink em kind "r";
+    ignore (E.linef em "}")
+  | 2 ->
+    (* through a double pointer *)
+    ignore (E.linef em "void bad(int x) {");
+    ignore (E.linef em "  int *p = malloc();");
+    ignore (E.linef em "  *p = x;");
+    ignore (E.linef em "  int **h = malloc();");
+    ignore (E.linef em "  *h = p;");
+    let l = emit_free em cf v "p" in
+    plant l "bad";
+    ignore (E.linef em "  int *t = *h;");
+    emit_sink em kind "t";
+    ignore (E.linef em "}")
+  | 3 ->
+    (* helper frees its parameter *)
+    ignore (E.linef em "void release(int *w) {");
+    let l = E.linef em "  free(w);" in
+    plant l "release";
+    ignore (E.linef em "}");
+    ignore (E.linef em "void bad(int x) {");
+    ignore (E.linef em "  int *p = malloc();");
+    ignore (E.linef em "  *p = x;");
+    (match cf with
+    | 1 ->
+      ignore (E.linef em "  bool gf = x > %d;" (v + 1));
+      ignore (E.linef em "  if (gf) { release(p); }")
+    | _ -> ignore (E.linef em "  release(p);"));
+    emit_sink em kind "p";
+    ignore (E.linef em "}")
+  | 4 ->
+    (* helper returns an already-freed pointer *)
+    ignore (E.linef em "int* mk(int x) {");
+    ignore (E.linef em "  int *q = malloc();");
+    ignore (E.linef em "  *q = x;");
+    let l = E.linef em "  free(q);" in
+    plant l "mk";
+    ignore (E.linef em "  return q;");
+    ignore (E.linef em "}");
+    ignore (E.linef em "void bad(int x) {");
+    ignore (E.linef em "  int *p = mk(x);");
+    emit_sink em kind "p";
+    ignore (E.linef em "}")
+  | _ ->
+    (* call chain of depth 2 to the free *)
+    ignore (E.linef em "void rel0(int *w) {");
+    let l = E.linef em "  free(w);" in
+    plant l "rel0";
+    ignore (E.linef em "}");
+    ignore (E.linef em "void rel1(int *w) { rel0(w); }");
+    ignore (E.linef em "void bad(int x) {");
+    ignore (E.linef em "  int *p = malloc();");
+    ignore (E.linef em "  *p = x;");
+    ignore (E.linef em "  rel1(p);");
+    emit_sink em kind "p";
+    ignore (E.linef em "}"));
+  ignore
+    (E.linef em "void driver() { int x = input(); bad(x); }");
+  {
+    id;
+    flaw_type = ft;
+    kind = kind_name kind;
+    source = E.contents em;
+    truth = !truth;
+  }
+
+let cases () =
+  let acc = ref [] in
+  for ft = 1 to flaw_types do
+    for v = 1 to variants_of_type ft do
+      acc := make_case ft v :: !acc
+    done
+  done;
+  List.rev !acc
+
+let compile (c : case) =
+  Pinpoint_frontend.Lower.compile_string ~file:c.id c.source

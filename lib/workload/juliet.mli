@@ -1,0 +1,37 @@
+(** A Juliet-like recall test suite (paper §5.1.2).
+
+    The paper measures recall on the NSA Juliet Test Suite: 1421
+    use-after-free / double-free cases across 51 flaw variants, all of
+    which Pinpoint detects.  This generator reproduces the suite's
+    structure: a cross product of
+
+    - bug kind (use-after-free, double-free),
+    - control-flow wrapper around the free (plain, guarded by a constant,
+      guarded by an overlapping input condition, else-branch, nested
+      guards, unrolled-loop body, early-return sibling, ...),
+    - data-flow shape of the dangling value (direct, copy chain, through
+      a double pointer, through a helper that frees its parameter, via a
+      returned pointer, through a call chain of depth 2–3, ...),
+
+    yielding exactly 51 distinct flaw types; per-type variant counts are
+    chosen so the suite totals exactly 1421 cases, each a self-contained
+    MC program with exactly one real bug and known source line. *)
+
+type case = {
+  id : string;          (** e.g. "CWE416_cf3_df5_v2" *)
+  flaw_type : int;      (** 1..51 *)
+  kind : string;        (** checker name *)
+  source : string;
+  truth : Truth.planted list;
+}
+
+val flaw_types : int
+(** 51 *)
+
+val total_cases : int
+(** 1421 *)
+
+val cases : unit -> case list
+(** The full deterministic suite. *)
+
+val compile : case -> Pinpoint_ir.Prog.t

@@ -1,0 +1,85 @@
+type category = Spec | Open_source
+
+type info = {
+  name : string;
+  category : category;
+  paper_kloc : float;
+  params : Gen.params;
+}
+
+(* paper KLoC -> synthetic LoC: ~100x scale-down; floor keeps the smallest
+   subjects non-trivial. *)
+let scale = 10.0
+let loc_of_kloc kloc = max 120 (int_of_float (kloc *. scale))
+
+let mk ?(real_uaf = 0) ?(real_uaf_local = 0) ?(real_df = 0) ?(hard = 0)
+    ?(taint_real = 0) ?(taint_traps = 0) ?(leaks = 0) ?(with_frees = true)
+    ~cat ~kloc ~seed name =
+  let loc = loc_of_kloc kloc in
+  {
+    name;
+    category = cat;
+    paper_kloc = kloc;
+    params =
+      {
+        Gen.seed;
+        target_loc = loc;
+        n_units = max 1 (min 12 (loc / 400));
+        n_real_uaf = real_uaf;
+        n_real_uaf_local = real_uaf_local;
+        n_real_df = real_df;
+        n_uaf_traps = max 1 (loc / 700);
+        n_hard_traps = hard;
+        n_use_before_free = max 1 (loc / 900);
+        n_taint_real = taint_real;
+        n_taint_traps = taint_traps;
+        n_leaks = leaks;
+        with_frees;
+      };
+  }
+
+(* Table 1 shape:
+   - SPEC subjects: no Pinpoint reports; those where SVF reported nothing
+     in the paper carry no frees at all.
+   - Open-source subjects follow the paper's #Reports / #FP columns. *)
+let all =
+  [
+    (* SPEC CINT2000 *)
+    mk ~cat:Spec ~kloc:2.0 ~seed:101 ~with_frees:false "mcf";
+    mk ~cat:Spec ~kloc:3.0 ~seed:102 ~with_frees:false "bzip2";
+    mk ~cat:Spec ~kloc:6.0 ~seed:103 "gzip";
+    mk ~cat:Spec ~kloc:8.0 ~seed:104 ~with_frees:false "parser";
+    mk ~cat:Spec ~kloc:11.0 ~seed:105 "vpr";
+    mk ~cat:Spec ~kloc:13.0 ~seed:106 "crafty";
+    mk ~cat:Spec ~kloc:18.0 ~seed:107 "twolf";
+    mk ~cat:Spec ~kloc:22.0 ~seed:108 "eon";
+    mk ~cat:Spec ~kloc:36.0 ~seed:109 ~with_frees:false "gap";
+    mk ~cat:Spec ~kloc:49.0 ~seed:110 "vortex";
+    mk ~cat:Spec ~kloc:73.0 ~seed:111 "perkbmk";
+    mk ~cat:Spec ~kloc:135.0 ~seed:112 ~with_frees:false "gcc";
+    (* Open source *)
+    mk ~cat:Open_source ~kloc:23.0 ~seed:201 ~real_uaf:1 "webassembly";
+    mk ~cat:Open_source ~kloc:24.0 ~seed:202 "darknet";
+    mk ~cat:Open_source ~kloc:31.0 ~seed:203 "html5-parser";
+    mk ~cat:Open_source ~kloc:40.0 ~seed:204 "tmux";
+    mk ~cat:Open_source ~kloc:44.0 ~seed:205 ~real_uaf:1 "libssh";
+    mk ~cat:Open_source ~kloc:48.0 ~seed:206 ~real_uaf:1 "goacess";
+    mk ~cat:Open_source ~kloc:53.0 ~seed:207 ~real_uaf:1 ~real_uaf_local:1
+      "shadowsocks";
+    mk ~cat:Open_source ~kloc:54.0 ~seed:208 "swoole";
+    mk ~cat:Open_source ~kloc:62.0 ~seed:209 ~with_frees:false "libuv";
+    mk ~cat:Open_source ~kloc:88.0 ~seed:210 ~real_uaf:1 "transmission";
+    mk ~cat:Open_source ~kloc:185.0 ~seed:211 "git";
+    mk ~cat:Open_source ~kloc:333.0 ~seed:212 "vim";
+    mk ~cat:Open_source ~kloc:340.0 ~seed:213 "wrk";
+    mk ~cat:Open_source ~kloc:537.0 ~seed:214 ~real_uaf:1 "libicu";
+    mk ~cat:Open_source ~kloc:863.0 ~seed:215 "php";
+    mk ~cat:Open_source ~kloc:967.0 ~seed:216 "ffmpeg";
+    mk ~cat:Open_source ~kloc:2030.0 ~seed:217 ~real_uaf:3 ~real_uaf_local:1
+      ~hard:1 ~real_df:1 ~taint_real:3 ~taint_traps:1 ~leaks:2 "mysql";
+    mk ~cat:Open_source ~kloc:7998.0 ~seed:218 ~real_uaf:1 ~hard:1 "firefox";
+  ]
+
+let find name = List.find_opt (fun i -> i.name = name) all
+
+let generate info = Gen.generate ~name:info.name info.params

@@ -1,0 +1,30 @@
+(** The 30 evaluation subjects, mirroring the paper's Table 1 list
+    (SPEC CINT2000 + 18 open-source projects).
+
+    Paper sizes are scaled down ~100× (DESIGN.md §1) so the full sweep
+    runs on one machine; per-subject planted-bug counts mirror Table 1's
+    Pinpoint columns (e.g. the "mysql"-class subject carries 4 real
+    use-after-free bugs and 1 hard trap, reproducing its 5 reports with
+    1 FP).  SPEC subjects that had zero SVF reports in the paper are
+    generated without any [free] calls at all, which is what makes the
+    imprecise baseline silent on them. *)
+
+type category = Spec | Open_source
+
+type info = {
+  name : string;
+  category : category;
+  paper_kloc : float;   (** size reported in the paper *)
+  params : Gen.params;  (** generation parameters (scaled size, bugs) *)
+}
+
+val all : info list
+(** In the paper's order (by size within category). *)
+
+val find : string -> info option
+
+val generate : info -> Gen.subject
+(** Deterministic: same info always yields the same subject. *)
+
+val scale : float
+(** paper KLoC → synthetic LoC factor. *)

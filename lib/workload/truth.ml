@@ -1,0 +1,50 @@
+type planted = {
+  kind : string;
+  fname : string;
+  source_line : int;
+  real : bool;
+  descr : string;
+}
+
+type score = {
+  n_reports : int;
+  n_tp : int;
+  n_fp : int;
+  n_real_planted : int;
+  n_found : int;
+}
+
+let fp_rate s =
+  if s.n_reports = 0 then 0.0
+  else float_of_int s.n_fp /. float_of_int s.n_reports
+
+let recall s =
+  if s.n_real_planted = 0 then 1.0
+  else float_of_int s.n_found /. float_of_int s.n_real_planted
+
+let classify ~kind truth report_keys =
+  let truth = List.filter (fun p -> p.kind = kind) truth in
+  let real_lines =
+    List.filter_map (fun p -> if p.real then Some p.source_line else None) truth
+  in
+  let n_tp = ref 0 and n_fp = ref 0 in
+  let found = Hashtbl.create 16 in
+  List.iter
+    (fun (src_line, _sink_line) ->
+      if List.mem src_line real_lines then begin
+        incr n_tp;
+        Hashtbl.replace found src_line ()
+      end
+      else incr n_fp)
+    report_keys;
+  {
+    n_reports = List.length report_keys;
+    n_tp = !n_tp;
+    n_fp = !n_fp;
+    n_real_planted = List.length real_lines;
+    n_found = Hashtbl.length found;
+  }
+
+let pp_score ppf s =
+  Format.fprintf ppf "reports=%d tp=%d fp=%d (rate %.1f%%) recall=%d/%d"
+    s.n_reports s.n_tp s.n_fp (100.0 *. fp_rate s) s.n_found s.n_real_planted

@@ -1,0 +1,42 @@
+(** Ground truth for generated workloads and mechanical report scoring.
+
+    Every planted source event (real bug or deliberate false-positive
+    trap) is recorded with its source line; a tool's report is classified
+    by matching its {e source} line against the table:
+
+    - matches a [real = true] entry → true positive;
+    - anything else (trap entry, or an unplanted line such as a safe
+      filler [free]) → false positive.
+
+    Recall is the fraction of [real = true] entries matched by at least
+    one report.  This replaces the paper's manual developer-confirmation
+    loop (see DESIGN.md §1). *)
+
+type planted = {
+  kind : string;     (** checker name the bug belongs to *)
+  fname : string;    (** function containing the source *)
+  source_line : int;
+  real : bool;       (** true bug vs deliberate trap *)
+  descr : string;
+}
+
+type score = {
+  n_reports : int;
+  n_tp : int;
+  n_fp : int;
+  n_real_planted : int;
+  n_found : int;  (** distinct real planted bugs matched *)
+}
+
+val fp_rate : score -> float
+(** [n_fp / n_reports]; 0 when no reports. *)
+
+val recall : score -> float
+
+val classify :
+  kind:string -> planted list -> (int * int) list -> score
+(** [classify ~kind truth report_keys] scores a report list given as
+    [(source_line, sink_line)] pairs against the planted entries for that
+    checker kind. *)
+
+val pp_score : Format.formatter -> score -> unit

@@ -1,0 +1,29 @@
+(* Shared helpers for the test suite. *)
+
+let compile src = Pinpoint_frontend.Lower.compile_string ~file:"<test>" src
+
+let prepare src = Pinpoint.Analysis.prepare_source ~file:"<test>" src
+
+let func prog name =
+  match Pinpoint_ir.Prog.find prog name with
+  | Some f -> f
+  | None -> Alcotest.failf "function %s not found" name
+
+let run_checker src spec =
+  let a = prepare src in
+  let reports, _ = Pinpoint.Analysis.check a spec in
+  reports
+
+let reported src spec =
+  List.filter Pinpoint.Report.is_reported (run_checker src spec)
+
+let n_reported src spec = List.length (reported src spec)
+
+let uaf = Pinpoint.Checkers.use_after_free
+let dfree = Pinpoint.Checkers.double_free
+let taint_path = Pinpoint.Checkers.path_traversal
+let taint_trans = Pinpoint.Checkers.data_transmission
+
+(* qcheck wrapper *)
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)

@@ -1,0 +1,233 @@
+(* Tests for the baseline analyses: Andersen points-to, the SVF-style
+   layered checker, and the Infer-/CSA-like unit-confined baselines. *)
+
+open Pinpoint_ir
+module A = Pinpoint_baselines.Andersen
+module Svf = Pinpoint_baselines.Svf
+module Infer = Pinpoint_baselines.Infer_like
+module Csa = Pinpoint_baselines.Csa_like
+
+let var_named prog fname name =
+  let f = Helpers.func prog fname in
+  let found = ref None in
+  Func.iter_stmts f (fun _ s ->
+      List.iter (fun (v : Var.t) -> if v.Var.name = name then found := Some v) (Stmt.def s));
+  List.iter (fun (p : Var.t) -> if p.Var.name = name then found := Some p) f.Func.params;
+  match !found with Some v -> v | None -> Alcotest.failf "no var %s" name
+
+let test_andersen_alloc () =
+  let prog = Helpers.compile "void f() { int *p = malloc(); int *q = p; print(*q); }" in
+  let a = A.run prog in
+  let p = var_named prog "f" "p" and q = var_named prog "f" "q" in
+  let np = Option.get (A.node_of_var a "f" p) in
+  let nq = Option.get (A.node_of_var a "f" q) in
+  Alcotest.(check bool) "q aliases p" true
+    (not (A.ISet.is_empty (A.ISet.inter (A.pts a np) (A.pts a nq))))
+
+let test_andersen_store_load () =
+  let prog =
+    Helpers.compile
+      "void f() { int *p = malloc(); int **h = malloc(); *h = p; int *r = *h; print(*r); }"
+  in
+  let a = A.run prog in
+  let p = var_named prog "f" "p" and r = var_named prog "f" "r" in
+  let np = Option.get (A.node_of_var a "f" p) in
+  let nr = Option.get (A.node_of_var a "f" r) in
+  Alcotest.(check bool) "r gets p's object through memory" true
+    (A.ISet.subset (A.pts a np) (A.pts a nr))
+
+let test_andersen_interproc () =
+  let prog =
+    Helpers.compile
+      "int* id(int *x) { return x; }  void f() { int *p = malloc(); int *q = id(p); print(*q); }"
+  in
+  let a = A.run prog in
+  let p = var_named prog "f" "p" and q = var_named prog "f" "q" in
+  let np = Option.get (A.node_of_var a "f" p) in
+  let nq = Option.get (A.node_of_var a "f" q) in
+  Alcotest.(check bool) "flows through call and return" true
+    (A.ISet.subset (A.pts a np) (A.pts a nq))
+
+let test_andersen_universal () =
+  (* entry function parameters point to the universal blob *)
+  let prog = Helpers.compile "void f(int *p) { print(*p); }" in
+  let a = A.run prog in
+  let p = var_named prog "f" "p" in
+  let np = Option.get (A.node_of_var a "f" p) in
+  Alcotest.(check bool) "universal" true (A.ISet.mem (A.universal a) (A.pts a np))
+
+let test_andersen_context_insensitive_conflation () =
+  (* the defining imprecision: two independent call sites of a helper get
+     each other's objects *)
+  let prog =
+    Helpers.compile
+      {|
+void put(int **slot, int *v) { *slot = v; }
+void f() {
+  int *a = malloc();
+  int *b = malloc();
+  int **s1 = malloc();
+  int **s2 = malloc();
+  put(s1, a);
+  put(s2, b);
+  int *x = *s1;
+  print(*x);
+}
+|}
+  in
+  let a = A.run prog in
+  let x = var_named prog "f" "x" in
+  let bvar = var_named prog "f" "b" in
+  let nx = Option.get (A.node_of_var a "f" x) in
+  let nb = Option.get (A.node_of_var a "f" bvar) in
+  Alcotest.(check bool) "conflated: x may be b" true
+    (A.ISet.subset (A.pts a nb) (A.pts a nx))
+
+let test_svf_finds_and_floods () =
+  let src =
+    {|
+void f(int s) {
+  int *p = malloc();
+  *p = s;
+  free(p);
+  print(*p);
+}
+void trap(int *p) {
+  int s = input();
+  bool g = s > 0;
+  if (g) { free(p); }
+  bool ng = !g;
+  if (ng) { print(*p); }
+}
+void safe_order(int s) { int *q = malloc(); *q = s; print(*q); free(q); }
+|}
+  in
+  let svf = Svf.build (Helpers.compile src) in
+  let reports = Svf.check_uaf svf in
+  (* finds the real bug *)
+  Alcotest.(check bool) "real bug found" true
+    (List.exists (fun r -> r.Svf.source_fn = "f") reports);
+  (* flags the correlated trap (no path conditions) *)
+  Alcotest.(check bool) "trap flagged" true
+    (List.exists (fun r -> r.Svf.source_fn = "trap") reports);
+  (* flags the use-before-free (no flow sensitivity) *)
+  Alcotest.(check bool) "order ignored" true
+    (List.exists (fun r -> r.Svf.source_fn = "safe_order") reports)
+
+let test_svf_stats () =
+  let svf = Svf.build (Helpers.compile "void f() { int *p = malloc(); print(*p); }") in
+  let st = Svf.stats svf in
+  Alcotest.(check bool) "nodes" true (st.Svf.n_nodes > 0);
+  Alcotest.(check bool) "no timeout" false st.Svf.timed_out
+
+let test_svf_timeout_partial () =
+  let s =
+    Pinpoint_workload.Gen.generate ~name:"big.mc"
+      { Pinpoint_workload.Gen.default_params with seed = 3; target_loc = 4000 }
+  in
+  let svf =
+    Svf.build
+      ~deadline:(Pinpoint_util.Metrics.deadline_after 0.0001)
+      (Pinpoint_workload.Gen.compile s)
+  in
+  Alcotest.(check bool) "marked timed out" true (Svf.stats svf).Svf.timed_out
+
+let test_infer_order_aware_but_path_insensitive () =
+  let src =
+    {|
+void trap(int *p) {
+  int s = input();
+  bool g = s > 0;
+  if (g) { free(p); }
+  bool ng = !g;
+  if (ng) { print(*p); }
+}
+void safe_order(int s) { int *q = malloc(); *q = s; print(*q); free(q); }
+|}
+  in
+  let reports = Infer.check_uaf (Helpers.compile src) in
+  Alcotest.(check bool) "trap flagged (path-insensitive)" true
+    (List.exists (fun r -> r.Infer.source_fn = "trap") reports);
+  Alcotest.(check bool) "order respected" false
+    (List.exists (fun r -> r.Infer.source_fn = "safe_order") reports)
+
+let test_infer_misses_interproc () =
+  let reports =
+    Infer.check_uaf
+      (Helpers.compile
+         "void rel(int *p) { free(p); } void top(int s) { int *q = malloc(); *q = s; rel(q); print(*q); }")
+  in
+  Alcotest.(check int) "unit-confined: nothing found" 0 (List.length reports)
+
+let test_csa_correlation_pruning () =
+  let src =
+    {|
+void trap(int *p) {
+  int s = input();
+  bool g = s > 0;
+  if (g) { free(p); }
+  bool g2 = s > 0;
+  if (g2) { } else { print(*p); }
+}
+void bug(int *p) {
+  int s = input();
+  bool g = s > 0;
+  if (g) { free(p); }
+  bool h = s > 5;
+  if (h) { print(*p); }
+}
+|}
+  in
+  let reports = Csa.check_uaf (Helpers.compile src) in
+  (* same defining atom s>0: CSA's branch environment prunes the trap *)
+  Alcotest.(check bool) "syntactic correlation pruned" false
+    (List.exists (fun r -> r.Csa.source_fn = "trap") reports);
+  (* different atoms: CSA keeps it (it is in fact feasible) *)
+  Alcotest.(check bool) "different predicates kept" true
+    (List.exists (fun r -> r.Csa.source_fn = "bug") reports)
+
+let test_csa_finds_intra () =
+  let reports =
+    Csa.check_uaf
+      (Helpers.compile
+         "void f(int s) { int *p = malloc(); *p = s; free(p); print(*p); }")
+  in
+  Alcotest.(check int) "intra bug found" 1 (List.length reports)
+
+let test_csa_misses_interproc () =
+  let reports =
+    Csa.check_uaf
+      (Helpers.compile
+         "void rel(int *p) { free(p); } void top(int s) { int *q = malloc(); *q = s; rel(q); print(*q); }")
+  in
+  Alcotest.(check int) "unit-confined" 0 (List.length reports)
+
+let test_csa_path_budget () =
+  let old = !Csa.max_paths in
+  Csa.max_paths := 1;
+  let reports =
+    Csa.check_uaf
+      (Helpers.compile
+         "void f(int s) { int *p = malloc(); *p = s; if (s > 0) { print(1); } else { print(2); } free(p); print(*p); }")
+  in
+  (* with one path only, at most the first path's bugs are found; no crash *)
+  Alcotest.(check bool) "bounded" true (List.length reports <= 1);
+  Csa.max_paths := old
+
+let suite =
+  [
+    Alcotest.test_case "andersen: alloc+copy" `Quick test_andersen_alloc;
+    Alcotest.test_case "andersen: store/load" `Quick test_andersen_store_load;
+    Alcotest.test_case "andersen: interproc" `Quick test_andersen_interproc;
+    Alcotest.test_case "andersen: universal blob" `Quick test_andersen_universal;
+    Alcotest.test_case "andersen: conflation" `Quick test_andersen_context_insensitive_conflation;
+    Alcotest.test_case "svf: finds and floods" `Quick test_svf_finds_and_floods;
+    Alcotest.test_case "svf: stats" `Quick test_svf_stats;
+    Alcotest.test_case "svf: timeout partial" `Quick test_svf_timeout_partial;
+    Alcotest.test_case "infer: path-insensitive" `Quick test_infer_order_aware_but_path_insensitive;
+    Alcotest.test_case "infer: misses interproc" `Quick test_infer_misses_interproc;
+    Alcotest.test_case "csa: correlation pruning" `Quick test_csa_correlation_pruning;
+    Alcotest.test_case "csa: finds intra" `Quick test_csa_finds_intra;
+    Alcotest.test_case "csa: misses interproc" `Quick test_csa_misses_interproc;
+    Alcotest.test_case "csa: path budget" `Quick test_csa_path_budget;
+  ]

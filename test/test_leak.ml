@@ -1,0 +1,104 @@
+(* Tests for the memory-leak checker. *)
+
+let leaks src =
+  let a = Helpers.prepare src in
+  Pinpoint.Leak.check a.Pinpoint.Analysis.prog
+    ~seg_of:(Pinpoint.Analysis.seg_of a) ~rv:a.Pinpoint.Analysis.rv
+
+let n src = List.length (leaks src)
+
+let test_definite_leak () =
+  Alcotest.(check int) "never freed" 1
+    (n "void f(int s) { int *p = malloc(); *p = s; print(*p); }")
+
+let test_freed_no_leak () =
+  Alcotest.(check int) "unconditionally freed" 0
+    (n "void f(int s) { int *p = malloc(); *p = s; print(*p); free(p); }")
+
+let test_conditional_leak () =
+  let reports =
+    leaks "void f(int s) { int *p = malloc(); *p = s; bool g = s > 0; if (g) { free(p); } }"
+  in
+  Alcotest.(check int) "leaks on !g" 1 (List.length reports);
+  Alcotest.(check int) "free seen" 1 (List.hd reports).Pinpoint.Leak.frees_seen
+
+let test_exhaustive_frees_no_leak () =
+  Alcotest.(check int) "freed on both branches" 0
+    (n
+       "void f(int s) { int *p = malloc(); *p = s; bool g = s > 0; if (g) { free(p); } else { free(p); } }")
+
+let test_escape_via_return () =
+  Alcotest.(check int) "returned: caller's responsibility" 0
+    (n "int* f(int s) { int *p = malloc(); *p = s; return p; }")
+
+let test_escape_via_store () =
+  Alcotest.(check int) "stored into caller memory" 0
+    (n "void f(int **out) { int *p = malloc(); *p = 3; *out = p; }")
+
+let test_freed_by_callee () =
+  Alcotest.(check int) "helper frees" 0
+    (n "void rel(int *p) { free(p); } void f(int s) { int *p = malloc(); *p = s; print(*p); rel(p); }")
+
+let test_unknown_external_escape () =
+  Alcotest.(check int) "unknown callee may take ownership" 0
+    (n "void f(int s) { int *p = malloc(); *p = s; mystery(p); }")
+
+let test_leak_through_copy () =
+  Alcotest.(check int) "copied then freed through the copy" 0
+    (n "void f(int s) { int *p = malloc(); *p = s; int *q = p; free(q); }")
+
+let test_leak_hints () =
+  let reports =
+    leaks "void f(int s) { int *p = malloc(); *p = s; bool g = s > 5; if (g) { free(p); } }"
+  in
+  match reports with
+  | [ r ] ->
+    (* the leak condition must be satisfiable exactly when the free's
+       guard fails *)
+    Alcotest.(check bool) "condition nontrivial" true
+      (not (Pinpoint_smt.Expr.is_true r.Pinpoint.Leak.cond))
+  | _ -> Alcotest.fail "expected one leak"
+
+
+(* --- dynamic cross-check: the interpreter's end-of-run leak count must
+   agree with the static verdicts on non-escaping programs --- *)
+
+let test_dynamic_agreement () =
+  let definite = "void f(int s) { int *p = malloc(); *p = s; print(*p); }" in
+  let none = "void f(int s) { int *p = malloc(); *p = s; print(*p); free(p); }" in
+  let o1 = Pinpoint_interp.Interp.run_function (Helpers.compile definite) "f" in
+  let o2 = Pinpoint_interp.Interp.run_function (Helpers.compile none) "f" in
+  Alcotest.(check int) "definite leaks dynamically" 1
+    o1.Pinpoint_interp.Interp.leaked_allocs;
+  Alcotest.(check int) "freed program is clean" 0
+    o2.Pinpoint_interp.Interp.leaked_allocs
+
+let test_conditional_dynamic () =
+  (* across seeds the conditional leak sometimes leaks, sometimes not *)
+  let src =
+    "void f(int s) { int *p = malloc(); *p = s; bool g = s > 0; if (g) { free(p); } }"
+  in
+  let prog = Helpers.compile src in
+  let leaked = ref 0 and clean = ref 0 in
+  for seed = 1 to 30 do
+    let o = Pinpoint_interp.Interp.run_function ~seed prog "f" in
+    if o.Pinpoint_interp.Interp.leaked_allocs > 0 then incr leaked else incr clean
+  done;
+  Alcotest.(check bool) "sometimes leaks" true (!leaked > 0);
+  Alcotest.(check bool) "sometimes clean" true (!clean > 0)
+
+let suite =
+  [
+    Alcotest.test_case "definite leak" `Quick test_definite_leak;
+    Alcotest.test_case "freed: quiet" `Quick test_freed_no_leak;
+    Alcotest.test_case "conditional leak" `Quick test_conditional_leak;
+    Alcotest.test_case "exhaustive frees: quiet" `Quick test_exhaustive_frees_no_leak;
+    Alcotest.test_case "escape via return" `Quick test_escape_via_return;
+    Alcotest.test_case "escape via store" `Quick test_escape_via_store;
+    Alcotest.test_case "freed by callee" `Quick test_freed_by_callee;
+    Alcotest.test_case "unknown external escape" `Quick test_unknown_external_escape;
+    Alcotest.test_case "freed through copy" `Quick test_leak_through_copy;
+    Alcotest.test_case "leak condition" `Quick test_leak_hints;
+    Alcotest.test_case "dynamic agreement" `Quick test_dynamic_agreement;
+    Alcotest.test_case "conditional leak dynamic" `Quick test_conditional_dynamic;
+  ]

@@ -1,0 +1,237 @@
+(* Cross-cutting property tests: semantics preservation of the Expr smart
+   constructors, SCC correctness against brute-force reachability, lexer
+   robustness, interpreter determinism. *)
+
+open Pinpoint_smt
+
+(* --- Expr constructors preserve semantics ---
+
+   Build random formula ASTs, evaluate them directly (reference semantics)
+   and through the hash-consing smart constructors (which fold, absorb,
+   factor, push negations); the results must agree on every environment.
+   This validates every rewrite in Expr at once. *)
+
+type ast =
+  | ATrue
+  | AFalse
+  | ABvar of int
+  | AIvar of int
+  | AInt of int
+  | ANot of ast
+  | AAnd of ast * ast
+  | AOr of ast * ast
+  | AEq of ast * ast
+  | ANe of ast * ast
+  | ALt of ast * ast
+  | ALe of ast * ast
+  | AAdd of ast * ast
+  | ASub of ast * ast
+  | AMul of ast * ast
+  | ANeg of ast
+
+let bsyms = Array.init 3 (fun i -> Symbol.fresh (Printf.sprintf "pp_b%d" i) Symbol.Bool)
+let isyms = Array.init 3 (fun i -> Symbol.fresh (Printf.sprintf "pp_i%d" i) Symbol.Int)
+
+(* reference evaluation over the AST *)
+let rec ref_eval_b benv ienv = function
+  | ATrue -> true
+  | AFalse -> false
+  | ABvar i -> benv.(i)
+  | ANot a -> not (ref_eval_b benv ienv a)
+  | AAnd (a, b) -> ref_eval_b benv ienv a && ref_eval_b benv ienv b
+  | AOr (a, b) -> ref_eval_b benv ienv a || ref_eval_b benv ienv b
+  | AEq (a, b) -> ref_eval_i benv ienv a = ref_eval_i benv ienv b
+  | ANe (a, b) -> ref_eval_i benv ienv a <> ref_eval_i benv ienv b
+  | ALt (a, b) -> ref_eval_i benv ienv a < ref_eval_i benv ienv b
+  | ALe (a, b) -> ref_eval_i benv ienv a <= ref_eval_i benv ienv b
+  | AIvar _ | AInt _ | AAdd _ | ASub _ | AMul _ | ANeg _ -> false
+
+and ref_eval_i benv ienv = function
+  | AIvar i -> ienv.(i)
+  | AInt n -> n
+  | AAdd (a, b) -> ref_eval_i benv ienv a + ref_eval_i benv ienv b
+  | ASub (a, b) -> ref_eval_i benv ienv a - ref_eval_i benv ienv b
+  | AMul (a, b) -> ref_eval_i benv ienv a * ref_eval_i benv ienv b
+  | ANeg a -> -ref_eval_i benv ienv a
+  | _ -> 0
+
+let rec to_expr = function
+  | ATrue -> Expr.tru
+  | AFalse -> Expr.fls
+  | ABvar i -> Expr.var bsyms.(i)
+  | AIvar i -> Expr.var isyms.(i)
+  | AInt n -> Expr.int n
+  | ANot a -> Expr.not_ (to_expr a)
+  | AAnd (a, b) -> Expr.and_ (to_expr a) (to_expr b)
+  | AOr (a, b) -> Expr.or_ (to_expr a) (to_expr b)
+  | AEq (a, b) -> Expr.eq (to_expr a) (to_expr b)
+  | ANe (a, b) -> Expr.ne (to_expr a) (to_expr b)
+  | ALt (a, b) -> Expr.lt (to_expr a) (to_expr b)
+  | ALe (a, b) -> Expr.le (to_expr a) (to_expr b)
+  | AAdd (a, b) -> Expr.add (to_expr a) (to_expr b)
+  | ASub (a, b) -> Expr.sub (to_expr a) (to_expr b)
+  | AMul (a, b) -> Expr.mul (to_expr a) (to_expr b)
+  | ANeg a -> Expr.neg (to_expr a)
+
+let bool_ast_gen =
+  let open QCheck.Gen in
+  let int_leaf = oneof [ map (fun i -> AIvar (i mod 3)) small_nat; map (fun n -> AInt (n mod 7)) small_nat ] in
+  let rec iexpr n =
+    if n <= 0 then int_leaf
+    else
+      oneof
+        [
+          int_leaf;
+          map2 (fun a b -> AAdd (a, b)) (iexpr (n / 2)) (iexpr (n / 2));
+          map2 (fun a b -> ASub (a, b)) (iexpr (n / 2)) (iexpr (n / 2));
+          map2 (fun a b -> AMul (a, b)) (iexpr (n / 2)) (iexpr (n / 2));
+          map (fun a -> ANeg a) (iexpr (n - 1));
+        ]
+  in
+  let bool_leaf =
+    oneof
+      [
+        return ATrue;
+        return AFalse;
+        map (fun i -> ABvar (i mod 3)) small_nat;
+        map2 (fun a b -> AEq (a, b)) (iexpr 2) (iexpr 2);
+        map2 (fun a b -> ANe (a, b)) (iexpr 2) (iexpr 2);
+        map2 (fun a b -> ALt (a, b)) (iexpr 2) (iexpr 2);
+        map2 (fun a b -> ALe (a, b)) (iexpr 2) (iexpr 2);
+      ]
+  in
+  let rec bexpr n =
+    if n <= 0 then bool_leaf
+    else
+      oneof
+        [
+          bool_leaf;
+          map2 (fun a b -> AAnd (a, b)) (bexpr (n / 2)) (bexpr (n / 2));
+          map2 (fun a b -> AOr (a, b)) (bexpr (n / 2)) (bexpr (n / 2));
+          map (fun a -> ANot a) (bexpr (n - 1));
+        ]
+  in
+  sized_size (int_bound 8) bexpr
+
+let constructors_preserve_semantics =
+  Helpers.qtest ~count:500 "Expr smart constructors preserve semantics"
+    (QCheck.make bool_ast_gen)
+    (fun ast ->
+      let e = to_expr ast in
+      let ok = ref true in
+      for bmask = 0 to 7 do
+        for i0 = -2 to 2 do
+          for i1 = -2 to 2 do
+            let benv = [| bmask land 1 <> 0; bmask land 2 <> 0; bmask land 4 <> 0 |] in
+            let ienv = [| i0; i1; 1 |] in
+            let env s =
+              if s = bsyms.(0) then Expr.VBool benv.(0)
+              else if s = bsyms.(1) then Expr.VBool benv.(1)
+              else if s = bsyms.(2) then Expr.VBool benv.(2)
+              else if s = isyms.(0) then Expr.VInt ienv.(0)
+              else if s = isyms.(1) then Expr.VInt ienv.(1)
+              else Expr.VInt ienv.(2)
+            in
+            let reference = ref_eval_b benv ienv ast in
+            let through = Expr.eval env e = Expr.VBool true in
+            if reference <> through then ok := false
+          done
+        done
+      done;
+      !ok)
+
+(* --- SCC correctness vs brute-force mutual reachability --- *)
+
+let scc_correct =
+  Helpers.qtest ~count:100 "Tarjan SCCs = mutual reachability classes"
+    QCheck.(list_of_size (QCheck.Gen.int_bound 25) (pair (int_bound 7) (int_bound 7)))
+    (fun edges ->
+      let module D = Pinpoint_util.Digraph in
+      let g = D.create () in
+      D.ensure_node g 7;
+      List.iter (fun (a, b) -> D.add_edge g a b) edges;
+      let sccs = D.sccs g in
+      (* brute-force reachability *)
+      let reach = Array.init 8 (fun i -> D.reachable g i) in
+      let same_scc a b = reach.(a).(b) && reach.(b).(a) in
+      (* every pair inside an SCC is mutually reachable; nodes in different
+         SCCs are not *)
+      let comp_of = Array.make 8 (-1) in
+      List.iteri (fun ci comp -> List.iter (fun n -> comp_of.(n) <- ci) comp) sccs;
+      let ok = ref true in
+      for a = 0 to 7 do
+        for b = 0 to 7 do
+          let expected = same_scc a b in
+          let got = comp_of.(a) = comp_of.(b) in
+          if expected <> got then ok := false
+        done
+      done;
+      !ok)
+
+(* --- lexer/parser robustness: random input never escapes Error --- *)
+
+let parser_robust =
+  Helpers.qtest ~count:300 "parser rejects garbage gracefully"
+    QCheck.(string_of_size (QCheck.Gen.int_bound 60))
+    (fun s ->
+      match Pinpoint_frontend.Parser.parse_string s with
+      | _ -> true
+      | exception Pinpoint_frontend.Parser.Error _ -> true
+      | exception _ -> false)
+
+(* --- interpreter determinism --- *)
+
+let interp_deterministic =
+  Helpers.qtest ~count:20 "interpreter is deterministic per seed"
+    QCheck.(pair (int_range 1 500) (int_range 1 50))
+    (fun (gseed, iseed) ->
+      let s =
+        Pinpoint_workload.Gen.generate ~name:"det.mc"
+          { Pinpoint_workload.Gen.default_params with seed = gseed; target_loc = 250 }
+      in
+      let prog1 = Pinpoint_workload.Gen.compile s in
+      let prog2 = Pinpoint_workload.Gen.compile s in
+      let fname =
+        (List.hd (Pinpoint_ir.Prog.functions prog1)).Pinpoint_ir.Func.fname
+      in
+      let o1 = Pinpoint_interp.Interp.run_function ~seed:iseed prog1 fname in
+      let o2 = Pinpoint_interp.Interp.run_function ~seed:iseed prog2 fname in
+      o1.Pinpoint_interp.Interp.steps = o2.Pinpoint_interp.Interp.steps
+      && List.length o1.Pinpoint_interp.Interp.events
+         = List.length o2.Pinpoint_interp.Interp.events)
+
+(* --- end-to-end determinism of the analysis --- *)
+
+let analysis_deterministic =
+  Helpers.qtest ~count:10 "analysis reports are deterministic"
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let s =
+        Pinpoint_workload.Gen.generate ~name:"det2.mc"
+          {
+            Pinpoint_workload.Gen.default_params with
+            seed;
+            target_loc = 300;
+            n_real_uaf = 1;
+          }
+      in
+      let run () =
+        let a = Pinpoint.Analysis.prepare (Pinpoint_workload.Gen.compile s) in
+        let reports, _ = Pinpoint.Analysis.check a Helpers.uaf in
+        List.filter_map
+          (fun (r : Pinpoint.Report.t) ->
+            if Pinpoint.Report.is_reported r then Some (Pinpoint.Report.key r)
+            else None)
+          reports
+        |> List.sort compare
+      in
+      run () = run ())
+
+let suite =
+  [
+    constructors_preserve_semantics;
+    scc_correct;
+    parser_robust;
+    interp_deterministic;
+    analysis_deterministic;
+  ]

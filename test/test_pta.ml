@@ -1,0 +1,244 @@
+(* Tests for the quasi path-sensitive points-to analysis (paper §3.1.1). *)
+
+open Pinpoint_ir
+module Pta = Pinpoint_pta.Pta
+module Cell = Pinpoint_pta.Cell
+module E = Pinpoint_smt.Expr
+
+let var_named f name =
+  let found = ref None in
+  Func.iter_stmts f (fun _ s ->
+      List.iter
+        (fun (v : Var.t) -> if v.Var.name = name then found := Some v)
+        (Stmt.def s));
+  List.iter (fun (p : Var.t) -> if p.Var.name = name then found := Some p) f.Func.params;
+  match !found with
+  | Some v -> v
+  | None -> Alcotest.failf "no variable %s" name
+
+let test_alloc_pts () =
+  let prog = Helpers.compile "void f() { int *p = malloc(); print(*p); }" in
+  let f = Helpers.func prog "f" in
+  let pta = Pta.run f in
+  let p = var_named f "p" in
+  match Pta.pts_of pta p with
+  | [ (Cell.CAlloc _, c) ] -> Alcotest.(check bool) "uncond" true (E.is_true c)
+  | _ -> Alcotest.fail "p points to one alloc"
+
+let test_copy_pts () =
+  let prog = Helpers.compile "void f() { int *p = malloc(); int *q = p; print(*q); }" in
+  let f = Helpers.func prog "f" in
+  let pta = Pta.run f in
+  let q = var_named f "q" in
+  match Pta.pts_of pta q with
+  | [ (Cell.CAlloc _, _) ] -> ()
+  | _ -> Alcotest.fail "q aliases p's alloc"
+
+let test_conditional_pts () =
+  (* the paper's {(L, th1), (M, !th1)} shape *)
+  let prog =
+    Helpers.compile
+      "void f(int s) { int *p = malloc(); if (s > 0) { int *q = malloc(); p = q; } print(*p); }"
+  in
+  let f = Helpers.func prog "f" in
+  let pta = Pta.run f in
+  (* the φ'd p has two conditional targets *)
+  let phi_p =
+    let found = ref None in
+    Func.iter_stmts f (fun _ s ->
+        match s.Stmt.kind with
+        | Stmt.Phi (v, _) -> found := Some v
+        | _ -> ());
+    match !found with Some v -> v | None -> Alcotest.fail "no phi"
+  in
+  let pts = Pta.pts_of pta phi_p in
+  Alcotest.(check int) "two targets" 2 (List.length pts);
+  List.iter
+    (fun (_, c) ->
+      Alcotest.(check bool) "conditional" false (E.is_true c))
+    pts
+
+let test_formal_default () =
+  let prog = Helpers.compile "void f(int *p) { print(*p); }" in
+  let f = Helpers.func prog "f" in
+  let pta = Pta.run f in
+  let p = var_named f "p" in
+  (match Pta.pts_of pta p with
+  | [ (Cell.CDeref root, _) ] ->
+    Alcotest.(check bool) "own deref cell" true (Var.equal root p)
+  | _ -> Alcotest.fail "formal points to its deref cell");
+  (* loading it materialises an incoming value and logs the REF *)
+  Alcotest.(check (list (pair int int))) "ref paths" [ (1, 1) ] pta.Pta.refs
+
+let test_store_load_resolution () =
+  let prog =
+    Helpers.compile
+      "void f(int x) { int *p = malloc(); *p = x; int y = *p; print(y); }"
+  in
+  let f = Helpers.func prog "f" in
+  let pta = Pta.run f in
+  (* find the load and check its resolution is the stored value *)
+  let checked = ref false in
+  Func.iter_stmts f (fun _ s ->
+      match s.Stmt.kind with
+      | Stmt.Load (v, _, _) when v.Var.ty = Ty.Int -> (
+        match Hashtbl.find_opt pta.Pta.load_res s.Stmt.sid with
+        | Some [ e ] ->
+          checked := true;
+          (match e.Pta.value with
+          | Stmt.Ovar u -> Alcotest.(check string) "stored x" "x" u.Var.name
+          | _ -> Alcotest.fail "expected variable");
+          Alcotest.(check bool) "unconditional" true (E.is_true e.Pta.cond)
+        | _ -> Alcotest.fail "one entry")
+      | _ -> ());
+  Alcotest.(check bool) "found the load" true !checked
+
+let test_strong_update () =
+  let prog =
+    Helpers.compile
+      "void f(int a, int b) { int *p = malloc(); *p = a; *p = b; int y = *p; print(y); }"
+  in
+  let f = Helpers.func prog "f" in
+  let pta = Pta.run f in
+  Func.iter_stmts f (fun _ s ->
+      match s.Stmt.kind with
+      | Stmt.Load (v, _, _) when v.Var.ty = Ty.Int -> (
+        match Hashtbl.find_opt pta.Pta.load_res s.Stmt.sid with
+        | Some [ e ] -> (
+          match e.Pta.value with
+          | Stmt.Ovar u -> Alcotest.(check string) "second store wins" "b" u.Var.name
+          | _ -> Alcotest.fail "var expected")
+        | Some l -> Alcotest.failf "expected strong update, got %d entries" (List.length l)
+        | None -> Alcotest.fail "unresolved")
+      | _ -> ())
+
+let test_weak_update_conditional () =
+  let prog =
+    Helpers.compile
+      "void f(int a, int b, int s) { int *p = malloc(); *p = a; if (s > 0) { *p = b; } int y = *p; print(y); }"
+  in
+  let f = Helpers.func prog "f" in
+  let pta = Pta.run f in
+  Func.iter_stmts f (fun _ s ->
+      match s.Stmt.kind with
+      | Stmt.Load (v, _, _) when v.Var.ty = Ty.Int -> (
+        match Hashtbl.find_opt pta.Pta.load_res s.Stmt.sid with
+        | Some entries ->
+          Alcotest.(check int) "both stores visible" 2 (List.length entries);
+          (* conditions must be complementary, not both true *)
+          let conds = List.map (fun e -> e.Pta.cond) entries in
+          Alcotest.(check bool) "disjoint" true
+            (E.is_false (E.conj conds))
+        | None -> Alcotest.fail "unresolved")
+      | _ -> ())
+
+let test_depth2_chain () =
+  let prog =
+    Helpers.compile
+      "void f(int x) { int *p = malloc(); *p = x; int **h = malloc(); *h = p; int y = **h; print(y); }"
+  in
+  let f = Helpers.func prog "f" in
+  let pta = Pta.run f in
+  let ok = ref false in
+  Func.iter_stmts f (fun _ s ->
+      match s.Stmt.kind with
+      | Stmt.Load (v, _, 2) -> (
+        ignore v;
+        match Hashtbl.find_opt pta.Pta.load_res s.Stmt.sid with
+        | Some [ e ] -> (
+          match e.Pta.value with
+          | Stmt.Ovar u ->
+            ok := true;
+            Alcotest.(check string) "x through two levels" "x" u.Var.name
+          | _ -> ())
+        | _ -> Alcotest.fail "depth-2 load resolution")
+      | _ -> ());
+  Alcotest.(check bool) "found depth-2 load" true !ok
+
+let test_modref_discovery () =
+  let prog =
+    Helpers.compile
+      "void f(int **q, int *v) { int *t = *q; print(*t); *q = v; }"
+  in
+  let f = Helpers.func prog "f" in
+  let pta = Pta.run f in
+  Alcotest.(check bool) "ref *(q,1)" true (List.mem (1, 1) pta.Pta.refs);
+  Alcotest.(check bool) "ref *(q,2) via deref of t" true (List.mem (1, 2) pta.Pta.refs);
+  Alcotest.(check bool) "mod *(q,1)" true (List.mem (1, 1) pta.Pta.mods)
+
+let test_mod_returned_alloc () =
+  let prog =
+    Helpers.compile "int* f(int x) { int *p = malloc(); *p = x; return p; }"
+  in
+  let f = Helpers.func prog "f" in
+  let pta = Pta.run f in
+  Alcotest.(check bool) "mod *(ret,1)" true (List.mem (0, 1) pta.Pta.mods)
+
+let test_freed_cells () =
+  let prog =
+    Helpers.compile "void f(int s) { int *p = malloc(); *p = s; free(p); }"
+  in
+  let f = Helpers.func prog "f" in
+  let pta = Pta.run f in
+  Alcotest.(check int) "one freed cell" 1 (List.length pta.Pta.freed_cells)
+
+let test_quasi_pruning () =
+  (* a φ-chain whose combined gate is g && !g gets pruned *)
+  let prog =
+    Helpers.compile
+      {|
+void f(int x) {
+  int *a = malloc();
+  bool g = x > 3;
+  int *m1 = a;
+  if (g) { m1 = malloc(); }
+  int *m2 = a;
+  if (g) { } else { m2 = m1; }
+  print(*m2);
+}
+|}
+  in
+  let f = Helpers.func prog "f" in
+  Pta.reset_stats ();
+  let pta = Pta.run f in
+  let m2 =
+    (* the merged m2 phi variable: find a phi defined in the final merge *)
+    let last = ref None in
+    Func.iter_stmts f (fun _ s ->
+        match s.Stmt.kind with Stmt.Phi (v, _) when Ty.is_pointer v.Var.ty -> last := Some v | _ -> ());
+    match !last with Some v -> v | None -> Alcotest.fail "no phi"
+  in
+  let pts = Pta.pts_of pta m2 in
+  (* the malloc-from-then entry would require g && !g; must be pruned, so
+     only feasible targets remain *)
+  Alcotest.(check bool) "some target" true (pts <> []);
+  List.iter
+    (fun (_, c) ->
+      Alcotest.(check bool) "no contradictory condition survives" false
+        (Pinpoint_smt.Linear_solver.check c = Pinpoint_smt.Linear_solver.Unsat))
+    pts
+
+let test_incoming_naming () =
+  let prog = Helpers.compile "void f(int **q) { int t = **q; print(t); }" in
+  let f = Helpers.func prog "f" in
+  let pta = Pta.run f in
+  (* two materialisations: *(q,1) and *(q,2) *)
+  Alcotest.(check int) "two incomings" 2 (List.length pta.Pta.incomings);
+  Alcotest.(check (list (pair int int))) "refs" [ (1, 1); (1, 2) ] pta.Pta.refs
+
+let suite =
+  [
+    Alcotest.test_case "alloc pts" `Quick test_alloc_pts;
+    Alcotest.test_case "copy pts" `Quick test_copy_pts;
+    Alcotest.test_case "conditional pts" `Quick test_conditional_pts;
+    Alcotest.test_case "formal default" `Quick test_formal_default;
+    Alcotest.test_case "store/load resolution" `Quick test_store_load_resolution;
+    Alcotest.test_case "strong update" `Quick test_strong_update;
+    Alcotest.test_case "weak update conditional" `Quick test_weak_update_conditional;
+    Alcotest.test_case "depth-2 chain" `Quick test_depth2_chain;
+    Alcotest.test_case "mod/ref discovery" `Quick test_modref_discovery;
+    Alcotest.test_case "mod of returned alloc" `Quick test_mod_returned_alloc;
+    Alcotest.test_case "freed cells" `Quick test_freed_cells;
+    Alcotest.test_case "quasi path-sensitive pruning" `Quick test_quasi_pruning;
+    Alcotest.test_case "incoming materialisation" `Quick test_incoming_naming;
+  ]

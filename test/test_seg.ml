@@ -1,0 +1,206 @@
+(* Tests for the symbolic expression graph (paper §3.2). *)
+
+open Pinpoint_ir
+module Seg = Pinpoint_seg.Seg
+module E = Pinpoint_smt.Expr
+
+let seg_of src fname =
+  let a = Helpers.prepare src in
+  match Pinpoint.Analysis.seg_of a fname with
+  | Some seg -> seg
+  | None -> Alcotest.failf "no SEG for %s" fname
+
+let var_named seg name =
+  let f = Seg.func seg in
+  let found = ref None in
+  Func.iter_stmts f (fun _ s ->
+      List.iter (fun (v : Var.t) -> if v.Var.name = name then found := Some v) (Stmt.def s));
+  List.iter (fun (p : Var.t) -> if p.Var.name = name then found := Some p) f.Func.params;
+  match !found with Some v -> v | None -> Alcotest.failf "no var %s" name
+
+let test_copy_edges () =
+  let seg = seg_of "void f(int a) { int b = a; int c = b; print(c); }" "f" in
+  let a = var_named seg "a" in
+  (match Seg.succs seg a with
+  | [ e ] ->
+    Alcotest.(check string) "a -> b" "b" e.Seg.dst.Var.name;
+    Alcotest.(check bool) "copy kind" true (e.Seg.kind = Seg.Copy);
+    Alcotest.(check bool) "unconditional" true (E.is_true e.Seg.cond)
+  | _ -> Alcotest.fail "one edge from a");
+  let b = var_named seg "b" in
+  Alcotest.(check int) "preds of b" 1 (List.length (Seg.preds seg b))
+
+let test_operand_edges () =
+  let seg = seg_of "void f(int a) { int b = a + 1; print(b); }" "f" in
+  let a = var_named seg "a" in
+  match Seg.succs seg a with
+  | [ e ] -> Alcotest.(check bool) "operand kind" true (e.Seg.kind = Seg.Operand)
+  | _ -> Alcotest.fail "one operand edge"
+
+let test_phi_edges_gated () =
+  let seg =
+    seg_of "int f(int a) { int r = 0; if (a > 0) { r = 1; } return r; }" "f"
+  in
+  let f = Seg.func seg in
+  Func.iter_stmts f (fun _ s ->
+      match s.Stmt.kind with
+      | Stmt.Phi (v, _) ->
+        List.iter
+          (fun (e : Seg.edge) ->
+            Alcotest.(check bool) "gated" false (E.is_true e.Seg.cond))
+          (Seg.preds seg v)
+      | _ -> ())
+
+let test_store_load_edge () =
+  let seg =
+    seg_of "void f(int x) { int *p = malloc(); *p = x; int y = *p; print(y); }" "f"
+  in
+  (* the stored x must reach y through the memory-mediated sparse edge
+     (possibly via lowering temporaries) over Copy edges only *)
+  let x = var_named seg "x" in
+  let rec reach v visited =
+    v.Pinpoint_ir.Var.name = "y"
+    || (not (List.mem v.Pinpoint_ir.Var.vid visited))
+       && List.exists
+            (fun (e : Seg.edge) ->
+              e.Seg.kind = Seg.Copy
+              && reach e.Seg.dst (v.Pinpoint_ir.Var.vid :: visited))
+            (Seg.succs seg v)
+  in
+  Alcotest.(check bool) "memory-mediated flow x ~> y" true (reach x [])
+
+let test_uses () =
+  let seg =
+    seg_of "void f(int *p) { free(p); int v = *p; print(v); }" "f"
+  in
+  let p = var_named seg "p" in
+  let uses = Seg.uses_of seg p in
+  let has_free =
+    List.exists
+      (fun u ->
+        match u.Seg.ukind with
+        | Seg.Call_arg { callee = "free"; arg_index = 0 } -> true
+        | _ -> false)
+      uses
+  in
+  let has_deref =
+    List.exists
+      (fun u -> match u.Seg.ukind with Seg.Deref 1 -> true | _ -> false)
+      uses
+  in
+  Alcotest.(check bool) "free arg use" true has_free;
+  Alcotest.(check bool) "deref use" true has_deref
+
+let test_ret_uses () =
+  let seg = seg_of "int f(int a) { return a; }" "f" in
+  let f = Seg.func seg in
+  let ret_uses =
+    List.filter
+      (fun (u : Seg.use) -> match u.Seg.ukind with Seg.Ret_op _ -> true | _ -> false)
+      (Seg.uses seg)
+  in
+  ignore f;
+  Alcotest.(check int) "one return operand" 1 (List.length ret_uses)
+
+let test_dd_alloc_address () =
+  let seg = seg_of "void g() { int *p = malloc(); print(*p); }" "g" in
+  let p = var_named seg "p" in
+  let dd = Seg.dd seg p in
+  (* p = t, t = alloc address: the closure includes a concrete non-zero
+     address so p != null is provable *)
+  let vars = E.vars dd.Seg.f in
+  Alcotest.(check bool) "constraining formula" true (vars <> []);
+  Alcotest.(check bool) "no params" true (Var.Set.is_empty dd.Seg.params)
+
+let test_dd_interface_param () =
+  let seg = seg_of "void f(int *p) { int *q = p; print(*q); }" "f" in
+  let q = var_named seg "q" in
+  let dd = Seg.dd seg q in
+  Alcotest.(check int) "depends on p" 1 (Var.Set.cardinal dd.Seg.params)
+
+let test_dd_recv () =
+  let seg = seg_of "void f() { int x = input(); print(x); }" "f" in
+  let x = var_named seg "x" in
+  (* x <- t, t <- call input(): the recv dependence is recorded *)
+  let dd = Seg.dd seg x in
+  Alcotest.(check int) "one recv dep" 1 (List.length dd.Seg.recvs);
+  Alcotest.(check string) "callee" "input" (List.hd dd.Seg.recvs).Seg.callee
+
+let test_dd_phi_implications () =
+  let seg =
+    seg_of "int f(int a) { int r = 0; if (a > 0) { r = 1; } return r; }" "f"
+  in
+  let f = Seg.func seg in
+  let phi_var = ref None in
+  Func.iter_stmts f (fun _ s ->
+      match s.Stmt.kind with Stmt.Phi (v, _) -> phi_var := Some v | _ -> ());
+  match !phi_var with
+  | None -> Alcotest.fail "no phi"
+  | Some v ->
+    let dd = Seg.dd seg v in
+    (* the constraint mentions the branch variable *)
+    Alcotest.(check bool) "conditional constraint" true (E.size dd.Seg.f > 3)
+
+let test_cd_chain () =
+  (* Example 3.8 shape: a nested branch's CD pulls in both guards *)
+  let seg =
+    seg_of
+      "void f(int a) { bool g1 = a > 0; if (g1) { bool g2 = a > 5; if (g2) { print(1); } } }"
+      "f"
+  in
+  let f = Seg.func seg in
+  let print_sid = ref (-1) in
+  Func.iter_stmts f (fun _ s ->
+      match s.Stmt.kind with
+      | Stmt.Call c when c.Stmt.callee = "print" -> print_sid := s.Stmt.sid
+      | _ -> ());
+  let cd = Seg.cd_stmt seg !print_sid in
+  (* both g1 and g2 occur in the condition *)
+  let names =
+    List.filter_map (fun sym -> Option.map (fun (v : Var.t) -> v.Var.name) (Seg.var_of_symbol seg sym))
+      (E.vars cd.Seg.f)
+  in
+  Alcotest.(check bool) "g1 in chain" true (List.exists (fun n -> n = "g1") names);
+  Alcotest.(check bool) "g2 in chain" true (List.exists (fun n -> n = "g2") names)
+
+let test_cd_entry_free () =
+  let seg = seg_of "void f(int a) { print(a); }" "f" in
+  let f = Seg.func seg in
+  let sid = ref (-1) in
+  Func.iter_stmts f (fun _ s ->
+      match s.Stmt.kind with
+      | Stmt.Call _ -> sid := s.Stmt.sid
+      | _ -> ());
+  let cd = Seg.cd_stmt seg !sid in
+  Alcotest.(check bool) "unconditional" true (E.is_true cd.Seg.f)
+
+let test_sizes_and_dot () =
+  let seg =
+    seg_of "void f(int a) { int b = a; if (a > 0) { print(b); } }" "f"
+  in
+  Alcotest.(check bool) "vertices" true (Seg.n_vertices seg > 0);
+  Alcotest.(check bool) "edges" true (Seg.n_edges seg > 0);
+  let dot = Seg.dot seg in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "dot mentions b" true (contains dot "\"b\"")
+
+let suite =
+  [
+    Alcotest.test_case "copy edges" `Quick test_copy_edges;
+    Alcotest.test_case "operand edges" `Quick test_operand_edges;
+    Alcotest.test_case "phi edges gated" `Quick test_phi_edges_gated;
+    Alcotest.test_case "store-load edge" `Quick test_store_load_edge;
+    Alcotest.test_case "uses" `Quick test_uses;
+    Alcotest.test_case "return uses" `Quick test_ret_uses;
+    Alcotest.test_case "dd: alloc address" `Quick test_dd_alloc_address;
+    Alcotest.test_case "dd: interface params" `Quick test_dd_interface_param;
+    Alcotest.test_case "dd: receiver deps" `Quick test_dd_recv;
+    Alcotest.test_case "dd: phi implications" `Quick test_dd_phi_implications;
+    Alcotest.test_case "cd: chain (Example 3.8)" `Quick test_cd_chain;
+    Alcotest.test_case "cd: entry unconstrained" `Quick test_cd_entry_free;
+    Alcotest.test_case "sizes and dot" `Quick test_sizes_and_dot;
+  ]

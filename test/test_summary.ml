@@ -1,0 +1,147 @@
+(* Tests for RV and VF summaries (paper §3.3.2). *)
+
+open Pinpoint_ir
+module Rv = Pinpoint_summary.Rv
+module Vf = Pinpoint_summary.Vf
+module Clone = Pinpoint_summary.Clone
+module Seg = Pinpoint_seg.Seg
+module E = Pinpoint_smt.Expr
+module Sym = Pinpoint_smt.Symbol
+
+let setup src =
+  let a = Helpers.prepare src in
+  (a, a.Pinpoint.Analysis.rv)
+
+let test_rv_identity () =
+  let a, rv = setup "int id(int x) { return x; }  void top() { int y = id(3); print(y); }" in
+  ignore a;
+  match Rv.find rv "id" with
+  | Some [| Some entry |] ->
+    (* the constraint relates the returned vertex to x and x is in P *)
+    Alcotest.(check int) "depends on one param" 1 (Var.Set.cardinal entry.Rv.params);
+    Alcotest.(check bool) "nontrivial constraint" true (not (E.is_true entry.Rv.closed))
+  | _ -> Alcotest.fail "missing summary"
+
+let test_rv_constant () =
+  let _, rv = setup "int k() { return 42; }" in
+  match Rv.find rv "k" with
+  | Some [| Some entry |] ->
+    Alcotest.(check bool) "no params" true (Var.Set.is_empty entry.Rv.params)
+  | _ -> Alcotest.fail "missing summary"
+
+let test_rv_closing_through_callee () =
+  (* g calls k; g's summary must be closed (k's range inlined, cloned) *)
+  let _, rv =
+    setup "int k() { return 7; }  int g() { int v = k(); return v + 1; }"
+  in
+  match Rv.find rv "g" with
+  | Some [| Some entry |] ->
+    (* fully closed: no parameters, and the formula pins the value chain *)
+    Alcotest.(check bool) "closed" true (Var.Set.is_empty entry.Rv.params);
+    Alcotest.(check bool) "has content" true (E.size entry.Rv.closed > 1)
+  | _ -> Alcotest.fail "missing summary"
+
+let test_clone_distinct () =
+  let f1 = Clone.create "site1" and f2 = Clone.create "site2" in
+  let s = Sym.fresh "cv" Sym.Int in
+  let e = E.var s in
+  let c1 = Clone.subst f1 e and c2 = Clone.subst f2 e in
+  Alcotest.(check bool) "different clones" false (E.equal c1 c2);
+  (* within a frame the clone is stable *)
+  Alcotest.(check bool) "stable" true (E.equal c1 (Clone.subst f1 e))
+
+let test_clone_binding () =
+  let f = Clone.create "b" in
+  let s = Sym.fresh "bv" Sym.Int in
+  Clone.bind f s (E.int 9);
+  Alcotest.(check bool) "bound" true (E.equal (Clone.subst f (E.var s)) (E.int 9))
+
+(* --- VF summaries --- *)
+
+let vf_of src spec =
+  let a = Helpers.prepare src in
+  let prog = a.Pinpoint.Analysis.prog in
+  (Vf.generate prog (Pinpoint.Analysis.seg_of a) (Pinpoint.Checker_spec.vf_spec spec), a)
+
+let test_vf1_passthrough () =
+  let vf, _ = vf_of "int* pass(int *p) { return p; }" Helpers.uaf in
+  match Vf.find vf "pass" with
+  | Some s -> Alcotest.(check bool) "param flows to ret" true (List.mem (1, 0) s.Vf.vf1)
+  | None -> Alcotest.fail "no summary"
+
+let test_vf3_free_param () =
+  let vf, _ = vf_of "void rel(int *p) { free(p); }" Helpers.uaf in
+  match Vf.find vf "rel" with
+  | Some s ->
+    Alcotest.(check (list int)) "vf3" [ 1 ] s.Vf.vf3;
+    Alcotest.(check (list int)) "no vf4 (free is not a deref)" [] s.Vf.vf4
+  | None -> Alcotest.fail "no summary"
+
+let test_vf4_deref_param () =
+  let vf, _ = vf_of "void use(int *p) { print(*p); }" Helpers.uaf in
+  match Vf.find vf "use" with
+  | Some s -> Alcotest.(check (list int)) "vf4" [ 1 ] s.Vf.vf4
+  | None -> Alcotest.fail "no summary"
+
+let test_vf2_freed_return () =
+  let vf, _ =
+    vf_of "int* mk() { int *p = malloc(); free(p); return p; }" Helpers.uaf
+  in
+  match Vf.find vf "mk" with
+  | Some s -> Alcotest.(check (list int)) "vf2" [ 0 ] s.Vf.vf2
+  | None -> Alcotest.fail "no summary"
+
+let test_vf_transitive () =
+  (* wrapper around a freeing callee inherits vf3; wrapper around a
+     dereffing callee inherits vf4 *)
+  let vf, _ =
+    vf_of
+      "void rel(int *p) { free(p); } void rel2(int *p) { rel(p); } void use(int *p) { print(*p); } void use2(int *p) { use(p); }"
+      Helpers.uaf
+  in
+  (match Vf.find vf "rel2" with
+  | Some s -> Alcotest.(check (list int)) "vf3 inherited" [ 1 ] s.Vf.vf3
+  | None -> Alcotest.fail "no rel2");
+  match Vf.find vf "use2" with
+  | Some s -> Alcotest.(check (list int)) "vf4 inherited" [ 1 ] s.Vf.vf4
+  | None -> Alcotest.fail "no use2"
+
+let test_vf_operand_mode () =
+  (* taint flows through arithmetic only when follow_operands is set *)
+  let src = "int mix(int d) { int e = d + 1; return e; }" in
+  let vf_taint, _ = vf_of src Helpers.taint_path in
+  let vf_uaf, _ = vf_of src Helpers.uaf in
+  (match Vf.find vf_taint "mix" with
+  | Some s -> Alcotest.(check bool) "taint flows" true (List.mem (1, 0) s.Vf.vf1)
+  | None -> Alcotest.fail "no taint summary");
+  match Vf.find vf_uaf "mix" with
+  | Some s ->
+    Alcotest.(check bool) "pointer value does not survive +" false
+      (List.mem (1, 0) s.Vf.vf1)
+  | None -> Alcotest.fail "no uaf summary"
+
+let test_vf_connector_riding () =
+  (* value flow through memory side effects rides the connectors: storing
+     the parameter into *q makes it reach the extended return *)
+  let vf, _ = vf_of "void put(int **q, int *v) { *q = v; }" Helpers.uaf in
+  match Vf.find vf "put" with
+  | Some s ->
+    Alcotest.(check bool) "v reaches the aux return" true
+      (List.exists (fun (i, _) -> i = 2) s.Vf.vf1)
+  | None -> Alcotest.fail "no summary"
+
+let suite =
+  [
+    Alcotest.test_case "rv: identity" `Quick test_rv_identity;
+    Alcotest.test_case "rv: constant" `Quick test_rv_constant;
+    Alcotest.test_case "rv: closed through callee" `Quick test_rv_closing_through_callee;
+    Alcotest.test_case "clone: distinct per site" `Quick test_clone_distinct;
+    Alcotest.test_case "clone: binding" `Quick test_clone_binding;
+    Alcotest.test_case "vf1: passthrough" `Quick test_vf1_passthrough;
+    Alcotest.test_case "vf3: frees its param" `Quick test_vf3_free_param;
+    Alcotest.test_case "vf4: derefs its param" `Quick test_vf4_deref_param;
+    Alcotest.test_case "vf2: returns freed" `Quick test_vf2_freed_return;
+    Alcotest.test_case "vf: transitive" `Quick test_vf_transitive;
+    Alcotest.test_case "vf: operand mode" `Quick test_vf_operand_mode;
+    Alcotest.test_case "vf: connector riding" `Quick test_vf_connector_riding;
+  ]

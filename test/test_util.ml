@@ -1,0 +1,255 @@
+(* Tests for the utility substrate: id generation, union-find, PRNG,
+   graphs (dominators, SCCs, topological order), curve fitting. *)
+
+open Pinpoint_util
+
+let test_id_gen () =
+  let g = Id_gen.create () in
+  Alcotest.(check int) "first" 0 (Id_gen.fresh g);
+  Alcotest.(check int) "second" 1 (Id_gen.fresh g);
+  Alcotest.(check int) "peek" 2 (Id_gen.peek g);
+  Alcotest.(check int) "count" 2 (Id_gen.count g);
+  Id_gen.reset g;
+  Alcotest.(check int) "reset" 0 (Id_gen.fresh g)
+
+let test_union_find_basic () =
+  let u = Union_find.create 5 in
+  Alcotest.(check int) "classes" 5 (Union_find.n_classes u);
+  ignore (Union_find.union u 0 1);
+  ignore (Union_find.union u 2 3);
+  Alcotest.(check bool) "0~1" true (Union_find.equiv u 0 1);
+  Alcotest.(check bool) "0!~2" false (Union_find.equiv u 0 2);
+  ignore (Union_find.union u 1 2);
+  Alcotest.(check bool) "0~3 transitively" true (Union_find.equiv u 0 3);
+  Alcotest.(check int) "classes after" 2 (Union_find.n_classes u)
+
+let test_union_find_extend () =
+  let u = Union_find.create 2 in
+  Union_find.extend u 10;
+  Alcotest.(check int) "size" 10 (Union_find.size u);
+  Alcotest.(check bool) "new are singletons" false (Union_find.equiv u 7 8);
+  ignore (Union_find.union u 7 8);
+  Alcotest.(check bool) "union works" true (Union_find.equiv u 7 8)
+
+let uf_laws =
+  Helpers.qtest "union-find: union implies equiv, find idempotent"
+    QCheck.(pair (list (pair (int_bound 19) (int_bound 19))) (int_bound 19))
+    (fun (unions, probe) ->
+      let u = Union_find.create 20 in
+      List.iter (fun (a, b) -> ignore (Union_find.union u a b)) unions;
+      List.for_all (fun (a, b) -> Union_find.equiv u a b) unions
+      && Union_find.find u (Union_find.find u probe) = Union_find.find u probe)
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done;
+  let c = Prng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Prng.int a 1000 <> Prng.int c 1000 then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_prng_ranges () =
+  let g = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.in_range g 3 9 in
+    Alcotest.(check bool) "in range" true (x >= 3 && x <= 9)
+  done
+
+let test_prng_weighted () =
+  let g = Prng.create 11 in
+  let counts = Array.make 2 0 in
+  for _ = 1 to 1000 do
+    let i = Prng.weighted g [ (9, 0); (1, 1) ] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "weighted skews" true (counts.(0) > 700);
+  Alcotest.check_raises "empty weights" (Invalid_argument "Prng.weighted: no positive weight")
+    (fun () -> ignore (Prng.weighted g [ (0, 'x') ]))
+
+let test_prng_split () =
+  let g = Prng.create 1 in
+  let a = Prng.split g in
+  let b = Prng.split g in
+  let same = ref true in
+  for _ = 1 to 10 do
+    if Prng.int a 1_000_000 <> Prng.int b 1_000_000 then same := false
+  done;
+  Alcotest.(check bool) "split streams independent" false !same
+
+(* --- graphs --- *)
+
+let diamond () =
+  (* 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 *)
+  let g = Digraph.create () in
+  Digraph.ensure_node g 3;
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 0 2;
+  Digraph.add_edge g 1 3;
+  Digraph.add_edge g 2 3;
+  g
+
+let test_digraph_basic () =
+  let g = diamond () in
+  Alcotest.(check int) "nodes" 4 (Digraph.n_nodes g);
+  Alcotest.(check int) "edges" 4 (Digraph.n_edges g);
+  Alcotest.(check bool) "has 0->1" true (Digraph.has_edge g 0 1);
+  Alcotest.(check bool) "no 1->0" false (Digraph.has_edge g 1 0);
+  Alcotest.(check int) "in-degree 3" 2 (Digraph.in_degree g 3);
+  Alcotest.(check bool) "is dag" true (Digraph.is_dag g)
+
+let test_topo () =
+  let g = diamond () in
+  match Digraph.topo_sort g with
+  | None -> Alcotest.fail "diamond is a DAG"
+  | Some order ->
+    let pos = Array.make 4 0 in
+    List.iteri (fun i n -> pos.(n) <- i) order;
+    Digraph.iter_edges g (fun u v ->
+        Alcotest.(check bool) "topo respects edges" true (pos.(u) < pos.(v)))
+
+let test_topo_cycle () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 0;
+  Alcotest.(check bool) "cycle detected" true (Digraph.topo_sort g = None)
+
+let test_sccs () =
+  (* 0 <-> 1, 1 -> 2, 2 <-> 3; expect {2,3} before {0,1} (callee-first) *)
+  let g = Digraph.create () in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 0;
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 2 3;
+  Digraph.add_edge g 3 2;
+  let sccs = Digraph.sccs g in
+  Alcotest.(check int) "two sccs" 2 (List.length sccs);
+  let first = List.hd sccs in
+  Alcotest.(check bool) "callees first" true (List.mem 2 first && List.mem 3 first)
+
+let test_dominators_diamond () =
+  let g = diamond () in
+  let d = Digraph.dominators g 0 in
+  Alcotest.(check int) "idom 1 = 0" 0 d.Digraph.idom.(1);
+  Alcotest.(check int) "idom 2 = 0" 0 d.Digraph.idom.(2);
+  Alcotest.(check int) "idom 3 = 0" 0 d.Digraph.idom.(3);
+  Alcotest.(check bool) "0 dominates 3" true (Digraph.dominates d 0 3);
+  Alcotest.(check bool) "1 does not dominate 3" false (Digraph.dominates d 1 3)
+
+let test_dominance_frontier () =
+  let g = diamond () in
+  let d = Digraph.dominators g 0 in
+  let df = Digraph.dominance_frontier g d in
+  Alcotest.(check (list int)) "df(1) = {3}" [ 3 ] df.(1);
+  Alcotest.(check (list int)) "df(2) = {3}" [ 3 ] df.(2);
+  Alcotest.(check (list int)) "df(0) = {}" [] df.(0)
+
+let test_post_dominators () =
+  let g = diamond () in
+  let pd = Digraph.post_dominators g 3 in
+  Alcotest.(check int) "ipdom 0 = 3" 3 pd.Digraph.idom.(0);
+  Alcotest.(check int) "ipdom 1 = 3" 3 pd.Digraph.idom.(1)
+
+(* random DAG property: every node reachable from the root is dominated by
+   the root, and idom is itself a dominator *)
+let random_dag_gen =
+  QCheck.make
+    (QCheck.Gen.map
+       (fun edges ->
+         List.filter_map
+           (fun (a, b) ->
+             let a = a mod 12 and b = b mod 12 in
+             if a < b then Some (a, b) else if b < a then Some (b, a) else None)
+           edges)
+       QCheck.Gen.(list_size (int_bound 30) (pair (int_bound 11) (int_bound 11))))
+
+let dominator_props =
+  Helpers.qtest "dominators: root dominates reachable nodes" random_dag_gen
+    (fun edges ->
+      let g = Digraph.create () in
+      Digraph.ensure_node g 11;
+      List.iter (fun (a, b) -> Digraph.add_edge g a b) edges;
+      let d = Digraph.dominators g 0 in
+      let reach = Digraph.reachable g 0 in
+      Array.to_list (Array.mapi (fun i r -> (i, r)) reach)
+      |> List.for_all (fun (i, r) ->
+             if not r then true
+             else Digraph.dominates d 0 i && (i = 0 || d.Digraph.idom.(i) <> -1)))
+
+let test_fit_linear () =
+  let pts = Array.init 10 (fun i -> (float_of_int i, (3.0 *. float_of_int i) +. 2.0)) in
+  let f = Fit.linear pts in
+  Alcotest.(check (float 1e-9)) "slope" 3.0 f.Fit.slope;
+  Alcotest.(check (float 1e-9)) "intercept" 2.0 f.Fit.intercept;
+  Alcotest.(check (float 1e-9)) "r2" 1.0 f.Fit.r2
+
+let test_fit_noise () =
+  let g = Prng.create 3 in
+  let pts =
+    Array.init 50 (fun i ->
+        let x = float_of_int i in
+        (x, (2.0 *. x) +. Prng.float g 4.0))
+  in
+  let f = Fit.linear pts in
+  Alcotest.(check bool) "slope near 2" true (abs_float (f.Fit.slope -. 2.0) < 0.3);
+  Alcotest.(check bool) "r2 high" true (f.Fit.r2 > 0.9)
+
+let test_fit_power () =
+  let pts = Array.init 10 (fun i -> let x = float_of_int (i + 1) in (x, 5.0 *. (x ** 2.0))) in
+  let f = Fit.power pts in
+  Alcotest.(check (float 1e-6)) "exponent" 2.0 f.Fit.slope;
+  Alcotest.(check (float 1e-6)) "coefficient" 5.0 f.Fit.intercept
+
+let test_pp_table () =
+  let s =
+    Pinpoint_util.Pp.to_string
+      (fun ppf () ->
+        Pinpoint_util.Pp.table ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ] ] ppf ())
+      ()
+  in
+  Alcotest.(check bool) "contains cells" true
+    (String.length s > 0
+    && String.index_opt s '1' <> None
+    && String.index_opt s '+' <> None)
+
+let test_metrics_deadline () =
+  let d = Metrics.deadline_after 0.001 in
+  Unix.sleepf 0.01;
+  Alcotest.(check bool) "expired" true (Metrics.expired d);
+  Alcotest.check_raises "check raises" Metrics.Timeout (fun () -> Metrics.check d);
+  Alcotest.(check bool) "no_deadline never expires" false (Metrics.expired Metrics.no_deadline)
+
+let test_metrics_measure () =
+  let r, m = Metrics.measure (fun () -> Array.make 100000 0 |> Array.length) in
+  Alcotest.(check int) "result" 100000 r;
+  Alcotest.(check bool) "allocates" true (m.Metrics.alloc_bytes > 0.0);
+  Alcotest.(check bool) "time nonneg" true (m.Metrics.wall_s >= 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "id_gen" `Quick test_id_gen;
+    Alcotest.test_case "union_find basic" `Quick test_union_find_basic;
+    Alcotest.test_case "union_find extend" `Quick test_union_find_extend;
+    uf_laws;
+    Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng ranges" `Quick test_prng_ranges;
+    Alcotest.test_case "prng weighted" `Quick test_prng_weighted;
+    Alcotest.test_case "prng split" `Quick test_prng_split;
+    Alcotest.test_case "digraph basic" `Quick test_digraph_basic;
+    Alcotest.test_case "topo sort" `Quick test_topo;
+    Alcotest.test_case "topo cycle" `Quick test_topo_cycle;
+    Alcotest.test_case "sccs callee-first" `Quick test_sccs;
+    Alcotest.test_case "dominators diamond" `Quick test_dominators_diamond;
+    Alcotest.test_case "dominance frontier" `Quick test_dominance_frontier;
+    Alcotest.test_case "post dominators" `Quick test_post_dominators;
+    dominator_props;
+    Alcotest.test_case "fit linear exact" `Quick test_fit_linear;
+    Alcotest.test_case "fit linear noisy" `Quick test_fit_noise;
+    Alcotest.test_case "fit power" `Quick test_fit_power;
+    Alcotest.test_case "pp table" `Quick test_pp_table;
+    Alcotest.test_case "metrics deadline" `Quick test_metrics_deadline;
+    Alcotest.test_case "metrics measure" `Quick test_metrics_measure;
+  ]

@@ -1,0 +1,171 @@
+(* Tests for the workload generators and scoring. *)
+
+module Gen = Pinpoint_workload.Gen
+module Subjects = Pinpoint_workload.Subjects
+module Juliet = Pinpoint_workload.Juliet
+module Truth = Pinpoint_workload.Truth
+
+let test_determinism () =
+  let p = { Gen.default_params with seed = 99; target_loc = 600 } in
+  let a = Gen.generate ~name:"x" p and b = Gen.generate ~name:"x" p in
+  Alcotest.(check string) "identical source" a.Gen.source b.Gen.source;
+  Alcotest.(check int) "identical truth" (List.length a.Gen.truth)
+    (List.length b.Gen.truth);
+  let c = Gen.generate ~name:"x" { p with seed = 100 } in
+  Alcotest.(check bool) "different seed differs" false (a.Gen.source = c.Gen.source)
+
+let test_size_targeting () =
+  let s = Gen.generate ~name:"x" { Gen.default_params with target_loc = 2000 } in
+  Alcotest.(check bool) "roughly on target" true
+    (s.Gen.loc >= 1800 && s.Gen.loc <= 2600)
+
+let test_truth_counts () =
+  let p =
+    {
+      Gen.default_params with
+      n_real_uaf = 2;
+      n_real_uaf_local = 1;
+      n_real_df = 1;
+      n_uaf_traps = 3;
+      n_hard_traps = 1;
+    }
+  in
+  let s = Gen.generate ~name:"x" p in
+  let reals k =
+    List.length (List.filter (fun t -> t.Truth.kind = k && t.Truth.real) s.Gen.truth)
+  in
+  Alcotest.(check int) "real uafs" 3 (reals "use-after-free");
+  Alcotest.(check int) "real dfs" 1 (reals "double-free")
+
+let test_no_frees_mode () =
+  let s =
+    Gen.generate ~name:"x"
+      {
+        Gen.default_params with
+        with_frees = false;
+        n_real_uaf = 0;
+        n_real_uaf_local = 0;
+        n_real_df = 0;
+        n_uaf_traps = 0;
+        n_hard_traps = 0;
+        n_use_before_free = 0;
+      }
+  in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "no free() calls at all" false
+    (contains s.Gen.source "free(")
+
+let test_classify () =
+  let truth =
+    [
+      { Truth.kind = "k"; fname = "f"; source_line = 10; real = true; descr = "" };
+      { Truth.kind = "k"; fname = "g"; source_line = 20; real = false; descr = "" };
+      { Truth.kind = "other"; fname = "h"; source_line = 30; real = true; descr = "" };
+    ]
+  in
+  let score = Truth.classify ~kind:"k" truth [ (10, 1); (20, 2); (99, 3) ] in
+  Alcotest.(check int) "reports" 3 score.Truth.n_reports;
+  Alcotest.(check int) "tp" 1 score.Truth.n_tp;
+  Alcotest.(check int) "fp (trap + unknown)" 2 score.Truth.n_fp;
+  Alcotest.(check int) "real planted" 1 score.Truth.n_real_planted;
+  Alcotest.(check int) "found" 1 score.Truth.n_found;
+  Alcotest.(check (float 0.01)) "fp rate" (2.0 /. 3.0) (Truth.fp_rate score);
+  Alcotest.(check (float 0.01)) "recall" 1.0 (Truth.recall score)
+
+let test_subjects_table () =
+  Alcotest.(check int) "30 subjects" 30 (List.length Subjects.all);
+  Alcotest.(check bool) "mysql exists" true (Subjects.find "mysql" <> None);
+  Alcotest.(check bool) "unknown" true (Subjects.find "nope" = None);
+  (* sizes ordered within categories like the paper's tables *)
+  let spec = List.filter (fun i -> i.Subjects.category = Subjects.Spec) Subjects.all in
+  let sorted =
+    List.sort (fun a b -> compare a.Subjects.paper_kloc b.Subjects.paper_kloc) spec
+  in
+  Alcotest.(check bool) "spec ordered by size" true (spec = sorted)
+
+let test_juliet_counts () =
+  let cases = Juliet.cases () in
+  Alcotest.(check int) "1421 cases" 1421 (List.length cases);
+  Alcotest.(check int) "advertised total" Juliet.total_cases (List.length cases);
+  let types =
+    List.sort_uniq compare (List.map (fun c -> c.Juliet.flaw_type) cases)
+  in
+  Alcotest.(check int) "51 flaw types" 51 (List.length types);
+  (* unique ids *)
+  let ids = List.map (fun c -> c.Juliet.id) cases in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_juliet_compile_sample () =
+  let cases = Juliet.cases () in
+  List.iteri
+    (fun i c ->
+      if i mod 97 = 0 then begin
+        let prog = Juliet.compile c in
+        match Pinpoint_ir.Prog.validate prog with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s invalid: %s" c.Juliet.id e
+      end)
+    cases
+
+let test_juliet_each_type_detected () =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (c : Juliet.case) ->
+      if not (Hashtbl.mem seen c.Juliet.flaw_type) then begin
+        Hashtbl.add seen c.Juliet.flaw_type ();
+        let prog = Juliet.compile c in
+        let a = Pinpoint.Analysis.prepare prog in
+        let spec = Option.get (Pinpoint.Checkers.by_name c.Juliet.kind) in
+        let reports, _ = Pinpoint.Analysis.check a spec in
+        let keys =
+          List.filter_map
+            (fun (r : Pinpoint.Report.t) ->
+              if Pinpoint.Report.is_reported r then
+                Some (r.source_loc.Pinpoint_ir.Stmt.line, 0)
+              else None)
+            reports
+        in
+        let score = Truth.classify ~kind:c.Juliet.kind c.Juliet.truth keys in
+        if score.Truth.n_found < 1 then
+          Alcotest.failf "flaw type %d (%s) missed" c.Juliet.flaw_type c.Juliet.id
+      end)
+    (Juliet.cases ())
+
+let test_subject_ground_truth_detected () =
+  (* integration: the mysql-class subject's planted bugs are all found and
+     only the hard trap is a false positive *)
+  let info = Option.get (Subjects.find "mysql") in
+  let s = Subjects.generate info in
+  let a = Pinpoint.Analysis.prepare (Gen.compile s) in
+  let reports, _ = Pinpoint.Analysis.check a Helpers.uaf in
+  let keys =
+    List.filter_map
+      (fun (r : Pinpoint.Report.t) ->
+        if Pinpoint.Report.is_reported r then
+          Some (r.source_loc.Pinpoint_ir.Stmt.line, 0)
+        else None)
+      reports
+    |> List.sort_uniq compare
+  in
+  let score = Truth.classify ~kind:"use-after-free" s.Gen.truth keys in
+  Alcotest.(check int) "all 4 real bugs found" 4 score.Truth.n_found;
+  Alcotest.(check int) "exactly the hard trap is an FP" 1 score.Truth.n_fp
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "size targeting" `Quick test_size_targeting;
+    Alcotest.test_case "truth counts" `Quick test_truth_counts;
+    Alcotest.test_case "no-frees mode" `Quick test_no_frees_mode;
+    Alcotest.test_case "classification math" `Quick test_classify;
+    Alcotest.test_case "subjects table" `Quick test_subjects_table;
+    Alcotest.test_case "juliet counts" `Quick test_juliet_counts;
+    Alcotest.test_case "juliet compiles (sample)" `Quick test_juliet_compile_sample;
+    Alcotest.test_case "juliet all types detected" `Slow test_juliet_each_type_detected;
+    Alcotest.test_case "mysql subject ground truth" `Slow test_subject_ground_truth_detected;
+  ]
