@@ -45,8 +45,74 @@ let confirm_arg =
         ~doc:"Fuzz the program with the concrete interpreter and mark reports \
               whose sink was observed at run time")
 
+(* Resilience / fault-injection flags (shared by check and leaks). *)
+
+let deadline_arg =
+  Arg.(
+    value & opt float infinity
+    & info [ "deadline" ] ~docv:"SEC"
+        ~doc:
+          "Wall-clock budget per checker run.  On expiry, in-flight \
+           feasibility queries step down the solver degradation ladder and \
+           the remaining sources are skipped; reports found so far are kept.")
+
+let solver_budget_arg =
+  Arg.(
+    value & opt float infinity
+    & info [ "solver-budget" ] ~docv:"SEC"
+        ~doc:
+          "Wall-clock budget per feasibility query for the full solver rung \
+           (the halved retry gets half of it).")
+
+let inject_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "inject-seed" ] ~docv:"N"
+        ~doc:"Fault-injection PRNG seed (same seed, same faults).")
+
+let inject_rate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "inject-rate" ] ~docv:"R"
+        ~doc:
+          "Probability that a solver query is sabotaged (crash, hang until \
+           deadline, or forced unknown — drawn uniformly).")
+
+let inject_seg_rate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "inject-seg-rate" ] ~docv:"R"
+        ~doc:
+          "Probability that a function's SEG is sabotaged, split evenly over \
+           drop / truncate / crash-during-build.")
+
+let install_injection ~seed ~rate ~seg_rate =
+  if rate > 0.0 || seg_rate > 0.0 then
+    Pinpoint_util.Resilience.Inject.(
+      install
+        {
+          default with
+          seed;
+          solver_fault_rate = rate;
+          seg_drop_rate = seg_rate /. 3.0;
+          seg_truncate_rate = seg_rate /. 3.0;
+          seg_crash_rate = seg_rate /. 3.0;
+        })
+
+let print_incidents ~verbose (a : Pinpoint.Analysis.t) =
+  let res = a.Pinpoint.Analysis.resilience in
+  if Pinpoint_util.Resilience.count res > 0 then begin
+    Format.printf "== incidents: %a@." Pinpoint_util.Resilience.pp_summary res;
+    if verbose then
+      List.iter
+        (fun i ->
+          Format.printf "  %a@." Pinpoint_util.Resilience.pp_incident i)
+        (Pinpoint_util.Resilience.incidents res)
+  end
+
 let check_cmd =
-  let run file checkers verbose confirm =
+  let run file checkers verbose confirm deadline_s budget_s seed rate seg_rate =
+    install_injection ~seed ~rate ~seg_rate;
     match Pinpoint.Analysis.prepare_file file with
     | exception Pinpoint_frontend.Parser.Error (msg, line) ->
       Printf.eprintf "%s:%d: parse error: %s\n" file line msg;
@@ -58,11 +124,31 @@ let check_cmd =
       let any = ref false in
       List.iter
         (fun (spec : Pinpoint.Checker_spec.t) ->
-          let reports, stats = Pinpoint.Analysis.check a spec in
+          (* A fresh per-checker deadline: one slow checker cannot starve
+             the next one of its whole budget. *)
+          let config =
+            {
+              Pinpoint.Engine.default_config with
+              deadline = Pinpoint_util.Metrics.deadline_after deadline_s;
+              solver_budget_s = budget_s;
+            }
+          in
+          let reports, stats = Pinpoint.Analysis.check ~config a spec in
           let reported = List.filter Pinpoint.Report.is_reported reports in
-          Format.printf "== %s: %d report(s) (%d sources, %d candidates)@."
+          let degraded =
+            stats.Pinpoint.Engine.n_rung_halved
+            + stats.Pinpoint.Engine.n_rung_linear
+            + stats.Pinpoint.Engine.n_rung_gave_up
+          in
+          Format.printf "== %s: %d report(s) (%d sources, %d candidates)%t@."
             spec.Pinpoint.Checker_spec.name (List.length reported)
-            stats.Pinpoint.Engine.n_sources stats.Pinpoint.Engine.n_candidates;
+            stats.Pinpoint.Engine.n_sources stats.Pinpoint.Engine.n_candidates
+            (fun ppf ->
+              if degraded > 0 then
+                Format.fprintf ppf " [degraded queries: %d halved, %d linear, %d gave-up]"
+                  stats.Pinpoint.Engine.n_rung_halved
+                  stats.Pinpoint.Engine.n_rung_linear
+                  stats.Pinpoint.Engine.n_rung_gave_up);
           let statuses =
             if confirm then
               Pinpoint.Confirm.confirm_all a.Pinpoint.Analysis.prog reported
@@ -88,10 +174,14 @@ let check_cmd =
                   r.Pinpoint.Report.sink_fn suffix)
             statuses)
         checkers;
+      print_incidents ~verbose a;
       if !any then exit 2
   in
   let term =
-    Term.(const run $ file_arg $ checkers_arg $ verbose_arg $ confirm_arg)
+    Term.(
+      const run $ file_arg $ checkers_arg $ verbose_arg $ confirm_arg
+      $ deadline_arg $ solver_budget_arg $ inject_seed_arg $ inject_rate_arg
+      $ inject_seg_rate_arg)
   in
   Cmd.v (Cmd.info "check" ~doc:"Run checkers on an MC source file") term
 
@@ -168,17 +258,24 @@ let baseline_cmd =
   Cmd.v (Cmd.info "baseline" ~doc:"Run a baseline tool on an MC source file") term
 
 let leaks_cmd =
-  let run file =
+  let run file seed rate seg_rate =
+    install_injection ~seed ~rate ~seg_rate;
     let a = Pinpoint.Analysis.prepare_file file in
     let reports =
-      Pinpoint.Leak.check a.Pinpoint.Analysis.prog
-        ~seg_of:(Pinpoint.Analysis.seg_of a) ~rv:a.Pinpoint.Analysis.rv
+      Pinpoint.Leak.check ~resilience:a.Pinpoint.Analysis.resilience
+        a.Pinpoint.Analysis.prog ~seg_of:(Pinpoint.Analysis.seg_of a)
+        ~rv:a.Pinpoint.Analysis.rv
     in
     Format.printf "== memory-leak: %d report(s)@." (List.length reports);
     List.iter (fun r -> Format.printf "%a" Pinpoint.Leak.pp r) reports;
+    print_incidents ~verbose:false a;
     if reports <> [] then exit 2
   in
-  let term = Term.(const run $ file_arg) in
+  let term =
+    Term.(
+      const run $ file_arg $ inject_seed_arg $ inject_rate_arg
+      $ inject_seg_rate_arg)
+  in
   Cmd.v (Cmd.info "leaks" ~doc:"Run the memory-leak checker") term
 
 let stats_cmd =

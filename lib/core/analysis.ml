@@ -1,4 +1,5 @@
 module Metrics = Pinpoint_util.Metrics
+module Resilience = Pinpoint_util.Resilience
 module Seg = Pinpoint_seg.Seg
 
 type phase_metrics = {
@@ -14,12 +15,59 @@ type t = {
   segs : (string, Seg.t) Hashtbl.t;
   rv : Pinpoint_summary.Rv.t;
   metrics : phase_metrics;
+  resilience : Resilience.log;
 }
 
 let seg_of t name = Hashtbl.find_opt t.segs name
+let incidents t = Resilience.incidents t.resilience
+
+(* Build one function's SEG behind an exception barrier, consulting the
+   fault injector: a dropped SEG is skipped outright, a truncated one keeps
+   only half of each vertex's out-edges, a crash is raised inside the
+   barrier so it lands in the incident log like any organic crash. *)
+let build_seg log (f : Pinpoint_ir.Func.t) pta : Seg.t option =
+  let fname = f.Pinpoint_ir.Func.fname in
+  let fault =
+    if Resilience.Inject.enabled () then Resilience.Inject.seg_fault fname
+    else None
+  in
+  match fault with
+  | Some Resilience.Inject.Seg_drop ->
+    Resilience.record log
+      {
+        Resilience.phase = Resilience.Seg_build;
+        subject = fname;
+        detail = "injected: seg-drop";
+        fallback = "function gets no SEG";
+        elapsed_s = 0.0;
+      };
+    None
+  | _ ->
+    Resilience.protect ~log ~phase:Resilience.Seg_build ~subject:fname
+      ~fallback_note:"function gets no SEG" ~fallback:None
+      (fun () ->
+        if fault = Some Resilience.Inject.Seg_crash then
+          raise Resilience.Injected_crash;
+        let seg = Seg.build f pta in
+        match fault with
+        | Some Resilience.Inject.Seg_truncate ->
+          Resilience.record log
+            {
+              Resilience.phase = Resilience.Seg_build;
+              subject = fname;
+              detail = "injected: seg-truncate";
+              fallback = "SEG truncated to half of its out-edges";
+              elapsed_s = 0.0;
+            };
+          Some (Seg.truncate seg ~keep:0.5)
+        | _ -> Some seg)
 
 let prepare_with frontend_m (prog : Pinpoint_ir.Prog.t) : t =
-  let transform, tm = Metrics.measure (fun () -> Pinpoint_transform.Transform.run prog) in
+  let resilience = Resilience.create () in
+  let transform, tm =
+    Metrics.measure (fun () ->
+        Pinpoint_transform.Transform.run ~resilience prog)
+  in
   let segs, sm =
     Metrics.measure (fun () ->
         let segs = Hashtbl.create 64 in
@@ -29,14 +77,17 @@ let prepare_with frontend_m (prog : Pinpoint_ir.Prog.t) : t =
               Hashtbl.find_opt transform.Pinpoint_transform.Transform.ptas
                 f.Pinpoint_ir.Func.fname
             with
-            | Some pta -> Hashtbl.replace segs f.Pinpoint_ir.Func.fname (Seg.build f pta)
+            | Some pta -> (
+              match build_seg resilience f pta with
+              | Some seg -> Hashtbl.replace segs f.Pinpoint_ir.Func.fname seg
+              | None -> ())
             | None -> ())
           (Pinpoint_ir.Prog.functions prog);
         segs)
   in
   let rv, rm =
     Metrics.measure (fun () ->
-        Pinpoint_summary.Rv.generate prog (Hashtbl.find_opt segs))
+        Pinpoint_summary.Rv.generate ~resilience prog (Hashtbl.find_opt segs))
   in
   {
     prog;
@@ -45,6 +96,7 @@ let prepare_with frontend_m (prog : Pinpoint_ir.Prog.t) : t =
     rv;
     metrics =
       { frontend = frontend_m; transform = tm; seg_build = sm; summaries = rm };
+    resilience;
   }
 
 let zero_m = { Metrics.wall_s = 0.0; alloc_bytes = 0.0; major_words = 0.0 }
@@ -67,7 +119,8 @@ let seg_size t =
     t.segs (0, 0)
 
 let check ?config t spec =
-  Engine.run ?config t.prog ~seg_of:(seg_of t) ~rv:t.rv spec
+  Engine.run ?config ~resilience:t.resilience t.prog ~seg_of:(seg_of t)
+    ~rv:t.rv spec
 
 let check_all ?config t specs =
   List.map

@@ -20,9 +20,17 @@ type t = {
   segs : (string, Pinpoint_seg.Seg.t) Hashtbl.t;
   rv : Pinpoint_summary.Rv.t;
   metrics : phase_metrics;
+  resilience : Pinpoint_util.Resilience.log;
+      (** incident log shared by every phase and checker run of this
+          analysis: per-function crashes (transform, SEG build, RV/VF
+          summaries), per-source search crashes, solver degradations and
+          injected faults all land here *)
 }
 
 val seg_of : t -> string -> Pinpoint_seg.Seg.t option
+
+val incidents : t -> Pinpoint_util.Resilience.incident list
+(** Incidents accumulated so far, oldest first. *)
 
 val prepare : Pinpoint_ir.Prog.t -> t
 (** Run every phase up to (and including) summary generation on an

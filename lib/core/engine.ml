@@ -5,6 +5,7 @@ module Seg = Pinpoint_seg.Seg
 module Vf = Pinpoint_summary.Vf
 module Rv = Pinpoint_summary.Rv
 module Metrics = Pinpoint_util.Metrics
+module Resilience = Pinpoint_util.Resilience
 
 type config = {
   max_call_depth : int;
@@ -14,6 +15,7 @@ type config = {
   check_feasibility : bool;
   use_vf_pruning : bool;
   deadline : Metrics.deadline;
+  solver_budget_s : float;
 }
 
 let default_config =
@@ -25,6 +27,7 @@ let default_config =
     check_feasibility = true;
     use_vf_pruning = true;
     deadline = Metrics.no_deadline;
+    solver_budget_s = infinity;
   }
 
 type stats = {
@@ -32,6 +35,12 @@ type stats = {
   mutable n_candidates : int;
   mutable n_steps : int;
   mutable n_solver_calls : int;
+  mutable n_rung_full : int;
+  mutable n_rung_halved : int;
+  mutable n_rung_linear : int;
+  mutable n_rung_gave_up : int;
+  mutable n_incidents : int;
+  mutable solver : Solver.stats;
 }
 
 (* Reverse call index: callee name -> (caller function, call statement). *)
@@ -57,6 +66,7 @@ type search_ctx = {
   rev : (string, (Func.t * Stmt.t) list) Hashtbl.t;
   cfg : config;
   stats : stats;
+  resilience : Resilience.log option;
   mutable reports : Report.t list;
   mutable found_for_source : int;
   mutable steps_this_source : int;
@@ -80,16 +90,35 @@ let emit ctx (path : Vpath.t) =
     let dk = (sf, source_loc.Stmt.line, kf, sink_loc.Stmt.line) in
     if not (Hashtbl.mem ctx.dedup dk) then begin
       Hashtbl.add ctx.dedup dk ();
-      let cond, verdict, hints =
+      let cond, verdict, hints, rung =
         if ctx.cfg.check_feasibility then begin
           let cond = Vpath.condition ~seg_of:ctx.seg_of ~rv:ctx.rv path in
           ctx.stats.n_solver_calls <- ctx.stats.n_solver_calls + 1;
-          match Solver.check_with_model cond with
-          | Solver.Sat, model -> (cond, Report.Feasible, model)
-          | Solver.Unknown, _ -> (cond, Report.Feasible_unknown, [])
-          | Solver.Unsat, _ -> (cond, Report.Infeasible, [])
+          let subject =
+            Printf.sprintf "%s:%d -> %s:%d" sf source_loc.Stmt.line kf
+              sink_loc.Stmt.line
+          in
+          (* The ladder never raises: a crashed/timed-out query steps down
+             until a rung answers, so one pathological path condition
+             cannot take the checker run down with it. *)
+          let v, model, rung =
+            Solver.check_degrading ~budget_s:ctx.cfg.solver_budget_s
+              ~deadline:ctx.cfg.deadline ?log:ctx.resilience ~subject cond
+          in
+          (match rung with
+          | Solver.Rung_full -> ctx.stats.n_rung_full <- ctx.stats.n_rung_full + 1
+          | Solver.Rung_halved ->
+            ctx.stats.n_rung_halved <- ctx.stats.n_rung_halved + 1
+          | Solver.Rung_linear ->
+            ctx.stats.n_rung_linear <- ctx.stats.n_rung_linear + 1
+          | Solver.Rung_gave_up ->
+            ctx.stats.n_rung_gave_up <- ctx.stats.n_rung_gave_up + 1);
+          match v with
+          | Solver.Sat -> (cond, Report.Feasible, model, Some rung)
+          | Solver.Unknown -> (cond, Report.Feasible_unknown, [], Some rung)
+          | Solver.Unsat -> (cond, Report.Infeasible, [], Some rung)
         end
-        else (E.tru, Report.Feasible_unknown, [])
+        else (E.tru, Report.Feasible_unknown, [], None)
       in
       let r =
         {
@@ -102,6 +131,7 @@ let emit ctx (path : Vpath.t) =
           cond;
           verdict;
           hints;
+          rung;
         }
       in
       ctx.reports <- r :: ctx.reports;
@@ -312,10 +342,39 @@ let rec dfs ctx ~fname ~(var : Var.t) ~stack ~expansions ~anchor ~src_fn
       end
   end
 
-let run ?(config = default_config) (prog : Prog.t) ~seg_of ~rv
+let run ?(config = default_config) ?resilience (prog : Prog.t) ~seg_of ~rv
     (spec : Checker_spec.t) : Report.t list * stats =
-  let stats = { n_sources = 0; n_candidates = 0; n_steps = 0; n_solver_calls = 0 } in
-  let vf = Vf.generate prog seg_of (Checker_spec.vf_spec spec) in
+  let stats =
+    {
+      n_sources = 0;
+      n_candidates = 0;
+      n_steps = 0;
+      n_solver_calls = 0;
+      n_rung_full = 0;
+      n_rung_halved = 0;
+      n_rung_linear = 0;
+      n_rung_gave_up = 0;
+      n_incidents = 0;
+      solver = Solver.zero ();
+    }
+  in
+  let incidents_before =
+    match resilience with Some l -> Resilience.count l | None -> 0
+  in
+  (* VF-summary generation runs behind its own barrier: if it crashes, the
+     engine falls back to an empty summary table and disables VF pruning —
+     it descends into every defined callee, slower but soundy. *)
+  let vf =
+    Resilience.protect ?log:resilience ~phase:Resilience.Vf_summary
+      ~subject:spec.Checker_spec.name
+      ~fallback_note:"empty VF summaries; VF pruning disabled" ~fallback:None
+      (fun () -> Some (Vf.generate prog seg_of (Checker_spec.vf_spec spec)))
+  in
+  let config, vf =
+    match vf with
+    | Some vf -> (config, vf)
+    | None -> ({ config with use_vf_pruning = false }, Vf.empty ())
+  in
   let ctx =
     {
       prog;
@@ -326,6 +385,7 @@ let run ?(config = default_config) (prog : Prog.t) ~seg_of ~rv
       rev = reverse_calls prog;
       cfg = config;
       stats;
+      resilience;
       reports = [];
       found_for_source = 0;
       steps_this_source = 0;
@@ -333,26 +393,51 @@ let run ?(config = default_config) (prog : Prog.t) ~seg_of ~rv
       dedup = Hashtbl.create 64;
     }
   in
-  List.iter
-    (fun (f : Func.t) ->
-      match seg_of f.Func.fname with
-      | None -> ()
-      | Some seg ->
-        List.iter
-          (fun ((v : Var.t), sid) ->
-            stats.n_sources <- stats.n_sources + 1;
-            ctx.found_for_source <- 0;
-            ctx.steps_this_source <- 0;
-            Hashtbl.reset ctx.seen;
-            let rpath =
-              [ Vpath.Hsource { fname = f.Func.fname; var = v; sid } ]
-            in
-            try
-              dfs ctx ~fname:f.Func.fname ~var:v ~stack:[] ~expansions:0
-                ~anchor:(Some sid) ~src_fn:f.Func.fname ~src_sid:sid rpath
-            with
-            | Stop_search -> ()
-            | Metrics.Timeout -> ())
-          (spec.Checker_spec.sources seg))
-    (Prog.functions prog);
+  (* Per-run solver counters: reset the global counters for the duration of
+     the run and merge them back afterwards, so nested/interleaved callers
+     still see a consistent total. *)
+  let outer = Solver.snapshot () in
+  Solver.reset_stats ();
+  Fun.protect
+    ~finally:(fun () ->
+      let mine = Solver.snapshot () in
+      stats.solver <- mine;
+      Solver.restore (Solver.merge outer mine))
+    (fun () ->
+      List.iter
+        (fun (f : Func.t) ->
+          match seg_of f.Func.fname with
+          | None -> ()
+          | Some seg ->
+            List.iter
+              (fun ((v : Var.t), sid) ->
+                stats.n_sources <- stats.n_sources + 1;
+                ctx.found_for_source <- 0;
+                ctx.steps_this_source <- 0;
+                Hashtbl.reset ctx.seen;
+                let rpath =
+                  [ Vpath.Hsource { fname = f.Func.fname; var = v; sid } ]
+                in
+                (* Per-source barrier: a crash while searching from one
+                   source records an incident and moves on to the next
+                   source; the reports already emitted survive. *)
+                Resilience.protect ?log:resilience
+                  ~phase:Resilience.Engine_source
+                  ~subject:(Printf.sprintf "%s:%d" f.Func.fname sid)
+                  ~fallback_note:"source abandoned; prior reports kept"
+                  ~fallback:()
+                  (fun () ->
+                    try
+                      dfs ctx ~fname:f.Func.fname ~var:v ~stack:[]
+                        ~expansions:0 ~anchor:(Some sid)
+                        ~src_fn:f.Func.fname ~src_sid:sid rpath
+                    with
+                    | Stop_search -> ()
+                    | Metrics.Timeout -> ()))
+              (spec.Checker_spec.sources seg))
+        (Prog.functions prog));
+  stats.n_incidents <-
+    (match resilience with
+    | Some l -> Resilience.count l - incidents_before
+    | None -> 0);
   (List.rev ctx.reports, stats)

@@ -29,6 +29,11 @@ type config = {
           disabling it descends into every defined callee — the
           demand-driven-ness ablation *)
   deadline : Pinpoint_util.Metrics.deadline;
+  solver_budget_s : float;
+      (** per-feasibility-query wall budget for the full solver rung; on
+          exhaustion the query steps down the degradation ladder
+          ({!Pinpoint_smt.Solver.check_degrading}) instead of aborting the
+          source (default [infinity]) *)
 }
 
 val default_config : config
@@ -38,10 +43,18 @@ type stats = {
   mutable n_candidates : int;   (** complete source→sink paths found *)
   mutable n_steps : int;
   mutable n_solver_calls : int;
+  mutable n_rung_full : int;    (** queries decided by the full solver *)
+  mutable n_rung_halved : int;  (** … by the halved-budget retry *)
+  mutable n_rung_linear : int;  (** … by the linear contradiction solver *)
+  mutable n_rung_gave_up : int; (** … kept as [Unknown] (ladder exhausted) *)
+  mutable n_incidents : int;    (** incidents recorded during this run *)
+  mutable solver : Pinpoint_smt.Solver.stats;
+      (** solver counters attributable to this run alone *)
 }
 
 val run :
   ?config:config ->
+  ?resilience:Pinpoint_util.Resilience.log ->
   Pinpoint_ir.Prog.t ->
   seg_of:(string -> Pinpoint_seg.Seg.t option) ->
   rv:Pinpoint_summary.Rv.t ->
@@ -50,4 +63,10 @@ val run :
 (** Run one checker over the whole program.  Reports are deduplicated by
     source/sink location; infeasible candidates are included in the list
     (marked [Infeasible]) so precision can be measured, but
-    [Report.is_reported] is false for them. *)
+    [Report.is_reported] is false for them.
+
+    Fault isolation: VF-summary generation and each per-source search run
+    inside exception barriers — a crash records an incident on
+    [resilience] (when given) and skips only that unit.  Feasibility
+    queries go through the solver degradation ladder, so a run always
+    terminates with a report list. *)

@@ -83,7 +83,8 @@ let rec walk cfg (cl : closure) seg_of visited ~fname ~(var : Var.t) ~depth =
     end
   end
 
-let check ?(config = default_config) (prog : Prog.t) ~seg_of ~rv : report list =
+let check ?(config = default_config) ?resilience (prog : Prog.t) ~seg_of ~rv :
+    report list =
   let reports = ref [] in
   List.iter
     (fun (f : Func.t) ->
@@ -122,8 +123,13 @@ let check ?(config = default_config) (prog : Prog.t) ~seg_of ~rv : report list =
                     E.tru cl.frees
                 in
                 let cond = E.and_ alloc_cd not_freed in
-                match Solver.check_with_model cond with
-                | Solver.Sat, hints ->
+                let subject =
+                  Printf.sprintf "%s:%d" f.Func.fname s.Stmt.loc.Stmt.line
+                in
+                match
+                  Solver.check_degrading ?log:resilience ~subject cond
+                with
+                | Solver.Sat, hints, _ ->
                   reports :=
                     {
                       alloc_fn = f.Func.fname;
@@ -133,7 +139,7 @@ let check ?(config = default_config) (prog : Prog.t) ~seg_of ~rv : report list =
                       frees_seen = List.length cl.frees;
                     }
                     :: !reports
-                | Solver.Unknown, _ ->
+                | Solver.Unknown, _, _ ->
                   reports :=
                     {
                       alloc_fn = f.Func.fname;
@@ -143,7 +149,7 @@ let check ?(config = default_config) (prog : Prog.t) ~seg_of ~rv : report list =
                       frees_seen = List.length cl.frees;
                     }
                     :: !reports
-                | Solver.Unsat, _ -> ()
+                | Solver.Unsat, _, _ -> ()
               end
             | _ -> ()))
     (Prog.functions prog);

@@ -38,10 +38,14 @@ val default_config : config
 
 val check :
   ?config:config ->
+  ?resilience:Pinpoint_util.Resilience.log ->
   Pinpoint_ir.Prog.t ->
   seg_of:(string -> Pinpoint_seg.Seg.t option) ->
   rv:Pinpoint_summary.Rv.t ->
   report list
+(** Leak conditions are decided through the solver degradation ladder
+    ({!Pinpoint_smt.Solver.check_degrading}); degradations and injected
+    faults are recorded on [resilience] when given. *)
 
 val checker_name : string
 (** ["memory-leak"] — used by ground-truth classification. *)

@@ -10,9 +10,15 @@ type t = {
   cond : Pinpoint_smt.Expr.t;
   verdict : verdict;
   hints : (Pinpoint_smt.Expr.t * bool) list;
+  rung : Pinpoint_smt.Solver.rung option;
 }
 
 let is_reported r = r.verdict <> Infeasible
+
+let is_degraded r =
+  match r.rung with
+  | Some Pinpoint_smt.Solver.Rung_full | None -> false
+  | Some _ -> true
 
 let key r =
   (r.source_fn, r.source_loc.Pinpoint_ir.Stmt.line, r.sink_fn, r.sink_loc.Pinpoint_ir.Stmt.line)
@@ -23,9 +29,15 @@ let pp_verdict ppf = function
   | Infeasible -> Format.pp_print_string ppf "infeasible"
 
 let pp ppf r =
-  Format.fprintf ppf "[%s] %a -> %a (%s -> %s) : %a@." r.checker
+  Format.fprintf ppf "[%s] %a -> %a (%s -> %s) : %a%t@." r.checker
     Pinpoint_ir.Stmt.pp_loc r.source_loc Pinpoint_ir.Stmt.pp_loc r.sink_loc
-    r.source_fn r.sink_fn pp_verdict r.verdict;
+    r.source_fn r.sink_fn pp_verdict r.verdict
+    (fun ppf ->
+      if is_degraded r then
+        match r.rung with
+        | Some rung ->
+          Format.fprintf ppf " [degraded: %a]" Pinpoint_smt.Solver.pp_rung rung
+        | None -> ());
   Vpath.pp ppf r.path;
   (* trigger hints: only the comparison atoms are human-meaningful *)
   let cmps =

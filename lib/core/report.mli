@@ -17,10 +17,19 @@ type t = {
   hints : (Pinpoint_smt.Expr.t * bool) list;
       (** on [Feasible]: a propositional model of the path condition's
           atoms — the branch outcomes that trigger the bug *)
+  rung : Pinpoint_smt.Solver.rung option;
+      (** the degradation-ladder rung that decided the feasibility query
+          ([None] when feasibility checking was off) *)
 }
 
 val is_reported : t -> bool
 (** [Feasible] or [Feasible_unknown]. *)
+
+val is_degraded : t -> bool
+(** The feasibility verdict was decided below the full solver rung.  Such
+    a report's [Infeasible] verdict is still a real refutation (every rung
+    is sound on [Unsat]), but a degraded query may answer [Unknown] where
+    the full solver would have answered [Sat]/[Unsat]. *)
 
 val key : t -> string * int * string * int
 (** Dedup key: source function/line + sink function/line. *)

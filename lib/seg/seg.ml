@@ -192,6 +192,46 @@ let build (f : Func.t) (pta : Pta.t) : t =
     t.all_uses;
   t
 
+(* Deterministically discard part of the graph (fault injection): keep a
+   [keep] fraction of every vertex's out-edges and of the use list, rebuild
+   the predecessor table from what survives, and start with fresh memo
+   tables.  Losing edges only removes value-flow paths, so a truncated SEG
+   yields fewer reports, never spurious ones. *)
+let truncate t ~keep =
+  let keep = Float.max 0.0 (Float.min 1.0 keep) in
+  let keep_n n = int_of_float (ceil (keep *. float_of_int n)) in
+  let prefix l = List.filteri (fun i _ -> i < keep_n (List.length l)) l in
+  let succ = Var.Tbl.create 64 in
+  let pred = Var.Tbl.create 64 in
+  Var.Tbl.iter
+    (fun src es ->
+      let es = prefix es in
+      if es <> [] then begin
+        Var.Tbl.replace succ src es;
+        List.iter
+          (fun e ->
+            let cur = Option.value (Var.Tbl.find_opt pred e.dst) ~default:[] in
+            Var.Tbl.replace pred e.dst ({ e with dst = src } :: cur))
+          es
+      end)
+    t.succ;
+  let all_uses = prefix t.all_uses in
+  let use_tbl = Var.Tbl.create 64 in
+  List.iter
+    (fun u ->
+      let cur = Option.value (Var.Tbl.find_opt use_tbl u.uvar) ~default:[] in
+      Var.Tbl.replace use_tbl u.uvar (u :: cur))
+    all_uses;
+  {
+    t with
+    succ;
+    pred;
+    all_uses;
+    use_tbl;
+    dd_memo = Var.Tbl.create 64;
+    cd_block_memo = Hashtbl.create 16;
+  }
+
 let succs t v = Option.value (Var.Tbl.find_opt t.succ v) ~default:[]
 let preds t v = Option.value (Var.Tbl.find_opt t.pred v) ~default:[]
 let uses t = t.all_uses

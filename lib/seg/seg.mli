@@ -61,6 +61,13 @@ val build : Pinpoint_ir.Func.t -> Pinpoint_pta.Pta.t -> t
 val func : t -> Pinpoint_ir.Func.t
 val pta : t -> Pinpoint_pta.Pta.t
 
+val truncate : t -> keep:float -> t
+(** Deterministically keep only a [keep] fraction (clamped to [0,1]) of
+    each vertex's out-edges and of the use list — the fault injector's
+    "truncated SEG" class.  Removing edges only removes candidate paths,
+    so truncation degrades recall, never soundness of the remaining
+    reports. *)
+
 val succs : t -> Pinpoint_ir.Var.t -> edge list
 val preds : t -> Pinpoint_ir.Var.t -> edge list
 

@@ -25,7 +25,9 @@ type result = Sat of bool array | Unsat
 
 exception Budget
 
-let solve ?(budget = 1_000_000) t =
+module Metrics = Pinpoint_util.Metrics
+
+let solve ?(budget = 1_000_000) ?(deadline = Metrics.no_deadline) t =
   if t.trivially_unsat then Some Unsat
   else begin
     let n = t.n_vars in
@@ -116,6 +118,10 @@ let solve ?(budget = 1_000_000) t =
     and dpll () =
       incr steps;
       if !steps > budget then raise Budget;
+      (* Cooperative deadline poll: an adversarial instance must not stall
+         the checker past its wall-clock budget (the decision budget alone
+         is not time-bounded). *)
+      if !steps land 15 = 0 then Metrics.check deadline;
       let ok, trail = propagate [] in
       if not ok then begin
         undo_to trail [];

@@ -24,5 +24,9 @@ type result =
       (** [model.(v)] is the value of variable [v]; index 0 is unused. *)
   | Unsat
 
-val solve : ?budget:int -> t -> result option
-(** Solve with a decision budget; [None] means the budget was exhausted. *)
+val solve :
+  ?budget:int -> ?deadline:Pinpoint_util.Metrics.deadline -> t -> result option
+(** Solve with a decision budget; [None] means the budget was exhausted.
+    The wall-clock [deadline] is polled cooperatively inside the DPLL
+    loop; on expiry {!Pinpoint_util.Metrics.Timeout} is raised (the
+    degradation ladder in {!Solver} catches it and steps down). *)

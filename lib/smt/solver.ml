@@ -1,4 +1,17 @@
+module Metrics = Pinpoint_util.Metrics
+module Resilience = Pinpoint_util.Resilience
+
 type verdict = Sat | Unsat | Unknown
+
+type rung = Rung_full | Rung_halved | Rung_linear | Rung_gave_up
+
+let rung_name = function
+  | Rung_full -> "full"
+  | Rung_halved -> "halved"
+  | Rung_linear -> "linear"
+  | Rung_gave_up -> "gave-up"
+
+let pp_rung ppf r = Format.pp_print_string ppf (rung_name r)
 
 type stats = {
   mutable n_queries : int;
@@ -6,16 +19,62 @@ type stats = {
   mutable n_unsat : int;
   mutable n_unknown : int;
   mutable n_theory_calls : int;
+  mutable n_deadline_abort : int;
+  mutable n_degraded : int;
 }
 
-let stats = { n_queries = 0; n_sat = 0; n_unsat = 0; n_unknown = 0; n_theory_calls = 0 }
+let stats =
+  {
+    n_queries = 0;
+    n_sat = 0;
+    n_unsat = 0;
+    n_unknown = 0;
+    n_theory_calls = 0;
+    n_deadline_abort = 0;
+    n_degraded = 0;
+  }
 
 let reset_stats () =
   stats.n_queries <- 0;
   stats.n_sat <- 0;
   stats.n_unsat <- 0;
   stats.n_unknown <- 0;
-  stats.n_theory_calls <- 0
+  stats.n_theory_calls <- 0;
+  stats.n_deadline_abort <- 0;
+  stats.n_degraded <- 0
+
+let zero () =
+  {
+    n_queries = 0;
+    n_sat = 0;
+    n_unsat = 0;
+    n_unknown = 0;
+    n_theory_calls = 0;
+    n_deadline_abort = 0;
+    n_degraded = 0;
+  }
+
+let snapshot () = { stats with n_queries = stats.n_queries }
+
+let restore s =
+  stats.n_queries <- s.n_queries;
+  stats.n_sat <- s.n_sat;
+  stats.n_unsat <- s.n_unsat;
+  stats.n_unknown <- s.n_unknown;
+  stats.n_theory_calls <- s.n_theory_calls;
+  stats.n_deadline_abort <- s.n_deadline_abort;
+  stats.n_degraded <- s.n_degraded
+
+let merge a b =
+  {
+    n_queries = a.n_queries + b.n_queries;
+    n_sat = a.n_sat + b.n_sat;
+    n_unsat = a.n_unsat + b.n_unsat;
+    n_unknown = a.n_unknown + b.n_unknown;
+    n_theory_calls = a.n_theory_calls + b.n_theory_calls;
+    n_deadline_abort = a.n_deadline_abort + b.n_deadline_abort;
+    n_degraded = a.n_degraded + b.n_degraded;
+  }
 
 let sat_or_unknown = function Sat | Unknown -> true | Unsat -> false
 
@@ -68,23 +127,19 @@ let encode sat atom_vars (e : Expr.t) : int =
   in
   enc e
 
-let check_with_model ?(max_iters = 400) (e : Expr.t) :
+(* The lazy-SMT core, stats-free so the degradation ladder can run it more
+   than once per query.  Raises [Metrics.Timeout] when the deadline expires
+   (polled before the linear fast path, at every refutation round, inside
+   the DPLL loop and inside the theory solver). *)
+let check_raw ~max_iters ~deadline (e : Expr.t) :
     verdict * (Expr.t * bool) list =
-  stats.n_queries <- stats.n_queries + 1;
-  let sat_model : (Expr.t * bool) list ref = ref [] in
-  let record v =
-    (match v with
-    | Sat -> stats.n_sat <- stats.n_sat + 1
-    | Unsat -> stats.n_unsat <- stats.n_unsat + 1
-    | Unknown -> stats.n_unknown <- stats.n_unknown + 1);
-    (v, if v = Sat then !sat_model else [])
-  in
-  if Expr.is_true e then record Sat
-  else if Expr.is_false e then record Unsat
+  if Expr.is_true e then (Sat, [])
+  else if Expr.is_false e then (Unsat, [])
   else begin
+    Metrics.check deadline;
     (* Fast path: the linear-time contradiction check. *)
     match Linear_solver.check e with
-    | Linear_solver.Unsat -> record Unsat
+    | Linear_solver.Unsat -> (Unsat, [])
     | Linear_solver.Maybe ->
       let sat = Sat.create () in
       let atom_vars : (int, int) Hashtbl.t = Hashtbl.create 64 in
@@ -99,10 +154,12 @@ let check_with_model ?(max_iters = 400) (e : Expr.t) :
           | Some v -> Hashtbl.add var_atom v a
           | None -> ())
         atoms;
+      let sat_model : (Expr.t * bool) list ref = ref [] in
       let rec loop iter =
         if iter >= max_iters then Unknown
-        else
-          match Sat.solve sat with
+        else begin
+          Metrics.check deadline;
+          match Sat.solve ~deadline sat with
           | None -> Unknown
           | Some Sat.Unsat -> Unsat
           | Some (Sat.Sat model) -> (
@@ -112,7 +169,7 @@ let check_with_model ?(max_iters = 400) (e : Expr.t) :
                 var_atom []
             in
             stats.n_theory_calls <- stats.n_theory_calls + 1;
-            match Theory.check literals with
+            match Theory.check ~deadline literals with
             | Theory.Sat ->
               sat_model := literals;
               Sat
@@ -134,7 +191,7 @@ let check_with_model ?(max_iters = 400) (e : Expr.t) :
                   let without = List.filter (fun l -> l != lit) !core in
                   if
                     List.length without < List.length !core
-                    && Theory.check without = Theory.Unsat
+                    && Theory.check ~deadline without = Theory.Unsat
                   then core := without)
                 theory_lits;
               let blocking =
@@ -149,9 +206,103 @@ let check_with_model ?(max_iters = 400) (e : Expr.t) :
                 Sat.add_clause sat blocking;
                 loop (iter + 1)
               end)
+        end
       in
-      record (loop 0)
+      let v = loop 0 in
+      (v, if v = Sat then !sat_model else [])
   end
 
+let record_verdict v =
+  match v with
+  | Sat -> stats.n_sat <- stats.n_sat + 1
+  | Unsat -> stats.n_unsat <- stats.n_unsat + 1
+  | Unknown -> stats.n_unknown <- stats.n_unknown + 1
 
-let check ?max_iters e = fst (check_with_model ?max_iters e)
+let check_with_model ?(max_iters = 400) ?(deadline = Metrics.no_deadline)
+    (e : Expr.t) : verdict * (Expr.t * bool) list =
+  stats.n_queries <- stats.n_queries + 1;
+  let v, m = check_raw ~max_iters ~deadline e in
+  record_verdict v;
+  (v, m)
+
+let check ?max_iters ?deadline e = fst (check_with_model ?max_iters ?deadline e)
+
+(* ------------------------------------------------------------------ *)
+(* Degradation ladder (robustness layer): full lazy-SMT -> retry with
+   halved budgets -> linear-time contradiction solver -> keep-the-report
+   (Unknown).  Every rung is sound in the direction that matters to a
+   soundy client: [Unsat] is always a real refutation, so stepping down
+   can never lose a definitely-feasible report — at worst a query decides
+   [Unknown] and the report survives. *)
+
+let check_degrading ?(max_iters = 400) ?(budget_s = infinity)
+    ?(deadline = Metrics.no_deadline) ?log ?(subject = "query") (e : Expr.t) :
+    verdict * (Expr.t * bool) list * rung =
+  stats.n_queries <- stats.n_queries + 1;
+  let t0 = Metrics.now () in
+  let incident detail fallback =
+    match log with
+    | Some log ->
+      Resilience.record log
+        {
+          Resilience.phase = Resilience.Solver_query;
+          subject;
+          detail;
+          fallback;
+          elapsed_s = Metrics.now () -. t0;
+        }
+    | None -> ()
+  in
+  let fault =
+    if Resilience.Inject.enabled () then Resilience.Inject.solver_fault ()
+    else None
+  in
+  (* Run one rung behind an exception barrier; [sabotage] only applies to
+     the first (full) rung. *)
+  let try_rung ~iters ~budget ~sabotage =
+    let d = Metrics.min_deadline deadline (Metrics.deadline_after budget) in
+    match
+      (match sabotage with
+       | Some Resilience.Inject.Crash -> raise Resilience.Injected_crash
+       | Some Resilience.Inject.Hang ->
+         Metrics.wait_until d;
+         raise Metrics.Timeout
+       | Some Resilience.Inject.Unknown_verdict | None -> ());
+      check_raw ~max_iters:iters ~deadline:d e
+    with
+    | v, m -> Ok (v, m)
+    | exception Metrics.Timeout ->
+      stats.n_deadline_abort <- stats.n_deadline_abort + 1;
+      Error
+        (match sabotage with
+        | Some Resilience.Inject.Hang -> "injected: hang (deadline exhausted)"
+        | _ -> "deadline exhausted")
+    | exception Out_of_memory -> raise Out_of_memory
+    | exception exn -> Error (Printexc.to_string exn)
+  in
+  let finish rung v m =
+    if rung <> Rung_full then stats.n_degraded <- stats.n_degraded + 1;
+    record_verdict v;
+    (v, m, rung)
+  in
+  match fault with
+  | Some Resilience.Inject.Unknown_verdict ->
+    incident "injected: unknown-verdict" "kept the report (Unknown)";
+    finish Rung_gave_up Unknown []
+  | (Some (Resilience.Inject.Crash | Resilience.Inject.Hang) | None) as sabotage
+    -> (
+    match try_rung ~iters:max_iters ~budget:budget_s ~sabotage with
+    | Ok (v, m) -> finish Rung_full v m
+    | Error detail1 -> (
+      incident detail1 "retry with halved max_iters";
+      match
+        try_rung
+          ~iters:(max 1 (max_iters / 2))
+          ~budget:(budget_s /. 2.0) ~sabotage:None
+      with
+      | Ok (v, m) -> finish Rung_halved v m
+      | Error detail2 -> (
+        incident detail2 "linear-time contradiction solver";
+        match Linear_solver.check e with
+        | Linear_solver.Unsat -> finish Rung_linear Unsat []
+        | Linear_solver.Maybe -> finish Rung_gave_up Unknown [])))

@@ -8,7 +8,13 @@
 
     Used only at the bug-detection stage to decide the feasibility of
     candidate value-flow paths (§3.3); the points-to stage uses the
-    linear-time solver instead (§3.1.1). *)
+    linear-time solver instead (§3.1.1).
+
+    Robustness: every entry point accepts a cooperative wall-clock
+    [deadline] (polled inside the DPLL loop, the refutation loop and the
+    theory solver), and {!check_degrading} wraps the whole query in a
+    degradation ladder so a pathological or sabotaged query can never take
+    down a checker run. *)
 
 type verdict =
   | Sat      (** a propositional model passed the theory check *)
@@ -16,12 +22,18 @@ type verdict =
   | Unknown  (** budget exhausted or theory gave up; treated as Sat by
                  soundy clients *)
 
-val check : ?max_iters:int -> Expr.t -> verdict
+val check :
+  ?max_iters:int -> ?deadline:Pinpoint_util.Metrics.deadline -> Expr.t -> verdict
 (** Decide satisfiability of a formula.  [max_iters] caps the number of
-    theory-refutation rounds (default 400). *)
+    theory-refutation rounds (default 400).  On [deadline] expiry
+    {!Pinpoint_util.Metrics.Timeout} is raised (use {!check_degrading} for
+    the non-raising, degrading variant). *)
 
 val check_with_model :
-  ?max_iters:int -> Expr.t -> verdict * (Expr.t * bool) list
+  ?max_iters:int ->
+  ?deadline:Pinpoint_util.Metrics.deadline ->
+  Expr.t ->
+  verdict * (Expr.t * bool) list
 (** Like {!check}, but on [Sat] also returns the propositional model of
     the formula's atoms (atom expression, assigned polarity) — the branch
     outcomes that make a bug path feasible, used as trigger hints in
@@ -31,13 +43,65 @@ val sat_or_unknown : verdict -> bool
 (** The soundy reading used by checkers: keep the report unless the path
     condition is definitely unsatisfiable. *)
 
+(** {1 Degradation ladder}
+
+    On budget exhaustion (or injected faults) a query steps down:
+    full lazy-SMT → retry with halved [max_iters] and half the wall budget
+    → the linear-time contradiction solver (paper §3.1.1) → keep-the-report
+    ([Unknown]).  Every rung only ever answers [Unsat] when the formula
+    really is unsatisfiable, so degradation can never lose a
+    definitely-feasible report — the soundy direction is preserved on
+    every rung. *)
+
+type rung =
+  | Rung_full     (** the full lazy-SMT loop decided (or answered its
+                      normal budgeted [Unknown]) *)
+  | Rung_halved   (** decided on retry with halved budgets *)
+  | Rung_linear   (** refuted by the linear-time contradiction solver *)
+  | Rung_gave_up  (** every rung exhausted: [Unknown], report kept *)
+
+val rung_name : rung -> string
+val pp_rung : Format.formatter -> rung -> unit
+
+val check_degrading :
+  ?max_iters:int ->
+  ?budget_s:float ->
+  ?deadline:Pinpoint_util.Metrics.deadline ->
+  ?log:Pinpoint_util.Resilience.log ->
+  ?subject:string ->
+  Expr.t ->
+  verdict * (Expr.t * bool) list * rung
+(** Never raises (except [Out_of_memory]): crashes and timeouts inside a
+    rung are converted into a step down the ladder, each step recorded as
+    an incident on [log] (if given) under [subject].  [budget_s] is the
+    per-query wall budget of the full rung (the retry gets half);
+    [deadline] is the enclosing (checker-run) deadline — the effective
+    rung deadline is the earlier of the two.  Consults
+    {!Pinpoint_util.Resilience.Inject} for seeded fault injection. *)
+
 type stats = {
   mutable n_queries : int;
   mutable n_sat : int;
   mutable n_unsat : int;
   mutable n_unknown : int;
   mutable n_theory_calls : int;
+  mutable n_deadline_abort : int;  (** rungs aborted by deadline expiry *)
+  mutable n_degraded : int;        (** queries decided below the full rung *)
 }
 
 val stats : stats
 val reset_stats : unit -> unit
+
+val zero : unit -> stats
+(** A fresh all-zero counter record. *)
+
+val snapshot : unit -> stats
+(** An independent copy of the current counters. *)
+
+val restore : stats -> unit
+(** Overwrite the global counters with the given values.  Together with
+    {!snapshot} and {!merge} this lets {!Pinpoint.Engine.run} keep
+    per-run counts without corrupting an enclosing measurement. *)
+
+val merge : stats -> stats -> stats
+(** Field-wise sum. *)

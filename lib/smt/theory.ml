@@ -141,8 +141,10 @@ let eliminate_equalities cstrs =
   done;
   !rest
 
+module Metrics = Pinpoint_util.Metrics
+
 (* Fourier–Motzkin on CLt/CLe constraints. *)
-let fourier_motzkin cstrs =
+let fourier_motzkin deadline cstrs =
   (* Filter out decided constant constraints first. *)
   let act = ref [] in
   List.iter
@@ -194,6 +196,7 @@ let fourier_motzkin cstrs =
                   unknown := true;
                   raise Exit
                 end;
+                if !budget land 63 = 0 then Metrics.check deadline;
                 let kl = IMap.find v lo.l.coeffs and ku = IMap.find v up.l.coeffs in
                 (* kl < 0, ku > 0: combine  ku*lo - kl*up  to cancel v. *)
                 let l' = ladd (lscale ku lo.l) (lscale (Rat.neg kl) up.l) in
@@ -212,7 +215,7 @@ let fourier_motzkin cstrs =
   (try elim !act with Exit -> ());
   !unknown
 
-let check_ineqs cstrs =
+let check_ineqs deadline cstrs =
   try
     let rest = eliminate_equalities cstrs in
     (* Split CNe into strict branches, capped. *)
@@ -234,7 +237,7 @@ let check_ineqs cstrs =
       | [] -> (
         (* All NE resolved; run FM on inequalities + chosen strict forms. *)
         try
-          let unk = fourier_motzkin (List.rev_append chosen ineqs) in
+          let unk = fourier_motzkin deadline (List.rev_append chosen ineqs) in
           Some (acc_unknown || unk)
         with Conflict -> None)
       | c :: rest -> (
@@ -251,6 +254,6 @@ let check_ineqs cstrs =
     | None -> Unsat
   with Conflict -> Unsat
 
-let check literals =
+let check ?(deadline = Metrics.no_deadline) literals =
   let cstrs = List.filter_map (fun (a, p) -> cstr_of a p) literals in
-  match cstrs with [] -> Sat | _ -> check_ineqs cstrs
+  match cstrs with [] -> Sat | _ -> check_ineqs deadline cstrs

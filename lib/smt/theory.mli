@@ -24,7 +24,12 @@
 type verdict = Sat | Unsat | Unknown
 
 val max_ne_splits : int
-val check : (Expr.t * bool) list -> verdict
+
+val check :
+  ?deadline:Pinpoint_util.Metrics.deadline ->
+  (Expr.t * bool) list ->
+  verdict
 (** [check literals] decides the conjunction of the given atoms with their
     polarities.  Atoms must be boolean-sorted expressions (comparison nodes
-    or variables). *)
+    or variables).  The [deadline] is polled inside the Fourier–Motzkin
+    elimination; on expiry {!Pinpoint_util.Metrics.Timeout} is raised. *)

@@ -65,9 +65,10 @@ let rec close_cres t (seg : Seg.t) depth (cres : Seg.cres) : E.t * Var.Set.t =
 
 let close t seg ?(depth = !max_close_depth) cres = close_cres t seg depth cres
 
-let generate (prog : Prog.t) (seg_of : string -> Seg.t option) : t =
+let generate ?resilience (prog : Prog.t) (seg_of : string -> Seg.t option) : t =
   let t = { tbl = Hashtbl.create 64; seg_of } in
   let sccs = Prog.bottom_up_sccs prog in
+  let module R = Pinpoint_util.Resilience in
   List.iter
     (fun scc ->
       List.iter
@@ -75,27 +76,37 @@ let generate (prog : Prog.t) (seg_of : string -> Seg.t option) : t =
           match seg_of f.Func.fname with
           | None -> ()
           | Some seg ->
+            (* Per-function barrier: a crash while closing one function's
+               summary leaves it without an RV entry (its receivers stay
+               unconstrained — soundy) instead of aborting the phase. *)
             let entries =
-              match Func.return_stmt f with
-              | Some { Stmt.kind = Stmt.Return ops; _ } ->
-                Array.of_list
-                  (List.map
-                     (function
-                       | Stmt.Ovar v ->
-                         let cres = Seg.dd seg v in
-                         let closed, params =
-                           close_cres t seg !max_close_depth cres
-                         in
-                         let closed =
-                           if E.size closed > !max_summary_size then E.tru
-                           else closed
-                         in
-                         Some { var = v; closed; params }
-                       | _ -> None)
-                     ops)
-              | _ -> [||]
+              R.protect ?log:resilience ~phase:R.Rv_summary
+                ~subject:f.Func.fname
+                ~fallback_note:"no RV summary (receivers stay free)"
+                ~fallback:None
+                (fun () ->
+                  match Func.return_stmt f with
+                  | Some { Stmt.kind = Stmt.Return ops; _ } ->
+                    Some
+                      (Array.of_list
+                         (List.map
+                            (function
+                              | Stmt.Ovar v ->
+                                let cres = Seg.dd seg v in
+                                let closed, params =
+                                  close_cres t seg !max_close_depth cres
+                                in
+                                let closed =
+                                  if E.size closed > !max_summary_size then
+                                    E.tru
+                                  else closed
+                                in
+                                Some { var = v; closed; params }
+                              | _ -> None)
+                            ops))
+                  | _ -> Some [||])
             in
-            Hashtbl.replace t.tbl f.Func.fname entries)
+            Option.iter (Hashtbl.replace t.tbl f.Func.fname) entries)
         scc)
     sccs;
   t

@@ -28,8 +28,16 @@ val max_summary_size : int ref
 (** Constraint size cap; larger summaries degrade to [true] (soundy:
     under-constraining keeps reports). *)
 
-val generate : Pinpoint_ir.Prog.t -> (string -> Pinpoint_seg.Seg.t option) -> t
-(** Generate summaries for every function of the program. *)
+val generate :
+  ?resilience:Pinpoint_util.Resilience.log ->
+  Pinpoint_ir.Prog.t ->
+  (string -> Pinpoint_seg.Seg.t option) ->
+  t
+(** Generate summaries for every function of the program.  Each
+    per-function unit runs inside an exception barrier: a crash records
+    an incident on [resilience] (when given) and leaves that function
+    without a summary — its receivers stay unconstrained (soundy) —
+    instead of aborting the phase. *)
 
 val find : t -> string -> entry option array option
 (** Per return position; [None] entries are non-variable returns. *)

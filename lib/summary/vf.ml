@@ -16,6 +16,7 @@ type fsum = {
 
 type t = (string, fsum) Hashtbl.t
 
+let empty () : t = Hashtbl.create 1
 let find t name = Hashtbl.find_opt t name
 
 (* Forward reachability from a set of variables over the SEG value-flow

@@ -41,5 +41,10 @@ type t
 val generate :
   Pinpoint_ir.Prog.t -> (string -> Pinpoint_seg.Seg.t option) -> spec -> t
 
+val empty : unit -> t
+(** A summary table with no entries.  Used as the fallback when summary
+    generation crashes: with no VF1/VF4 facts the engine must disable VF
+    pruning (descend everywhere) to stay soundy. *)
+
 val find : t -> string -> fsum option
 val pp : Format.formatter -> t -> unit

@@ -196,26 +196,38 @@ let expose_side_effects (f : Func.t) (pta : Pta.t) : iface =
     has_orig_ret = f.Func.ret_ty <> None;
   }
 
-let run (prog : Prog.t) : result =
+let run ?resilience (prog : Prog.t) : result =
   let ifaces : (string, iface) Hashtbl.t = Hashtbl.create 64 in
   let ptas : (string, Pta.t) Hashtbl.t = Hashtbl.create 64 in
   let sccs = Prog.bottom_up_sccs prog in
+  let module R = Pinpoint_util.Resilience in
   List.iter
     (fun scc ->
       (* Within an SCC, callee interfaces of same-SCC members are unknown
-         (absent from [ifaces]) — those calls stay un-rewritten. *)
+         (absent from [ifaces]) — those calls stay un-rewritten.  Each
+         per-function unit runs inside an exception barrier: a crash
+         leaves that function without an interface (callers treat it as
+         unknown, soundy) instead of killing the whole pipeline. *)
       List.iter
         (fun (f : Func.t) ->
-          rewrite_calls f ifaces;
-          let pta1 = Pta.run ~discover:true f in
-          let iface = expose_side_effects f pta1 in
-          Hashtbl.replace ifaces f.Func.fname iface)
+          R.protect ?log:resilience ~phase:R.Transform ~subject:f.Func.fname
+            ~fallback_note:"function left untransformed (unknown interface)"
+            ~fallback:()
+            (fun () ->
+              rewrite_calls f ifaces;
+              let pta1 = Pta.run ~discover:true f in
+              let iface = expose_side_effects f pta1 in
+              Hashtbl.replace ifaces f.Func.fname iface))
         scc;
       (* Second stage per SCC member: final PTA on the transformed body. *)
       List.iter
         (fun (f : Func.t) ->
-          let pta2 = Pta.run ~discover:false f in
-          Hashtbl.replace ptas f.Func.fname pta2)
+          R.protect ?log:resilience ~phase:R.Transform ~subject:f.Func.fname
+            ~fallback_note:"no points-to result (function gets no SEG)"
+            ~fallback:()
+            (fun () ->
+              let pta2 = Pta.run ~discover:false f in
+              Hashtbl.replace ptas f.Func.fname pta2))
         scc)
     sccs;
   { ifaces; ptas }

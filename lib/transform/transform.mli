@@ -42,8 +42,12 @@ val max_conduits : int ref
 (** Cap on conduits per function (guards against side-effect-summary
     explosion, §3.1.2; default 64). *)
 
-val run : Pinpoint_ir.Prog.t -> result
+val run :
+  ?resilience:Pinpoint_util.Resilience.log -> Pinpoint_ir.Prog.t -> result
 (** Transform the whole program in place and return the interface and
-    points-to tables. *)
+    points-to tables.  Each per-function unit of work runs inside an
+    exception barrier: a crash in one function records an incident on
+    [resilience] (when given) and leaves that function without an
+    interface / points-to result, instead of aborting the pipeline. *)
 
 val pp_iface : Format.formatter -> iface -> unit

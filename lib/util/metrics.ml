@@ -22,9 +22,17 @@ let measure f =
 type deadline = float (* absolute time; infinity = none *)
 
 let no_deadline = infinity
+let immediate = neg_infinity
 let deadline_after s = if s <= 0.0 then infinity else now () +. s
+let min_deadline a b = Float.min a b
 let expired d = now () > d
 let check d = if expired d then raise Timeout
+
+let wait_until d =
+  if d <> infinity then
+    while not (expired d) do
+      ignore (Unix.select [] [] [] 0.0005)
+    done
 
 let with_timeout budget f =
   let _ = budget in

@@ -28,10 +28,24 @@ val deadline_after : float -> deadline
 
 val no_deadline : deadline
 
+val immediate : deadline
+(** A deadline that has already expired — mainly for tests of the
+    degradation paths. *)
+
+val min_deadline : deadline -> deadline -> deadline
+(** The earlier of two deadlines. *)
+
 val check : deadline -> unit
 (** Raise {!Timeout} if the deadline has passed. *)
 
 val expired : deadline -> bool
+
+val wait_until : deadline -> unit
+(** Sleep-poll until the deadline expires; returns immediately when there
+    is no deadline.  Used by the fault injector's "hang" class. *)
+
+val now : unit -> float
+(** [Unix.gettimeofday], exposed for elapsed-time bookkeeping. *)
 
 val pp_bytes : Format.formatter -> float -> unit
 (** Human-readable byte counts ("1.5MB"). *)

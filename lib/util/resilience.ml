@@ -1,0 +1,159 @@
+type phase =
+  | Transform
+  | Seg_build
+  | Rv_summary
+  | Vf_summary
+  | Engine_source
+  | Solver_query
+
+let all_phases =
+  [ Transform; Seg_build; Rv_summary; Vf_summary; Engine_source; Solver_query ]
+
+let phase_name = function
+  | Transform -> "transform"
+  | Seg_build -> "seg-build"
+  | Rv_summary -> "rv-summary"
+  | Vf_summary -> "vf-summary"
+  | Engine_source -> "engine-source"
+  | Solver_query -> "solver-query"
+
+type incident = {
+  phase : phase;
+  subject : string;
+  detail : string;
+  fallback : string;
+  elapsed_s : float;
+}
+
+type log = { mutable rev_incidents : incident list; mutable n : int }
+
+let create () = { rev_incidents = []; n = 0 }
+
+let record log i =
+  log.rev_incidents <- i :: log.rev_incidents;
+  log.n <- log.n + 1
+
+let incidents log = List.rev log.rev_incidents
+let count log = log.n
+
+let clear log =
+  log.rev_incidents <- [];
+  log.n <- 0
+
+let by_phase log =
+  List.filter_map
+    (fun p ->
+      match
+        List.length (List.filter (fun i -> i.phase = p) log.rev_incidents)
+      with
+      | 0 -> None
+      | n -> Some (p, n))
+    all_phases
+
+exception Injected_crash
+
+let () =
+  Printexc.register_printer (function
+    | Injected_crash -> Some "injected: crash"
+    | _ -> None)
+
+let protect ?log ~phase ~subject ~fallback_note ~fallback f =
+  let t0 = Metrics.now () in
+  try f () with
+  | Out_of_memory -> raise Out_of_memory
+  | exn ->
+    (match log with
+    | Some log ->
+      record log
+        {
+          phase;
+          subject;
+          detail = Printexc.to_string exn;
+          fallback = fallback_note;
+          elapsed_s = Metrics.now () -. t0;
+        }
+    | None -> ());
+    fallback
+
+let pp_incident ppf i =
+  Format.fprintf ppf "[%s] %s: %s -> %s (%a)" (phase_name i.phase) i.subject
+    i.detail i.fallback Metrics.pp_duration i.elapsed_s
+
+let pp_summary ppf log =
+  Format.fprintf ppf "%d incident(s)" (count log);
+  List.iter
+    (fun (p, n) -> Format.fprintf ppf "; %s: %d" (phase_name p) n)
+    (by_phase log)
+
+module Inject = struct
+  type fault = Crash | Hang | Unknown_verdict
+  type seg_fault = Seg_drop | Seg_truncate | Seg_crash
+
+  type config = {
+    seed : int;
+    solver_fault_rate : float;
+    solver_faults : fault list;
+    seg_drop_rate : float;
+    seg_truncate_rate : float;
+    seg_crash_rate : float;
+    only : string list;
+  }
+
+  let default =
+    {
+      seed = 0;
+      solver_fault_rate = 0.0;
+      solver_faults = [ Crash; Hang; Unknown_verdict ];
+      seg_drop_rate = 0.0;
+      seg_truncate_rate = 0.0;
+      seg_crash_rate = 0.0;
+      only = [];
+    }
+
+  let fault_name = function
+    | Crash -> "crash"
+    | Hang -> "hang"
+    | Unknown_verdict -> "unknown-verdict"
+
+  let seg_fault_name = function
+    | Seg_drop -> "seg-drop"
+    | Seg_truncate -> "seg-truncate"
+    | Seg_crash -> "seg-crash"
+
+  type state = { cfg : config; solver_stream : Prng.t }
+
+  let active : state option ref = ref None
+
+  let install cfg =
+    active := Some { cfg; solver_stream = Prng.create cfg.seed }
+
+  let clear () = active := None
+  let enabled () = !active <> None
+
+  let solver_fault () =
+    match !active with
+    | None -> None
+    | Some { cfg; solver_stream } ->
+      if cfg.solver_faults <> [] && Prng.chance solver_stream cfg.solver_fault_rate
+      then Some (Prng.choose_list solver_stream cfg.solver_faults)
+      else None
+
+  (* SEG fault decisions hash the function name into the seed so that the
+     outcome does not depend on the order functions are built in. *)
+  let seg_fault fname =
+    match !active with
+    | None -> None
+    | Some { cfg; _ } ->
+      if cfg.only <> [] && not (List.mem fname cfg.only) then None
+      else begin
+        let g = Prng.create (cfg.seed lxor Hashtbl.hash fname) in
+        let roll = Prng.float g 1.0 in
+        if roll < cfg.seg_crash_rate then Some Seg_crash
+        else if roll < cfg.seg_crash_rate +. cfg.seg_drop_rate then
+          Some Seg_drop
+        else if
+          roll < cfg.seg_crash_rate +. cfg.seg_drop_rate +. cfg.seg_truncate_rate
+        then Some Seg_truncate
+        else None
+      end
+end

@@ -19,4 +19,5 @@ let () =
       ("corpus", Test_corpus.suite);
       ("pathcond", Test_pathcond.suite);
       ("leak", Test_leak.suite);
+      ("resilience", Test_resilience.suite);
     ]
