@@ -447,7 +447,7 @@ let solverstats () =
     "points-to stage:    %d conditions kept (apparently satisfiable), %d pruned => %.0f%% satisfiable (paper: ~70%%)@."
     kept pruned
     (100.0 *. float_of_int kept /. float_of_int (max 1 (kept + pruned)));
-  let s = Pinpoint_smt.Solver.stats in
+  let s = Pinpoint_smt.Solver.stats () in
   Format.printf
     "full solver (bug stage): %d queries (%d sat, %d unsat, %d unknown), %d theory calls@."
     s.Pinpoint_smt.Solver.n_queries s.n_sat s.n_unsat s.n_unknown s.n_theory_calls
@@ -724,6 +724,127 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel runtime: --jobs sweep over the domain pool (DESIGN.md §4.9).
+   Measures prepare (transform + SEG + RV on SCC waves) and the UAF check
+   (per-source fan-out) at 1/2/4/8 domains, verifies the report keys are
+   identical at every level, and dumps machine-readable results to
+   BENCH_par.json.  Speedups are only expected when the host has spare
+   cores — on a 1-core container the sweep honestly measures the
+   oversubscription overhead instead. *)
+
+let par () =
+  Format.printf "@.== Parallel runtime: domain pool + SCC waves ==@.@.";
+  let n_cores = Domain.recommended_domain_count () in
+  Format.printf "host: %d recommended domain(s)%s@.@." n_cores
+    (if n_cores = 1 then
+       " — 1-core container, so jobs > 1 measures scheduling/GC overhead, not speedup"
+     else "");
+  let jobs_levels = [ 1; 2; 4; 8 ] in
+  let measure_one name =
+    let info =
+      match Subjects.find name with Some i -> i | None -> assert false
+    in
+    let subject = Subjects.generate info in
+    let runs =
+      List.map
+        (fun jobs ->
+          (* the transform rewrites the program in place: recompile per run *)
+          let prog = Gen.compile subject in
+          let run pool =
+            let analysis, prep_m =
+              Metrics.measure (fun () -> Pinpoint.Analysis.prepare ?pool prog)
+            in
+            let reports, check_m =
+              Metrics.measure (fun () ->
+                  fst
+                    (Pinpoint.Analysis.check analysis
+                       Pinpoint.Checkers.use_after_free))
+            in
+            ( prep_m.Metrics.wall_s,
+              check_m.Metrics.wall_s,
+              List.sort_uniq compare
+                (List.map Pinpoint.Report.key
+                   (List.filter Pinpoint.Report.is_reported reports)) )
+          in
+          let prep_s, check_s, keys =
+            if jobs <= 1 then run None
+            else Pinpoint_par.Pool.with_pool ~jobs (fun p -> run (Some p))
+          in
+          (jobs, prep_s, check_s, keys))
+        jobs_levels
+    in
+    let identical =
+      match runs with
+      | (_, _, _, k1) :: rest ->
+        List.for_all
+          (fun (j, _, _, k) ->
+            if k <> k1 then
+              Format.printf "  !! %s: reports at jobs=%d differ from jobs=1@."
+                name j;
+            k = k1)
+          rest
+      | [] -> true
+    in
+    (name, subject.Gen.loc, runs, identical)
+  in
+  let results = List.map measure_one [ "vortex"; "mysql" ] in
+  List.iter
+    (fun (name, loc, runs, identical) ->
+      Format.printf "%s (%d LoC): reports %s across jobs levels@." name loc
+        (if identical then "identical" else "DIFFER");
+      let base =
+        match runs with (_, p, c, _) :: _ -> p +. c | [] -> 0.0
+      in
+      let rows =
+        List.map
+          (fun (jobs, prep_s, check_s, _) ->
+            let total = prep_s +. check_s in
+            [
+              string_of_int jobs;
+              str "%a" pp_dur prep_s;
+              str "%a" pp_dur check_s;
+              str "%a" pp_dur total;
+              str "%.2fx" (if total > 0.0 then base /. total else 1.0);
+            ])
+          runs
+      in
+      Pp.table
+        ~header:[ "jobs"; "prepare"; "check"; "total"; "speedup" ]
+        ~rows Format.std_formatter ();
+      Format.printf "@.")
+    results;
+  (* machine-readable dump; hand-rolled JSON (no JSON dependency) *)
+  let oc = open_out "BENCH_par.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"experiment\": \"par\",\n  \"cores\": %d,\n  \"subjects\": [\n"
+    n_cores;
+  List.iteri
+    (fun i (name, loc, runs, identical) ->
+      let base =
+        match runs with (_, p, c, _) :: _ -> p +. c | [] -> 0.0
+      in
+      out "    {\"name\": %S, \"loc\": %d, \"reports_identical\": %b, \"runs\": [\n"
+        name loc identical;
+      List.iteri
+        (fun j (jobs, prep_s, check_s, _) ->
+          let total = prep_s +. check_s in
+          out
+            "      {\"jobs\": %d, \"prepare_s\": %.6f, \"check_s\": %.6f, \
+             \"total_s\": %.6f, \"speedup\": %.3f}%s\n"
+            jobs prep_s check_s total
+            (if total > 0.0 then base /. total else 1.0)
+            (if j = List.length runs - 1 then "" else ","))
+        runs;
+      out "    ]}%s\n" (if i = List.length results - 1 then "" else ",");
+      ignore identical)
+    results;
+  out "  ]\n}\n";
+  close_out oc;
+  Format.printf "(wrote BENCH_par.json)@."
+
+(* ------------------------------------------------------------------ *)
+
 let experiments =
   [
     ("fig7", fig7);
@@ -738,6 +859,7 @@ let experiments =
     ("ablation", ablation);
     ("leaks", leaks);
     ("resilience", resilience);
+    ("par", par);
     ("micro", micro);
   ]
 

@@ -86,6 +86,20 @@ let inject_seg_rate_arg =
           "Probability that a function's SEG is sabotaged, split evenly over \
            drop / truncate / crash-during-build.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run the analysis on $(docv) domains (default 1 = sequential).  \
+           Reports, stats and injected faults are identical at every level.")
+
+(* [--jobs 1] must be the plain sequential pipeline — no pool, no domains —
+   so it stays byte-for-byte the historical code path. *)
+let with_jobs jobs f =
+  if jobs <= 1 then f None
+  else Pinpoint_par.Pool.with_pool ~jobs (fun p -> f (Some p))
+
 let install_injection ~seed ~rate ~seg_rate =
   if rate > 0.0 || seg_rate > 0.0 then
     Pinpoint_util.Resilience.Inject.(
@@ -111,9 +125,11 @@ let print_incidents ~verbose (a : Pinpoint.Analysis.t) =
   end
 
 let check_cmd =
-  let run file checkers verbose confirm deadline_s budget_s seed rate seg_rate =
+  let run file checkers verbose confirm deadline_s budget_s seed rate seg_rate
+      jobs =
     install_injection ~seed ~rate ~seg_rate;
-    match Pinpoint.Analysis.prepare_file file with
+    with_jobs jobs @@ fun pool ->
+    match Pinpoint.Analysis.prepare_file ?pool file with
     | exception Pinpoint_frontend.Parser.Error (msg, line) ->
       Printf.eprintf "%s:%d: parse error: %s\n" file line msg;
       exit 1
@@ -181,7 +197,7 @@ let check_cmd =
     Term.(
       const run $ file_arg $ checkers_arg $ verbose_arg $ confirm_arg
       $ deadline_arg $ solver_budget_arg $ inject_seed_arg $ inject_rate_arg
-      $ inject_seg_rate_arg)
+      $ inject_seg_rate_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info "check" ~doc:"Run checkers on an MC source file") term
 
@@ -258,9 +274,10 @@ let baseline_cmd =
   Cmd.v (Cmd.info "baseline" ~doc:"Run a baseline tool on an MC source file") term
 
 let leaks_cmd =
-  let run file seed rate seg_rate =
+  let run file seed rate seg_rate jobs =
     install_injection ~seed ~rate ~seg_rate;
-    let a = Pinpoint.Analysis.prepare_file file in
+    with_jobs jobs @@ fun pool ->
+    let a = Pinpoint.Analysis.prepare_file ?pool file in
     let reports =
       Pinpoint.Leak.check ~resilience:a.Pinpoint.Analysis.resilience
         a.Pinpoint.Analysis.prog ~seg_of:(Pinpoint.Analysis.seg_of a)
@@ -274,13 +291,14 @@ let leaks_cmd =
   let term =
     Term.(
       const run $ file_arg $ inject_seed_arg $ inject_rate_arg
-      $ inject_seg_rate_arg)
+      $ inject_seg_rate_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info "leaks" ~doc:"Run the memory-leak checker") term
 
 let stats_cmd =
-  let run file =
-    let a = Pinpoint.Analysis.prepare_file file in
+  let run file jobs =
+    with_jobs jobs @@ fun pool ->
+    let a = Pinpoint.Analysis.prepare_file ?pool file in
     let v, e = Pinpoint.Analysis.seg_size a in
     let prog = a.Pinpoint.Analysis.prog in
     Format.printf "functions: %d   statements: %d   SEG: %d vertices, %d edges@."
@@ -320,7 +338,7 @@ let stats_cmd =
           sv se iface)
       (Pinpoint_ir.Prog.functions prog)
   in
-  let term = Term.(const run $ file_arg) in
+  let term = Term.(const run $ file_arg $ jobs_arg) in
   Cmd.v (Cmd.info "stats" ~doc:"Per-function analysis statistics") term
 
 let list_cmd =

@@ -16,6 +16,8 @@ type t = {
   rv : Pinpoint_summary.Rv.t;
   metrics : phase_metrics;
   resilience : Resilience.log;
+  pool : Pinpoint_par.Pool.t option;
+      (* carried so [check] fans its per-source searches out too *)
 }
 
 let seg_of t name = Hashtbl.find_opt t.segs name
@@ -62,32 +64,78 @@ let build_seg log (f : Pinpoint_ir.Func.t) pta : Seg.t option =
           Some (Seg.truncate seg ~keep:0.5)
         | _ -> Some seg)
 
-let prepare_with frontend_m (prog : Pinpoint_ir.Prog.t) : t =
+(* Force every variable's SMT symbol in program order.  [Var.symbol] is
+   lazy and the symbol registry assigns ids in creation order; forcing
+   them here — sequentially, after the transform has added its conduit
+   variables — pins the id assignment to program order so the parallel
+   phases that follow only ever read existing symbols. *)
+let force_symbols (prog : Pinpoint_ir.Prog.t) =
+  List.iter
+    (fun (f : Pinpoint_ir.Func.t) ->
+      List.iter
+        (fun v -> ignore (Pinpoint_ir.Var.symbol v))
+        f.Pinpoint_ir.Func.params;
+      Pinpoint_ir.Func.iter_stmts f (fun _ s ->
+          List.iter
+            (fun v -> ignore (Pinpoint_ir.Var.symbol v))
+            (Pinpoint_ir.Stmt.def s);
+          List.iter
+            (fun v -> ignore (Pinpoint_ir.Var.symbol v))
+            (Pinpoint_ir.Stmt.uses s)))
+    (Pinpoint_ir.Prog.functions prog)
+
+let prepare_with ?pool frontend_m (prog : Pinpoint_ir.Prog.t) : t =
   let resilience = Resilience.create () in
+  Option.iter
+    (fun p -> Pinpoint_par.Pool.set_log p (Some resilience))
+    pool;
+  (* Fold the worker domains' allocation into each phase measurement
+     ([Gc.allocated_bytes] is domain-local). *)
+  let extra_alloc =
+    match pool with
+    | Some p -> fun () -> Pinpoint_par.Pool.allocated_bytes p
+    | None -> fun () -> 0.0
+  in
   let transform, tm =
-    Metrics.measure (fun () ->
-        Pinpoint_transform.Transform.run ~resilience prog)
+    Metrics.measure ~extra_alloc (fun () ->
+        Pinpoint_transform.Transform.run ~resilience ?pool prog)
   in
   let segs, sm =
-    Metrics.measure (fun () ->
+    Metrics.measure ~extra_alloc (fun () ->
+        (* Sequential prologue pinning allocation-ordered ids to program
+           order (symbols, abstract heap addresses) — after this, SEG
+           builds are order-independent and can fan out. *)
+        force_symbols prog;
+        let funcs = Array.of_list (Pinpoint_ir.Prog.functions prog) in
+        Seg.reserve_addresses (Array.to_list funcs);
+        let build (f : Pinpoint_ir.Func.t) =
+          match
+            Hashtbl.find_opt transform.Pinpoint_transform.Transform.ptas
+              f.Pinpoint_ir.Func.fname
+          with
+          | Some pta -> build_seg resilience f pta
+          | None -> None
+        in
+        let built =
+          match pool with
+          | Some p when Pinpoint_par.Pool.jobs p > 1 ->
+            Pinpoint_par.Pool.parallel_map p build funcs
+          | _ -> Array.map (fun f -> Some (build f)) funcs
+        in
         let segs = Hashtbl.create 64 in
-        List.iter
-          (fun (f : Pinpoint_ir.Func.t) ->
-            match
-              Hashtbl.find_opt transform.Pinpoint_transform.Transform.ptas
-                f.Pinpoint_ir.Func.fname
-            with
-            | Some pta -> (
-              match build_seg resilience f pta with
-              | Some seg -> Hashtbl.replace segs f.Pinpoint_ir.Func.fname seg
-              | None -> ())
-            | None -> ())
-          (Pinpoint_ir.Prog.functions prog);
+        Array.iteri
+          (fun i r ->
+            match r with
+            | Some (Some seg) ->
+              Hashtbl.replace segs funcs.(i).Pinpoint_ir.Func.fname seg
+            | _ -> ())
+          built;
         segs)
   in
   let rv, rm =
-    Metrics.measure (fun () ->
-        Pinpoint_summary.Rv.generate ~resilience prog (Hashtbl.find_opt segs))
+    Metrics.measure ~extra_alloc (fun () ->
+        Pinpoint_summary.Rv.generate ~resilience ?pool prog
+          (Hashtbl.find_opt segs))
   in
   {
     prog;
@@ -97,21 +145,22 @@ let prepare_with frontend_m (prog : Pinpoint_ir.Prog.t) : t =
     metrics =
       { frontend = frontend_m; transform = tm; seg_build = sm; summaries = rm };
     resilience;
+    pool;
   }
 
 let zero_m = { Metrics.wall_s = 0.0; alloc_bytes = 0.0; major_words = 0.0 }
 
-let prepare prog = prepare_with zero_m prog
+let prepare ?pool prog = prepare_with ?pool zero_m prog
 
-let prepare_source ?(file = "<string>") src =
+let prepare_source ?pool ?(file = "<string>") src =
   let prog, fm =
     Metrics.measure (fun () -> Pinpoint_frontend.Lower.compile_string ~file src)
   in
-  prepare_with fm prog
+  prepare_with ?pool fm prog
 
-let prepare_file path =
+let prepare_file ?pool path =
   let prog, fm = Metrics.measure (fun () -> Pinpoint_frontend.Lower.compile_file path) in
-  prepare_with fm prog
+  prepare_with ?pool fm prog
 
 let seg_size t =
   Hashtbl.fold
@@ -119,8 +168,8 @@ let seg_size t =
     t.segs (0, 0)
 
 let check ?config t spec =
-  Engine.run ?config ~resilience:t.resilience t.prog ~seg_of:(seg_of t)
-    ~rv:t.rv spec
+  Engine.run ?config ~resilience:t.resilience ?pool:t.pool t.prog
+    ~seg_of:(seg_of t) ~rv:t.rv spec
 
 let check_all ?config t specs =
   List.map

@@ -25,6 +25,9 @@ type t = {
           analysis: per-function crashes (transform, SEG build, RV/VF
           summaries), per-source search crashes, solver degradations and
           injected faults all land here *)
+  pool : Pinpoint_par.Pool.t option;
+      (** the worker pool the preparation phases ran on, if any; [check]
+          reuses it for its per-source fan-out *)
 }
 
 val seg_of : t -> string -> Pinpoint_seg.Seg.t option
@@ -32,14 +35,18 @@ val seg_of : t -> string -> Pinpoint_seg.Seg.t option
 val incidents : t -> Pinpoint_util.Resilience.incident list
 (** Incidents accumulated so far, oldest first. *)
 
-val prepare : Pinpoint_ir.Prog.t -> t
+val prepare : ?pool:Pinpoint_par.Pool.t -> Pinpoint_ir.Prog.t -> t
 (** Run every phase up to (and including) summary generation on an
-    already-compiled program. *)
+    already-compiled program.  With [pool] (and more than one job) the
+    transform and RV phases run as bottom-up SCC waves and SEG builds fan
+    out per function; the result — SEGs, summaries, reports — is identical
+    to a sequential run (DESIGN.md §4.9).  The pool's incident log is
+    pointed at this analysis's {!t.resilience}. *)
 
-val prepare_source : ?file:string -> string -> t
+val prepare_source : ?pool:Pinpoint_par.Pool.t -> ?file:string -> string -> t
 (** Parse, compile and prepare MC source text. *)
 
-val prepare_file : string -> t
+val prepare_file : ?pool:Pinpoint_par.Pool.t -> string -> t
 
 val seg_size : t -> int * int
 (** Total (vertices, edges) over all SEGs — the Figure 7/8 size metric. *)

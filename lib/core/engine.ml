@@ -342,22 +342,22 @@ let rec dfs ctx ~fname ~(var : Var.t) ~stack ~expansions ~anchor ~src_fn
       end
   end
 
-let run ?(config = default_config) ?resilience (prog : Prog.t) ~seg_of ~rv
-    (spec : Checker_spec.t) : Report.t list * stats =
-  let stats =
-    {
-      n_sources = 0;
-      n_candidates = 0;
-      n_steps = 0;
-      n_solver_calls = 0;
-      n_rung_full = 0;
-      n_rung_halved = 0;
-      n_rung_linear = 0;
-      n_rung_gave_up = 0;
-      n_incidents = 0;
-      solver = Solver.zero ();
-    }
-  in
+let zero_stats () =
+  {
+    n_sources = 0;
+    n_candidates = 0;
+    n_steps = 0;
+    n_solver_calls = 0;
+    n_rung_full = 0;
+    n_rung_halved = 0;
+    n_rung_linear = 0;
+    n_rung_gave_up = 0;
+    n_incidents = 0;
+    solver = Solver.zero ();
+  }
+
+let run ?(config = default_config) ?resilience ?pool (prog : Prog.t) ~seg_of
+    ~rv (spec : Checker_spec.t) : Report.t list * stats =
   let incidents_before =
     match resilience with Some l -> Resilience.count l | None -> 0
   in
@@ -375,69 +375,119 @@ let run ?(config = default_config) ?resilience (prog : Prog.t) ~seg_of ~rv
     | Some vf -> (config, vf)
     | None -> ({ config with use_vf_pruning = false }, Vf.empty ())
   in
-  let ctx =
-    {
-      prog;
-      seg_of;
-      rv;
-      vf;
-      spec;
-      rev = reverse_calls prog;
-      cfg = config;
-      stats;
-      resilience;
-      reports = [];
-      found_for_source = 0;
-      steps_this_source = 0;
-      seen = Hashtbl.create 1024;
-      dedup = Hashtbl.create 64;
-    }
+  let rev = reverse_calls prog in
+  (* Enumerate sources up front, in program order — this order, not task
+     completion order, decides the final report list, cross-source
+     deduplication and stats totals, so the output is identical at every
+     [--jobs] level. *)
+  let sources =
+    List.concat_map
+      (fun (f : Func.t) ->
+        match seg_of f.Func.fname with
+        | None -> []
+        | Some seg ->
+          List.map
+            (fun ((v : Var.t), sid) -> (f, v, sid))
+            (spec.Checker_spec.sources seg))
+      (Prog.functions prog)
   in
-  (* Per-run solver counters: reset the global counters for the duration of
-     the run and merge them back afterwards, so nested/interleaved callers
-     still see a consistent total. *)
-  let outer = Solver.snapshot () in
-  Solver.reset_stats ();
-  Fun.protect
-    ~finally:(fun () ->
-      let mine = Solver.snapshot () in
-      stats.solver <- mine;
-      Solver.restore (Solver.merge outer mine))
-    (fun () ->
-      List.iter
-        (fun (f : Func.t) ->
-          match seg_of f.Func.fname with
-          | None -> ()
-          | Some seg ->
-            List.iter
-              (fun ((v : Var.t), sid) ->
-                stats.n_sources <- stats.n_sources + 1;
-                ctx.found_for_source <- 0;
-                ctx.steps_this_source <- 0;
-                Hashtbl.reset ctx.seen;
-                let rpath =
-                  [ Vpath.Hsource { fname = f.Func.fname; var = v; sid } ]
-                in
-                (* Per-source barrier: a crash while searching from one
-                   source records an incident and moves on to the next
-                   source; the reports already emitted survive. *)
-                Resilience.protect ?log:resilience
-                  ~phase:Resilience.Engine_source
-                  ~subject:(Printf.sprintf "%s:%d" f.Func.fname sid)
-                  ~fallback_note:"source abandoned; prior reports kept"
-                  ~fallback:()
-                  (fun () ->
-                    try
-                      dfs ctx ~fname:f.Func.fname ~var:v ~stack:[]
-                        ~expansions:0 ~anchor:(Some sid)
-                        ~src_fn:f.Func.fname ~src_sid:sid rpath
-                    with
-                    | Stop_search -> ()
-                    | Metrics.Timeout -> ()))
-              (spec.Checker_spec.sources seg))
-        (Prog.functions prog));
+  (* One task per source, with a task-local context: searches from
+     different sources never share search state, so they can run on any
+     domain in any order.  The solver counters are domain-local; each task
+     measures its own delta on the domain that ran it. *)
+  let run_source ((f : Func.t), (v : Var.t), sid) =
+    let subject = Printf.sprintf "%s:%d" f.Func.fname sid in
+    let ctx =
+      {
+        prog;
+        seg_of;
+        rv;
+        vf;
+        spec;
+        rev;
+        cfg = config;
+        stats = zero_stats ();
+        resilience;
+        reports = [];
+        found_for_source = 0;
+        steps_this_source = 0;
+        seen = Hashtbl.create 1024;
+        dedup = Hashtbl.create 16;
+      }
+    in
+    let s0 = Solver.snapshot () in
+    (* The per-source injection stream is keyed by the source site (not by
+       global query order), so the same seed sabotages the same queries at
+       every [--jobs] level.  Per-source barrier: a crash while searching
+       from one source records an incident and moves on; the reports
+       already emitted survive. *)
+    Resilience.Inject.with_solver_stream subject (fun () ->
+        Resilience.protect ?log:resilience ~phase:Resilience.Engine_source
+          ~subject ~fallback_note:"source abandoned; prior reports kept"
+          ~fallback:()
+          (fun () ->
+            try
+              dfs ctx ~fname:f.Func.fname ~var:v ~stack:[] ~expansions:0
+                ~anchor:(Some sid) ~src_fn:f.Func.fname ~src_sid:sid
+                [ Vpath.Hsource { fname = f.Func.fname; var = v; sid } ]
+            with
+            | Stop_search -> ()
+            | Metrics.Timeout -> ()));
+    (List.rev ctx.reports, ctx.stats, Solver.diff (Solver.snapshot ()) s0)
+  in
+  let src_arr = Array.of_list sources in
+  let m0 = Solver.snapshot () in
+  let results =
+    match pool with
+    | Some pool when Pinpoint_par.Pool.jobs pool > 1 ->
+      Pinpoint_par.Pool.parallel_map pool run_source src_arr
+    | _ -> Array.map (fun s -> Some (run_source s)) src_arr
+  in
+  let main_delta = Solver.diff (Solver.snapshot ()) m0 in
+  (* Deterministic merge, in source-enumeration order.  Cross-source
+     duplicate suppression happens here (task contexts are independent):
+     the first source to produce a (source line, sink line) key keeps its
+     report, later ones are dropped — the order sequential search would
+     have kept them in. *)
+  let stats = zero_stats () in
+  let dedup = Hashtbl.create 64 in
+  let reports = ref [] in
+  Array.iter
+    (function
+      | None -> () (* task lost to a pool-level fault; incident logged *)
+      | Some (rs, (st : stats), delta) ->
+        stats.n_candidates <- stats.n_candidates + st.n_candidates;
+        stats.n_steps <- stats.n_steps + st.n_steps;
+        stats.n_solver_calls <- stats.n_solver_calls + st.n_solver_calls;
+        stats.n_rung_full <- stats.n_rung_full + st.n_rung_full;
+        stats.n_rung_halved <- stats.n_rung_halved + st.n_rung_halved;
+        stats.n_rung_linear <- stats.n_rung_linear + st.n_rung_linear;
+        stats.n_rung_gave_up <- stats.n_rung_gave_up + st.n_rung_gave_up;
+        stats.solver <- Solver.merge stats.solver delta;
+        List.iter
+          (fun (r : Report.t) ->
+            let dk =
+              ( r.Report.source_fn,
+                r.Report.source_loc.Stmt.line,
+                r.Report.sink_fn,
+                r.Report.sink_loc.Stmt.line )
+            in
+            if not (Hashtbl.mem dedup dk) then begin
+              Hashtbl.add dedup dk ();
+              reports := r :: !reports
+            end)
+          rs)
+    results;
+  stats.n_sources <- Array.length src_arr;
+  (* Fold the worker domains' solver counters into the calling domain's
+     ambient record, so an enclosing measurement (bench, nested runs) sees
+     the same totals as a sequential run would have accumulated.  The
+     calling domain's own share ([main_delta], including tasks it helped
+     run) is already there — add only the remainder. *)
+  Solver.restore
+    (Solver.merge (Solver.snapshot ()) (Solver.diff stats.solver main_delta));
   stats.n_incidents <-
     (match resilience with
     | Some l -> Resilience.count l - incidents_before
     | None -> 0);
-  (List.rev ctx.reports, stats)
+  (List.rev !reports, stats)

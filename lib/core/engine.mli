@@ -55,6 +55,7 @@ type stats = {
 val run :
   ?config:config ->
   ?resilience:Pinpoint_util.Resilience.log ->
+  ?pool:Pinpoint_par.Pool.t ->
   Pinpoint_ir.Prog.t ->
   seg_of:(string -> Pinpoint_seg.Seg.t option) ->
   rv:Pinpoint_summary.Rv.t ->
@@ -69,4 +70,9 @@ val run :
     inside exception barriers — a crash records an incident on
     [resilience] (when given) and skips only that unit.  Feasibility
     queries go through the solver degradation ladder, so a run always
-    terminates with a report list. *)
+    terminates with a report list.
+
+    With [pool] (and more than one job) the per-source searches fan out
+    over the pool.  Searches are independent (task-local contexts, keyed
+    injection streams) and the merge is in source-enumeration order, so
+    the report list and stats are identical at every [--jobs] level. *)

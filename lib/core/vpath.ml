@@ -39,13 +39,14 @@ type t = hop list
 
 type frame = { fname : string; seg : Seg.t; clone : Clone.t }
 
-let frame_counter = ref 0
-
-let new_frame seg_of fname =
-  incr frame_counter;
+(* The frame counter is per-[condition] call (threaded, not global): frame
+   tags must depend only on the path being conditioned, so concurrent
+   per-source searches produce the same clone names as a sequential run. *)
+let new_frame counter seg_of fname =
+  incr counter;
   match seg_of fname with
   | Some seg ->
-    Some { fname; seg; clone = Clone.create (Printf.sprintf "%s_f%d" fname !frame_counter) }
+    Some { fname; seg; clone = Clone.create (Printf.sprintf "%s_f%d" fname !counter) }
   | None -> None
 
 (* Close a constraint against the RV summaries, then clone it into the
@@ -62,11 +63,11 @@ let add_formula rv fr acc formula =
   E.and_ acc (E.and_ (Clone.subst fr.clone formula) dd)
 
 let condition ~seg_of ~rv (path : t) : E.t =
-  frame_counter := 0;
+  let frame_counter = ref 0 in
   let acc = ref E.tru in
   let stack : frame list ref = ref [] in
   let push fname =
-    match new_frame seg_of fname with
+    match new_frame frame_counter seg_of fname with
     | Some fr -> stack := fr :: !stack
     | None -> ()
   in

@@ -26,13 +26,24 @@ let with_version gen v version =
     sym = None;
   }
 
+(* The lazy memoisation below is the one write to a [Var.t] after
+   construction, and segs of different functions can share vars (interface
+   clones), so two worker domains may race on it.  Double-checked locking
+   keeps the fast path allocation-free; [Analysis.prepare] additionally
+   pre-forces symbols in program order so ids stay deterministic. *)
+let sym_lock = Mutex.create ()
+
 let symbol v =
   match v.sym with
   | Some s -> s
   | None ->
-    let s = Pinpoint_smt.Symbol.fresh v.name (Ty.sort v.ty) in
-    v.sym <- Some s;
-    s
+    Mutex.protect sym_lock (fun () ->
+        match v.sym with
+        | Some s -> s
+        | None ->
+          let s = Pinpoint_smt.Symbol.fresh v.name (Ty.sort v.ty) in
+          v.sym <- Some s;
+          s)
 
 let term v = Pinpoint_smt.Expr.var (symbol v)
 let equal a b = a.vid = b.vid

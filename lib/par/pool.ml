@@ -1,0 +1,174 @@
+module R = Pinpoint_util.Resilience
+module Metrics = Pinpoint_util.Metrics
+
+type t = {
+  jobs : int;
+  mutable log : R.log option;
+  queue : (unit -> unit) Queue.t;
+  m : Mutex.t;
+  nonempty : Condition.t;  (* a task was enqueued, or [stop] was set *)
+  idle : Condition.t;      (* the queue drained and no task is running *)
+  mutable active : int;    (* tasks currently executing on workers/helpers *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t array;
+  alloc : float array;
+      (* Per-worker allocated bytes ([Gc.allocated_bytes] is domain-local
+         in OCaml 5, so the submitting domain's own measurement misses
+         everything the workers allocate).  Each slot is written only by
+         its own worker; [allocated_bytes] sums a racy but monotone
+         snapshot, which is all the metrics layer needs. *)
+}
+
+let jobs t = t.jobs
+let set_log t log = t.log <- log
+
+let note t ~t0 exn =
+  match t.log with
+  | None -> ()
+  | Some log ->
+    R.record log
+      {
+        R.phase = R.Par_task;
+        subject = "pool-task";
+        detail = Printexc.to_string exn;
+        fallback = "task result dropped";
+        elapsed_s = Metrics.now () -. t0;
+      }
+
+(* Every queued closure is pre-wrapped with this barrier, so a task can
+   never kill the domain that happens to execute it (worker or helping
+   caller).  [Out_of_memory] is swallowed too, deliberately: a dead worker
+   would deadlock the waiters, which is strictly worse than degrading to a
+   dropped task + incident. *)
+let guard t task () =
+  let t0 = Metrics.now () in
+  try task () with exn -> note t ~t0 exn
+
+let enqueue t task =
+  Mutex.lock t.m;
+  if t.stop then begin
+    Mutex.unlock t.m;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.m
+
+let finish_one t =
+  Mutex.lock t.m;
+  t.active <- t.active - 1;
+  if t.active = 0 && Queue.is_empty t.queue then Condition.broadcast t.idle;
+  Mutex.unlock t.m
+
+let try_run_one t =
+  Mutex.lock t.m;
+  if Queue.is_empty t.queue then begin
+    Mutex.unlock t.m;
+    false
+  end
+  else begin
+    let task = Queue.pop t.queue in
+    t.active <- t.active + 1;
+    Mutex.unlock t.m;
+    task ();
+    finish_one t;
+    true
+  end
+
+let rec worker t wid =
+  Mutex.lock t.m;
+  while Queue.is_empty t.queue && not t.stop do
+    Condition.wait t.nonempty t.m
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.m (* stop, queue drained *)
+  else begin
+    let task = Queue.pop t.queue in
+    t.active <- t.active + 1;
+    Mutex.unlock t.m;
+    let a0 = Gc.allocated_bytes () in
+    task ();
+    t.alloc.(wid) <- t.alloc.(wid) +. (Gc.allocated_bytes () -. a0);
+    finish_one t;
+    worker t wid
+  end
+
+let create ?log ~jobs () =
+  let jobs = max 1 jobs in
+  let n_workers = jobs - 1 in
+  let t =
+    {
+      jobs;
+      log;
+      queue = Queue.create ();
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      idle = Condition.create ();
+      active = 0;
+      stop = false;
+      domains = [||];
+      alloc = Array.make (max 1 n_workers) 0.0;
+    }
+  in
+  t.domains <- Array.init n_workers (fun wid -> Domain.spawn (fun () -> worker t wid));
+  t
+
+let submit t task =
+  let task = guard t task in
+  if t.jobs <= 1 then task () else enqueue t task
+
+let parallel_map (type a b) t (f : a -> b) (arr : a array) : b option array =
+  let n = Array.length arr in
+  let res : b option array = Array.make n None in
+  if t.jobs <= 1 || n <= 1 then
+    Array.iteri
+      (fun i x ->
+        let t0 = Metrics.now () in
+        try res.(i) <- Some (f x) with exn -> note t ~t0 exn)
+      arr
+  else begin
+    let m = Mutex.create () in
+    let fin = Condition.create () in
+    let remaining = ref n in
+    let run i () =
+      let t0 = Metrics.now () in
+      (try res.(i) <- Some (f arr.(i)) with exn -> note t ~t0 exn);
+      Mutex.lock m;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast fin;
+      Mutex.unlock m
+    in
+    for i = 0 to n - 1 do enqueue t (run i) done;
+    (* The caller is one of the [jobs] lanes: help drain the queue, then
+       wait for stragglers still running on workers. *)
+    while try_run_one t do () done;
+    Mutex.lock m;
+    while !remaining > 0 do Condition.wait fin m done;
+    Mutex.unlock m
+  end;
+  res
+
+let wait_idle t =
+  if t.jobs > 1 then begin
+    Mutex.lock t.m;
+    while not (Queue.is_empty t.queue && t.active = 0) do
+      Condition.wait t.idle t.m
+    done;
+    Mutex.unlock t.m
+  end
+
+let shutdown t =
+  if t.jobs > 1 then begin
+    wait_idle t;
+    Mutex.lock t.m;
+    let already = t.stop in
+    t.stop <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.m;
+    if not already then Array.iter Domain.join t.domains
+  end
+
+let with_pool ?log ~jobs f =
+  let t = create ?log ~jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let allocated_bytes t = Array.fold_left ( +. ) 0.0 t.alloc

@@ -1,0 +1,65 @@
+(** A fixed-size pool of worker domains.
+
+    The parallel runtime of the analysis (DESIGN.md §4.9): [Analysis],
+    [Transform], [Rv] and [Engine] hand their per-function / per-SCC /
+    per-source task units to a pool instead of running them inline.
+
+    Design points:
+
+    - {b jobs <= 1 means inline}: no domains are spawned and [submit] runs
+      the task on the calling domain immediately.  The sequential pipeline
+      is therefore exactly the code path exercised by a 1-core run, and
+      [--jobs 1] is byte-for-byte the historical behaviour.
+    - {b exception capture}: a task that escapes its own barriers never
+      kills a worker.  The exception is recorded as a [Par_task] incident
+      on the pool's {!Pinpoint_util.Resilience.log} (when one is attached
+      with {!set_log}) and, for {!parallel_map}, the slot yields [None].
+    - {b allocation accounting}: each worker tracks the bytes it allocates
+      (domain-local [Gc.allocated_bytes] deltas); {!allocated_bytes} sums
+      them so {!Pinpoint_util.Metrics.measure} can report whole-run
+      allocation, not just the submitting domain's. *)
+
+type t
+
+val create : ?log:Pinpoint_util.Resilience.log -> jobs:int -> unit -> t
+(** Spawn a pool of [max 0 (jobs - 1)] worker domains ([jobs] counts the
+    submitting domain: [jobs = 4] means at most 4 tasks run concurrently,
+    one of them on the caller inside {!parallel_map}).  [jobs <= 1] spawns
+    nothing and every task runs inline. *)
+
+val jobs : t -> int
+(** The configured concurrency level (>= 1). *)
+
+val set_log : t -> Pinpoint_util.Resilience.log option -> unit
+(** Attach (or detach) the incident log that receives [Par_task] records. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a fire-and-forget task.  Exceptions it raises are captured and
+    logged, never re-raised.  Runs inline when [jobs <= 1]. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b option array
+(** Apply [f] to every element, slot [i] of the result holding [Some (f
+    a.(i))] — or [None] if that application raised (the exception is
+    recorded as an incident).  The caller participates: with [jobs = n],
+    [n] applications run concurrently.  Result slots are positional, so
+    output order is independent of completion order. *)
+
+val try_run_one : t -> bool
+(** Pop one queued task and run it on the calling domain; [false] if the
+    queue was empty.  Lets a blocked coordinator (see {!Sched}) lend its
+    domain instead of idling. *)
+
+val wait_idle : t -> unit
+(** Block until every submitted task has finished and the queue is empty. *)
+
+val shutdown : t -> unit
+(** {!wait_idle}, then stop and join the workers.  The pool must not be
+    used afterwards.  Idempotent. *)
+
+val with_pool :
+  ?log:Pinpoint_util.Resilience.log -> jobs:int -> (t -> 'a) -> 'a
+(** [create], run the function, then {!shutdown} (also on exception). *)
+
+val allocated_bytes : t -> float
+(** Total bytes allocated by the worker domains so far (excluding the
+    submitting domain, which [Gc.allocated_bytes] already covers). *)

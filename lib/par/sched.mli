@@ -1,0 +1,21 @@
+(** SCC-wave scheduler for bottom-up interprocedural passes.
+
+    The transform and summary stages process functions callees-first: a
+    component of the call graph may start only when every component it
+    calls into has finished (its summaries/interfaces are then complete).
+    This module runs that partial order on a {!Pool}: components with no
+    unfinished callees are released immediately, and each completion
+    releases exactly the callers it unblocks — a rolling wave, not
+    lock-step levels. *)
+
+val run_bottom_up :
+  Pool.t -> Pinpoint_util.Digraph.t -> (int list -> unit) -> unit
+(** [run_bottom_up pool g f] calls [f members] once per strongly-connected
+    component of [g] (members as produced by
+    {!Pinpoint_util.Digraph.sccs}), guaranteeing that all components
+    reachable from a component via edges ([caller -> callee]) complete
+    before it starts.  With [Pool.jobs pool <= 1] this degenerates to
+    [List.iter f (Digraph.sccs g)] — the exact sequential order.  [f] runs
+    on worker domains (or the calling domain, which helps); it must do its
+    own locking around shared tables and must not raise (wrap the body in
+    {!Pinpoint_util.Resilience.protect}). *)

@@ -19,32 +19,35 @@ type t = {
 
 let max_depth = ref 3
 let quasi_pruning = ref true
-let n_kept = ref 0
-let n_pruned = ref 0
 
-let stats_sat_conditions () = (!n_kept, !n_pruned)
+(* RV generation runs one task per SCC across worker domains; atomics keep
+   the pruning counters exact without a lock. *)
+let n_kept = Atomic.make 0
+let n_pruned = Atomic.make 0
+
+let stats_sat_conditions () = (Atomic.get n_kept, Atomic.get n_pruned)
 
 let reset_stats () =
-  n_kept := 0;
-  n_pruned := 0
+  Atomic.set n_kept 0;
+  Atomic.set n_pruned 0
 
 let feasible cond =
   if E.is_false cond then begin
-    incr n_pruned;
+    Atomic.incr n_pruned;
     false
   end
   else if not !quasi_pruning then begin
     (* ablation mode: skip the linear-time filter entirely *)
-    incr n_kept;
+    Atomic.incr n_kept;
     true
   end
   else
     match Lin.check cond with
     | Lin.Unsat ->
-      incr n_pruned;
+      Atomic.incr n_pruned;
       false
     | Lin.Maybe ->
-      incr n_kept;
+      Atomic.incr n_kept;
       true
 
 let operand_equal a b =

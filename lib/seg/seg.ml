@@ -38,23 +38,43 @@ type t = {
   dd_memo : cres Var.Tbl.t;
   cd_block_memo : (int, cres) Hashtbl.t;
   mutable n_control_edges : int;
+  lock : Mutex.t;
+      (* Guards the memo tables: checkers running in different worker
+         domains share segs through interprocedural steps, so the public
+         DD/CD queries serialise per seg (contention is per-function, not
+         global).  Internal recursion runs with the lock already held. *)
 }
 
 let func t = t.func
 let pta t = t.pta
 
-(* Globally distinct abstract addresses for allocation sites. *)
+(* Globally distinct abstract addresses for allocation sites.  The table
+   is shared across functions (and thus across worker domains building
+   segs in parallel), so it is mutex-guarded; [reserve_addresses] lets the
+   driver assign the numbers in program order up front so they stay
+   deterministic under any schedule. *)
 let alloc_addrs : (string * int, int) Hashtbl.t = Hashtbl.create 256
 let alloc_next = ref 0
+let alloc_lock = Mutex.create ()
 
 let alloc_address fname sid =
-  match Hashtbl.find_opt alloc_addrs (fname, sid) with
-  | Some a -> a
-  | None ->
-    incr alloc_next;
-    let a = 1_000_000 + !alloc_next in
-    Hashtbl.add alloc_addrs (fname, sid) a;
-    a
+  Mutex.protect alloc_lock (fun () ->
+      match Hashtbl.find_opt alloc_addrs (fname, sid) with
+      | Some a -> a
+      | None ->
+        incr alloc_next;
+        let a = 1_000_000 + !alloc_next in
+        Hashtbl.add alloc_addrs (fname, sid) a;
+        a)
+
+let reserve_addresses (funcs : Func.t list) =
+  List.iter
+    (fun (f : Func.t) ->
+      Func.iter_stmts f (fun _blk s ->
+          match s.Stmt.kind with
+          | Stmt.Alloc _ -> ignore (alloc_address f.Func.fname s.Stmt.sid)
+          | _ -> ()))
+    funcs
 
 let true_res = { f = E.tru; params = Var.Set.empty; recvs = [] }
 
@@ -98,6 +118,7 @@ let build (f : Func.t) (pta : Pta.t) : t =
       dd_memo = Var.Tbl.create 64;
       cd_block_memo = Hashtbl.create 16;
       n_control_edges = 0;
+      lock = Mutex.create ();
     }
   in
   List.iter (register_sym t) f.Func.params;
@@ -230,6 +251,7 @@ let truncate t ~keep =
     use_tbl;
     dd_memo = Var.Tbl.create 64;
     cd_block_memo = Hashtbl.create 16;
+    lock = Mutex.create ();
   }
 
 let succs t v = Option.value (Var.Tbl.find_opt t.succ v) ~default:[]
@@ -379,6 +401,13 @@ let cd_stmt_split t sid =
   match Hashtbl.find_opt t.block_of sid with
   | Some b -> cd_block_split t b
   | None -> (E.tru, true_res)
+
+(* Locked public entry points (shadow the unlocked definitions above):
+   one lock per seg, taken once per query, recursion runs lock-held. *)
+let dd t v = Mutex.protect t.lock (fun () -> dd t v)
+let dd_expr t e = Mutex.protect t.lock (fun () -> dd_expr t e)
+let cd_stmt t sid = Mutex.protect t.lock (fun () -> cd_stmt t sid)
+let cd_stmt_split t sid = Mutex.protect t.lock (fun () -> cd_stmt_split t sid)
 
 let n_vertices t =
   (* variable vertices + use vertices (the v@s occurrences) *)

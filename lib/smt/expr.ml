@@ -1,4 +1,4 @@
-type t = { id : int; node : node }
+type t = { id : int; skey : int; node : node }
 
 and node =
   | True
@@ -56,18 +56,47 @@ let key_of = function
   | Mul (a, b) -> KMul (a.id, b.id)
   | Neg a -> KNeg a.id
 
+(* Structural rank of a node: a hash over node kinds, constants, symbol
+   names/sorts and children's ranks — everything {e except} allocation
+   order.  Node ids are allocation-ordered and thus schedule-dependent once
+   several domains intern concurrently, so formula structure must never
+   depend on them; [ordered] below canonicalises commutative operands by
+   this rank instead, which is identical on every run and at every [--jobs]
+   level. *)
+let skey_of = function
+  | True -> Hashtbl.hash 0
+  | False -> Hashtbl.hash 1
+  | Int n -> Hashtbl.hash (2, n)
+  | Var v -> Hashtbl.hash (3, Symbol.name v, Symbol.sort v)
+  | Not a -> Hashtbl.hash (4, a.skey)
+  | And (a, b) -> Hashtbl.hash (5, a.skey, b.skey)
+  | Or (a, b) -> Hashtbl.hash (6, a.skey, b.skey)
+  | Eq (a, b) -> Hashtbl.hash (7, a.skey, b.skey)
+  | Ne (a, b) -> Hashtbl.hash (8, a.skey, b.skey)
+  | Lt (a, b) -> Hashtbl.hash (9, a.skey, b.skey)
+  | Le (a, b) -> Hashtbl.hash (10, a.skey, b.skey)
+  | Add (a, b) -> Hashtbl.hash (11, a.skey, b.skey)
+  | Sub (a, b) -> Hashtbl.hash (12, a.skey, b.skey)
+  | Mul (a, b) -> Hashtbl.hash (13, a.skey, b.skey)
+  | Neg a -> Hashtbl.hash (14, a.skey)
+
+(* The hash-cons table is global and shared by every domain, so interning
+   is serialised by a mutex.  Ids are used only for equality, hashing and
+   memo keys — never for structure (see [skey_of] above). *)
 let table : (key, t) Hashtbl.t = Hashtbl.create 4096
 let counter = ref 0
+let lock = Mutex.create ()
 
 let make node =
   let k = key_of node in
-  match Hashtbl.find_opt table k with
-  | Some e -> e
-  | None ->
-    let e = { id = !counter; node } in
-    incr counter;
-    Hashtbl.add table k e;
-    e
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt table k with
+      | Some e -> e
+      | None ->
+        let e = { id = !counter; skey = skey_of node; node } in
+        incr counter;
+        Hashtbl.add table k e;
+        e)
 
 let n_created () = !counter
 let tru = make True
@@ -78,9 +107,12 @@ let var v = make (Var v)
 let is_true e = e.node = True
 let is_false e = e.node = False
 
-(* Commutative operators order their operands by id so that [a op b] and
-   [b op a] share a node. *)
-let ordered a b = if a.id <= b.id then (a, b) else (b, a)
+(* Commutative operators order their operands by structural rank so that
+   [a op b] and [b op a] share a node.  On a rank tie (hash collision, or
+   same-named symbols) construction order is kept, which is itself
+   deterministic — so the canonical form is identical on every run and at
+   every [--jobs] level, unlike the previous id-based ordering. *)
+let ordered a b = if a.skey <= b.skey then (a, b) else (b, a)
 
 let sort_of e =
   match e.node with

@@ -12,7 +12,17 @@
     the atom space canonical for both the linear-time solver and the full
     solver. *)
 
-type t = private { id : int; node : node }
+type t = private {
+  id : int;
+      (** Intern id: allocation-ordered, so schedule-dependent under
+          parallelism.  Valid for equality, hashing and memo keys only —
+          formula structure must never be derived from it. *)
+  skey : int;
+      (** Structural rank (hash of kinds, constants, symbol names and
+          children's ranks): schedule-independent; orders commutative
+          operands canonically. *)
+  node : node;
+}
 
 and node =
   | True

@@ -2,8 +2,10 @@ type verdict = Unsat | Maybe
 
 module ISet = Set.Make (Int)
 
-let n_checks = ref 0
-let n_unsat = ref 0
+(* Counters are shared across domains (the PTA phase and engine feasibility
+   checks both run in workers); atomics keep them exact without a lock. *)
+let n_checks = Atomic.make 0
+let n_unsat = Atomic.make 0
 
 (* Canonical atom id and polarity of an atomic boolean expression.
    Complement pairs map to the same canonical id with opposite polarity:
@@ -44,22 +46,22 @@ let rec pn polarity (e : Expr.t) : ISet.t * ISet.t =
     (ISet.empty, ISet.empty)
 
 let check e =
-  incr n_checks;
+  Atomic.incr n_checks;
   if Expr.is_false e then begin
-    incr n_unsat;
+    Atomic.incr n_unsat;
     Unsat
   end
   else begin
     let p, n = pn true e in
     if ISet.is_empty (ISet.inter p n) then Maybe
     else begin
-      incr n_unsat;
+      Atomic.incr n_unsat;
       Unsat
     end
   end
 
-let stats () = (!n_checks, !n_unsat)
+let stats () = (Atomic.get n_checks, Atomic.get n_unsat)
 
 let reset_stats () =
-  n_checks := 0;
-  n_unsat := 0
+  Atomic.set n_checks 0;
+  Atomic.set n_unsat 0

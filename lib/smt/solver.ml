@@ -23,26 +23,6 @@ type stats = {
   mutable n_degraded : int;
 }
 
-let stats =
-  {
-    n_queries = 0;
-    n_sat = 0;
-    n_unsat = 0;
-    n_unknown = 0;
-    n_theory_calls = 0;
-    n_deadline_abort = 0;
-    n_degraded = 0;
-  }
-
-let reset_stats () =
-  stats.n_queries <- 0;
-  stats.n_sat <- 0;
-  stats.n_unsat <- 0;
-  stats.n_unknown <- 0;
-  stats.n_theory_calls <- 0;
-  stats.n_deadline_abort <- 0;
-  stats.n_degraded <- 0
-
 let zero () =
   {
     n_queries = 0;
@@ -54,16 +34,36 @@ let zero () =
     n_degraded = 0;
   }
 
-let snapshot () = { stats with n_queries = stats.n_queries }
+(* Counters are domain-local: each worker accumulates into its own record
+   (no contention, no torn updates), and a parallel client measures a task
+   by [snapshot]/[diff] on the domain that ran it, then [merge]s the
+   deltas in a deterministic order. *)
+let stats_key : stats Domain.DLS.key = Domain.DLS.new_key zero
+let stats () = Domain.DLS.get stats_key
 
-let restore s =
-  stats.n_queries <- s.n_queries;
-  stats.n_sat <- s.n_sat;
-  stats.n_unsat <- s.n_unsat;
-  stats.n_unknown <- s.n_unknown;
-  stats.n_theory_calls <- s.n_theory_calls;
-  stats.n_deadline_abort <- s.n_deadline_abort;
-  stats.n_degraded <- s.n_degraded
+let reset_stats () =
+  let s = stats () in
+  s.n_queries <- 0;
+  s.n_sat <- 0;
+  s.n_unsat <- 0;
+  s.n_unknown <- 0;
+  s.n_theory_calls <- 0;
+  s.n_deadline_abort <- 0;
+  s.n_degraded <- 0
+
+let snapshot () =
+  let s = stats () in
+  { s with n_queries = s.n_queries }
+
+let restore s' =
+  let s = stats () in
+  s.n_queries <- s'.n_queries;
+  s.n_sat <- s'.n_sat;
+  s.n_unsat <- s'.n_unsat;
+  s.n_unknown <- s'.n_unknown;
+  s.n_theory_calls <- s'.n_theory_calls;
+  s.n_deadline_abort <- s'.n_deadline_abort;
+  s.n_degraded <- s'.n_degraded
 
 let merge a b =
   {
@@ -74,6 +74,17 @@ let merge a b =
     n_theory_calls = a.n_theory_calls + b.n_theory_calls;
     n_deadline_abort = a.n_deadline_abort + b.n_deadline_abort;
     n_degraded = a.n_degraded + b.n_degraded;
+  }
+
+let diff a b =
+  {
+    n_queries = a.n_queries - b.n_queries;
+    n_sat = a.n_sat - b.n_sat;
+    n_unsat = a.n_unsat - b.n_unsat;
+    n_unknown = a.n_unknown - b.n_unknown;
+    n_theory_calls = a.n_theory_calls - b.n_theory_calls;
+    n_deadline_abort = a.n_deadline_abort - b.n_deadline_abort;
+    n_degraded = a.n_degraded - b.n_degraded;
   }
 
 let sat_or_unknown = function Sat | Unknown -> true | Unsat -> false
@@ -168,7 +179,8 @@ let check_raw ~max_iters ~deadline (e : Expr.t) :
                 (fun v atom acc -> (atom, model.(v)) :: acc)
                 var_atom []
             in
-            stats.n_theory_calls <- stats.n_theory_calls + 1;
+            let st = stats () in
+            st.n_theory_calls <- st.n_theory_calls + 1;
             match Theory.check ~deadline literals with
             | Theory.Sat ->
               sat_model := literals;
@@ -213,14 +225,16 @@ let check_raw ~max_iters ~deadline (e : Expr.t) :
   end
 
 let record_verdict v =
+  let st = stats () in
   match v with
-  | Sat -> stats.n_sat <- stats.n_sat + 1
-  | Unsat -> stats.n_unsat <- stats.n_unsat + 1
-  | Unknown -> stats.n_unknown <- stats.n_unknown + 1
+  | Sat -> st.n_sat <- st.n_sat + 1
+  | Unsat -> st.n_unsat <- st.n_unsat + 1
+  | Unknown -> st.n_unknown <- st.n_unknown + 1
 
 let check_with_model ?(max_iters = 400) ?(deadline = Metrics.no_deadline)
     (e : Expr.t) : verdict * (Expr.t * bool) list =
-  stats.n_queries <- stats.n_queries + 1;
+  let st = stats () in
+  st.n_queries <- st.n_queries + 1;
   let v, m = check_raw ~max_iters ~deadline e in
   record_verdict v;
   (v, m)
@@ -238,7 +252,8 @@ let check ?max_iters ?deadline e = fst (check_with_model ?max_iters ?deadline e)
 let check_degrading ?(max_iters = 400) ?(budget_s = infinity)
     ?(deadline = Metrics.no_deadline) ?log ?(subject = "query") (e : Expr.t) :
     verdict * (Expr.t * bool) list * rung =
-  stats.n_queries <- stats.n_queries + 1;
+  let st = stats () in
+  st.n_queries <- st.n_queries + 1;
   let t0 = Metrics.now () in
   let incident detail fallback =
     match log with
@@ -272,7 +287,7 @@ let check_degrading ?(max_iters = 400) ?(budget_s = infinity)
     with
     | v, m -> Ok (v, m)
     | exception Metrics.Timeout ->
-      stats.n_deadline_abort <- stats.n_deadline_abort + 1;
+      st.n_deadline_abort <- st.n_deadline_abort + 1;
       Error
         (match sabotage with
         | Some Resilience.Inject.Hang -> "injected: hang (deadline exhausted)"
@@ -281,7 +296,7 @@ let check_degrading ?(max_iters = 400) ?(budget_s = infinity)
     | exception exn -> Error (Printexc.to_string exn)
   in
   let finish rung v m =
-    if rung <> Rung_full then stats.n_degraded <- stats.n_degraded + 1;
+    if rung <> Rung_full then st.n_degraded <- st.n_degraded + 1;
     record_verdict v;
     (v, m, rung)
   in

@@ -89,19 +89,30 @@ type stats = {
   mutable n_degraded : int;        (** queries decided below the full rung *)
 }
 
-val stats : stats
+val stats : unit -> stats
+(** The calling domain's counter record.  Counters are {e domain-local}
+    (one record per domain, via [Domain.DLS]): workers accumulate without
+    contention and a parallel client measures each task with
+    {!snapshot}/{!diff} on the domain that ran it, then {!merge}s the
+    deltas in a deterministic order. *)
+
 val reset_stats : unit -> unit
+(** Zero the calling domain's counters. *)
 
 val zero : unit -> stats
 (** A fresh all-zero counter record. *)
 
 val snapshot : unit -> stats
-(** An independent copy of the current counters. *)
+(** An independent copy of the calling domain's current counters. *)
 
 val restore : stats -> unit
-(** Overwrite the global counters with the given values.  Together with
-    {!snapshot} and {!merge} this lets {!Pinpoint.Engine.run} keep
-    per-run counts without corrupting an enclosing measurement. *)
+(** Overwrite the calling domain's counters with the given values.
+    Together with {!snapshot} and {!merge} this lets {!Pinpoint.Engine.run}
+    keep per-run counts without corrupting an enclosing measurement. *)
 
 val merge : stats -> stats -> stats
 (** Field-wise sum. *)
+
+val diff : stats -> stats -> stats
+(** [diff a b] is the field-wise difference [a - b] — the delta between
+    two snapshots taken on the same domain. *)

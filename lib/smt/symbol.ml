@@ -1,32 +1,41 @@
 type t = int
 type sort = Bool | Int
 
-(* Dynamic arrays for the registry; grow by doubling. *)
-let names = ref (Array.make 1024 "")
-let sorts = ref (Array.make 1024 Bool)
+(* The registry is global and written from every domain (SEG build forces
+   variable symbols, the engine's clone frames mint fresh ones), so
+   allocation is serialised by a mutex.  Readers don't take it: the arrays
+   are published through Atomic references, and a slot is written before
+   [next] admits its id — a reader holding a valid id always sees a fully
+   initialised slot through the same release/acquire pair. *)
+type registry = { names : string array; sorts : sort array }
+
+let reg = Atomic.make { names = Array.make 1024 ""; sorts = Array.make 1024 Bool }
 let next = ref 0
+let lock = Mutex.create ()
 
 let grow n =
-  if n > Array.length !names then begin
-    let cap = max n (2 * Array.length !names) in
+  let r = Atomic.get reg in
+  if n > Array.length r.names then begin
+    let cap = max n (2 * Array.length r.names) in
     let names' = Array.make cap "" in
-    Array.blit !names 0 names' 0 !next;
-    names := names';
+    Array.blit r.names 0 names' 0 !next;
     let sorts' = Array.make cap Bool in
-    Array.blit !sorts 0 sorts' 0 !next;
-    sorts := sorts'
+    Array.blit r.sorts 0 sorts' 0 !next;
+    Atomic.set reg { names = names'; sorts = sorts' }
   end
 
 let fresh nm so =
-  grow (!next + 1);
-  let id = !next in
-  !names.(id) <- nm;
-  !sorts.(id) <- so;
-  incr next;
-  id
+  Mutex.protect lock (fun () ->
+      grow (!next + 1);
+      let r = Atomic.get reg in
+      let id = !next in
+      r.names.(id) <- nm;
+      r.sorts.(id) <- so;
+      incr next;
+      id)
 
-let name id = !names.(id)
-let sort id = !sorts.(id)
+let name id = (Atomic.get reg).names.(id)
+let sort id = (Atomic.get reg).sorts.(id)
 let count () = !next
 let pp ppf id = Format.fprintf ppf "%s#%d" (name id) id
 

@@ -32,20 +32,26 @@ let lsub a b = ladd a (lneg b)
 let lvar key = { coeffs = IMap.singleton key Rat.one; const = Rat.zero }
 let is_const l = IMap.is_empty l.coeffs
 
-(* Uninterpreted-term keys live above the symbol id space. *)
+(* Uninterpreted-term keys live above the symbol id space.  The intern
+   table is global (shared by concurrent solver queries), so it is guarded
+   by a mutex.  Key values are first-come and thus schedule-dependent; they
+   only order map traversals (pivot selection), which cannot change a
+   decided verdict — elimination is complete on the linear fragment. *)
 let ut_table : (int * int, int) Hashtbl.t = Hashtbl.create 64
 let ut_next = ref 0
 let ut_base = 1 lsl 40
+let ut_lock = Mutex.create ()
 
 let ut_key a b =
   let k = if a <= b then (a, b) else (b, a) in
-  match Hashtbl.find_opt ut_table k with
-  | Some id -> id
-  | None ->
-    let id = ut_base + !ut_next in
-    incr ut_next;
-    Hashtbl.add ut_table k id;
-    id
+  Mutex.protect ut_lock (fun () ->
+      match Hashtbl.find_opt ut_table k with
+      | Some id -> id
+      | None ->
+        let id = ut_base + !ut_next in
+        incr ut_next;
+        Hashtbl.add ut_table k id;
+        id)
 
 (* Boolean variables appearing in arithmetic position get their own key
    space (cannot happen with well-sorted input, but be safe). *)

@@ -16,15 +16,19 @@ let find t name = Hashtbl.find_opt t.tbl name
 
 (* Close a constraint: resolve its receiver dependences with callee RV
    summaries, cloning callee symbols and binding callee formals to actual
-   terms; recursively pull in the data dependence of those actuals. *)
-let rec close_cres t (seg : Seg.t) depth (cres : Seg.cres) : E.t * Var.Set.t =
+   terms; recursively pull in the data dependence of those actuals.
+   [lookup] abstracts the summary table: during parallel generation it
+   routes through a per-SCC overlay + locked shared table, at engine time
+   it is a plain (read-only) [Hashtbl.find_opt]. *)
+let rec close_cres t ~lookup (seg : Seg.t) depth (cres : Seg.cres) :
+    E.t * Var.Set.t =
   if depth <= 0 then (cres.Seg.f, cres.Seg.params)
   else begin
     let acc_f = ref cres.Seg.f in
     let acc_p = ref cres.Seg.params in
     List.iter
       (fun (r : Seg.recv_dep) ->
-        match Hashtbl.find_opt t.tbl r.Seg.callee with
+        match lookup r.Seg.callee with
         | Some entries
           when r.Seg.ret_index >= 0 && r.Seg.ret_index < Array.length entries -> (
           match entries.(r.Seg.ret_index) with
@@ -47,7 +51,9 @@ let rec close_cres t (seg : Seg.t) depth (cres : Seg.cres) : E.t * Var.Set.t =
                       (* pull in the actual's own data dependence *)
                       (match actual with
                       | Stmt.Ovar av ->
-                        let f', p' = close_cres t seg (depth - 1) (Seg.dd seg av) in
+                        let f', p' =
+                          close_cres t ~lookup seg (depth - 1) (Seg.dd seg av)
+                        in
                         acc_f := E.and_ !acc_f f';
                         acc_p := Var.Set.union !acc_p p'
                       | _ -> ())
@@ -63,52 +69,75 @@ let rec close_cres t (seg : Seg.t) depth (cres : Seg.cres) : E.t * Var.Set.t =
     else (!acc_f, !acc_p)
   end
 
-let close t seg ?(depth = !max_close_depth) cres = close_cres t seg depth cres
+let close t seg ?(depth = !max_close_depth) cres =
+  close_cres t ~lookup:(Hashtbl.find_opt t.tbl) seg depth cres
 
-let generate ?resilience (prog : Prog.t) (seg_of : string -> Seg.t option) : t =
-  let t = { tbl = Hashtbl.create 64; seg_of } in
-  let sccs = Prog.bottom_up_sccs prog in
-  let module R = Pinpoint_util.Resilience in
+module R = Pinpoint_util.Resilience
+
+(* One unit of bottom-up work: the RV entries of every member of one SCC.
+   [lookup]/[put] abstract the summary table (direct in the sequential
+   order; overlay + locked shared table on the pool) — the member order is
+   the same either way, so so are the generated summaries. *)
+let process_scc ?resilience t ~lookup ~put (scc : Func.t list) =
   List.iter
-    (fun scc ->
-      List.iter
-        (fun (f : Func.t) ->
-          match seg_of f.Func.fname with
-          | None -> ()
-          | Some seg ->
-            (* Per-function barrier: a crash while closing one function's
-               summary leaves it without an RV entry (its receivers stay
-               unconstrained — soundy) instead of aborting the phase. *)
-            let entries =
-              R.protect ?log:resilience ~phase:R.Rv_summary
-                ~subject:f.Func.fname
-                ~fallback_note:"no RV summary (receivers stay free)"
-                ~fallback:None
-                (fun () ->
-                  match Func.return_stmt f with
-                  | Some { Stmt.kind = Stmt.Return ops; _ } ->
-                    Some
-                      (Array.of_list
-                         (List.map
-                            (function
-                              | Stmt.Ovar v ->
-                                let cres = Seg.dd seg v in
-                                let closed, params =
-                                  close_cres t seg !max_close_depth cres
-                                in
-                                let closed =
-                                  if E.size closed > !max_summary_size then
-                                    E.tru
-                                  else closed
-                                in
-                                Some { var = v; closed; params }
-                              | _ -> None)
-                            ops))
-                  | _ -> Some [||])
-            in
-            Option.iter (Hashtbl.replace t.tbl f.Func.fname) entries)
-        scc)
-    sccs;
+    (fun (f : Func.t) ->
+      match t.seg_of f.Func.fname with
+      | None -> ()
+      | Some seg ->
+        (* Per-function barrier: a crash while closing one function's
+           summary leaves it without an RV entry (its receivers stay
+           unconstrained — soundy) instead of aborting the phase. *)
+        let entries =
+          R.protect ?log:resilience ~phase:R.Rv_summary ~subject:f.Func.fname
+            ~fallback_note:"no RV summary (receivers stay free)" ~fallback:None
+            (fun () ->
+              match Func.return_stmt f with
+              | Some { Stmt.kind = Stmt.Return ops; _ } ->
+                Some
+                  (Array.of_list
+                     (List.map
+                        (function
+                          | Stmt.Ovar v ->
+                            let cres = Seg.dd seg v in
+                            let closed, params =
+                              close_cres t ~lookup seg !max_close_depth cres
+                            in
+                            let closed =
+                              if E.size closed > !max_summary_size then E.tru
+                              else closed
+                            in
+                            Some { var = v; closed; params }
+                          | _ -> None)
+                        ops))
+              | _ -> Some [||])
+        in
+        Option.iter (put f.Func.fname) entries)
+    scc
+
+let generate ?resilience ?pool (prog : Prog.t) (seg_of : string -> Seg.t option)
+    : t =
+  let t = { tbl = Hashtbl.create 64; seg_of } in
+  (match pool with
+  | Some pool when Pinpoint_par.Pool.jobs pool > 1 ->
+    let g, funcs = Prog.call_graph prog in
+    let lock = Mutex.create () in
+    Pinpoint_par.Sched.run_bottom_up pool g (fun members ->
+        let scc = List.map (fun i -> funcs.(i)) members in
+        let overlay = Hashtbl.create 8 in
+        process_scc ?resilience t
+          ~lookup:(fun name ->
+            match Hashtbl.find_opt overlay name with
+            | Some _ as r -> r
+            | None -> Mutex.protect lock (fun () -> Hashtbl.find_opt t.tbl name))
+          ~put:(Hashtbl.replace overlay) scc;
+        Mutex.protect lock (fun () ->
+            Hashtbl.iter (Hashtbl.replace t.tbl) overlay))
+  | _ ->
+    List.iter
+      (process_scc ?resilience t
+         ~lookup:(Hashtbl.find_opt t.tbl)
+         ~put:(Hashtbl.replace t.tbl))
+      (Prog.bottom_up_sccs prog));
   t
 
 let pp ppf t =

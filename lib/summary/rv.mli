@@ -30,6 +30,7 @@ val max_summary_size : int ref
 
 val generate :
   ?resilience:Pinpoint_util.Resilience.log ->
+  ?pool:Pinpoint_par.Pool.t ->
   Pinpoint_ir.Prog.t ->
   (string -> Pinpoint_seg.Seg.t option) ->
   t
@@ -37,7 +38,9 @@ val generate :
     per-function unit runs inside an exception barrier: a crash records
     an incident on [resilience] (when given) and leaves that function
     without a summary — its receivers stay unconstrained (soundy) —
-    instead of aborting the phase. *)
+    instead of aborting the phase.  With [pool] (and more than one job)
+    call-graph SCCs are processed as a bottom-up wave on the pool,
+    producing the same summaries as the sequential order. *)
 
 val find : t -> string -> entry option array option
 (** Per return position; [None] entries are non-variable returns. *)

@@ -16,15 +16,17 @@ let max_conduits = ref 64
 
 let nth_param (f : Func.t) idx = List.nth_opt f.Func.params (idx - 1)
 
-(* Rewrite the call sites in [f] whose callee interface is known. *)
-let rewrite_calls (f : Func.t) (ifaces : (string, iface) Hashtbl.t) =
+(* Rewrite the call sites in [f] whose callee interface is known.
+   [iface_of] abstracts the interface table so the parallel driver can
+   route lookups through a per-SCC overlay + locked shared table. *)
+let rewrite_calls (f : Func.t) (iface_of : string -> iface option) =
   Func.iter_blocks f (fun blk ->
       let stmts' =
         List.concat_map
           (fun (s : Stmt.t) ->
             match s.Stmt.kind with
             | Stmt.Call c -> (
-              match Hashtbl.find_opt ifaces c.Stmt.callee with
+              match iface_of c.Stmt.callee with
               | None -> [ s ]
               | Some iface ->
                 let before = ref [] and after = ref [] in
@@ -196,40 +198,78 @@ let expose_side_effects (f : Func.t) (pta : Pta.t) : iface =
     has_orig_ret = f.Func.ret_ty <> None;
   }
 
-let run ?resilience (prog : Prog.t) : result =
+module R = Pinpoint_util.Resilience
+
+(* One unit of bottom-up work: both stages for every member of one SCC.
+   Within an SCC, a member processed earlier publishes its interface for
+   later members (mutual recursion keeps only the not-yet-seen calls
+   un-rewritten); [iface_of]/[put_iface]/[flush_ifaces]/[put_pta] abstract
+   whether publication goes straight to the result tables (sequential) or
+   through a task-local overlay merged under a lock (parallel) — the
+   within-SCC processing order, and thus every id and formula, is the same
+   either way.  Each per-function unit runs inside an exception barrier: a
+   crash leaves that function without an interface (callers treat it as
+   unknown, soundy) instead of killing the whole pipeline. *)
+let process_scc ?resilience ~iface_of ~put_iface ~flush_ifaces ~put_pta
+    (scc : Func.t list) =
+  List.iter
+    (fun (f : Func.t) ->
+      R.protect ?log:resilience ~phase:R.Transform ~subject:f.Func.fname
+        ~fallback_note:"function left untransformed (unknown interface)"
+        ~fallback:()
+        (fun () ->
+          rewrite_calls f iface_of;
+          let pta1 = Pta.run ~discover:true f in
+          let iface = expose_side_effects f pta1 in
+          put_iface f.Func.fname iface))
+    scc;
+  flush_ifaces ();
+  (* Second stage per SCC member: final PTA on the transformed body. *)
+  List.iter
+    (fun (f : Func.t) ->
+      R.protect ?log:resilience ~phase:R.Transform ~subject:f.Func.fname
+        ~fallback_note:"no points-to result (function gets no SEG)"
+        ~fallback:()
+        (fun () ->
+          let pta2 = Pta.run ~discover:false f in
+          put_pta f.Func.fname pta2))
+    scc
+
+let run ?resilience ?pool (prog : Prog.t) : result =
   let ifaces : (string, iface) Hashtbl.t = Hashtbl.create 64 in
   let ptas : (string, Pta.t) Hashtbl.t = Hashtbl.create 64 in
-  let sccs = Prog.bottom_up_sccs prog in
-  let module R = Pinpoint_util.Resilience in
-  List.iter
-    (fun scc ->
-      (* Within an SCC, callee interfaces of same-SCC members are unknown
-         (absent from [ifaces]) — those calls stay un-rewritten.  Each
-         per-function unit runs inside an exception barrier: a crash
-         leaves that function without an interface (callers treat it as
-         unknown, soundy) instead of killing the whole pipeline. *)
-      List.iter
-        (fun (f : Func.t) ->
-          R.protect ?log:resilience ~phase:R.Transform ~subject:f.Func.fname
-            ~fallback_note:"function left untransformed (unknown interface)"
-            ~fallback:()
-            (fun () ->
-              rewrite_calls f ifaces;
-              let pta1 = Pta.run ~discover:true f in
-              let iface = expose_side_effects f pta1 in
-              Hashtbl.replace ifaces f.Func.fname iface))
-        scc;
-      (* Second stage per SCC member: final PTA on the transformed body. *)
-      List.iter
-        (fun (f : Func.t) ->
-          R.protect ?log:resilience ~phase:R.Transform ~subject:f.Func.fname
-            ~fallback_note:"no points-to result (function gets no SEG)"
-            ~fallback:()
-            (fun () ->
-              let pta2 = Pta.run ~discover:false f in
-              Hashtbl.replace ptas f.Func.fname pta2))
-        scc)
-    sccs;
+  (match pool with
+  | Some pool when Pinpoint_par.Pool.jobs pool > 1 ->
+    (* SCC-wave parallel path: a component starts once all its callee
+       components are done, so every cross-SCC [iface_of] lookup finds
+       exactly what the sequential order would have found.  The shared
+       tables are guarded by one lock; same-SCC lookups hit the task-local
+       overlay first. *)
+    let g, funcs = Prog.call_graph prog in
+    let lock = Mutex.create () in
+    Pinpoint_par.Sched.run_bottom_up pool g (fun members ->
+        let scc = List.map (fun i -> funcs.(i)) members in
+        let overlay : (string, iface) Hashtbl.t = Hashtbl.create 8 in
+        process_scc ?resilience
+          ~iface_of:(fun name ->
+            match Hashtbl.find_opt overlay name with
+            | Some _ as r -> r
+            | None -> Mutex.protect lock (fun () -> Hashtbl.find_opt ifaces name))
+          ~put_iface:(Hashtbl.replace overlay)
+          ~flush_ifaces:(fun () ->
+            Mutex.protect lock (fun () ->
+                Hashtbl.iter (Hashtbl.replace ifaces) overlay))
+          ~put_pta:(fun name pta ->
+            Mutex.protect lock (fun () -> Hashtbl.replace ptas name pta))
+          scc)
+  | _ ->
+    List.iter
+      (process_scc ?resilience
+         ~iface_of:(Hashtbl.find_opt ifaces)
+         ~put_iface:(Hashtbl.replace ifaces)
+         ~flush_ifaces:(fun () -> ())
+         ~put_pta:(Hashtbl.replace ptas))
+      (Prog.bottom_up_sccs prog));
   { ifaces; ptas }
 
 let pp_iface ppf i =

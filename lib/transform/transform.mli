@@ -43,11 +43,19 @@ val max_conduits : int ref
     explosion, §3.1.2; default 64). *)
 
 val run :
-  ?resilience:Pinpoint_util.Resilience.log -> Pinpoint_ir.Prog.t -> result
+  ?resilience:Pinpoint_util.Resilience.log ->
+  ?pool:Pinpoint_par.Pool.t ->
+  Pinpoint_ir.Prog.t ->
+  result
 (** Transform the whole program in place and return the interface and
     points-to tables.  Each per-function unit of work runs inside an
     exception barrier: a crash in one function records an incident on
     [resilience] (when given) and leaves that function without an
-    interface / points-to result, instead of aborting the pipeline. *)
+    interface / points-to result, instead of aborting the pipeline.
+
+    With [pool] (and more than one job) call-graph SCCs are processed as a
+    bottom-up wave on the pool — a component starts once its callee
+    components are done, so the result is identical to the sequential
+    order. *)
 
 val pp_iface : Format.formatter -> iface -> unit

@@ -1,11 +1,33 @@
-type t = { mutable next : int }
+type t = { mutable next : int; mutable owner : int }
 
-let create () = { next = 0 }
+(* Generators are deliberately unsynchronised: every generator must be used
+   by one domain at a time (per-function generators inside one SCC task,
+   per-task generators in the engine).  Sequential hand-off between domains
+   is legal; concurrent use is not.  The debug check stamps the current
+   domain id before each allocation and fails loudly if another domain
+   stamped it in between — catching interleaves probabilistically instead
+   of silently corrupting ids. *)
+let debug_owner_check = ref false
+
+let self () = (Domain.self () :> int)
+
+let create () = { next = 0; owner = -1 }
 
 let fresh t =
-  let i = t.next in
-  t.next <- i + 1;
-  i
+  if !debug_owner_check then begin
+    let me = self () in
+    t.owner <- me;
+    let i = t.next in
+    t.next <- i + 1;
+    if t.owner <> me then
+      failwith "Id_gen: concurrent use of one generator from two domains";
+    i
+  end
+  else begin
+    let i = t.next in
+    t.next <- i + 1;
+    i
+  end
 
 let peek t = t.next
 let count t = t.next

@@ -7,6 +7,14 @@
 
 type t
 
+val debug_owner_check : bool ref
+(** When set, every allocation stamps the calling domain's id on the
+    generator and fails if another domain stamped it concurrently.
+    Generators are single-owner by design (sequential hand-off between
+    domains is fine, concurrent use is a bug); this check makes violations
+    loud in tests instead of silently corrupting ids.  Off by default —
+    it adds a write per allocation. *)
+
 val create : unit -> t
 (** A fresh generator starting at [0]. *)
 

@@ -4,7 +4,12 @@ exception Timeout
 
 let now () = Unix.gettimeofday ()
 
-let measure f =
+(* [Gc.allocated_bytes] only counts the calling domain's allocation, so a
+   phase that fans work out to a pool would under-report; [extra_alloc]
+   lets the caller fold the workers' own counters into the measurement.
+   [gettimeofday] is not monotonic (NTP steps), so the delta is clamped. *)
+let measure ?(extra_alloc = fun () -> 0.0) f =
+  let x0 = extra_alloc () in
   let a0 = Gc.allocated_bytes () in
   let s0 = Gc.quick_stat () in
   let t0 = now () in
@@ -12,10 +17,11 @@ let measure f =
   let t1 = now () in
   let s1 = Gc.quick_stat () in
   let a1 = Gc.allocated_bytes () in
+  let x1 = extra_alloc () in
   ( r,
     {
-      wall_s = t1 -. t0;
-      alloc_bytes = a1 -. a0;
+      wall_s = Float.max 0.0 (t1 -. t0);
+      alloc_bytes = Float.max 0.0 (a1 -. a0 +. (x1 -. x0));
       major_words = s1.Gc.major_words -. s0.Gc.major_words;
     } )
 

@@ -11,8 +11,13 @@ type measurement = {
   major_words : float; (** Major-heap words promoted/allocated (coarse RSS proxy). *)
 }
 
-val measure : (unit -> 'a) -> 'a * measurement
-(** Run the thunk and capture elapsed time and allocation. *)
+val measure : ?extra_alloc:(unit -> float) -> (unit -> 'a) -> 'a * measurement
+(** Run the thunk and capture elapsed time and allocation.  [wall_s] is
+    clamped to be non-negative ([Unix.gettimeofday] can step backwards).
+    [Gc.allocated_bytes] is domain-local; when the thunk fans work out to
+    other domains, pass [extra_alloc] returning their cumulative allocated
+    bytes (e.g. {e Pool.allocated_bytes}) and its delta is added to
+    [alloc_bytes]. *)
 
 val with_timeout : float -> (unit -> 'a) -> 'a option
 (** [with_timeout budget f] runs [f]; returns [None] if a cooperative

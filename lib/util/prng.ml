@@ -1,4 +1,9 @@
-type t = { mutable s0 : int64; mutable s1 : int64 }
+type t = { mutable s0 : int64; mutable s1 : int64; mutable owner : int }
+
+(* Same single-owner discipline as Id_gen: one generator, one domain at a
+   time.  The debug check stamps the calling domain before each draw and
+   fails if another domain stamped it concurrently. *)
+let debug_owner_check = ref false
 
 let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xff51afd7ed558ccdL in
@@ -7,9 +12,26 @@ let mix z =
 
 let create seed =
   let s = Int64.of_int seed in
-  { s0 = mix (Int64.add s 0x9e3779b97f4a7c15L); s1 = mix (Int64.add s 0x6a09e667f3bcc909L) }
+  {
+    s0 = mix (Int64.add s 0x9e3779b97f4a7c15L);
+    s1 = mix (Int64.add s 0x6a09e667f3bcc909L);
+    owner = -1;
+  }
 
 let next t =
+  if !debug_owner_check then begin
+    let me = (Domain.self () :> int) in
+    t.owner <- me;
+    let s0 = t.s0 and s1 = t.s1 in
+    let r = Int64.add s0 s1 in
+    let s1 = Int64.logxor s1 s0 in
+    t.s0 <- Int64.logxor (Int64.logxor (Int64.logor (Int64.shift_left s0 55) (Int64.shift_right_logical s0 9)) s1) (Int64.shift_left s1 14);
+    t.s1 <- Int64.logor (Int64.shift_left s1 36) (Int64.shift_right_logical s1 28);
+    if t.owner <> me then
+      failwith "Prng: concurrent use of one generator from two domains";
+    mix r
+  end
+  else
   let s0 = t.s0 and s1 = t.s1 in
   let r = Int64.add s0 s1 in
   let s1 = Int64.logxor s1 s0 in
@@ -19,7 +41,7 @@ let next t =
 
 let split t =
   let a = next t in
-  { s0 = mix a; s1 = mix (Int64.logxor a 0x2545f4914f6cdd1dL) }
+  { s0 = mix a; s1 = mix (Int64.logxor a 0x2545f4914f6cdd1dL); owner = -1 }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";

@@ -6,6 +6,12 @@
 
 type t
 
+val debug_owner_check : bool ref
+(** When set, every draw stamps the calling domain's id on the generator
+    and fails if another domain stamped it concurrently.  Generators are
+    single-owner (sequential hand-off is fine, concurrent draws are a
+    bug).  Off by default. *)
+
 val create : int -> t
 (** Seeded generator.  Equal seeds give equal streams. *)
 

@@ -5,9 +5,18 @@ type phase =
   | Vf_summary
   | Engine_source
   | Solver_query
+  | Par_task
 
 let all_phases =
-  [ Transform; Seg_build; Rv_summary; Vf_summary; Engine_source; Solver_query ]
+  [
+    Transform;
+    Seg_build;
+    Rv_summary;
+    Vf_summary;
+    Engine_source;
+    Solver_query;
+    Par_task;
+  ]
 
 let phase_name = function
   | Transform -> "transform"
@@ -16,6 +25,7 @@ let phase_name = function
   | Vf_summary -> "vf-summary"
   | Engine_source -> "engine-source"
   | Solver_query -> "solver-query"
+  | Par_task -> "par-task"
 
 type incident = {
   phase : phase;
@@ -25,27 +35,37 @@ type incident = {
   elapsed_s : float;
 }
 
-type log = { mutable rev_incidents : incident list; mutable n : int }
+(* The log is shared by every worker of a parallel run, so mutation goes
+   through a mutex.  Reads ([incidents], [by_phase]) take it too: a list
+   snapshot under the lock is cheap and keeps traversals race-free. *)
+type log = {
+  mutable rev_incidents : incident list;
+  mutable n : int;
+  lock : Mutex.t;
+}
 
-let create () = { rev_incidents = []; n = 0 }
+let create () = { rev_incidents = []; n = 0; lock = Mutex.create () }
 
 let record log i =
-  log.rev_incidents <- i :: log.rev_incidents;
-  log.n <- log.n + 1
+  Mutex.protect log.lock (fun () ->
+      log.rev_incidents <- i :: log.rev_incidents;
+      log.n <- log.n + 1)
 
-let incidents log = List.rev log.rev_incidents
-let count log = log.n
+let incidents log =
+  Mutex.protect log.lock (fun () -> List.rev log.rev_incidents)
+
+let count log = Mutex.protect log.lock (fun () -> log.n)
 
 let clear log =
-  log.rev_incidents <- [];
-  log.n <- 0
+  Mutex.protect log.lock (fun () ->
+      log.rev_incidents <- [];
+      log.n <- 0)
 
 let by_phase log =
+  let snapshot = Mutex.protect log.lock (fun () -> log.rev_incidents) in
   List.filter_map
     (fun p ->
-      match
-        List.length (List.filter (fun i -> i.phase = p) log.rev_incidents)
-      with
+      match List.length (List.filter (fun i -> i.phase = p) snapshot) with
       | 0 -> None
       | n -> Some (p, n))
     all_phases
@@ -130,12 +150,36 @@ module Inject = struct
   let clear () = active := None
   let enabled () = !active <> None
 
+  (* Ambient per-task fault stream.  The global [solver_stream] is a
+     sequential stream: the n-th query gets the n-th draw, which is only
+     deterministic when queries run in one fixed order.  A parallel engine
+     instead scopes a stream to each unit of work, seeded from the unit's
+     stable key — every source draws the same faults no matter which
+     domain runs it or in what order.  The stream is domain-local state so
+     concurrent tasks never share a generator. *)
+  let ambient : Prng.t option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
+
+  let with_solver_stream key f =
+    match !active with
+    | None -> f ()
+    | Some { cfg; _ } ->
+      let slot = Domain.DLS.get ambient in
+      let saved = !slot in
+      slot := Some (Prng.create (cfg.seed lxor Hashtbl.hash key));
+      Fun.protect ~finally:(fun () -> slot := saved) f
+
   let solver_fault () =
     match !active with
     | None -> None
     | Some { cfg; solver_stream } ->
-      if cfg.solver_faults <> [] && Prng.chance solver_stream cfg.solver_fault_rate
-      then Some (Prng.choose_list solver_stream cfg.solver_faults)
+      let stream =
+        match !(Domain.DLS.get ambient) with
+        | Some s -> s
+        | None -> solver_stream
+      in
+      if cfg.solver_faults <> [] && Prng.chance stream cfg.solver_fault_rate
+      then Some (Prng.choose_list stream cfg.solver_faults)
       else None
 
   (* SEG fault decisions hash the function name into the seed so that the

@@ -23,6 +23,7 @@ type phase =
   | Vf_summary    (** VF summary generation, per checker run *)
   | Engine_source (** one per-source demand-driven search *)
   | Solver_query  (** one feasibility query at the bug-detection stage *)
+  | Par_task      (** a pool task that escaped its own barriers *)
 
 type incident = {
   phase : phase;
@@ -32,7 +33,8 @@ type incident = {
   elapsed_s : float;  (** time spent in the failed unit *)
 }
 
-(** A mutable accumulator of incidents, stored on the analysis result. *)
+(** A mutable accumulator of incidents, stored on the analysis result.
+    Thread-safe: workers of a parallel run record into one shared log. *)
 type log
 
 val create : unit -> log
@@ -106,8 +108,18 @@ module Inject : sig
   val enabled : unit -> bool
 
   val solver_fault : unit -> fault option
-  (** Draw the next solver-query sabotage decision from the sequential
-      stream.  [None] when injection is off or the die says "no fault". *)
+  (** Draw the next solver-query sabotage decision.  Inside
+      {!with_solver_stream} the draw comes from that scope's keyed stream;
+      otherwise from the global sequential stream.  [None] when injection
+      is off or the die says "no fault". *)
+
+  val with_solver_stream : string -> (unit -> 'a) -> 'a
+  (** [with_solver_stream key f] runs [f] with an ambient solver-fault
+      stream seeded from the injection seed and [key] (domain-local, so
+      concurrent tasks never share a generator).  Scoping each engine
+      source to its own keyed stream makes fault injection deterministic
+      at any [--jobs] level: the same source draws the same faults
+      regardless of scheduling.  No-op when injection is off. *)
 
   val seg_fault : string -> seg_fault option
   (** Sabotage decision for one function's SEG.  Derived from the seed and

@@ -20,4 +20,5 @@ let () =
       ("pathcond", Test_pathcond.suite);
       ("leak", Test_leak.suite);
       ("resilience", Test_resilience.suite);
+      ("par", Test_par.suite);
     ]

@@ -402,7 +402,7 @@ let test_corpus_injection () =
   in
   let injected =
     with_injection
-      { R.Inject.default with seed = 11; solver_fault_rate = 0.2 }
+      { R.Inject.default with seed = 2; solver_fault_rate = 0.2 }
       (fun () ->
         List.map (fun f -> (f, run_corpus_file (Filename.concat dir f))) files)
   in
