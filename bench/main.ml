@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
 
    Experiments: fig7 fig8 fig9 fig10 table1 table2 table3 juliet
-   solverstats micro. *)
+   solverstats ablation leaks resilience par prune micro. *)
 
 module Metrics = Pinpoint_util.Metrics
 module Subjects = Pinpoint_workload.Subjects
@@ -844,6 +844,234 @@ let par () =
   Format.printf "(wrote BENCH_par.json)@."
 
 (* ------------------------------------------------------------------ *)
+(* Prefix pruning + verdict cache: 2x2 ablation (DESIGN.md §4.10).
+
+   A cell runs a *workload* — a sequence of checks sharing the
+   process-wide verdict cache — with prune and cache toggled
+   independently, clearing the cache between cells so configurations
+   cannot contaminate each other:
+
+   - the two fig7 subjects get two consecutive UAF passes (the repeated
+     analysis the cache is designed for: clone interning makes every
+     second-pass condition a cache hit);
+   - the corpus gets one UAF + double-free pass per file
+     (complement_guards.mc carries the literal-complement conditions the
+     linear prefix prune refutes on the first pass).
+
+   Verifies the reports are identical in all four cells, that the
+   default config issues strictly fewer full-solver queries than the
+   fully-ablated baseline, and that the pruned-candidate and cache-replay
+   counters account for the whole gap.  Dumps BENCH_prune.json. *)
+
+type prune_cell = {
+  pc_label : string;
+  pc_prune : bool;
+  pc_cache : bool;
+  pc_wall : float;
+  pc_calls : int;
+  pc_full : int;
+  pc_cached : int;
+  pc_pruned_cands : int;
+  pc_checks : int;
+  pc_pruned_prefixes : int;
+  pc_hits : int;
+  pc_misses : int;
+  pc_keys : (string * (string * int * string * int) * Pinpoint.Report.verdict) list;
+}
+
+let prune () =
+  Format.printf "@.== Prefix pruning + SMT verdict cache (2x2 ablation) ==@.@.";
+  let cells =
+    [
+      ("baseline (no prune, no cache)", false, false);
+      ("prune only", true, false);
+      ("cache only", false, true);
+      ("default (prune + cache)", true, true);
+    ]
+  in
+  (* tasks: (tag, analysis, checker); analyses are prepared once and
+     shared by all four cells, so every cell conditions identical paths *)
+  let subject_tasks name =
+    let info =
+      match Subjects.find name with Some i -> i | None -> assert false
+    in
+    let subject = Subjects.generate info in
+    let analysis = Pinpoint.Analysis.prepare (Gen.compile subject) in
+    ( str "%s (%d LoC, 2 UAF passes)" name subject.Gen.loc,
+      [
+        ("pass1", analysis, Pinpoint.Checkers.use_after_free);
+        ("pass2", analysis, Pinpoint.Checkers.use_after_free);
+      ] )
+  in
+  let corpus_tasks () =
+    let files =
+      Sys.readdir "corpus" |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".mc")
+      |> List.sort compare
+    in
+    let tasks =
+      List.concat_map
+        (fun f ->
+          let a = Pinpoint.Analysis.prepare_file (Filename.concat "corpus" f) in
+          [
+            (f ^ "/uaf", a, Pinpoint.Checkers.use_after_free);
+            (f ^ "/df", a, Pinpoint.Checkers.double_free);
+          ])
+        files
+    in
+    (str "corpus (%d files, UAF + double-free)" (List.length files), tasks)
+  in
+  let run_cell tasks (label, prune_on, cache_on) =
+    Pinpoint_smt.Qcache.clear ();
+    let cfg =
+      {
+        Pinpoint.Engine.default_config with
+        prune_prefixes = prune_on;
+        use_qcache = cache_on;
+      }
+    in
+    let acc =
+      ref
+        {
+          pc_label = label;
+          pc_prune = prune_on;
+          pc_cache = cache_on;
+          pc_wall = 0.0;
+          pc_calls = 0;
+          pc_full = 0;
+          pc_cached = 0;
+          pc_pruned_cands = 0;
+          pc_checks = 0;
+          pc_pruned_prefixes = 0;
+          pc_hits = 0;
+          pc_misses = 0;
+          pc_keys = [];
+        }
+    in
+    List.iter
+      (fun (tag, analysis, checker) ->
+        let (reports, st), m =
+          Metrics.measure (fun () ->
+              Pinpoint.Analysis.check ~config:cfg analysis checker)
+        in
+        let sv = st.Pinpoint.Engine.solver in
+        let keys =
+          List.map
+            (fun (r : Pinpoint.Report.t) ->
+              (tag, Pinpoint.Report.key r, r.Pinpoint.Report.verdict))
+            reports
+          |> List.sort compare
+        in
+        acc :=
+          {
+            !acc with
+            pc_wall = !acc.pc_wall +. m.Metrics.wall_s;
+            pc_calls = !acc.pc_calls + st.Pinpoint.Engine.n_solver_calls;
+            pc_full = !acc.pc_full + st.Pinpoint.Engine.n_rung_full;
+            pc_cached = !acc.pc_cached + st.Pinpoint.Engine.n_rung_cached;
+            pc_pruned_cands =
+              !acc.pc_pruned_cands + st.Pinpoint.Engine.n_pruned_candidates;
+            pc_checks = !acc.pc_checks + st.Pinpoint.Engine.n_prefix_checks;
+            pc_pruned_prefixes =
+              !acc.pc_pruned_prefixes + st.Pinpoint.Engine.n_pruned_prefixes;
+            pc_hits = !acc.pc_hits + sv.Pinpoint_smt.Solver.n_cache_hits;
+            pc_misses = !acc.pc_misses + sv.Pinpoint_smt.Solver.n_cache_misses;
+            pc_keys = !acc.pc_keys @ keys;
+          })
+      tasks;
+    Pinpoint_smt.Qcache.clear ();
+    !acc
+  in
+  let measure (wname, tasks) =
+    let runs = List.map (run_cell tasks) cells in
+    let identical =
+      match runs with
+      | base :: rest ->
+        List.for_all
+          (fun c ->
+            if c.pc_keys <> base.pc_keys then
+              Format.printf "  !! %s: reports under %S differ from baseline@."
+                wname c.pc_label;
+            c.pc_keys = base.pc_keys)
+          rest
+      | [] -> true
+    in
+    (wname, runs, identical)
+  in
+  let results =
+    List.map measure
+      [ subject_tasks "vortex"; subject_tasks "mysql"; corpus_tasks () ]
+  in
+  List.iter
+    (fun (wname, runs, identical) ->
+      Format.printf "%s: reports %s across all four cells@." wname
+        (if identical then "identical" else "DIFFER");
+      let rows =
+        List.map
+          (fun c ->
+            [
+              c.pc_label;
+              str "%a" pp_dur c.pc_wall;
+              string_of_int c.pc_calls;
+              string_of_int c.pc_full;
+              string_of_int c.pc_cached;
+              string_of_int c.pc_pruned_cands;
+              str "%d/%d" c.pc_pruned_prefixes c.pc_checks;
+              str "%d/%d" c.pc_hits (c.pc_hits + c.pc_misses);
+            ])
+          runs
+      in
+      Pp.table
+        ~header:
+          [
+            "configuration"; "check time"; "queries"; "full"; "cached";
+            "pruned cands"; "pruned/checks"; "hits/lookups";
+          ]
+        ~rows Format.std_formatter ();
+      (* acceptance: the default cell must issue strictly fewer full-solver
+         queries than the fully-ablated baseline, and the gap must be
+         exactly the pruned candidates plus the cache replays *)
+      (match (runs, List.rev runs) with
+      | base :: _, dflt :: _ ->
+        let gap = base.pc_full - dflt.pc_full in
+        let explained = dflt.pc_pruned_cands + dflt.pc_cached in
+        Format.printf
+          "full-solver queries: baseline %d vs default %d (%s); gap %d = %d pruned + %d cached%s@."
+          base.pc_full dflt.pc_full
+          (if dflt.pc_full < base.pc_full then "strictly fewer, as required"
+           else "NOT strictly fewer")
+          gap dflt.pc_pruned_cands dflt.pc_cached
+          (if gap = explained then "" else " (MISMATCH)")
+      | _ -> ());
+      Format.printf "@.")
+    results;
+  let oc = open_out "BENCH_prune.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"experiment\": \"prune\",\n  \"workloads\": [\n";
+  List.iteri
+    (fun i (wname, runs, identical) ->
+      out "    {\"name\": %S, \"reports_identical\": %b, \"runs\": [\n" wname
+        identical;
+      List.iteri
+        (fun j c ->
+          out
+            "      {\"config\": %S, \"prune\": %b, \"qcache\": %b, \
+             \"wall_s\": %.6f, \"n_solver_calls\": %d, \"n_rung_full\": %d, \
+             \"n_rung_cached\": %d, \"n_pruned_candidates\": %d, \
+             \"n_prefix_checks\": %d, \"n_pruned_prefixes\": %d, \
+             \"n_cache_hits\": %d, \"n_cache_misses\": %d}%s\n"
+            c.pc_label c.pc_prune c.pc_cache c.pc_wall c.pc_calls c.pc_full
+            c.pc_cached c.pc_pruned_cands c.pc_checks c.pc_pruned_prefixes
+            c.pc_hits c.pc_misses
+            (if j = List.length runs - 1 then "" else ","))
+        runs;
+      out "    ]}%s\n" (if i = List.length results - 1 then "" else ","))
+    results;
+  out "  ]\n}\n";
+  close_out oc;
+  Format.printf "(wrote BENCH_prune.json)@."
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -860,6 +1088,7 @@ let experiments =
     ("leaks", leaks);
     ("resilience", resilience);
     ("par", par);
+    ("prune", prune);
     ("micro", micro);
   ]
 

@@ -86,6 +86,30 @@ let inject_seg_rate_arg =
           "Probability that a function's SEG is sabotaged, split evenly over \
            drop / truncate / crash-during-build.")
 
+let no_prune_arg =
+  Arg.(
+    value & flag
+    & info [ "no-prune" ]
+        ~doc:
+          "Disable linear-solver prefix pruning of path conditions (every \
+           candidate gets a full SMT query; the report set is unchanged).")
+
+let no_qcache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-qcache" ]
+        ~doc:
+          "Disable the shared SMT verdict cache (every query is solved from \
+           scratch; the report set is unchanged).")
+
+let prune_stride_arg =
+  Arg.(
+    value & opt int Pinpoint.Engine.default_config.Pinpoint.Engine.prune_stride
+    & info [ "prune-stride" ] ~docv:"N"
+        ~doc:
+          "Run the linear prefix check every $(docv) hops of the search \
+           (1 = every hop).")
+
 let jobs_arg =
   Arg.(
     value & opt int 1
@@ -126,7 +150,7 @@ let print_incidents ~verbose (a : Pinpoint.Analysis.t) =
 
 let check_cmd =
   let run file checkers verbose confirm deadline_s budget_s seed rate seg_rate
-      jobs =
+      no_prune no_qcache prune_stride jobs =
     install_injection ~seed ~rate ~seg_rate;
     with_jobs jobs @@ fun pool ->
     match Pinpoint.Analysis.prepare_file ?pool file with
@@ -147,6 +171,9 @@ let check_cmd =
               Pinpoint.Engine.default_config with
               deadline = Pinpoint_util.Metrics.deadline_after deadline_s;
               solver_budget_s = budget_s;
+              prune_prefixes = not no_prune;
+              prune_stride;
+              use_qcache = not no_qcache;
             }
           in
           let reports, stats = Pinpoint.Analysis.check ~config a spec in
@@ -197,7 +224,8 @@ let check_cmd =
     Term.(
       const run $ file_arg $ checkers_arg $ verbose_arg $ confirm_arg
       $ deadline_arg $ solver_budget_arg $ inject_seed_arg $ inject_rate_arg
-      $ inject_seg_rate_arg $ jobs_arg)
+      $ inject_seg_rate_arg $ no_prune_arg $ no_qcache_arg $ prune_stride_arg
+      $ jobs_arg)
   in
   Cmd.v (Cmd.info "check" ~doc:"Run checkers on an MC source file") term
 

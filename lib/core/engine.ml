@@ -6,6 +6,7 @@ module Vf = Pinpoint_summary.Vf
 module Rv = Pinpoint_summary.Rv
 module Metrics = Pinpoint_util.Metrics
 module Resilience = Pinpoint_util.Resilience
+module Qcache = Pinpoint_smt.Qcache
 
 type config = {
   max_call_depth : int;
@@ -14,6 +15,9 @@ type config = {
   max_reports_per_source : int;
   check_feasibility : bool;
   use_vf_pruning : bool;
+  prune_prefixes : bool;
+  prune_stride : int;
+  use_qcache : bool;
   deadline : Metrics.deadline;
   solver_budget_s : float;
 }
@@ -26,6 +30,9 @@ let default_config =
     max_reports_per_source = 16;
     check_feasibility = true;
     use_vf_pruning = true;
+    prune_prefixes = true;
+    prune_stride = 4;
+    use_qcache = true;
     deadline = Metrics.no_deadline;
     solver_budget_s = infinity;
   }
@@ -39,6 +46,10 @@ type stats = {
   mutable n_rung_halved : int;
   mutable n_rung_linear : int;
   mutable n_rung_gave_up : int;
+  mutable n_rung_cached : int;
+  mutable n_prefix_checks : int;
+  mutable n_pruned_prefixes : int;
+  mutable n_pruned_candidates : int;
   mutable n_incidents : int;
   mutable solver : Solver.stats;
 }
@@ -67,6 +78,9 @@ type search_ctx = {
   cfg : config;
   stats : stats;
   resilience : Resilience.log option;
+  cond : Vpath.Cond.t option;
+      (** incremental path-condition builder, threaded through [dfs]
+          (present iff [check_feasibility]) *)
   mutable reports : Report.t list;
   mutable found_for_source : int;
   mutable steps_this_source : int;
@@ -92,31 +106,63 @@ let emit ctx (path : Vpath.t) =
       Hashtbl.add ctx.dedup dk ();
       let cond, verdict, hints, rung =
         if ctx.cfg.check_feasibility then begin
-          let cond = Vpath.condition ~seg_of:ctx.seg_of ~rv:ctx.rv path in
-          ctx.stats.n_solver_calls <- ctx.stats.n_solver_calls + 1;
-          let subject =
-            Printf.sprintf "%s:%d -> %s:%d" sf source_loc.Stmt.line kf
-              sink_loc.Stmt.line
-          in
-          (* The ladder never raises: a crashed/timed-out query steps down
-             until a rung answers, so one pathological path condition
-             cannot take the checker run down with it. *)
-          let v, model, rung =
-            Solver.check_degrading ~budget_s:ctx.cfg.solver_budget_s
-              ~deadline:ctx.cfg.deadline ?log:ctx.resilience ~subject cond
-          in
-          (match rung with
-          | Solver.Rung_full -> ctx.stats.n_rung_full <- ctx.stats.n_rung_full + 1
-          | Solver.Rung_halved ->
-            ctx.stats.n_rung_halved <- ctx.stats.n_rung_halved + 1
-          | Solver.Rung_linear ->
-            ctx.stats.n_rung_linear <- ctx.stats.n_rung_linear + 1
-          | Solver.Rung_gave_up ->
-            ctx.stats.n_rung_gave_up <- ctx.stats.n_rung_gave_up + 1);
-          match v with
-          | Solver.Sat -> (cond, Report.Feasible, model, Some rung)
-          | Solver.Unknown -> (cond, Report.Feasible_unknown, [], Some rung)
-          | Solver.Unsat -> (cond, Report.Infeasible, [], Some rung)
+          (* One last linear look at the complete condition before paying
+             for an SMT query: stride-independent and O(conjuncts), so a
+             linearly refutable candidate is pruned at every stride. *)
+          (match ctx.cond with
+          | Some b -> Vpath.Cond.check_now b
+          | None -> ());
+          match ctx.cond with
+          | Some b when Vpath.Cond.refuted b ->
+            (* The linear solver already refuted a prefix of this path;
+               any completion is unsatisfiable (P/N-set monotonicity
+               under ∧), so skip the SMT query entirely.  The recorded
+               rung says who decided.  The skipped query still consumes
+               its injection draw: the per-source fault stream is
+               sequential over candidates, so without this the draws of
+               every later candidate would shift and a pruned run would
+               see different sabotage than an unpruned one. *)
+            if Pinpoint_util.Resilience.Inject.enabled () then
+              ignore (Pinpoint_util.Resilience.Inject.solver_fault ());
+            ctx.stats.n_pruned_candidates <-
+              ctx.stats.n_pruned_candidates + 1;
+            ( Vpath.Cond.formula b,
+              Report.Infeasible,
+              [],
+              Some Solver.Rung_linear )
+          | cond_builder ->
+            let cond =
+              match cond_builder with
+              | Some b -> Vpath.Cond.formula b
+              | None -> Vpath.condition ~seg_of:ctx.seg_of ~rv:ctx.rv path
+            in
+            ctx.stats.n_solver_calls <- ctx.stats.n_solver_calls + 1;
+            let subject =
+              Printf.sprintf "%s:%d -> %s:%d" sf source_loc.Stmt.line kf
+                sink_loc.Stmt.line
+            in
+            (* The ladder never raises: a crashed/timed-out query steps down
+               until a rung answers, so one pathological path condition
+               cannot take the checker run down with it. *)
+            let v, model, rung =
+              Solver.check_degrading ~budget_s:ctx.cfg.solver_budget_s
+                ~deadline:ctx.cfg.deadline ?log:ctx.resilience ~subject cond
+            in
+            (match rung with
+            | Solver.Rung_full ->
+              ctx.stats.n_rung_full <- ctx.stats.n_rung_full + 1
+            | Solver.Rung_halved ->
+              ctx.stats.n_rung_halved <- ctx.stats.n_rung_halved + 1
+            | Solver.Rung_linear ->
+              ctx.stats.n_rung_linear <- ctx.stats.n_rung_linear + 1
+            | Solver.Rung_gave_up ->
+              ctx.stats.n_rung_gave_up <- ctx.stats.n_rung_gave_up + 1
+            | Solver.Rung_cached ->
+              ctx.stats.n_rung_cached <- ctx.stats.n_rung_cached + 1);
+            match v with
+            | Solver.Sat -> (cond, Report.Feasible, model, Some rung)
+            | Solver.Unknown -> (cond, Report.Feasible_unknown, [], Some rung)
+            | Solver.Unsat -> (cond, Report.Infeasible, [], Some rung)
         end
         else (E.tru, Report.Feasible_unknown, [], None)
       in
@@ -147,13 +193,26 @@ let ctx_hash (stack : (string * Stmt.t) list) (expansions : int) =
     (fun acc (_, (s : Stmt.t)) -> (acc * 8191) + s.Stmt.sid + 1)
     expansions stack
 
+(* Bracket one node's exploration with the condition builder: extend by
+   the hop that leads here, run the continuation, restore the checkpoint
+   on the way out (also on Stop_search/Timeout — the whole builder is
+   abandoned with the source anyway, restoring first is harmless). *)
+let extend_cond ctx hop k =
+  match ctx.cond with
+  | None -> k ()
+  | Some b ->
+    let cp = Vpath.Cond.checkpoint b in
+    Vpath.Cond.extend b hop;
+    Fun.protect ~finally:(fun () -> Vpath.Cond.restore b cp) k
+
 (* DFS from (fname, var).  [stack] holds the call sites we descended
-   through; [expansions] counts bottom-up caller crossings; [anchor] is the
-   statement (in the current function) after which the buggy value exists —
-   uses that cannot execute after it are ignored; [rpath] is the reversed
-   hop list. *)
-let rec dfs ctx ~fname ~(var : Var.t) ~stack ~expansions ~anchor ~src_fn
-    ~src_sid rpath =
+   through and [depth] its length (tracked, not recomputed); [expansions]
+   counts bottom-up caller crossings; [anchor] is the statement (in the
+   current function) after which the buggy value exists — uses that cannot
+   execute after it are ignored; [hop] is the hop that leads to this node
+   and [rpath] the reversed hop list before it. *)
+let rec dfs ctx ~fname ~(var : Var.t) ~stack ~depth ~expansions ~anchor
+    ~src_fn ~src_sid ~hop rpath =
   Metrics.check ctx.cfg.deadline;
   ctx.stats.n_steps <- ctx.stats.n_steps + 1;
   ctx.steps_this_source <- ctx.steps_this_source + 1;
@@ -169,12 +228,17 @@ let rec dfs ctx ~fname ~(var : Var.t) ~stack ~expansions ~anchor ~src_fn
     match ctx.seg_of fname with
     | None -> ()
     | Some seg ->
+      extend_cond ctx hop @@ fun () ->
+      let rpath = hop :: rpath in
       let f = Seg.func seg in
       let after_anchor sid =
         match anchor with
         | Some a -> Func.reaches f a sid
         | None -> true
       in
+      (* The use list feeds sink detection, callee descent and return
+         flow alike — fetch it once. *)
+      let uses = Seg.uses_of seg var in
       (* 1. sinks at this variable *)
       List.iter
         (fun (u : Seg.use) ->
@@ -183,12 +247,13 @@ let rec dfs ctx ~fname ~(var : Var.t) ~stack ~expansions ~anchor ~src_fn
             if
               after_anchor u.Seg.sid
               && not (same_stmt && ctx.spec.Checker_spec.exclude_same_sid)
-            then
-              emit ctx
-                (List.rev
-                   (Vpath.Hsink { fname; var; sid = u.Seg.sid } :: rpath))
+            then begin
+              let sink_hop = Vpath.Hsink { fname; var; sid = u.Seg.sid } in
+              extend_cond ctx sink_hop @@ fun () ->
+              emit ctx (List.rev (sink_hop :: rpath))
+            end
           end)
-        (Seg.uses_of seg var);
+        uses;
       (* 2. intra-procedural value flow *)
       List.iter
         (fun (e : Seg.edge) ->
@@ -198,20 +263,21 @@ let rec dfs ctx ~fname ~(var : Var.t) ~stack ~expansions ~anchor ~src_fn
             | Seg.Operand -> ctx.spec.Checker_spec.follow_operands
           in
           if follow then
-            dfs ctx ~fname ~var:e.Seg.dst ~stack ~expansions ~anchor ~src_fn
-              ~src_sid
-              (Vpath.Hflow
-                 {
-                   fname;
-                   src = var;
-                   dst = e.Seg.dst;
-                   cond = e.Seg.cond;
-                   kind = e.Seg.kind;
-                 }
-              :: rpath))
+            dfs ctx ~fname ~var:e.Seg.dst ~stack ~depth ~expansions ~anchor
+              ~src_fn ~src_sid
+              ~hop:
+                (Vpath.Hflow
+                   {
+                     fname;
+                     src = var;
+                     dst = e.Seg.dst;
+                     cond = e.Seg.cond;
+                     kind = e.Seg.kind;
+                   })
+              rpath)
         (Seg.succs seg var);
       (* 3. descend into callees on demand (VF1 / VF4) *)
-      if List.length stack < ctx.cfg.max_call_depth then
+      if depth < ctx.cfg.max_call_depth then
         List.iter
           (fun (u : Seg.use) ->
             match u.Seg.ukind with
@@ -233,23 +299,25 @@ let rec dfs ctx ~fname ~(var : Var.t) ~stack ~expansions ~anchor ~src_fn
                     | Some param ->
                       dfs ctx ~fname:callee ~var:param
                         ~stack:((fname, cs) :: stack)
-                        ~expansions ~anchor:None ~src_fn ~src_sid
-                        (Vpath.Hcall
-                           {
-                             caller = fname;
-                             call_sid = u.Seg.sid;
-                             callee;
-                             arg_index;
-                             param;
-                             args = c.Stmt.args;
-                           }
-                        :: rpath)
+                        ~depth:(depth + 1) ~expansions ~anchor:None ~src_fn
+                        ~src_sid
+                        ~hop:
+                          (Vpath.Hcall
+                             {
+                               caller = fname;
+                               call_sid = u.Seg.sid;
+                               callee;
+                               arg_index;
+                               param;
+                               args = c.Stmt.args;
+                             })
+                        rpath
                     | None -> ())
                   | _ -> ()
                 end
               | _ -> ())
             | _ -> ())
-          (Seg.uses_of seg var);
+          uses;
       (* 4. flow out through the return *)
       List.iter
         (fun (u : Seg.use) ->
@@ -261,20 +329,22 @@ let rec dfs ctx ~fname ~(var : Var.t) ~stack ~expansions ~anchor ~src_fn
               | Stmt.Call c -> (
                 match List.nth_opt c.Stmt.recvs j with
                 | Some recv ->
-                  dfs ctx ~fname:caller ~var:recv ~stack:rest ~expansions
-                    ~anchor:(Some cs.Stmt.sid) ~src_fn ~src_sid
-                    (Vpath.Hret
-                       {
-                         callee = fname;
-                         ret_var = var;
-                         ret_index = j;
-                         caller;
-                         call_sid = cs.Stmt.sid;
-                         recv;
-                         args = c.Stmt.args;
-                         popped = true;
-                       }
-                    :: rpath)
+                  dfs ctx ~fname:caller ~var:recv ~stack:rest
+                    ~depth:(depth - 1) ~expansions ~anchor:(Some cs.Stmt.sid)
+                    ~src_fn ~src_sid
+                    ~hop:
+                      (Vpath.Hret
+                         {
+                           callee = fname;
+                           ret_var = var;
+                           ret_index = j;
+                           caller;
+                           call_sid = cs.Stmt.sid;
+                           recv;
+                           args = c.Stmt.args;
+                           popped = true;
+                         })
+                    rpath
                 | None -> ())
               | _ -> ())
             | [] ->
@@ -286,25 +356,26 @@ let rec dfs ctx ~fname ~(var : Var.t) ~stack ~expansions ~anchor ~src_fn
                       match List.nth_opt c.Stmt.recvs j with
                       | Some recv ->
                         dfs ctx ~fname:caller_f.Func.fname ~var:recv ~stack:[]
-                          ~expansions:(expansions + 1)
+                          ~depth:0 ~expansions:(expansions + 1)
                           ~anchor:(Some cs.Stmt.sid) ~src_fn ~src_sid
-                          (Vpath.Hret
-                             {
-                               callee = fname;
-                               ret_var = var;
-                               ret_index = j;
-                               caller = caller_f.Func.fname;
-                               call_sid = cs.Stmt.sid;
-                               recv;
-                               args = c.Stmt.args;
-                               popped = false;
-                             }
-                          :: rpath)
+                          ~hop:
+                            (Vpath.Hret
+                               {
+                                 callee = fname;
+                                 ret_var = var;
+                                 ret_index = j;
+                                 caller = caller_f.Func.fname;
+                                 call_sid = cs.Stmt.sid;
+                                 recv;
+                                 args = c.Stmt.args;
+                                 popped = false;
+                               })
+                          rpath
                       | None -> ())
                     | _ -> ())
                   (Option.value (Hashtbl.find_opt ctx.rev fname) ~default:[]))
           | _ -> ())
-        (Seg.uses_of seg var);
+        uses;
       (* 5. the buggy value rode in through a parameter (VF3 direction):
          when the context is unknown, it also lives in every caller's
          actual after the corresponding call. *)
@@ -324,18 +395,19 @@ let rec dfs ctx ~fname ~(var : Var.t) ~stack ~expansions ~anchor ~src_fn
                 match List.nth_opt c.Stmt.args param_index with
                 | Some (Stmt.Ovar actual) ->
                   dfs ctx ~fname:caller_f.Func.fname ~var:actual ~stack:[]
-                    ~expansions:(expansions + 1) ~anchor:(Some cs.Stmt.sid)
-                    ~src_fn ~src_sid
-                    (Vpath.Hparam_up
-                       {
-                         callee = fname;
-                         param = var;
-                         caller = caller_f.Func.fname;
-                         call_sid = cs.Stmt.sid;
-                         actual;
-                         args = c.Stmt.args;
-                       }
-                    :: rpath)
+                    ~depth:0 ~expansions:(expansions + 1)
+                    ~anchor:(Some cs.Stmt.sid) ~src_fn ~src_sid
+                    ~hop:
+                      (Vpath.Hparam_up
+                         {
+                           callee = fname;
+                           param = var;
+                           caller = caller_f.Func.fname;
+                           call_sid = cs.Stmt.sid;
+                           actual;
+                           args = c.Stmt.args;
+                         })
+                    rpath
                 | _ -> ())
               | _ -> ())
             (Option.value (Hashtbl.find_opt ctx.rev fname) ~default:[])
@@ -352,12 +424,22 @@ let zero_stats () =
     n_rung_halved = 0;
     n_rung_linear = 0;
     n_rung_gave_up = 0;
+    n_rung_cached = 0;
+    n_prefix_checks = 0;
+    n_pruned_prefixes = 0;
+    n_pruned_candidates = 0;
     n_incidents = 0;
     solver = Solver.zero ();
   }
 
 let run ?(config = default_config) ?resilience ?pool (prog : Prog.t) ~seg_of
     ~rv (spec : Checker_spec.t) : Report.t list * stats =
+  (* The verdict cache is a process-global table but gated per run: enable
+     it for the duration of this run according to the config, restoring
+     the previous state on the way out (runs can nest via bench). *)
+  let qcache_was = Qcache.enabled () in
+  Qcache.set_enabled config.use_qcache;
+  Fun.protect ~finally:(fun () -> Qcache.set_enabled qcache_was) @@ fun () ->
   let incidents_before =
     match resilience with Some l -> Resilience.count l | None -> 0
   in
@@ -397,6 +479,13 @@ let run ?(config = default_config) ?resilience ?pool (prog : Prog.t) ~seg_of
      measures its own delta on the domain that ran it. *)
   let run_source ((f : Func.t), (v : Var.t), sid) =
     let subject = Printf.sprintf "%s:%d" f.Func.fname sid in
+    let cond =
+      if config.check_feasibility then
+        Some
+          (Vpath.Cond.create ~prune:config.prune_prefixes
+             ~stride:config.prune_stride ~seg_of ~rv ())
+      else None
+    in
     let ctx =
       {
         prog;
@@ -408,6 +497,7 @@ let run ?(config = default_config) ?resilience ?pool (prog : Prog.t) ~seg_of
         cfg = config;
         stats = zero_stats ();
         resilience;
+        cond;
         reports = [];
         found_for_source = 0;
         steps_this_source = 0;
@@ -427,12 +517,19 @@ let run ?(config = default_config) ?resilience ?pool (prog : Prog.t) ~seg_of
           ~fallback:()
           (fun () ->
             try
-              dfs ctx ~fname:f.Func.fname ~var:v ~stack:[] ~expansions:0
-                ~anchor:(Some sid) ~src_fn:f.Func.fname ~src_sid:sid
-                [ Vpath.Hsource { fname = f.Func.fname; var = v; sid } ]
+              dfs ctx ~fname:f.Func.fname ~var:v ~stack:[] ~depth:0
+                ~expansions:0 ~anchor:(Some sid) ~src_fn:f.Func.fname
+                ~src_sid:sid
+                ~hop:(Vpath.Hsource { fname = f.Func.fname; var = v; sid })
+                []
             with
             | Stop_search -> ()
             | Metrics.Timeout -> ()));
+    (match cond with
+    | Some b ->
+      ctx.stats.n_prefix_checks <- Vpath.Cond.n_checks b;
+      ctx.stats.n_pruned_prefixes <- Vpath.Cond.n_refutations b
+    | None -> ());
     (List.rev ctx.reports, ctx.stats, Solver.diff (Solver.snapshot ()) s0)
   in
   let src_arr = Array.of_list sources in
@@ -463,6 +560,12 @@ let run ?(config = default_config) ?resilience ?pool (prog : Prog.t) ~seg_of
         stats.n_rung_halved <- stats.n_rung_halved + st.n_rung_halved;
         stats.n_rung_linear <- stats.n_rung_linear + st.n_rung_linear;
         stats.n_rung_gave_up <- stats.n_rung_gave_up + st.n_rung_gave_up;
+        stats.n_rung_cached <- stats.n_rung_cached + st.n_rung_cached;
+        stats.n_prefix_checks <- stats.n_prefix_checks + st.n_prefix_checks;
+        stats.n_pruned_prefixes <-
+          stats.n_pruned_prefixes + st.n_pruned_prefixes;
+        stats.n_pruned_candidates <-
+          stats.n_pruned_candidates + st.n_pruned_candidates;
         stats.solver <- Solver.merge stats.solver delta;
         List.iter
           (fun (r : Report.t) ->

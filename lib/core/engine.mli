@@ -28,6 +28,17 @@ type config = {
       (** consult callee VF summaries before descending (§3.3.1(3));
           disabling it descends into every defined callee — the
           demand-driven-ness ablation *)
+  prune_prefixes : bool;
+      (** run the linear-time contradiction solver on the incrementally
+          built condition prefix during the search; a refuted prefix makes
+          every candidate below it [Infeasible] without an SMT query
+          (traversal — and so the report set — is unchanged; default
+          [true], CLI [--no-prune]) *)
+  prune_stride : int;
+      (** hops between linear prefix checks (default 4; 1 = every hop) *)
+  use_qcache : bool;
+      (** enable the process-wide SMT verdict cache ({!Pinpoint_smt.Qcache})
+          for the duration of the run (default [true], CLI [--no-qcache]) *)
   deadline : Pinpoint_util.Metrics.deadline;
   solver_budget_s : float;
       (** per-feasibility-query wall budget for the full solver rung; on
@@ -47,6 +58,15 @@ type stats = {
   mutable n_rung_halved : int;  (** … by the halved-budget retry *)
   mutable n_rung_linear : int;  (** … by the linear contradiction solver *)
   mutable n_rung_gave_up : int; (** … kept as [Unknown] (ladder exhausted) *)
+  mutable n_rung_cached : int;
+      (** … replayed from the verdict cache (schedule-dependent split
+          against [n_rung_full] at [--jobs] > 1; their sum is not) *)
+  mutable n_prefix_checks : int;
+      (** linear prefix checks run by the condition builder *)
+  mutable n_pruned_prefixes : int;  (** prefixes the linear solver refuted *)
+  mutable n_pruned_candidates : int;
+      (** candidates marked [Infeasible] without an SMT query because a
+          refuted prefix covered them *)
   mutable n_incidents : int;    (** incidents recorded during this run *)
   mutable solver : Pinpoint_smt.Solver.stats;
       (** solver counters attributable to this run alone *)

@@ -17,7 +17,10 @@ let is_reported r = r.verdict <> Infeasible
 
 let is_degraded r =
   match r.rung with
-  | Some Pinpoint_smt.Solver.Rung_full | None -> false
+  (* A cached verdict is a replayed full-rung answer, not a degradation. *)
+  | Some (Pinpoint_smt.Solver.Rung_full | Pinpoint_smt.Solver.Rung_cached)
+  | None ->
+    false
   | Some _ -> true
 
 let key r =

@@ -190,6 +190,277 @@ let condition ~seg_of ~rv (path : t) : E.t =
     path;
   !acc
 
+(* ------------------------------------------------------------------ *)
+(* Incremental path-condition builder (DESIGN.md §4.10).
+
+   [condition] above rebuilds PC(π) from scratch for every candidate; the
+   builder instead threads the condition through the engine's DFS,
+   extending it hop by hop and restoring an O(1) checkpoint on backtrack,
+   so the condition is already assembled when a sink is reached.  It also
+   runs the linear-time contradiction solver on the growing prefix (every
+   [stride] hops): conjunction only ever grows the linear solver's P/N
+   atom sets, so a linearly-refuted prefix stays refuted under any
+   extension — the [refuted] flag is sticky along a path and lets the
+   engine skip the SMT query for every candidate below the refutation
+   point.  Backtracking above it un-refutes via checkpoint restore.
+
+   The frame counter lives in the builder and is restored on backtrack, so
+   at any emit point the frame tags are exactly the tags the one-shot
+   [condition] would assign to that path — with clone interning
+   (see {!Pinpoint_summary.Clone}) the two build structurally equal
+   conditions over the same clone symbols. *)
+module Cond = struct
+  module Linear_solver = Pinpoint_smt.Linear_solver
+
+  type checkpoint = {
+    c_acc : E.t;
+    c_conjs : E.t list;
+    c_frames : frame list;
+    c_counter : int;
+    c_since_check : int;
+    c_refuted : bool;
+  }
+
+  type builder = {
+    seg_of : string -> Seg.t option;
+    rv : Rv.t;
+    prune : bool;
+    stride : int;
+    mutable acc : E.t;  (** left-fold conjunction, for prefix checks *)
+    mutable conjs : E.t list;  (** collected conjuncts, newest first *)
+    mutable frames : frame list;
+    mutable counter : int;
+    mutable since_check : int;  (** hops since the last prefix check *)
+    mutable refuted : bool;
+    mutable n_checks : int;
+    mutable n_refutations : int;
+  }
+
+  type nonrec t = builder
+
+  let create ?(prune = true) ?(stride = 4) ~seg_of ~rv () =
+    {
+      seg_of;
+      rv;
+      prune;
+      stride = max 1 stride;
+      acc = E.tru;
+      conjs = [];
+      frames = [];
+      counter = 0;
+      since_check = 0;
+      refuted = false;
+      n_checks = 0;
+      n_refutations = 0;
+    }
+
+  (* Checkpoints are O(1): the conjunct list and frame stack are
+     persistent, and frames mutated after the checkpoint only gain
+     idempotent clone-cache entries (bindings happen exclusively on frames
+     created after the checkpoint, which restore discards). *)
+  let checkpoint b =
+    {
+      c_acc = b.acc;
+      c_conjs = b.conjs;
+      c_frames = b.frames;
+      c_counter = b.counter;
+      c_since_check = b.since_check;
+      c_refuted = b.refuted;
+    }
+
+  let restore b cp =
+    b.acc <- cp.c_acc;
+    b.conjs <- cp.c_conjs;
+    b.frames <- cp.c_frames;
+    b.counter <- cp.c_counter;
+    b.since_check <- cp.c_since_check;
+    b.refuted <- cp.c_refuted
+
+  let add b e =
+    if not (E.is_true e) then begin
+      b.conjs <- e :: b.conjs;
+      b.acc <- E.and_ b.acc e
+    end
+
+  (* Mirrors [new_frame]: the counter advances even when the function has
+     no SEG, so tags stay aligned with the one-shot builder. *)
+  let push b fname =
+    b.counter <- b.counter + 1;
+    match b.seg_of fname with
+    | Some seg ->
+      b.frames <-
+        {
+          fname;
+          seg;
+          clone = Clone.create (Printf.sprintf "%s_f%d" fname b.counter);
+        }
+        :: b.frames
+    | None -> ()
+
+  let pop b = b.frames <- (match b.frames with _ :: rest -> rest | [] -> [])
+  let cur b = match b.frames with fr :: _ -> Some fr | [] -> None
+  let add_cd b fr sid = add b (closed_in b.rv fr (Seg.cd_stmt fr.seg sid))
+
+  let add_formula b fr formula =
+    add b (Clone.subst fr.clone formula);
+    add b (closed_in b.rv fr (Seg.dd_expr fr.seg formula))
+
+  (* One hop's contribution — a transliteration of the [condition] loop
+     body onto the builder's mutable state. *)
+  let apply b hop =
+    match hop with
+    | Hsource { fname; sid; _ } -> (
+      push b fname;
+      match cur b with Some fr -> add_cd b fr sid | None -> ())
+    | Hflow { src; dst; cond; kind; _ } -> (
+      match cur b with
+      | Some fr ->
+        add_formula b fr cond;
+        (match kind with
+        | Seg.Copy ->
+          add b (Clone.subst fr.clone (E.eq (Var.term dst) (Var.term src)))
+        | Seg.Operand -> add b (closed_in b.rv fr (Seg.dd fr.seg dst)));
+        (match Seg.def_of fr.seg dst with
+        | Some s -> add_cd b fr s.Stmt.sid
+        | None -> ())
+      | None -> ())
+    | Hcall { callee; call_sid; args; _ } -> (
+      let caller_fr = cur b in
+      push b callee;
+      match (cur b, caller_fr) with
+      | Some callee_fr, Some caller_fr when callee_fr != caller_fr ->
+        add_cd b caller_fr call_sid;
+        List.iteri
+          (fun i (p : Var.t) ->
+            match List.nth_opt args i with
+            | Some actual ->
+              Clone.bind callee_fr.clone (Var.symbol p)
+                (Clone.subst caller_fr.clone (Stmt.operand_term actual));
+              (match actual with
+              | Stmt.Ovar av ->
+                add b (closed_in b.rv caller_fr (Seg.dd caller_fr.seg av))
+              | _ -> ())
+            | None -> ())
+          (Seg.func callee_fr.seg).Func.params
+      | _ -> ())
+    | Hret { ret_var; caller; call_sid; recv; args; popped; _ } -> (
+      let callee_fr = cur b in
+      (match callee_fr with
+      | Some fr -> (
+        match Seg.def_of fr.seg ret_var with
+        | Some s -> add_cd b fr s.Stmt.sid
+        | None -> ())
+      | None -> ());
+      pop b;
+      if not popped then push b caller;
+      match (cur b, callee_fr) with
+      | Some caller_fr, Some callee_fr ->
+        add_cd b caller_fr call_sid;
+        add b
+          (E.eq
+             (Clone.subst caller_fr.clone (Var.term recv))
+             (Clone.subst callee_fr.clone (Var.term ret_var)));
+        if not popped then
+          List.iteri
+            (fun i (p : Var.t) ->
+              match List.nth_opt args i with
+              | Some actual ->
+                add b
+                  (E.eq
+                     (Clone.subst callee_fr.clone (Var.term p))
+                     (Clone.subst caller_fr.clone (Stmt.operand_term actual)))
+              | None -> ())
+            (Seg.func callee_fr.seg).Func.params
+      | _ -> ())
+    | Hparam_up { param; caller; call_sid; actual; args; _ } -> (
+      let callee_fr = cur b in
+      pop b;
+      push b caller;
+      match (cur b, callee_fr) with
+      | Some caller_fr, Some callee_fr ->
+        add_cd b caller_fr call_sid;
+        add b
+          (E.eq
+             (Clone.subst callee_fr.clone (Var.term param))
+             (Clone.subst caller_fr.clone (Var.term actual)));
+        List.iteri
+          (fun i (p : Var.t) ->
+            match List.nth_opt args i with
+            | Some a ->
+              add b
+                (E.eq
+                   (Clone.subst callee_fr.clone (Var.term p))
+                   (Clone.subst caller_fr.clone (Stmt.operand_term a)))
+            | None -> ())
+          (Seg.func callee_fr.seg).Func.params
+      | _ -> ())
+    | Hsink { sid; var; _ } -> (
+      match cur b with
+      | Some fr ->
+        add_cd b fr sid;
+        add b (closed_in b.rv fr (Seg.dd fr.seg var))
+      | None -> ())
+
+  (* Prefix pruning.  A smart-constructor [false] is a free refutation; a
+     linear-solver run happens every [stride] hops.  Refutation is sound
+     to make sticky: conjunction only grows the linear solver's P/N sets
+     (∧ is set union there), so every extension of a linearly-unsat prefix
+     is linearly unsat. *)
+  let recheck b =
+    if b.prune && not b.refuted then
+      if E.is_false b.acc then begin
+        b.refuted <- true;
+        b.n_refutations <- b.n_refutations + 1
+      end
+      else begin
+        b.since_check <- b.since_check + 1;
+        if b.since_check >= b.stride then begin
+          b.since_check <- 0;
+          b.n_checks <- b.n_checks + 1;
+          match Linear_solver.check b.acc with
+          | Linear_solver.Unsat ->
+            b.refuted <- true;
+            b.n_refutations <- b.n_refutations + 1
+          | Linear_solver.Maybe -> ()
+        end
+      end
+
+  let extend b hop =
+    apply b hop;
+    recheck b
+
+  (* Stride-independent check of the accumulated condition, used on a
+     complete candidate just before an SMT query: O(conjuncts) against a
+     query that is orders of magnitude dearer, so always worth forcing. *)
+  let check_now b =
+    if b.prune && not b.refuted then
+      if E.is_false b.acc then begin
+        b.refuted <- true;
+        b.n_refutations <- b.n_refutations + 1
+      end
+      else begin
+        b.since_check <- 0;
+        b.n_checks <- b.n_checks + 1;
+        match Linear_solver.check b.acc with
+        | Linear_solver.Unsat ->
+          b.refuted <- true;
+          b.n_refutations <- b.n_refutations + 1
+        | Linear_solver.Maybe -> ()
+      end
+
+  let refuted b = b.refuted
+
+  let formula b = E.conj_balanced b.conjs
+
+  let n_checks b = b.n_checks
+  let n_refutations b = b.n_refutations
+
+  let of_path ?prune ?stride ~seg_of ~rv (path : hop list) =
+    let b = create ?prune ?stride ~seg_of ~rv () in
+    List.iter (fun h -> extend b h) path;
+    b
+end
+
 let pp ppf (path : t) =
   List.iter
     (fun hop ->

@@ -213,6 +213,34 @@ let implies a b = or_ (not_ a) b
 let conj l = List.fold_left and_ tru l
 let disj l = List.fold_left or_ fls l
 
+(* Balanced n-ary connectives.  The left folds above build a left-deep
+   comb, so the same conjunct set reached in a different order never shares
+   a node with a previous build — [ordered] only canonicalises a single
+   binary application.  Sorting the (deduplicated) operands by structural
+   rank and folding them as a tree yields one canonical shape per operand
+   multiset: schedule-independent (skey never looks at allocation order;
+   ties keep list order, which callers derive from program order) and
+   logarithmic depth, which also keeps the Tseitin encoding shallow. *)
+let balanced app unit l =
+  let seen = Hashtbl.create 16 in
+  let ops =
+    List.filter
+      (fun e ->
+        (not (Hashtbl.mem seen e.id)) && (Hashtbl.add seen e.id (); true))
+      l
+  in
+  let ops = List.stable_sort (fun a b -> Int.compare a.skey b.skey) ops in
+  let rec pairs = function
+    | [] -> []
+    | [ x ] -> [ x ]
+    | a :: b :: rest -> app a b :: pairs rest
+  in
+  let rec go = function [] -> unit | [ x ] -> x | l -> go (pairs l) in
+  go ops
+
+let conj_balanced l = balanced and_ tru l
+let disj_balanced l = balanced or_ fls l
+
 let add a b =
   match (a.node, b.node) with
   | Int x, Int y -> int (x + y)

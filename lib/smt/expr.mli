@@ -56,6 +56,18 @@ val and_ : t -> t -> t
 val or_ : t -> t -> t
 val conj : t list -> t
 val disj : t list -> t
+
+val conj_balanced : t list -> t
+(** Like {!conj}, but deduplicates the operands and folds them as a
+    balanced tree after sorting by structural rank ([skey], ties keeping
+    list order) — so any order of the same conjunct set interns the same
+    node, restoring the sharing a left fold defeats.  Equisatisfiable with
+    [conj] (associativity/commutativity of ∧); preferred for
+    engine-assembled path conditions. *)
+
+val disj_balanced : t list -> t
+(** Dual of {!conj_balanced}. *)
+
 val implies : t -> t -> t
 val eq : t -> t -> t
 val ne : t -> t -> t

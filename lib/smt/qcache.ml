@@ -1,0 +1,61 @@
+(* Shared SMT verdict cache (DESIGN.md §4.10).
+
+   Keyed by the hash-consed expression id: within a process two structurally
+   identical formulas are the same node, so physical identity is structural
+   identity.  Satisfiability is a pure function of formula structure, which
+   makes a hit exchangeable with recomputation — reports stay identical at
+   every [--jobs] level no matter which domain populated an entry first.
+
+   Only definitive full-strength verdicts are stored: [Sat] (with its
+   model, so hits reproduce trigger hints) and [Unsat].  [Unknown] is a
+   budget artefact and degraded-rung verdicts may be weaker than the full
+   solver's answer, so neither is ever cached (the caller enforces this;
+   the cache just stores what it is given).
+
+   Sharding bounds contention: entries hash to one of [n_shards] tables,
+   each behind its own mutex, so concurrent domains only collide when they
+   touch the same shard. *)
+
+type entry = Cached_sat of (Expr.t * bool) list | Cached_unsat
+
+let n_shards = 16
+
+type shard = { lock : Mutex.t; tbl : (int, entry) Hashtbl.t }
+
+let shards =
+  Array.init n_shards (fun _ ->
+      { lock = Mutex.create (); tbl = Hashtbl.create 256 })
+
+(* Off by default: direct solver clients (unit tests, baselines) keep their
+   historical per-query behaviour.  The engine enables it for the duration
+   of a run (config [use_qcache], CLI [--no-qcache]). *)
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let shard_of (e : Expr.t) = shards.((e.Expr.id land max_int) mod n_shards)
+
+let find (e : Expr.t) : entry option =
+  if not (enabled ()) then None
+  else
+    let s = shard_of e in
+    Mutex.protect s.lock (fun () -> Hashtbl.find_opt s.tbl e.Expr.id)
+
+let add (e : Expr.t) (entry : entry) : unit =
+  if enabled () then begin
+    let s = shard_of e in
+    (* last write wins: verdicts are pure, so a racing double-computation
+       stores the same value either way *)
+    Mutex.protect s.lock (fun () -> Hashtbl.replace s.tbl e.Expr.id entry)
+  end
+
+let clear () =
+  Array.iter
+    (fun s -> Mutex.protect s.lock (fun () -> Hashtbl.reset s.tbl))
+    shards
+
+let length () =
+  Array.fold_left
+    (fun acc s -> acc + Mutex.protect s.lock (fun () -> Hashtbl.length s.tbl))
+    0 shards

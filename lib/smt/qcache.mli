@@ -1,0 +1,44 @@
+(** Shared SMT verdict cache (DESIGN.md §4.10).
+
+    A process-wide, sharded (mutex-per-shard) map from hash-consed formulas
+    to definitive solver verdicts.  {!Solver.check_with_model} and
+    {!Solver.check_degrading} consult it before running any solver work and
+    store full-strength [Sat]/[Unsat] results back; [Unknown] and verdicts
+    decided below the full rung are never cached.  Because satisfiability
+    is a pure function of the (hash-consed) formula, a hit is
+    indistinguishable from recomputation — [--jobs N] report determinism is
+    preserved regardless of which domain populated an entry.
+
+    Interaction with fault injection: {!Solver.check_degrading} draws its
+    injection fault {e before} consulting the cache, and a sabotaged query
+    bypasses the cache entirely (no read, no write) — see the solver
+    documentation. *)
+
+type entry =
+  | Cached_sat of (Expr.t * bool) list
+      (** satisfiable, with the propositional model of its atoms (the
+          trigger hints a report would carry) *)
+  | Cached_unsat
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Globally enable/disable the cache (default: disabled, so direct solver
+    clients keep their historical behaviour).  {!Pinpoint.Engine.run}
+    enables it for the duration of a run when its config asks for it; the
+    CLI exposes [--no-qcache]. *)
+
+val find : Expr.t -> entry option
+(** [None] when disabled or absent.  Thread-safe. *)
+
+val add : Expr.t -> entry -> unit
+(** No-op when disabled.  Callers must only store verdicts produced by the
+    full-strength solver.  Thread-safe; a racing double-insert stores the
+    same pure value. *)
+
+val clear : unit -> unit
+(** Drop every entry (all shards).  Benchmarks call this between measured
+    runs so hit rates reflect a single cold run. *)
+
+val length : unit -> int
+(** Total number of cached verdicts across shards. *)

@@ -3,13 +3,14 @@ module Resilience = Pinpoint_util.Resilience
 
 type verdict = Sat | Unsat | Unknown
 
-type rung = Rung_full | Rung_halved | Rung_linear | Rung_gave_up
+type rung = Rung_full | Rung_halved | Rung_linear | Rung_gave_up | Rung_cached
 
 let rung_name = function
   | Rung_full -> "full"
   | Rung_halved -> "halved"
   | Rung_linear -> "linear"
   | Rung_gave_up -> "gave-up"
+  | Rung_cached -> "cached"
 
 let pp_rung ppf r = Format.pp_print_string ppf (rung_name r)
 
@@ -21,6 +22,9 @@ type stats = {
   mutable n_theory_calls : int;
   mutable n_deadline_abort : int;
   mutable n_degraded : int;
+  mutable n_cache_hits : int;
+  mutable n_cache_misses : int;
+  mutable n_core_shrink_calls : int;
 }
 
 let zero () =
@@ -32,6 +36,9 @@ let zero () =
     n_theory_calls = 0;
     n_deadline_abort = 0;
     n_degraded = 0;
+    n_cache_hits = 0;
+    n_cache_misses = 0;
+    n_core_shrink_calls = 0;
   }
 
 (* Counters are domain-local: each worker accumulates into its own record
@@ -49,7 +56,10 @@ let reset_stats () =
   s.n_unknown <- 0;
   s.n_theory_calls <- 0;
   s.n_deadline_abort <- 0;
-  s.n_degraded <- 0
+  s.n_degraded <- 0;
+  s.n_cache_hits <- 0;
+  s.n_cache_misses <- 0;
+  s.n_core_shrink_calls <- 0
 
 let snapshot () =
   let s = stats () in
@@ -63,7 +73,10 @@ let restore s' =
   s.n_unknown <- s'.n_unknown;
   s.n_theory_calls <- s'.n_theory_calls;
   s.n_deadline_abort <- s'.n_deadline_abort;
-  s.n_degraded <- s'.n_degraded
+  s.n_degraded <- s'.n_degraded;
+  s.n_cache_hits <- s'.n_cache_hits;
+  s.n_cache_misses <- s'.n_cache_misses;
+  s.n_core_shrink_calls <- s'.n_core_shrink_calls
 
 let merge a b =
   {
@@ -74,6 +87,9 @@ let merge a b =
     n_theory_calls = a.n_theory_calls + b.n_theory_calls;
     n_deadline_abort = a.n_deadline_abort + b.n_deadline_abort;
     n_degraded = a.n_degraded + b.n_degraded;
+    n_cache_hits = a.n_cache_hits + b.n_cache_hits;
+    n_cache_misses = a.n_cache_misses + b.n_cache_misses;
+    n_core_shrink_calls = a.n_core_shrink_calls + b.n_core_shrink_calls;
   }
 
 let diff a b =
@@ -85,6 +101,9 @@ let diff a b =
     n_theory_calls = a.n_theory_calls - b.n_theory_calls;
     n_deadline_abort = a.n_deadline_abort - b.n_deadline_abort;
     n_degraded = a.n_degraded - b.n_degraded;
+    n_cache_hits = a.n_cache_hits - b.n_cache_hits;
+    n_cache_misses = a.n_cache_misses - b.n_cache_misses;
+    n_core_shrink_calls = a.n_core_shrink_calls - b.n_core_shrink_calls;
   }
 
 let sat_or_unknown = function Sat | Unknown -> true | Unsat -> false
@@ -197,13 +216,27 @@ let check_raw ~max_iters ~deadline (e : Expr.t) :
                     | _ -> false)
                   literals
               in
+              let st = stats () in
+              st.n_core_shrink_calls <- st.n_core_shrink_calls + 1;
+              (* Deletion filter: one pass per candidate, flagging whether
+                 it was actually present instead of recomputing two list
+                 lengths (candidates already deleted in earlier rounds are
+                 skipped without a theory call). *)
               let core = ref theory_lits in
               List.iter
                 (fun lit ->
-                  let without = List.filter (fun l -> l != lit) !core in
-                  if
-                    List.length without < List.length !core
-                    && Theory.check ~deadline without = Theory.Unsat
+                  let removed = ref false in
+                  let without =
+                    List.filter
+                      (fun l ->
+                        if l == lit then begin
+                          removed := true;
+                          false
+                        end
+                        else true)
+                      !core
+                  in
+                  if !removed && Theory.check ~deadline without = Theory.Unsat
                   then core := without)
                 theory_lits;
               let blocking =
@@ -231,13 +264,34 @@ let record_verdict v =
   | Unsat -> st.n_unsat <- st.n_unsat + 1
   | Unknown -> st.n_unknown <- st.n_unknown + 1
 
+let cached_verdict = function
+  | Qcache.Cached_sat m -> (Sat, m)
+  | Qcache.Cached_unsat -> (Unsat, [])
+
+(* Only definitive full-strength verdicts go in: [Unknown] is a budget
+   artefact of this particular call, not a property of the formula. *)
+let cache_store e v m =
+  match v with
+  | Sat -> Qcache.add e (Qcache.Cached_sat m)
+  | Unsat -> Qcache.add e Qcache.Cached_unsat
+  | Unknown -> ()
+
 let check_with_model ?(max_iters = 400) ?(deadline = Metrics.no_deadline)
     (e : Expr.t) : verdict * (Expr.t * bool) list =
   let st = stats () in
   st.n_queries <- st.n_queries + 1;
-  let v, m = check_raw ~max_iters ~deadline e in
-  record_verdict v;
-  (v, m)
+  match Qcache.find e with
+  | Some entry ->
+    st.n_cache_hits <- st.n_cache_hits + 1;
+    let v, m = cached_verdict entry in
+    record_verdict v;
+    (v, m)
+  | None ->
+    if Qcache.enabled () then st.n_cache_misses <- st.n_cache_misses + 1;
+    let v, m = check_raw ~max_iters ~deadline e in
+    record_verdict v;
+    cache_store e v m;
+    (v, m)
 
 let check ?max_iters ?deadline e = fst (check_with_model ?max_iters ?deadline e)
 
@@ -300,14 +354,15 @@ let check_degrading ?(max_iters = 400) ?(budget_s = infinity)
     record_verdict v;
     (v, m, rung)
   in
-  match fault with
-  | Some Resilience.Inject.Unknown_verdict ->
-    incident "injected: unknown-verdict" "kept the report (Unknown)";
-    finish Rung_gave_up Unknown []
-  | (Some (Resilience.Inject.Crash | Resilience.Inject.Hang) | None) as sabotage
-    -> (
+  let run_ladder sabotage =
     match try_rung ~iters:max_iters ~budget:budget_s ~sabotage with
-    | Ok (v, m) -> finish Rung_full v m
+    | Ok (v, m) ->
+      (* Only an unsabotaged full-rung verdict is cacheable; degraded-rung
+         answers may be weaker than what the full solver would say.
+         (Crash/Hang sabotage never reaches [Ok] on the first rung, so the
+         guard is for documentation as much as safety.) *)
+      if sabotage = None then cache_store e v m;
+      finish Rung_full v m
     | Error detail1 -> (
       incident detail1 "retry with halved max_iters";
       match
@@ -320,4 +375,27 @@ let check_degrading ?(max_iters = 400) ?(budget_s = infinity)
         incident detail2 "linear-time contradiction solver";
         match Linear_solver.check e with
         | Linear_solver.Unsat -> finish Rung_linear Unsat []
-        | Linear_solver.Maybe -> finish Rung_gave_up Unknown [])))
+        | Linear_solver.Maybe -> finish Rung_gave_up Unknown []))
+  in
+  (* The fault is drawn before the cache is consulted (draw-first), and a
+     sabotaged query bypasses the cache entirely — no read, no write.  This
+     keeps the per-subject injection stream aligned with the query sequence
+     (one draw per query, hit or miss), so incident fingerprints stay
+     identical across [--jobs] levels even though which domain populates a
+     given cache entry is racy. *)
+  match fault with
+  | Some Resilience.Inject.Unknown_verdict ->
+    incident "injected: unknown-verdict" "kept the report (Unknown)";
+    finish Rung_gave_up Unknown []
+  | Some (Resilience.Inject.Crash | Resilience.Inject.Hang) ->
+    run_ladder fault
+  | None -> (
+    match Qcache.find e with
+    | Some entry ->
+      st.n_cache_hits <- st.n_cache_hits + 1;
+      let v, m = cached_verdict entry in
+      record_verdict v;
+      (v, m, Rung_cached)
+    | None ->
+      if Qcache.enabled () then st.n_cache_misses <- st.n_cache_misses + 1;
+      run_ladder None)

@@ -37,7 +37,12 @@ val check_with_model :
 (** Like {!check}, but on [Sat] also returns the propositional model of
     the formula's atoms (atom expression, assigned polarity) — the branch
     outcomes that make a bug path feasible, used as trigger hints in
-    reports.  The list is empty for [Unsat]/[Unknown]. *)
+    reports.  The list is empty for [Unsat]/[Unknown].
+
+    When {!Qcache} is enabled, the cache is consulted first (a hit skips
+    the solver entirely and replays the stored verdict and model) and
+    definitive [Sat]/[Unsat] results are stored back.  [Unknown] is never
+    cached. *)
 
 val sat_or_unknown : verdict -> bool
 (** The soundy reading used by checkers: keep the report unless the path
@@ -59,6 +64,9 @@ type rung =
   | Rung_halved   (** decided on retry with halved budgets *)
   | Rung_linear   (** refuted by the linear-time contradiction solver *)
   | Rung_gave_up  (** every rung exhausted: [Unknown], report kept *)
+  | Rung_cached   (** replayed from {!Qcache} — a previous full-rung
+                      verdict for the same (hash-consed) formula; as
+                      strong as [Rung_full], not a degradation *)
 
 val rung_name : rung -> string
 val pp_rung : Format.formatter -> rung -> unit
@@ -77,7 +85,16 @@ val check_degrading :
     per-query wall budget of the full rung (the retry gets half);
     [deadline] is the enclosing (checker-run) deadline — the effective
     rung deadline is the earlier of the two.  Consults
-    {!Pinpoint_util.Resilience.Inject} for seeded fault injection. *)
+    {!Pinpoint_util.Resilience.Inject} for seeded fault injection.
+
+    Cache interaction (when {!Qcache} is enabled): the injection fault is
+    drawn {e before} the cache is consulted — one draw per query whether it
+    hits or misses, so the per-subject fault stream stays aligned with the
+    query sequence at every [--jobs] level.  A sabotaged query bypasses the
+    cache entirely (no read, no write).  Unsabotaged queries replay a hit
+    as [Rung_cached] (not counted as degraded) and store full-rung
+    [Sat]/[Unsat] verdicts back; halved/linear/gave-up verdicts are never
+    cached. *)
 
 type stats = {
   mutable n_queries : int;
@@ -87,6 +104,12 @@ type stats = {
   mutable n_theory_calls : int;
   mutable n_deadline_abort : int;  (** rungs aborted by deadline expiry *)
   mutable n_degraded : int;        (** queries decided below the full rung *)
+  mutable n_cache_hits : int;      (** queries replayed from {!Qcache} *)
+  mutable n_cache_misses : int;    (** cache-enabled queries that ran the
+                                       solver (disabled cache counts
+                                       neither hits nor misses) *)
+  mutable n_core_shrink_calls : int;
+      (** unsat-core deletion-shrink passes run by the lazy-SMT loop *)
 }
 
 val stats : unit -> stats

@@ -5,7 +5,16 @@
     return-value receiver) is renamed to a fresh clone, so that two call
     sites of the same function never share constraint variables.  A frame
     caches its clones, so repeated substitutions at the same site are
-    consistent. *)
+    consistent.
+
+    Unbound-fallback clones are additionally interned process-wide by
+    (base symbol, frame tag): frames created with the same tag mint the
+    same clone symbols, making closed summaries and path conditions
+    deterministic functions of path structure — a prerequisite for the
+    hash-cons sharing the shared SMT verdict cache relies on.  Tags must
+    therefore uniquely identify a substitution context (the engine embeds
+    call-site ids / per-condition counters in them); explicit {!bind}ings
+    remain per-frame and are never interned. *)
 
 type t
 

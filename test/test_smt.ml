@@ -334,6 +334,148 @@ let test_solver_mixed () =
   in
   Alcotest.(check bool) "mixed sat via !a" true (Solver.check g = Solver.Sat)
 
+(* --- balanced conjunction / disjunction --- *)
+
+let bal_b = Array.init 3 (fun i -> Symbol.fresh (Printf.sprintf "bal_b%d" i) Symbol.Bool)
+let bal_i = Array.init 2 (fun i -> Symbol.fresh (Printf.sprintf "bal_i%d" i) Symbol.Int)
+
+let conjunct_list_gen =
+  let open QCheck.Gen in
+  let atom =
+    oneof
+      [
+        map (fun i -> E.var bal_b.(i mod 3)) small_nat;
+        map (fun i -> E.not_ (E.var bal_b.(i mod 3))) small_nat;
+        map2
+          (fun i c -> E.lt (E.var bal_i.(i mod 2)) (E.int c))
+          small_nat (int_range (-3) 3);
+        map2
+          (fun i c -> E.le (E.int c) (E.var bal_i.(i mod 2)))
+          small_nat (int_range (-3) 3);
+      ]
+  in
+  list_size (int_bound 8) atom
+
+let balanced_equisat =
+  Helpers.qtest ~count:300 "conj_balanced equisatisfiable with conj"
+    (QCheck.make conjunct_list_gen) (fun l ->
+      Solver.check (E.conj_balanced l) = Solver.check (E.conj l)
+      && Solver.check (E.disj_balanced l) = Solver.check (E.disj l))
+
+let balanced_order_independent =
+  Helpers.qtest ~count:300 "conj_balanced is order-independent"
+    (QCheck.make conjunct_list_gen) (fun l ->
+      E.equal (E.conj_balanced l) (E.conj_balanced (List.rev l)))
+
+(* --- the shared verdict cache --- *)
+
+(* Enable the (process-global, default-off) cache for one test, restoring
+   a clean disabled+empty state however the test exits. *)
+let with_qcache f =
+  Qcache.clear ();
+  Qcache.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Qcache.set_enabled false;
+      Qcache.clear ())
+    f
+
+let test_qcache_hit_miss () =
+  with_qcache @@ fun () ->
+  Solver.reset_stats ();
+  let x = ivar "qc_x" in
+  let f = E.conj [ E.lt (E.int 0) x; E.lt x (E.int 10) ] in
+  let v1, m1 = Solver.check_with_model f in
+  let st = Solver.stats () in
+  Alcotest.(check int) "one miss" 1 st.Solver.n_cache_misses;
+  Alcotest.(check int) "no hits yet" 0 st.Solver.n_cache_hits;
+  let v2, m2 = Solver.check_with_model f in
+  let st = Solver.stats () in
+  Alcotest.(check int) "still one miss" 1 st.Solver.n_cache_misses;
+  Alcotest.(check int) "one hit" 1 st.Solver.n_cache_hits;
+  Alcotest.(check bool) "sat" true (v1 = Solver.Sat);
+  Alcotest.(check bool) "same verdict" true (v1 = v2);
+  Alcotest.(check bool) "model replayed" true (m1 = m2);
+  (* unsat verdicts are cached too *)
+  let g = E.conj [ E.lt (E.int 0) x; E.not_ (E.lt (E.int 0) x) ] in
+  Alcotest.(check bool) "unsat" true (Solver.check g = Solver.Unsat);
+  Alcotest.(check bool) "unsat cached" true (Solver.check g = Solver.Unsat);
+  let st = Solver.stats () in
+  Alcotest.(check int) "two misses total" 2 st.Solver.n_cache_misses;
+  Alcotest.(check int) "two hits total" 2 st.Solver.n_cache_hits
+
+let test_qcache_rung_cached () =
+  with_qcache @@ fun () ->
+  Solver.reset_stats ();
+  let x = ivar "qr_x" in
+  let f = E.conj [ E.lt (E.int 0) x; E.lt x (E.int 10) ] in
+  let _, _, r1 = Solver.check_degrading f in
+  let _, _, r2 = Solver.check_degrading f in
+  Alcotest.(check string) "first from the solver" "full" (Solver.rung_name r1);
+  Alcotest.(check string) "second replayed" "cached" (Solver.rung_name r2);
+  let st = Solver.stats () in
+  Alcotest.(check int) "replay is not a degradation" 0 st.Solver.n_degraded;
+  Alcotest.(check int) "both counted as queries" 2 st.Solver.n_queries
+
+let test_qcache_never_stores_unknown () =
+  with_qcache @@ fun () ->
+  Solver.reset_stats ();
+  let x = ivar "qu_x" in
+  (* needs a theory round to decide, so max_iters:0 forces Unknown *)
+  let f = E.conj [ E.lt (E.int 0) x; E.lt x (E.int 10) ] in
+  Alcotest.(check bool) "unknown" true
+    (Solver.check ~max_iters:0 f = Solver.Unknown);
+  Alcotest.(check int) "nothing cached" 0 (Qcache.length ());
+  Alcotest.(check bool) "still unknown" true
+    (Solver.check ~max_iters:0 f = Solver.Unknown);
+  let st = Solver.stats () in
+  Alcotest.(check int) "no hit: unknown is never cached" 0 st.Solver.n_cache_hits;
+  Alcotest.(check int) "two misses" 2 st.Solver.n_cache_misses;
+  (* a later full-budget call decides and caches *)
+  Alcotest.(check bool) "decided" true (Solver.check f = Solver.Sat);
+  Alcotest.(check int) "now cached" 1 (Qcache.length ())
+
+let test_qcache_disabled_is_invisible () =
+  Qcache.clear ();
+  Alcotest.(check bool) "disabled by default" false (Qcache.enabled ());
+  Solver.reset_stats ();
+  let x = ivar "qd_x" in
+  let f = E.conj [ E.lt (E.int 0) x; E.lt x (E.int 10) ] in
+  Alcotest.(check bool) "sat" true (Solver.check f = Solver.Sat);
+  Alcotest.(check bool) "sat again" true (Solver.check f = Solver.Sat);
+  let st = Solver.stats () in
+  Alcotest.(check int) "no hits" 0 st.Solver.n_cache_hits;
+  Alcotest.(check int) "no misses counted while disabled" 0
+    st.Solver.n_cache_misses;
+  Alcotest.(check int) "no entries" 0 (Qcache.length ())
+
+let test_qcache_shard_safety () =
+  with_qcache @@ fun () ->
+  (* 8 domains hammer one hot key (every iteration) plus 64 spread keys
+     that cover all shards, half of them walking the list in reverse so
+     writes race on both the hot shard and the cold ones *)
+  let x = ivar "qs_hot" in
+  let hot = E.conj [ E.lt (E.int 0) x; E.lt x (E.int 10) ] in
+  let spread =
+    List.init 64 (fun i ->
+        E.lt (E.var (Symbol.fresh (Printf.sprintf "qs_%d" i) Symbol.Int))
+          (E.int (i mod 7)))
+  in
+  let worker d () =
+    let keys = if d mod 2 = 0 then spread else List.rev spread in
+    for _ = 1 to 50 do
+      if Solver.check hot <> Solver.Sat then failwith "hot verdict corrupted";
+      List.iter
+        (fun k -> if Solver.check k <> Solver.Sat then failwith "spread verdict corrupted")
+        keys
+    done
+  in
+  let domains = List.init 8 (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "every key cached exactly once" 65 (Qcache.length ());
+  Alcotest.(check bool) "hot entry still correct" true
+    (Solver.check hot = Solver.Sat)
+
 let suite =
   [
     Alcotest.test_case "constant folding" `Quick test_constant_folding;
@@ -363,4 +505,14 @@ let suite =
     solver_sat_completeness;
     Alcotest.test_case "solver: fast paths" `Quick test_solver_fastpath;
     Alcotest.test_case "solver: mixed theory" `Quick test_solver_mixed;
+    balanced_equisat;
+    balanced_order_independent;
+    Alcotest.test_case "qcache: hit/miss accounting" `Quick test_qcache_hit_miss;
+    Alcotest.test_case "qcache: replay rung" `Quick test_qcache_rung_cached;
+    Alcotest.test_case "qcache: unknown never cached" `Quick
+      test_qcache_never_stores_unknown;
+    Alcotest.test_case "qcache: disabled is invisible" `Quick
+      test_qcache_disabled_is_invisible;
+    Alcotest.test_case "qcache: 8-domain shard hammering" `Quick
+      test_qcache_shard_safety;
   ]
