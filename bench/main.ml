@@ -1072,6 +1072,132 @@ let prune () =
   Format.printf "(wrote BENCH_prune.json)@."
 
 (* ------------------------------------------------------------------ *)
+(* Observability ablation (DESIGN.md §4.11): the same workload at the
+   three levels — off / metrics-only / full tracing — measuring the wall
+   time of prepare + UAF check, verifying the report keys are identical
+   at every level, and dumping BENCH_obs.json.  The contract under test:
+   the disabled path costs a flag check per hook (target < 2% overhead,
+   i.e. within run-to-run noise), and no level changes the analysis. *)
+
+let obs () =
+  let module Obs = Pinpoint_obs.Obs in
+  Format.printf "@.== Observability ablation: off / metrics / trace ==@.@.";
+  let info =
+    match Subjects.find "vortex" with Some i -> i | None -> assert false
+  in
+  let subject = Subjects.generate info in
+  let reps = 5 in
+  let run_once () =
+    (* the transform rewrites the program in place: recompile per run *)
+    let prog = Gen.compile subject in
+    let (reports, spans, queries), m =
+      Metrics.measure (fun () ->
+          let analysis = Pinpoint.Analysis.prepare prog in
+          let reports =
+            fst
+              (Pinpoint.Analysis.check analysis
+                 Pinpoint.Checkers.use_after_free)
+          in
+          (reports, List.length (Obs.spans ()), List.length (Obs.queries ())))
+    in
+    let keys =
+      List.sort_uniq compare
+        (List.map Pinpoint.Report.key
+           (List.filter Pinpoint.Report.is_reported reports))
+    in
+    (m.Metrics.wall_s, keys, spans, queries)
+  in
+  let median l =
+    match List.sort compare l with
+    | [] -> 0.0
+    | sorted -> List.nth sorted (List.length sorted / 2)
+  in
+  let measure_level (label, level) =
+    Obs.reset ();
+    Obs.set_level level;
+    ignore (run_once ()) (* warm-up *);
+    let runs = List.init reps (fun _ -> run_once ()) in
+    let walls = List.map (fun (w, _, _, _) -> w) runs in
+    let _, keys, spans, queries = List.hd runs in
+    Obs.set_level Obs.Off;
+    Obs.reset ();
+    (label, median walls, keys, spans, queries)
+  in
+  let results =
+    List.map measure_level
+      [ ("off", Obs.Off); ("metrics", Obs.Metrics_only); ("trace", Obs.Trace) ]
+  in
+  let base =
+    match results with (_, w, _, _, _) :: _ -> w | [] -> 0.0
+  in
+  let keys_off =
+    match results with (_, _, k, _, _) :: _ -> k | [] -> []
+  in
+  let identical =
+    List.for_all (fun (_, _, k, _, _) -> k = keys_off) results
+  in
+  let overhead w = if base > 0.0 then ((w /. base) -. 1.0) *. 100.0 else 0.0 in
+  Pp.table
+    ~header:[ "level"; "median wall"; "overhead"; "spans"; "queries" ]
+    ~rows:
+      (List.map
+         (fun (label, w, _, spans, queries) ->
+           [
+             label;
+             str "%a" pp_dur w;
+             str "%+.2f%%" (overhead w);
+             string_of_int spans;
+             string_of_int queries;
+           ])
+         results)
+    Format.std_formatter ();
+  Format.printf "reports %s across levels@."
+    (if identical then "identical" else "DIFFER");
+  (* Disabled-path micro: the same closure driven bare vs through the
+     span hook with observability off.  The hook's off path is one atomic
+     load + branch, so the per-call delta should be a few ns and the
+     relative overhead on real work far under the 2% target. *)
+  Obs.set_level Obs.Off;
+  let n = 5_000_000 in
+  let tick = ref 0 in
+  let work () = tick := !tick + 1 in
+  let micro f =
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let _, m = Metrics.measure (fun () -> for _ = 1 to n do f () done) in
+      if m.Metrics.wall_s < !best then best := m.Metrics.wall_s
+    done;
+    !best
+  in
+  let bare_s = micro work in
+  let hooked_s = micro (fun () -> Obs.span "bench.noop" work) in
+  let per_call_ns = (hooked_s -. bare_s) /. float_of_int n *. 1e9 in
+  Format.printf
+    "disabled hook: %.1fns/call over a bare call (%d calls: bare %a, hooked %a)@."
+    per_call_ns n pp_dur bare_s pp_dur hooked_s;
+  let oc = open_out "BENCH_obs.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out
+    "{\n  \"experiment\": \"obs\",\n  \"subject\": %S,\n  \"loc\": %d,\n\
+    \  \"reps\": %d,\n  \"reports_identical\": %b,\n  \"levels\": [\n"
+    "vortex" subject.Gen.loc reps identical;
+  List.iteri
+    (fun i (label, w, _, spans, queries) ->
+      out
+        "    {\"level\": %S, \"median_wall_s\": %.6f, \"overhead_pct\": \
+         %.3f, \"spans\": %d, \"queries\": %d}%s\n"
+        label w (overhead w) spans queries
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  out
+    "  ],\n  \"disabled_hook\": {\"calls\": %d, \"bare_s\": %.6f, \
+     \"hooked_s\": %.6f, \"per_call_ns\": %.3f}\n"
+    n bare_s hooked_s per_call_ns;
+  out "}\n";
+  close_out oc;
+  Format.printf "(wrote BENCH_obs.json)@."
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1089,6 +1215,7 @@ let experiments =
     ("resilience", resilience);
     ("par", par);
     ("prune", prune);
+    ("obs", obs);
     ("micro", micro);
   ]
 

@@ -118,6 +118,48 @@ let jobs_arg =
           "Run the analysis on $(docv) domains (default 1 = sequential).  \
            Reports, stats and injected faults are identical at every level.")
 
+(* Observability flags (DESIGN.md §4.11), shared by check and stats.
+   Observability never changes the analysis: reports and stats are
+   byte-identical with it on or off. *)
+
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON timeline of the run to $(docv) \
+           (one track per domain; open in chrome://tracing or Perfetto).  \
+           Implies full tracing.")
+
+let metrics_json_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the metrics registry (counters, gauges, histograms) and the \
+           SMT query profile (rung distribution, top-K slowest queries with \
+           source/sink attribution) as JSON to $(docv).")
+
+let obs_arg =
+  Arg.(
+    value & flag
+    & info [ "obs" ]
+        ~doc:"Print the observability summary (metrics tables and the SMT \
+              query profile) after the run.")
+
+let set_obs_level ~trace ~metrics_json ~obs =
+  Pinpoint_obs.Obs.set_level
+    (if trace <> None then Pinpoint_obs.Obs.Trace
+     else if metrics_json <> None || obs then Pinpoint_obs.Obs.Metrics_only
+     else Pinpoint_obs.Obs.Off)
+
+(* Called explicitly before any [exit 2] (a [Fun.protect] finaliser would
+   not run across [exit]). *)
+let export_obs ~trace ~metrics_json ~obs =
+  Option.iter Pinpoint_obs.Export.write_trace trace;
+  Option.iter Pinpoint_obs.Export.write_metrics metrics_json;
+  if obs then Format.printf "%a" Pinpoint_obs.Export.pp_summary ()
+
 (* [--jobs 1] must be the plain sequential pipeline — no pool, no domains —
    so it stays byte-for-byte the historical code path. *)
 let with_jobs jobs f =
@@ -150,8 +192,9 @@ let print_incidents ~verbose (a : Pinpoint.Analysis.t) =
 
 let check_cmd =
   let run file checkers verbose confirm deadline_s budget_s seed rate seg_rate
-      no_prune no_qcache prune_stride jobs =
+      no_prune no_qcache prune_stride jobs trace metrics_json obs =
     install_injection ~seed ~rate ~seg_rate;
+    set_obs_level ~trace ~metrics_json ~obs;
     with_jobs jobs @@ fun pool ->
     match Pinpoint.Analysis.prepare_file ?pool file with
     | exception Pinpoint_frontend.Parser.Error (msg, line) ->
@@ -218,6 +261,7 @@ let check_cmd =
             statuses)
         checkers;
       print_incidents ~verbose a;
+      export_obs ~trace ~metrics_json ~obs;
       if !any then exit 2
   in
   let term =
@@ -225,7 +269,7 @@ let check_cmd =
       const run $ file_arg $ checkers_arg $ verbose_arg $ confirm_arg
       $ deadline_arg $ solver_budget_arg $ inject_seed_arg $ inject_rate_arg
       $ inject_seg_rate_arg $ no_prune_arg $ no_qcache_arg $ prune_stride_arg
-      $ jobs_arg)
+      $ jobs_arg $ trace_arg $ metrics_json_arg $ obs_arg)
   in
   Cmd.v (Cmd.info "check" ~doc:"Run checkers on an MC source file") term
 
@@ -324,7 +368,8 @@ let leaks_cmd =
   Cmd.v (Cmd.info "leaks" ~doc:"Run the memory-leak checker") term
 
 let stats_cmd =
-  let run file jobs =
+  let run file jobs trace metrics_json obs =
+    set_obs_level ~trace ~metrics_json ~obs;
     with_jobs jobs @@ fun pool ->
     let a = Pinpoint.Analysis.prepare_file ?pool file in
     let v, e = Pinpoint.Analysis.seg_size a in
@@ -364,9 +409,13 @@ let stats_cmd =
           (Pinpoint_ir.Func.n_stmts f)
           (Pinpoint_ir.Func.n_blocks f)
           sv se iface)
-      (Pinpoint_ir.Prog.functions prog)
+      (Pinpoint_ir.Prog.functions prog);
+    export_obs ~trace ~metrics_json ~obs
   in
-  let term = Term.(const run $ file_arg $ jobs_arg) in
+  let term =
+    Term.(
+      const run $ file_arg $ jobs_arg $ trace_arg $ metrics_json_arg $ obs_arg)
+  in
   Cmd.v (Cmd.info "stats" ~doc:"Per-function analysis statistics") term
 
 let list_cmd =

@@ -1,6 +1,7 @@
 module Metrics = Pinpoint_util.Metrics
 module Resilience = Pinpoint_util.Resilience
 module Seg = Pinpoint_seg.Seg
+module Obs = Pinpoint_obs.Obs
 
 type phase_metrics = {
   frontend : Metrics.measurement;
@@ -64,6 +65,11 @@ let build_seg log (f : Pinpoint_ir.Func.t) pta : Seg.t option =
           Some (Seg.truncate seg ~keep:0.5)
         | _ -> Some seg)
 
+let build_seg log f pta =
+  Obs.span "seg.build"
+    ~attrs:[ ("fn", f.Pinpoint_ir.Func.fname) ]
+    (fun () -> build_seg log f pta)
+
 (* Force every variable's SMT symbol in program order.  [Var.symbol] is
    lazy and the symbol registry assigns ids in creation order; forcing
    them here — sequentially, after the transform has added its conduit
@@ -98,10 +104,12 @@ let prepare_with ?pool frontend_m (prog : Pinpoint_ir.Prog.t) : t =
   in
   let transform, tm =
     Metrics.measure ~extra_alloc (fun () ->
-        Pinpoint_transform.Transform.run ~resilience ?pool prog)
+        Obs.span "transform" (fun () ->
+            Pinpoint_transform.Transform.run ~resilience ?pool prog))
   in
   let segs, sm =
     Metrics.measure ~extra_alloc (fun () ->
+        Obs.span "seg.build.all" @@ fun () ->
         (* Sequential prologue pinning allocation-ordered ids to program
            order (symbols, abstract heap addresses) — after this, SEG
            builds are order-independent and can fan out. *)
@@ -134,9 +142,22 @@ let prepare_with ?pool frontend_m (prog : Pinpoint_ir.Prog.t) : t =
   in
   let rv, rm =
     Metrics.measure ~extra_alloc (fun () ->
-        Pinpoint_summary.Rv.generate ~resilience ?pool prog
-          (Hashtbl.find_opt segs))
+        Obs.span "summary" (fun () ->
+            Pinpoint_summary.Rv.generate ~resilience ?pool prog
+              (Hashtbl.find_opt segs)))
   in
+  if Obs.metrics_on () then begin
+    let publish name (m : Metrics.measurement) =
+      Obs.set_gauge (Obs.gauge ("phase." ^ name ^ ".wall_s")) m.Metrics.wall_s;
+      Obs.set_gauge
+        (Obs.gauge ("phase." ^ name ^ ".alloc_bytes"))
+        m.Metrics.alloc_bytes
+    in
+    publish "frontend" frontend_m;
+    publish "transform" tm;
+    publish "seg_build" sm;
+    publish "summaries" rm
+  end;
   {
     prog;
     transform;
@@ -148,18 +169,32 @@ let prepare_with ?pool frontend_m (prog : Pinpoint_ir.Prog.t) : t =
     pool;
   }
 
-let zero_m = { Metrics.wall_s = 0.0; alloc_bytes = 0.0; major_words = 0.0 }
+let zero_m =
+  {
+    Metrics.wall_s = 0.0;
+    alloc_bytes = 0.0;
+    major_words = 0.0;
+    promoted_words = 0.0;
+  }
 
 let prepare ?pool prog = prepare_with ?pool zero_m prog
 
 let prepare_source ?pool ?(file = "<string>") src =
   let prog, fm =
-    Metrics.measure (fun () -> Pinpoint_frontend.Lower.compile_string ~file src)
+    Metrics.measure (fun () ->
+        Obs.span "lower"
+          ~attrs:[ ("file", file) ]
+          (fun () -> Pinpoint_frontend.Lower.compile_string ~file src))
   in
   prepare_with ?pool fm prog
 
 let prepare_file ?pool path =
-  let prog, fm = Metrics.measure (fun () -> Pinpoint_frontend.Lower.compile_file path) in
+  let prog, fm =
+    Metrics.measure (fun () ->
+        Obs.span "lower"
+          ~attrs:[ ("file", path) ]
+          (fun () -> Pinpoint_frontend.Lower.compile_file path))
+  in
   prepare_with ?pool fm prog
 
 let seg_size t =

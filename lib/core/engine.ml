@@ -7,6 +7,7 @@ module Rv = Pinpoint_summary.Rv
 module Metrics = Pinpoint_util.Metrics
 module Resilience = Pinpoint_util.Resilience
 module Qcache = Pinpoint_smt.Qcache
+module Obs = Pinpoint_obs.Obs
 
 type config = {
   max_call_depth : int;
@@ -53,6 +54,54 @@ type stats = {
   mutable n_incidents : int;
   mutable solver : Solver.stats;
 }
+
+(* The summed fields of the cross-source merge, as an {!Obs.Agg} fields
+   spec: one list drives the merge fold and the registry compatibility
+   view ([engine.*] counters).  [n_sources]/[n_incidents] are not deltas —
+   they are set once per run — so they join only the published view. *)
+let merge_fields =
+  Obs.Agg.
+    [
+      field "n_candidates" (fun s -> s.n_candidates)
+        (fun s v -> s.n_candidates <- v);
+      field "n_steps" (fun s -> s.n_steps) (fun s v -> s.n_steps <- v);
+      field "n_solver_calls"
+        (fun s -> s.n_solver_calls)
+        (fun s v -> s.n_solver_calls <- v);
+      field "n_rung_full" (fun s -> s.n_rung_full)
+        (fun s v -> s.n_rung_full <- v);
+      field "n_rung_halved"
+        (fun s -> s.n_rung_halved)
+        (fun s v -> s.n_rung_halved <- v);
+      field "n_rung_linear"
+        (fun s -> s.n_rung_linear)
+        (fun s v -> s.n_rung_linear <- v);
+      field "n_rung_gave_up"
+        (fun s -> s.n_rung_gave_up)
+        (fun s v -> s.n_rung_gave_up <- v);
+      field "n_rung_cached"
+        (fun s -> s.n_rung_cached)
+        (fun s v -> s.n_rung_cached <- v);
+      field "n_prefix_checks"
+        (fun s -> s.n_prefix_checks)
+        (fun s v -> s.n_prefix_checks <- v);
+      field "n_pruned_prefixes"
+        (fun s -> s.n_pruned_prefixes)
+        (fun s v -> s.n_pruned_prefixes <- v);
+      field "n_pruned_candidates"
+        (fun s -> s.n_pruned_candidates)
+        (fun s v -> s.n_pruned_candidates <- v);
+    ]
+
+let all_fields =
+  merge_fields
+  @ Obs.Agg.
+      [
+        field "n_sources" (fun s -> s.n_sources) (fun s v -> s.n_sources <- v);
+        field "n_incidents"
+          (fun s -> s.n_incidents)
+          (fun s v -> s.n_incidents <- v);
+      ]
 
 (* Reverse call index: callee name -> (caller function, call statement). *)
 let reverse_calls (prog : Prog.t) : (string, (Func.t * Stmt.t) list) Hashtbl.t =
@@ -450,7 +499,10 @@ let run ?(config = default_config) ?resilience ?pool (prog : Prog.t) ~seg_of
     Resilience.protect ?log:resilience ~phase:Resilience.Vf_summary
       ~subject:spec.Checker_spec.name
       ~fallback_note:"empty VF summaries; VF pruning disabled" ~fallback:None
-      (fun () -> Some (Vf.generate prog seg_of (Checker_spec.vf_spec spec)))
+      (fun () ->
+        Obs.span "summary.vf"
+          ~attrs:[ ("checker", spec.Checker_spec.name) ]
+          (fun () -> Some (Vf.generate prog seg_of (Checker_spec.vf_spec spec))))
   in
   let config, vf =
     match vf with
@@ -479,6 +531,10 @@ let run ?(config = default_config) ?resilience ?pool (prog : Prog.t) ~seg_of
      measures its own delta on the domain that ran it. *)
   let run_source ((f : Func.t), (v : Var.t), sid) =
     let subject = Printf.sprintf "%s:%d" f.Func.fname sid in
+    Obs.span "engine.source"
+      ~attrs:
+        [ ("source", subject); ("checker", spec.Checker_spec.name) ]
+    @@ fun () ->
     let cond =
       if config.check_feasibility then
         Some
@@ -553,19 +609,7 @@ let run ?(config = default_config) ?resilience ?pool (prog : Prog.t) ~seg_of
     (function
       | None -> () (* task lost to a pool-level fault; incident logged *)
       | Some (rs, (st : stats), delta) ->
-        stats.n_candidates <- stats.n_candidates + st.n_candidates;
-        stats.n_steps <- stats.n_steps + st.n_steps;
-        stats.n_solver_calls <- stats.n_solver_calls + st.n_solver_calls;
-        stats.n_rung_full <- stats.n_rung_full + st.n_rung_full;
-        stats.n_rung_halved <- stats.n_rung_halved + st.n_rung_halved;
-        stats.n_rung_linear <- stats.n_rung_linear + st.n_rung_linear;
-        stats.n_rung_gave_up <- stats.n_rung_gave_up + st.n_rung_gave_up;
-        stats.n_rung_cached <- stats.n_rung_cached + st.n_rung_cached;
-        stats.n_prefix_checks <- stats.n_prefix_checks + st.n_prefix_checks;
-        stats.n_pruned_prefixes <-
-          stats.n_pruned_prefixes + st.n_pruned_prefixes;
-        stats.n_pruned_candidates <-
-          stats.n_pruned_candidates + st.n_pruned_candidates;
+        Obs.Agg.add_into merge_fields ~into:stats st;
         stats.solver <- Solver.merge stats.solver delta;
         List.iter
           (fun (r : Report.t) ->
@@ -593,4 +637,11 @@ let run ?(config = default_config) ?resilience ?pool (prog : Prog.t) ~seg_of
     (match resilience with
     | Some l -> Resilience.count l - incidents_before
     | None -> 0);
+  (* Compatibility view: the legacy counter records, republished as
+     registry counters so [--metrics-json] / [stats --obs] see them
+     without a second bookkeeping path. *)
+  if Obs.metrics_on () then begin
+    Obs.Agg.publish ~prefix:"engine." all_fields stats;
+    Solver.obs_publish stats.solver
+  end;
   (List.rev !reports, stats)

@@ -1,0 +1,267 @@
+module Pp = Pinpoint_util.Pp
+module Metrics = Pinpoint_util.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* JSON plumbing (hand-rolled, as elsewhere in the repo: no JSON dep). *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ escape s ^ "\""
+
+(* JSON has no infinities/NaN; clamp the exotic floats a gauge could
+   conceivably carry. *)
+let jfloat f =
+  if Float.is_nan f then "0"
+  else if f = infinity then "1e308"
+  else if f = neg_infinity then "-1e308"
+  else Printf.sprintf "%.9g" f
+
+let jobj fields =
+  "{" ^ String.concat ", " (List.map (fun (k, v) -> jstr k ^ ": " ^ v) fields)
+  ^ "}"
+
+let jarr items = "[" ^ String.concat ", " items ^ "]"
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export *)
+
+let args_json attrs extra =
+  jobj (List.map (fun (k, v) -> (k, jstr v)) attrs @ extra)
+
+let trace_json () =
+  let spans = Obs.spans () in
+  let t_base =
+    List.fold_left (fun acc (s : Obs.span) -> Float.min acc s.t0) infinity spans
+  in
+  let us t = (t -. t_base) *. 1e6 in
+  let doms =
+    List.sort_uniq compare (List.map (fun (s : Obs.span) -> s.dom) spans)
+  in
+  let meta =
+    jobj
+      [
+        ("ph", jstr "M"); ("name", jstr "process_name"); ("pid", "1");
+        ("tid", "0"); ("args", jobj [ ("name", jstr "pinpoint") ]);
+      ]
+    :: List.map
+         (fun d ->
+           jobj
+             [
+               ("ph", jstr "M"); ("name", jstr "thread_name"); ("pid", "1");
+               ("tid", string_of_int d);
+               ("args", jobj [ ("name", jstr (Printf.sprintf "domain-%d" d)) ]);
+             ])
+         doms
+  in
+  (* Two events per span, ordered by the per-domain sequence number —
+     within one domain that is exactly execution order, so B/E pairs
+     nest properly; across domains order is irrelevant (distinct tids). *)
+  let events =
+    List.concat_map
+      (fun (s : Obs.span) ->
+        [
+          ( s.dom,
+            s.open_seq,
+            jobj
+              [
+                ("ph", jstr "B"); ("name", jstr s.name); ("cat", jstr "phase");
+                ("pid", "1"); ("tid", string_of_int s.dom);
+                ("ts", jfloat (us s.t0));
+                ("args", args_json s.attrs []);
+              ] );
+          ( s.dom,
+            s.close_seq,
+            jobj
+              [
+                ("ph", jstr "E"); ("name", jstr s.name); ("cat", jstr "phase");
+                ("pid", "1"); ("tid", string_of_int s.dom);
+                ("ts", jfloat (us s.t1));
+                ( "args",
+                  jobj [ ("alloc_bytes", jfloat s.alloc_bytes) ] );
+              ] );
+        ])
+      spans
+    |> List.sort compare
+    |> List.map (fun (_, _, j) -> j)
+  in
+  "{\"displayTimeUnit\": \"ms\", \"traceEvents\": "
+  ^ jarr (meta @ events)
+  ^ "}"
+
+(* ------------------------------------------------------------------ *)
+(* SMT query profile *)
+
+let rung_distribution (qs : Obs.query list) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (q : Obs.query) ->
+      Hashtbl.replace tbl q.q_rung
+        (1 + Option.value (Hashtbl.find_opt tbl q.q_rung) ~default:0))
+    qs;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let top_slowest ?(top_k = 20) (qs : Obs.query list) =
+  List.stable_sort
+    (fun (a : Obs.query) (b : Obs.query) ->
+      match compare b.q_latency_s a.q_latency_s with
+      | 0 -> compare (a.q_subject, a.q_rung) (b.q_subject, b.q_rung)
+      | c -> c)
+    qs
+  |> List.filteri (fun i _ -> i < top_k)
+
+let query_json (q : Obs.query) =
+  jobj
+    [
+      ("subject", jstr q.q_subject);
+      ("rung", jstr q.q_rung);
+      ("verdict", jstr q.q_verdict);
+      ("atoms", string_of_int q.q_atoms);
+      ("latency_s", jfloat q.q_latency_s);
+      ("dom", string_of_int q.q_dom);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics JSON *)
+
+let value_json (v : Obs.Snapshot.value) =
+  match v with
+  | Obs.Snapshot.Counter n -> string_of_int n
+  | Obs.Snapshot.Gauge g -> jfloat g
+  | Obs.Snapshot.Histogram h ->
+    jobj
+      [
+        ("edges", jarr (Array.to_list (Array.map jfloat h.edges)));
+        ("counts", jarr (Array.to_list (Array.map string_of_int h.counts)));
+        ("sum", jfloat h.sum);
+        ("n", string_of_int h.n);
+      ]
+
+let metrics_json ?top_k () =
+  let snap = Obs.snapshot () in
+  let pick f = List.filter_map f snap in
+  let counters =
+    pick (function
+      | n, Obs.Snapshot.Counter _ as kv -> Some (n, value_json (snd kv))
+      | _ -> None)
+  in
+  let gauges =
+    pick (function
+      | n, (Obs.Snapshot.Gauge _ as v) -> Some (n, value_json v)
+      | _ -> None)
+  in
+  let histograms =
+    pick (function
+      | n, (Obs.Snapshot.Histogram _ as v) -> Some (n, value_json v)
+      | _ -> None)
+  in
+  let qs = Obs.queries () in
+  let smt =
+    jobj
+      [
+        ("n_queries", string_of_int (List.length qs));
+        ( "rungs",
+          jobj
+            (List.map
+               (fun (r, n) -> (r, string_of_int n))
+               (rung_distribution qs)) );
+        ("top_slowest", jarr (List.map query_json (top_slowest ?top_k qs)));
+      ]
+  in
+  jobj
+    [
+      ("counters", jobj counters);
+      ("gauges", jobj gauges);
+      ("histograms", jobj histograms);
+      ("smt", smt);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let write path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc contents;
+      output_char oc '\n')
+
+let write_trace path = write path (trace_json ())
+let write_metrics ?top_k path = write path (metrics_json ?top_k ())
+
+(* ------------------------------------------------------------------ *)
+(* Human summary *)
+
+let pp_summary ppf () =
+  let snap = Obs.snapshot () in
+  let scalar_rows =
+    List.filter_map
+      (fun (n, v) ->
+        match v with
+        | Obs.Snapshot.Counter c -> Some [ n; string_of_int c ]
+        | Obs.Snapshot.Gauge g -> Some [ n; Printf.sprintf "%.6g" g ]
+        | Obs.Snapshot.Histogram _ -> None)
+      snap
+  in
+  if scalar_rows <> [] then begin
+    Format.fprintf ppf "== observability: counters & gauges ==@.";
+    Pp.table ~header:[ "metric"; "value" ] ~rows:scalar_rows ppf ()
+  end;
+  List.iter
+    (fun (n, v) ->
+      match v with
+      | Obs.Snapshot.Histogram h ->
+        Format.fprintf ppf "== histogram %s: n=%d sum=%.6g ==@." n h.n h.sum;
+        let rows =
+          List.init
+            (Array.length h.counts)
+            (fun i ->
+              let label =
+                if i < Array.length h.edges then
+                  Printf.sprintf "<= %.3g" h.edges.(i)
+                else "overflow"
+              in
+              [ label; string_of_int h.counts.(i) ])
+        in
+        Pp.table ~header:[ "bucket"; "count" ] ~rows ppf ()
+      | _ -> ())
+    snap;
+  let qs = Obs.queries () in
+  if qs <> [] then begin
+    Format.fprintf ppf "== SMT queries: %d recorded ==@." (List.length qs);
+    Pp.table ~header:[ "rung"; "queries" ]
+      ~rows:
+        (List.map
+           (fun (r, n) -> [ r; string_of_int n ])
+           (rung_distribution qs))
+      ppf ();
+    Format.fprintf ppf "== top slowest SMT queries ==@.";
+    Pp.table
+      ~header:[ "source -> sink"; "rung"; "verdict"; "atoms"; "latency" ]
+      ~rows:
+        (List.map
+           (fun (q : Obs.query) ->
+             [
+               q.q_subject;
+               q.q_rung;
+               q.q_verdict;
+               string_of_int q.q_atoms;
+               Pp.to_string Metrics.pp_duration q.q_latency_s;
+             ])
+           (top_slowest qs))
+      ppf ()
+  end

@@ -1,0 +1,33 @@
+(** Exporters for the {!Obs} data (DESIGN.md §4.11).
+
+    Two machine formats and one human one:
+
+    - {b Chrome trace} ([trace_json] / [write_trace]): a
+      [{"traceEvents": [...]}] document of ["B"]/["E"] duration events,
+      one track per domain ([tid] = domain id, named via
+      ["thread_name"] metadata), timestamps in microseconds relative to
+      the earliest span.  Events are emitted in per-domain sequence
+      order, so every ["E"] follows its ["B"] and nesting is
+      well-formed by construction.  Load in [chrome://tracing] or
+      {{:https://ui.perfetto.dev}Perfetto}.
+    - {b metrics JSON} ([metrics_json] / [write_metrics]): the registry
+      snapshot (counters / gauges / histograms) plus the SMT query
+      profile — total query count, the rung-distribution histogram, and
+      the top-K slowest queries with source/sink attribution.
+    - {b human summary} ([pp_summary]): the same content as aligned
+      tables ([pinpoint stats --obs]). *)
+
+val trace_json : unit -> string
+val write_trace : string -> unit
+
+val metrics_json : ?top_k:int -> unit -> string
+val write_metrics : ?top_k:int -> string -> unit
+
+val rung_distribution : Obs.query list -> (string * int) list
+(** Query count per rung name, sorted by rung name. *)
+
+val top_slowest : ?top_k:int -> Obs.query list -> Obs.query list
+(** The [top_k] (default 20) highest-latency queries, slowest first;
+    ties broken by subject then rung so the order is deterministic. *)
+
+val pp_summary : Format.formatter -> unit -> unit

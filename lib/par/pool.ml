@@ -1,5 +1,6 @@
 module R = Pinpoint_util.Resilience
 module Metrics = Pinpoint_util.Metrics
+module Obs = Pinpoint_obs.Obs
 
 type t = {
   jobs : int;
@@ -42,7 +43,7 @@ let note t ~t0 exn =
    dropped task + incident. *)
 let guard t task () =
   let t0 = Metrics.now () in
-  try task () with exn -> note t ~t0 exn
+  try Obs.span "par.task" task with exn -> note t ~t0 exn
 
 let enqueue t task =
   Mutex.lock t.m;
@@ -123,7 +124,8 @@ let parallel_map (type a b) t (f : a -> b) (arr : a array) : b option array =
     Array.iteri
       (fun i x ->
         let t0 = Metrics.now () in
-        try res.(i) <- Some (f x) with exn -> note t ~t0 exn)
+        try res.(i) <- Some (Obs.span "par.task" (fun () -> f x))
+        with exn -> note t ~t0 exn)
       arr
   else begin
     let m = Mutex.create () in
@@ -131,7 +133,8 @@ let parallel_map (type a b) t (f : a -> b) (arr : a array) : b option array =
     let remaining = ref n in
     let run i () =
       let t0 = Metrics.now () in
-      (try res.(i) <- Some (f arr.(i)) with exn -> note t ~t0 exn);
+      (try res.(i) <- Some (Obs.span "par.task" (fun () -> f arr.(i)))
+       with exn -> note t ~t0 exn);
       Mutex.lock m;
       decr remaining;
       if !remaining = 0 then Condition.broadcast fin;
@@ -171,4 +174,4 @@ let with_pool ?log ~jobs f =
   let t = create ?log ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let allocated_bytes t = Array.fold_left ( +. ) 0.0 t.alloc
+let allocated_bytes t = Obs.Agg.sum_f t.alloc

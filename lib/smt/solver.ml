@@ -1,7 +1,13 @@
 module Metrics = Pinpoint_util.Metrics
 module Resilience = Pinpoint_util.Resilience
+module Obs = Pinpoint_obs.Obs
 
 type verdict = Sat | Unsat | Unknown
+
+let verdict_name = function
+  | Sat -> "sat"
+  | Unsat -> "unsat"
+  | Unknown -> "unknown"
 
 type rung = Rung_full | Rung_halved | Rung_linear | Rung_gave_up | Rung_cached
 
@@ -48,63 +54,54 @@ let zero () =
 let stats_key : stats Domain.DLS.key = Domain.DLS.new_key zero
 let stats () = Domain.DLS.get stats_key
 
-let reset_stats () =
-  let s = stats () in
-  s.n_queries <- 0;
-  s.n_sat <- 0;
-  s.n_unsat <- 0;
-  s.n_unknown <- 0;
-  s.n_theory_calls <- 0;
-  s.n_deadline_abort <- 0;
-  s.n_degraded <- 0;
-  s.n_cache_hits <- 0;
-  s.n_cache_misses <- 0;
-  s.n_core_shrink_calls <- 0
+(* The one enumeration of the record's fields; merge/diff/restore and the
+   registry compatibility view all derive from it (Obs.Agg). *)
+let fields =
+  Obs.Agg.
+    [
+      field "n_queries" (fun s -> s.n_queries) (fun s v -> s.n_queries <- v);
+      field "n_sat" (fun s -> s.n_sat) (fun s v -> s.n_sat <- v);
+      field "n_unsat" (fun s -> s.n_unsat) (fun s v -> s.n_unsat <- v);
+      field "n_unknown" (fun s -> s.n_unknown) (fun s v -> s.n_unknown <- v);
+      field "n_theory_calls"
+        (fun s -> s.n_theory_calls)
+        (fun s v -> s.n_theory_calls <- v);
+      field "n_deadline_abort"
+        (fun s -> s.n_deadline_abort)
+        (fun s v -> s.n_deadline_abort <- v);
+      field "n_degraded" (fun s -> s.n_degraded) (fun s v -> s.n_degraded <- v);
+      field "n_cache_hits"
+        (fun s -> s.n_cache_hits)
+        (fun s v -> s.n_cache_hits <- v);
+      field "n_cache_misses"
+        (fun s -> s.n_cache_misses)
+        (fun s v -> s.n_cache_misses <- v);
+      field "n_core_shrink_calls"
+        (fun s -> s.n_core_shrink_calls)
+        (fun s v -> s.n_core_shrink_calls <- v);
+    ]
+
+let reset_stats () = Obs.Agg.copy_into fields ~into:(stats ()) (zero ())
 
 let snapshot () =
   let s = stats () in
   { s with n_queries = s.n_queries }
 
-let restore s' =
-  let s = stats () in
-  s.n_queries <- s'.n_queries;
-  s.n_sat <- s'.n_sat;
-  s.n_unsat <- s'.n_unsat;
-  s.n_unknown <- s'.n_unknown;
-  s.n_theory_calls <- s'.n_theory_calls;
-  s.n_deadline_abort <- s'.n_deadline_abort;
-  s.n_degraded <- s'.n_degraded;
-  s.n_cache_hits <- s'.n_cache_hits;
-  s.n_cache_misses <- s'.n_cache_misses;
-  s.n_core_shrink_calls <- s'.n_core_shrink_calls
+let restore s' = Obs.Agg.copy_into fields ~into:(stats ()) s'
 
 let merge a b =
-  {
-    n_queries = a.n_queries + b.n_queries;
-    n_sat = a.n_sat + b.n_sat;
-    n_unsat = a.n_unsat + b.n_unsat;
-    n_unknown = a.n_unknown + b.n_unknown;
-    n_theory_calls = a.n_theory_calls + b.n_theory_calls;
-    n_deadline_abort = a.n_deadline_abort + b.n_deadline_abort;
-    n_degraded = a.n_degraded + b.n_degraded;
-    n_cache_hits = a.n_cache_hits + b.n_cache_hits;
-    n_cache_misses = a.n_cache_misses + b.n_cache_misses;
-    n_core_shrink_calls = a.n_core_shrink_calls + b.n_core_shrink_calls;
-  }
+  let r = zero () in
+  Obs.Agg.add_into fields ~into:r a;
+  Obs.Agg.add_into fields ~into:r b;
+  r
 
 let diff a b =
-  {
-    n_queries = a.n_queries - b.n_queries;
-    n_sat = a.n_sat - b.n_sat;
-    n_unsat = a.n_unsat - b.n_unsat;
-    n_unknown = a.n_unknown - b.n_unknown;
-    n_theory_calls = a.n_theory_calls - b.n_theory_calls;
-    n_deadline_abort = a.n_deadline_abort - b.n_deadline_abort;
-    n_degraded = a.n_degraded - b.n_degraded;
-    n_cache_hits = a.n_cache_hits - b.n_cache_hits;
-    n_cache_misses = a.n_cache_misses - b.n_cache_misses;
-    n_core_shrink_calls = a.n_core_shrink_calls - b.n_core_shrink_calls;
-  }
+  let r = zero () in
+  Obs.Agg.add_into fields ~into:r a;
+  Obs.Agg.sub_into fields ~into:r b;
+  r
+
+let obs_publish s = Obs.Agg.publish ~prefix:"solver." fields s
 
 let sat_or_unknown = function Sat | Unknown -> true | Unsat -> false
 
@@ -303,9 +300,39 @@ let check ?max_iters ?deadline e = fst (check_with_model ?max_iters ?deadline e)
    can never lose a definitely-feasible report — at worst a query decides
    [Unknown] and the report survives. *)
 
+(* Per-query observability: latency histogram + a profiler record tagging
+   the query with its source/sink subject, rung and atom count, and (when
+   tracing) an "smt.query" span on the running domain's track.  When obs
+   is off this is two monotonic-clock reads and three branches.  The
+   histogram is looked up by name each time (not cached in a [lazy]):
+   [Obs.reset] replaces the registry's entries, and a cached handle would
+   go on feeding an orphan. *)
+let profile_query ~subject ~qt0 e ((v, _, rung) as result) =
+  if Obs.metrics_on () then begin
+    let latency_s = Metrics.now_mono () -. qt0 in
+    let rung_s = rung_name rung and verdict_s = verdict_name v in
+    let atoms = List.length (Expr.atoms e) in
+    Obs.record_query ~subject ~rung:rung_s ~verdict:verdict_s ~atoms
+      ~latency_s;
+    Obs.observe (Obs.histogram "smt.query.latency_s") latency_s;
+    if Obs.tracing_on () then
+      Obs.end_span
+        ~attrs:
+          [
+            ("subject", subject);
+            ("rung", rung_s);
+            ("verdict", verdict_s);
+            ("atoms", string_of_int atoms);
+          ]
+        ()
+  end;
+  result
+
 let check_degrading ?(max_iters = 400) ?(budget_s = infinity)
     ?(deadline = Metrics.no_deadline) ?log ?(subject = "query") (e : Expr.t) :
     verdict * (Expr.t * bool) list * rung =
+  let qt0 = Metrics.now_mono () in
+  if Obs.tracing_on () then Obs.begin_span "smt.query";
   let st = stats () in
   st.n_queries <- st.n_queries + 1;
   let t0 = Metrics.now () in
@@ -383,19 +410,20 @@ let check_degrading ?(max_iters = 400) ?(budget_s = infinity)
      (one draw per query, hit or miss), so incident fingerprints stay
      identical across [--jobs] levels even though which domain populates a
      given cache entry is racy. *)
-  match fault with
-  | Some Resilience.Inject.Unknown_verdict ->
-    incident "injected: unknown-verdict" "kept the report (Unknown)";
-    finish Rung_gave_up Unknown []
-  | Some (Resilience.Inject.Crash | Resilience.Inject.Hang) ->
-    run_ladder fault
-  | None -> (
-    match Qcache.find e with
-    | Some entry ->
-      st.n_cache_hits <- st.n_cache_hits + 1;
-      let v, m = cached_verdict entry in
-      record_verdict v;
-      (v, m, Rung_cached)
-    | None ->
-      if Qcache.enabled () then st.n_cache_misses <- st.n_cache_misses + 1;
-      run_ladder None)
+  profile_query ~subject ~qt0 e
+    (match fault with
+    | Some Resilience.Inject.Unknown_verdict ->
+      incident "injected: unknown-verdict" "kept the report (Unknown)";
+      finish Rung_gave_up Unknown []
+    | Some (Resilience.Inject.Crash | Resilience.Inject.Hang) ->
+      run_ladder fault
+    | None -> (
+      match Qcache.find e with
+      | Some entry ->
+        st.n_cache_hits <- st.n_cache_hits + 1;
+        let v, m = cached_verdict entry in
+        record_verdict v;
+        (v, m, Rung_cached)
+      | None ->
+        if Qcache.enabled () then st.n_cache_misses <- st.n_cache_misses + 1;
+        run_ladder None))

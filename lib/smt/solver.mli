@@ -139,3 +139,9 @@ val merge : stats -> stats -> stats
 val diff : stats -> stats -> stats
 (** [diff a b] is the field-wise difference [a - b] — the delta between
     two snapshots taken on the same domain. *)
+
+val obs_publish : stats -> unit
+(** Add every field of [stats] to the {!Pinpoint_obs.Obs} registry under
+    the ["solver."] prefix — the compatibility view of the legacy counter
+    record (includes the {!Qcache} hit/miss counters).  No-op unless the
+    observability level is at least [Metrics_only]. *)

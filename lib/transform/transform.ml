@@ -219,7 +219,11 @@ let process_scc ?resilience ~iface_of ~put_iface ~flush_ifaces ~put_pta
         ~fallback:()
         (fun () ->
           rewrite_calls f iface_of;
-          let pta1 = Pta.run ~discover:true f in
+          let pta1 =
+            Pinpoint_obs.Obs.span "pta"
+              ~attrs:[ ("fn", f.Func.fname); ("stage", "discover") ]
+              (fun () -> Pta.run ~discover:true f)
+          in
           let iface = expose_side_effects f pta1 in
           put_iface f.Func.fname iface))
     scc;
@@ -231,7 +235,11 @@ let process_scc ?resilience ~iface_of ~put_iface ~flush_ifaces ~put_pta
         ~fallback_note:"no points-to result (function gets no SEG)"
         ~fallback:()
         (fun () ->
-          let pta2 = Pta.run ~discover:false f in
+          let pta2 =
+            Pinpoint_obs.Obs.span "pta"
+              ~attrs:[ ("fn", f.Func.fname); ("stage", "final") ]
+              (fun () -> Pta.run ~discover:false f)
+          in
           put_pta f.Func.fname pta2))
     scc
 

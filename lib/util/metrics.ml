@@ -1,20 +1,31 @@
-type measurement = { wall_s : float; alloc_bytes : float; major_words : float }
+type measurement = {
+  wall_s : float;
+  alloc_bytes : float;
+  major_words : float;
+  promoted_words : float;
+}
 
 exception Timeout
 
 let now () = Unix.gettimeofday ()
 
+external now_mono : unit -> (float[@unboxed])
+  = "pinpoint_now_mono" "pinpoint_now_mono_unboxed"
+[@@noalloc]
+
 (* [Gc.allocated_bytes] only counts the calling domain's allocation, so a
    phase that fans work out to a pool would under-report; [extra_alloc]
    lets the caller fold the workers' own counters into the measurement.
-   [gettimeofday] is not monotonic (NTP steps), so the delta is clamped. *)
+   Elapsed time comes from the monotonic clock, so it cannot go negative;
+   the clamp is kept as a belt against platforms where the stub falls
+   back to [gettimeofday]. *)
 let measure ?(extra_alloc = fun () -> 0.0) f =
   let x0 = extra_alloc () in
   let a0 = Gc.allocated_bytes () in
   let s0 = Gc.quick_stat () in
-  let t0 = now () in
+  let t0 = now_mono () in
   let r = f () in
-  let t1 = now () in
+  let t1 = now_mono () in
   let s1 = Gc.quick_stat () in
   let a1 = Gc.allocated_bytes () in
   let x1 = extra_alloc () in
@@ -23,6 +34,7 @@ let measure ?(extra_alloc = fun () -> 0.0) f =
       wall_s = Float.max 0.0 (t1 -. t0);
       alloc_bytes = Float.max 0.0 (a1 -. a0 +. (x1 -. x0));
       major_words = s1.Gc.major_words -. s0.Gc.major_words;
+      promoted_words = s1.Gc.promoted_words -. s0.Gc.promoted_words;
     } )
 
 type deadline = float (* absolute time; infinity = none *)

@@ -6,18 +6,23 @@
     Relative ordering and growth shape are what the experiments compare. *)
 
 type measurement = {
-  wall_s : float;      (** Elapsed wall-clock seconds. *)
+  wall_s : float;      (** Elapsed monotonic-clock seconds. *)
   alloc_bytes : float; (** Bytes allocated on the OCaml heap during the run. *)
-  major_words : float; (** Major-heap words promoted/allocated (coarse RSS proxy). *)
+  major_words : float;
+      (** Major-heap words allocated directly on the major heap (coarse
+          RSS proxy for big long-lived structures). *)
+  promoted_words : float;
+      (** Minor-heap words that survived a minor GC and were promoted to
+          the major heap — the part of [alloc_bytes] that actually became
+          resident, which [major_words] alone misses. *)
 }
 
 val measure : ?extra_alloc:(unit -> float) -> (unit -> 'a) -> 'a * measurement
-(** Run the thunk and capture elapsed time and allocation.  [wall_s] is
-    clamped to be non-negative ([Unix.gettimeofday] can step backwards).
-    [Gc.allocated_bytes] is domain-local; when the thunk fans work out to
-    other domains, pass [extra_alloc] returning their cumulative allocated
-    bytes (e.g. {e Pool.allocated_bytes}) and its delta is added to
-    [alloc_bytes]. *)
+(** Run the thunk and capture elapsed time and allocation.  Time comes
+    from {!now_mono}, so it never goes backwards.  [Gc.allocated_bytes]
+    is domain-local; when the thunk fans work out to other domains, pass
+    [extra_alloc] returning their cumulative allocated bytes (e.g.
+    {e Pool.allocated_bytes}) and its delta is added to [alloc_bytes]. *)
 
 val with_timeout : float -> (unit -> 'a) -> 'a option
 (** [with_timeout budget f] runs [f]; returns [None] if a cooperative
@@ -50,7 +55,13 @@ val wait_until : deadline -> unit
     is no deadline.  Used by the fault injector's "hang" class. *)
 
 val now : unit -> float
-(** [Unix.gettimeofday], exposed for elapsed-time bookkeeping. *)
+(** [Unix.gettimeofday], exposed for elapsed-time bookkeeping.  Deadlines
+    stay on the wall clock (they are compared against [now ()]). *)
+
+val now_mono : unit -> float
+(** CLOCK_MONOTONIC seconds (arbitrary epoch).  Allocation-free on the
+    native path; use for span timestamps and durations, never for
+    anything compared against wall-clock time. *)
 
 val pp_bytes : Format.formatter -> float -> unit
 (** Human-readable byte counts ("1.5MB"). *)

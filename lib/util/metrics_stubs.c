@@ -1,0 +1,33 @@
+/* Monotonic clock for span timestamps and elapsed-time measurement.
+   [Unix.gettimeofday] can step backwards under NTP; CLOCK_MONOTONIC
+   cannot, which is what ordering-sensitive consumers (trace spans)
+   need.  Returned as seconds in a double, unboxed on the native path
+   so the hot read allocates nothing. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+#ifdef CLOCK_MONOTONIC
+double pinpoint_now_mono_unboxed(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (double)ts.tv_sec + (double)ts.tv_nsec * 1e-9;
+}
+#else
+#include <sys/time.h>
+double pinpoint_now_mono_unboxed(value unit)
+{
+  struct timeval tv;
+  (void)unit;
+  gettimeofday(&tv, NULL);
+  return (double)tv.tv_sec + (double)tv.tv_usec * 1e-6;
+}
+#endif
+
+CAMLprim value pinpoint_now_mono(value unit)
+{
+  return caml_copy_double(pinpoint_now_mono_unboxed(unit));
+}

@@ -12,6 +12,9 @@ val to_string : (Format.formatter -> 'a -> unit) -> 'a -> string
 val quote : string -> string
 (** Escape for embedding in DOT labels. *)
 
+val contains : string -> string -> bool
+(** [contains haystack needle] — naive substring search. *)
+
 val table :
   header:string list -> rows:string list list -> Format.formatter -> unit -> unit
 (** Render an aligned ASCII table (used by the bench harness to print the

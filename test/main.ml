@@ -21,4 +21,5 @@ let () =
       ("leak", Test_leak.suite);
       ("resilience", Test_resilience.suite);
       ("par", Test_par.suite);
+      ("obs", Test_obs.suite);
     ]

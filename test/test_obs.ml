@@ -1,0 +1,475 @@
+(* Tests for the observability layer (lib/obs): span nesting under a
+   multi-domain pool, snapshot merge algebra, histogram bucketing, the
+   exporters, the SMT query profiler, and report identity with
+   observability on vs off. *)
+
+module Obs = Pinpoint_obs.Obs
+module Export = Pinpoint_obs.Export
+module Metrics = Pinpoint_util.Metrics
+
+(* The level and the registry are process-global: every test restores
+   [Off] and clears the buffers on the way out so the rest of the suite
+   runs untouched. *)
+let with_level level f =
+  Obs.reset ();
+  Obs.set_level level;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_level Obs.Off;
+      Obs.reset ())
+    f
+
+let uaf_src =
+  {|
+void rel(int *p) { free(p); }
+void top(int s) { int *q = malloc(); *q = s; rel(q); print(*q); }
+void other(int t) { int *r = malloc(); *r = t; free(r); print(*r); }
+|}
+
+let traced_run ~jobs () =
+  with_level Obs.Trace @@ fun () ->
+  let reports =
+    if jobs > 1 then
+      Pinpoint_par.Pool.with_pool ~jobs (fun pool ->
+          let a =
+            Pinpoint.Analysis.prepare_source ~pool ~file:"<obs-test>" uaf_src
+          in
+          fst (Pinpoint.Analysis.check a Pinpoint.Checkers.use_after_free))
+    else
+      let a = Pinpoint.Analysis.prepare_source ~file:"<obs-test>" uaf_src in
+      fst (Pinpoint.Analysis.check a Pinpoint.Checkers.use_after_free)
+  in
+  (reports, Obs.spans (), Obs.queries (), Export.trace_json ())
+
+(* --------------------------------------------------------------- *)
+(* Span nesting and ordering *)
+
+(* Replay one domain's B/E events in sequence order and check stack
+   discipline: every close matches the most recent open. *)
+let check_domain_wellformed dom (spans : Obs.span list) =
+  let events =
+    List.concat_map
+      (fun (s : Obs.span) ->
+        [ (s.Obs.open_seq, `B s); (s.Obs.close_seq, `E s) ])
+      spans
+    |> List.sort compare
+  in
+  (* sequence numbers are unique per domain *)
+  let seqs = List.map fst events in
+  Alcotest.(check int)
+    (Printf.sprintf "domain %d: unique seqs" dom)
+    (List.length seqs)
+    (List.length (List.sort_uniq compare seqs));
+  let stack =
+    List.fold_left
+      (fun stack (_, ev) ->
+        match (ev, stack) with
+        | `B s, _ -> s :: stack
+        | `E s, top :: rest ->
+          Alcotest.(check string)
+            (Printf.sprintf "domain %d: E closes innermost B" dom)
+            top.Obs.name s.Obs.name;
+          Alcotest.(check bool)
+            "E after its B" true
+            (s.Obs.open_seq = top.Obs.open_seq
+            && s.Obs.close_seq > s.Obs.open_seq);
+          rest
+        | `E _, [] -> Alcotest.fail "E with no open B")
+      [] events
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "domain %d: all spans closed" dom)
+    0 (List.length stack)
+
+let test_span_nesting_jobs4 () =
+  let reports, spans, _, _ = traced_run ~jobs:4 () in
+  Alcotest.(check bool) "found reports" true (reports <> []);
+  Alcotest.(check bool) "recorded spans" true (spans <> []);
+  let doms =
+    List.sort_uniq compare (List.map (fun (s : Obs.span) -> s.Obs.dom) spans)
+  in
+  List.iter
+    (fun d ->
+      check_domain_wellformed d
+        (List.filter (fun (s : Obs.span) -> s.Obs.dom = d) spans))
+    doms;
+  List.iter
+    (fun (s : Obs.span) ->
+      Alcotest.(check bool) "t1 >= t0" true (s.Obs.t1 >= s.Obs.t0))
+    spans
+
+(* Deterministic multi-domain case: four domains each record the same
+   nested span tree concurrently; the tracks must stay disjoint and each
+   one well-formed — a worker's spans can never leak onto another track. *)
+let test_span_tracks_disjoint () =
+  with_level Obs.Trace @@ fun () ->
+  let work () =
+    for _ = 1 to 5 do
+      Obs.span "outer" (fun () ->
+          Obs.span "mid" (fun () -> Obs.span "inner" (fun () -> ())))
+    done;
+    (Domain.self () :> int)
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn work) in
+  let ids = Array.to_list (Array.map Domain.join domains) in
+  Alcotest.(check int) "4 distinct domains" 4
+    (List.length (List.sort_uniq compare ids));
+  let spans = Obs.spans () in
+  List.iter
+    (fun d ->
+      let own = List.filter (fun (s : Obs.span) -> s.Obs.dom = d) spans in
+      Alcotest.(check int)
+        (Printf.sprintf "domain %d span count" d)
+        15 (List.length own);
+      check_domain_wellformed d own)
+    ids;
+  (* every span landed on the track of the domain that recorded it *)
+  Alcotest.(check int) "no spans on the main track" 0
+    (List.length
+       (List.filter
+          (fun (s : Obs.span) -> not (List.mem s.Obs.dom ids))
+          spans))
+
+let test_span_names_present () =
+  let _, spans, queries, _ = traced_run ~jobs:4 () in
+  let names = List.map (fun (s : Obs.span) -> s.Obs.name) spans in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) ("phase " ^ expected) true (List.mem expected names))
+    [
+      "lower"; "pta"; "transform"; "seg.build"; "summary"; "engine.source";
+      "smt.query"; "par.task"; "summary.vf";
+    ];
+  Alcotest.(check bool) "queries recorded" true (queries <> [])
+
+(* --------------------------------------------------------------- *)
+(* Snapshot merge algebra *)
+
+let snap_testable =
+  Alcotest.testable
+    (fun ppf s -> Format.fprintf ppf "%s" (Marshal.to_string s []))
+    ( = )
+
+let test_merge_associative () =
+  let h edges counts sum n =
+    Obs.Snapshot.Histogram { edges; counts; sum; n }
+  in
+  let e = [| 0.1; 1.0 |] in
+  let a =
+    [ ("c.x", Obs.Snapshot.Counter 3); ("g.y", Obs.Snapshot.Gauge 1.5);
+      ("h.z", h e [| 1; 0; 2 |] 4.5 3) ]
+  in
+  let b =
+    [ ("c.w", Obs.Snapshot.Counter 7); ("c.x", Obs.Snapshot.Counter 4);
+      ("h.z", h e [| 0; 5; 1 |] 9.0 6) ]
+  in
+  let c =
+    [ ("c.x", Obs.Snapshot.Counter 10); ("g.y", Obs.Snapshot.Gauge 0.5) ]
+  in
+  let m = Obs.Snapshot.merge in
+  Alcotest.check snap_testable "associative" (m (m a b) c) (m a (m b c));
+  Alcotest.check snap_testable "commutative" (m a b) (m b a);
+  Alcotest.check snap_testable "left identity" a (m [] a);
+  (* counters added, gauges maxed, histogram pointwise *)
+  (match List.assoc "c.x" (m (m a b) c) with
+  | Obs.Snapshot.Counter n -> Alcotest.(check int) "counter sum" 17 n
+  | _ -> Alcotest.fail "kind changed");
+  match List.assoc "h.z" (m a b) with
+  | Obs.Snapshot.Histogram hh ->
+    Alcotest.(check (array int)) "hist counts" [| 1; 5; 3 |] hh.counts;
+    Alcotest.(check int) "hist n" 9 hh.n
+  | _ -> Alcotest.fail "kind changed"
+
+let test_registry_counters () =
+  with_level Obs.Metrics_only @@ fun () ->
+  let c = Obs.counter "test.counter" in
+  Obs.add c 3;
+  Obs.add c 4;
+  let g = Obs.gauge "test.gauge" in
+  Obs.set_gauge g 2.5;
+  match (List.assoc_opt "test.counter" (Obs.snapshot ()),
+         List.assoc_opt "test.gauge" (Obs.snapshot ())) with
+  | Some (Obs.Snapshot.Counter n), Some (Obs.Snapshot.Gauge v) ->
+    Alcotest.(check int) "counter" 7 n;
+    Alcotest.(check (float 0.0)) "gauge" 2.5 v
+  | _ -> Alcotest.fail "metrics missing from snapshot"
+
+let test_counters_off_by_default () =
+  Obs.reset ();
+  Obs.set_level Obs.Off;
+  let c = Obs.counter "test.off" in
+  Obs.add c 5;
+  (match List.assoc_opt "test.off" (Obs.snapshot ()) with
+  | Some (Obs.Snapshot.Counter n) -> Alcotest.(check int) "no-op when off" 0 n
+  | _ -> Alcotest.fail "counter not registered");
+  Alcotest.(check int) "no spans when off" 0
+    (List.length (Obs.span "x" (fun () -> Obs.spans ())));
+  Obs.reset ()
+
+(* --------------------------------------------------------------- *)
+(* Histogram bucket edges *)
+
+let test_histogram_buckets () =
+  with_level Obs.Metrics_only @@ fun () ->
+  let h = Obs.histogram ~buckets:[| 1.0; 2.0; 4.0 |] "test.hist" in
+  (* boundary values go into the bucket they close (v <= edge) *)
+  List.iter (Obs.observe h) [ 0.5; 1.0; 1.5; 2.0; 3.0; 4.0; 99.0 ];
+  match List.assoc_opt "test.hist" (Obs.snapshot ()) with
+  | Some (Obs.Snapshot.Histogram hh) ->
+    Alcotest.(check (array int)) "bucket counts" [| 2; 2; 2; 1 |] hh.counts;
+    Alcotest.(check int) "n" 7 hh.n;
+    Alcotest.(check (float 1e-9)) "sum" 111.0 hh.sum
+  | _ -> Alcotest.fail "histogram missing"
+
+(* --------------------------------------------------------------- *)
+(* Trace JSON golden checks: the document parses as JSON and contains
+   the expected phase names with per-domain tracks. *)
+
+(* Minimal recursive-descent JSON parser — validation only. *)
+exception Bad_json of string
+
+let parse_json (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> raise (Bad_json (Printf.sprintf "expected %c at %d" c !pos))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some ('t' | 'f' | 'n') -> keyword ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> raise (Bad_json (Printf.sprintf "unexpected char at %d" !pos))
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else begin
+      let rec members () =
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); members ()
+        | _ -> expect '}'
+      in
+      members ()
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else begin
+      let rec elems () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); elems ()
+        | _ -> expect ']'
+      in
+      elems ()
+    end
+  and string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'u' -> advance (); for _ = 1 to 4 do advance () done
+        | Some _ -> advance ()
+        | None -> raise (Bad_json "eof in escape"));
+        go ()
+      | Some _ -> advance (); go ()
+      | None -> raise (Bad_json "eof in string")
+    in
+    go ()
+  and keyword () =
+    let kw = [ "true"; "false"; "null" ] in
+    match
+      List.find_opt
+        (fun k ->
+          !pos + String.length k <= n && String.sub s !pos (String.length k) = k)
+        kw
+    with
+    | Some k -> pos := !pos + String.length k
+    | None -> raise (Bad_json "bad keyword")
+  and number () =
+    let is_num c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    let start = !pos in
+    while (match peek () with Some c when is_num c -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then raise (Bad_json "empty number")
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then raise (Bad_json (Printf.sprintf "trailing data at %d" !pos))
+
+let test_trace_json_golden () =
+  let _, spans, _, json = traced_run ~jobs:4 () in
+  (match parse_json (String.trim json) with
+  | () -> ()
+  | exception Bad_json msg -> Alcotest.failf "trace JSON does not parse: %s" msg);
+  Alcotest.(check bool) "has traceEvents" true
+    (Pinpoint_util.Pp.contains json "\"traceEvents\"");
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool) ("trace mentions " ^ phase) true
+        (Pinpoint_util.Pp.contains json ("\"" ^ phase ^ "\"")))
+    [
+      "lower"; "pta"; "transform"; "seg.build"; "summary"; "engine.source";
+      "smt.query";
+    ];
+  (* one named track per recorded domain *)
+  let doms =
+    List.sort_uniq compare (List.map (fun (s : Obs.span) -> s.Obs.dom) spans)
+  in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "thread_name for domain %d" d)
+        true
+        (Pinpoint_util.Pp.contains json (Printf.sprintf "\"domain-%d\"" d)))
+    doms
+
+let test_metrics_json_golden () =
+  with_level Obs.Metrics_only @@ fun () ->
+  let a = Pinpoint.Analysis.prepare_source ~file:"<obs-test>" uaf_src in
+  let _ = Pinpoint.Analysis.check a Pinpoint.Checkers.use_after_free in
+  let json = Export.metrics_json () in
+  (match parse_json (String.trim json) with
+  | () -> ()
+  | exception Bad_json msg ->
+    Alcotest.failf "metrics JSON does not parse: %s" msg);
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) ("metrics mentions " ^ key) true
+        (Pinpoint_util.Pp.contains json ("\"" ^ key ^ "\"")))
+    [
+      "counters"; "gauges"; "histograms"; "smt"; "rungs"; "top_slowest";
+      "engine.n_sources"; "solver.n_queries"; "smt.query.latency_s";
+    ]
+
+(* --------------------------------------------------------------- *)
+(* SMT query profiler *)
+
+let test_query_profile () =
+  let _, _, queries, _ = traced_run ~jobs:1 () in
+  Alcotest.(check bool) "has queries" true (queries <> []);
+  List.iter
+    (fun (q : Obs.query) ->
+      Alcotest.(check bool) "subject is source -> sink" true
+        (Pinpoint_util.Pp.contains q.Obs.q_subject " -> ");
+      Alcotest.(check bool) "latency >= 0" true (q.Obs.q_latency_s >= 0.0);
+      Alcotest.(check bool) "atoms >= 0" true (q.Obs.q_atoms >= 0);
+      Alcotest.(check bool) "rung name valid" true
+        (List.mem q.Obs.q_rung
+           [ "full"; "halved"; "linear"; "gave-up"; "cached" ]))
+    queries;
+  let dist = Export.rung_distribution queries in
+  Alcotest.(check int) "distribution covers all queries"
+    (List.length queries)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 dist);
+  let slow = Export.top_slowest ~top_k:1 queries in
+  Alcotest.(check int) "top-1" 1 (List.length slow);
+  let slowest = List.hd slow in
+  List.iter
+    (fun (q : Obs.query) ->
+      Alcotest.(check bool) "top-1 is max latency" true
+        (q.Obs.q_latency_s <= slowest.Obs.q_latency_s))
+    queries
+
+(* --------------------------------------------------------------- *)
+(* Observability cannot change the analysis *)
+
+let test_report_identity () =
+  (* SMT symbol ids ([#99]) are a process-global counter, so two separate
+     compilations of the same source never share them; strip them before
+     comparing — everything else must match byte for byte. *)
+  let strip_ids s =
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      if s.[!i] = '#' then begin
+        incr i;
+        while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do incr i done
+      end
+      else begin
+        Buffer.add_char b s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents b
+  in
+  let fmt_reports rs =
+    strip_ids
+      (String.concat "\n"
+         (List.map (Pinpoint_util.Pp.to_string Pinpoint.Report.pp) rs))
+  in
+  Obs.reset ();
+  Obs.set_level Obs.Off;
+  let base =
+    let a = Pinpoint.Analysis.prepare_source ~file:"<obs-test>" uaf_src in
+    fst (Pinpoint.Analysis.check a Pinpoint.Checkers.use_after_free)
+  in
+  let traced, _, _, _ = traced_run ~jobs:4 () in
+  Alcotest.(check string) "report set identical with tracing on"
+    (fmt_reports base) (fmt_reports traced)
+
+(* --------------------------------------------------------------- *)
+(* Metrics.now_mono / measure *)
+
+let test_now_mono () =
+  let t0 = Metrics.now_mono () in
+  let t1 = Metrics.now_mono () in
+  Alcotest.(check bool) "monotone" true (t1 >= t0);
+  let r, m = Metrics.measure (fun () -> Array.length (Array.make 50_000 'x')) in
+  Alcotest.(check int) "result" 50_000 r;
+  Alcotest.(check bool) "wall_s >= 0" true (m.Metrics.wall_s >= 0.0);
+  Alcotest.(check bool) "alloc counted" true (m.Metrics.alloc_bytes > 0.0);
+  Alcotest.(check bool) "promoted_words >= 0" true
+    (m.Metrics.promoted_words >= 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "span nesting under jobs 4" `Quick
+      test_span_nesting_jobs4;
+    Alcotest.test_case "per-domain tracks disjoint" `Quick
+      test_span_tracks_disjoint;
+    Alcotest.test_case "phase names present" `Quick test_span_names_present;
+    Alcotest.test_case "snapshot merge associativity" `Quick
+      test_merge_associative;
+    Alcotest.test_case "registry counters and gauges" `Quick
+      test_registry_counters;
+    Alcotest.test_case "hooks are no-ops when off" `Quick
+      test_counters_off_by_default;
+    Alcotest.test_case "histogram bucket edges" `Quick test_histogram_buckets;
+    Alcotest.test_case "trace JSON golden" `Quick test_trace_json_golden;
+    Alcotest.test_case "metrics JSON golden" `Quick test_metrics_json_golden;
+    Alcotest.test_case "SMT query profile" `Quick test_query_profile;
+    Alcotest.test_case "report identity obs on/off" `Quick
+      test_report_identity;
+    Alcotest.test_case "now_mono and measure" `Quick test_now_mono;
+  ]
