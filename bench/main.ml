@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
 
    Experiments: fig7 fig8 fig9 fig10 table1 table2 table3 juliet
-   solverstats ablation leaks resilience par prune micro. *)
+   solverstats ablation leaks resilience par prune smt obs micro. *)
 
 module Metrics = Pinpoint_util.Metrics
 module Subjects = Pinpoint_workload.Subjects
@@ -1072,6 +1072,279 @@ let prune () =
   Format.printf "(wrote BENCH_prune.json)@."
 
 (* ------------------------------------------------------------------ *)
+(* SAT core ablation (DESIGN.md §4.12): CDCL vs the reference
+   chronological DPLL (Sat_ref), on generated hard random 3-CNF near the
+   satisfiability phase transition (where a non-learning solver's search
+   tree blows up) and end-to-end on vortex/mysql/corpus, where the
+   contract is "same reports, less work".  Dumps BENCH_smt.json. *)
+
+type smt_core_run = {
+  sc_verdict : string;
+  sc_wall : float;
+  sc_counts : Pinpoint_smt.Sat.counts;
+}
+
+type smt_e2e_run = {
+  se_core : string;
+  se_wall : float;
+  se_queries : int;
+  se_counts : Pinpoint_smt.Sat.counts;
+  se_keys :
+    (string * (string * int * string * int) * Pinpoint.Report.verdict) list;
+}
+
+let smt () =
+  Format.printf "@.== SAT core ablation: CDCL vs reference DPLL ==@.@.";
+  let module Sat = Pinpoint_smt.Sat in
+  let module Prng = Pinpoint_util.Prng in
+  let with_impl impl f =
+    let old = Sat.impl () in
+    Sat.set_impl impl;
+    Fun.protect ~finally:(fun () -> Sat.set_impl old) f
+  in
+  let core_name = function Sat.Cdcl -> "cdcl" | Sat.Ref -> "ref" in
+  (* --- hard random 3-CNF at clause/variable ratio 4.26 --- *)
+  let gen_cnf ~seed ~n_vars =
+    let rng = Prng.create seed in
+    let n_clauses = int_of_float (4.26 *. float_of_int n_vars) in
+    List.init n_clauses (fun _ ->
+        let rec draw acc n =
+          if n = 0 then acc
+          else begin
+            let v = Prng.in_range rng 1 n_vars in
+            if List.exists (fun l -> abs l = v) acc then draw acc n
+            else draw ((if Prng.bool rng then v else -v) :: acc) (n - 1)
+          end
+        in
+        draw [] 3)
+  in
+  let solve_cnf impl clauses =
+    with_impl impl @@ fun () ->
+    let s = Sat.create () in
+    List.iter (Sat.add_clause s) clauses;
+    let r, m =
+      Metrics.measure (fun () ->
+          (* generous conflict cap so the reference core terminates even
+             when its chronological search degenerates *)
+          Sat.solve ~budget:2_000_000 s)
+    in
+    let verdict =
+      match r with
+      | Some (Sat.Sat _) -> "sat"
+      | Some Sat.Unsat -> "unsat"
+      | None -> "budget"
+    in
+    { sc_verdict = verdict; sc_wall = m.Metrics.wall_s; sc_counts = Sat.counts s }
+  in
+  let hard_instances =
+    List.map
+      (fun (seed, n_vars) -> (seed, n_vars, gen_cnf ~seed ~n_vars))
+      [ (11, 34); (12, 38); (13, 40); (14, 42); (15, 44); (16, 46) ]
+  in
+  let hard_results =
+    List.map
+      (fun (seed, n_vars, clauses) ->
+        let cdcl = solve_cnf Sat.Cdcl clauses in
+        let ref_ = solve_cnf Sat.Ref clauses in
+        if cdcl.sc_verdict <> ref_.sc_verdict then
+          Format.printf "  !! seed %d: verdicts differ (%s vs %s)@." seed
+            cdcl.sc_verdict ref_.sc_verdict;
+        (seed, n_vars, List.length clauses, cdcl, ref_))
+      hard_instances
+  in
+  Pp.table
+    ~header:
+      [
+        "instance"; "verdict"; "cdcl time"; "ref time"; "cdcl props";
+        "ref props"; "cdcl confl"; "ref confl"; "learned"; "restarts";
+      ]
+    ~rows:
+      (List.map
+         (fun (seed, n_vars, n_clauses, c, r) ->
+           [
+             str "seed %d (%dv/%dc)" seed n_vars n_clauses;
+             c.sc_verdict;
+             str "%a" pp_dur c.sc_wall;
+             str "%a" pp_dur r.sc_wall;
+             string_of_int c.sc_counts.Sat.propagations;
+             string_of_int r.sc_counts.Sat.propagations;
+             string_of_int c.sc_counts.Sat.conflicts;
+             string_of_int r.sc_counts.Sat.conflicts;
+             string_of_int c.sc_counts.Sat.learned;
+             string_of_int c.sc_counts.Sat.restarts;
+           ])
+         hard_results)
+    Format.std_formatter ();
+  let total f =
+    List.fold_left (fun acc (_, _, _, c, r) -> acc + f c r) 0 hard_results
+  in
+  let cdcl_props = total (fun c _ -> c.sc_counts.Sat.propagations) in
+  let ref_props = total (fun _ r -> r.sc_counts.Sat.propagations) in
+  Format.printf
+    "hard-CNF propagations: CDCL %d vs reference %d (%s)@.@." cdcl_props
+    ref_props
+    (if cdcl_props < ref_props then "strictly fewer, as required"
+     else "NOT strictly fewer");
+  (* --- end-to-end: same analyses, both cores, reports must agree --- *)
+  let subject_tasks name =
+    let info =
+      match Subjects.find name with Some i -> i | None -> assert false
+    in
+    let subject = Subjects.generate info in
+    let analysis = Pinpoint.Analysis.prepare (Gen.compile subject) in
+    ( str "%s (%d LoC, UAF)" name subject.Gen.loc,
+      [ ("uaf", analysis, Pinpoint.Checkers.use_after_free) ] )
+  in
+  let corpus_tasks () =
+    let files =
+      Sys.readdir "corpus" |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".mc")
+      |> List.sort compare
+    in
+    let tasks =
+      List.concat_map
+        (fun f ->
+          let a = Pinpoint.Analysis.prepare_file (Filename.concat "corpus" f) in
+          [
+            (f ^ "/uaf", a, Pinpoint.Checkers.use_after_free);
+            (f ^ "/df", a, Pinpoint.Checkers.double_free);
+          ])
+        files
+    in
+    (str "corpus (%d files, UAF + double-free)" (List.length files), tasks)
+  in
+  let run_core tasks impl =
+    with_impl impl @@ fun () ->
+    Pinpoint_smt.Qcache.clear ();
+    let wall = ref 0.0 and queries = ref 0 in
+    let props = ref 0 and confl = ref 0 and learn = ref 0 and rst = ref 0 in
+    let keys = ref [] in
+    List.iter
+      (fun (tag, analysis, checker) ->
+        let (reports, st), m =
+          Metrics.measure (fun () -> Pinpoint.Analysis.check analysis checker)
+        in
+        let sv = st.Pinpoint.Engine.solver in
+        wall := !wall +. m.Metrics.wall_s;
+        queries := !queries + sv.Pinpoint_smt.Solver.n_queries;
+        props := !props + sv.Pinpoint_smt.Solver.n_propagations;
+        confl := !confl + sv.Pinpoint_smt.Solver.n_conflicts;
+        learn := !learn + sv.Pinpoint_smt.Solver.n_learned;
+        rst := !rst + sv.Pinpoint_smt.Solver.n_restarts;
+        keys :=
+          !keys
+          @ (List.map
+               (fun (r : Pinpoint.Report.t) ->
+                 (tag, Pinpoint.Report.key r, r.Pinpoint.Report.verdict))
+               reports
+            |> List.sort compare))
+      tasks;
+    Pinpoint_smt.Qcache.clear ();
+    {
+      se_core = core_name impl;
+      se_wall = !wall;
+      se_queries = !queries;
+      se_counts =
+        {
+          Sat.propagations = !props;
+          decisions = 0;
+          conflicts = !confl;
+          learned = !learn;
+          restarts = !rst;
+        };
+      se_keys = !keys;
+    }
+  in
+  let e2e_results =
+    List.map
+      (fun (wname, tasks) ->
+        (* untimed warmup so the first measured core pays no one-time
+           lazy-initialisation costs *)
+        ignore (run_core tasks Sat.Cdcl);
+        let cdcl = run_core tasks Sat.Cdcl in
+        let ref_ = run_core tasks Sat.Ref in
+        let identical = cdcl.se_keys = ref_.se_keys in
+        if not identical then
+          Format.printf "  !! %s: reports differ between cores@." wname;
+        (wname, [ cdcl; ref_ ], identical))
+      [ subject_tasks "vortex"; subject_tasks "mysql"; corpus_tasks () ]
+  in
+  List.iter
+    (fun (wname, runs, identical) ->
+      Format.printf "%s: reports %s across both cores@." wname
+        (if identical then "identical" else "DIFFER");
+      Pp.table
+        ~header:
+          [
+            "core"; "check time"; "queries"; "propagations"; "conflicts";
+            "learned"; "restarts";
+          ]
+        ~rows:
+          (List.map
+             (fun e ->
+               [
+                 e.se_core;
+                 str "%a" pp_dur e.se_wall;
+                 string_of_int e.se_queries;
+                 string_of_int e.se_counts.Sat.propagations;
+                 string_of_int e.se_counts.Sat.conflicts;
+                 string_of_int e.se_counts.Sat.learned;
+                 string_of_int e.se_counts.Sat.restarts;
+               ])
+             runs)
+        Format.std_formatter ();
+      Format.printf "@.")
+    e2e_results;
+  let oc = open_out "BENCH_smt.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"experiment\": \"smt\",\n  \"hard_cnf\": {\n    \"instances\": [\n";
+  List.iteri
+    (fun i (seed, n_vars, n_clauses, c, r) ->
+      let run label (x : smt_core_run) last =
+        out
+          "        {\"core\": %S, \"verdict\": %S, \"wall_s\": %.6f, \
+           \"propagations\": %d, \"conflicts\": %d, \"learned\": %d, \
+           \"restarts\": %d}%s\n"
+          label x.sc_verdict x.sc_wall x.sc_counts.Sat.propagations
+          x.sc_counts.Sat.conflicts x.sc_counts.Sat.learned
+          x.sc_counts.Sat.restarts
+          (if last then "" else ",")
+      in
+      out "      {\"seed\": %d, \"n_vars\": %d, \"n_clauses\": %d, \"runs\": [\n"
+        seed n_vars n_clauses;
+      run "cdcl" c false;
+      run "ref" r true;
+      out "      ]}%s\n" (if i = List.length hard_results - 1 then "" else ","))
+    hard_results;
+  out "    ],\n";
+  out
+    "    \"totals\": {\"cdcl_propagations\": %d, \"ref_propagations\": %d, \
+     \"cdcl_strictly_fewer\": %b}\n"
+    cdcl_props ref_props
+    (cdcl_props < ref_props);
+  out "  },\n  \"end_to_end\": [\n";
+  List.iteri
+    (fun i (wname, runs, identical) ->
+      out "    {\"name\": %S, \"reports_identical\": %b, \"runs\": [\n" wname
+        identical;
+      List.iteri
+        (fun j e ->
+          out
+            "      {\"core\": %S, \"wall_s\": %.6f, \"n_queries\": %d, \
+             \"propagations\": %d, \"conflicts\": %d, \"learned\": %d, \
+             \"restarts\": %d}%s\n"
+            e.se_core e.se_wall e.se_queries e.se_counts.Sat.propagations
+            e.se_counts.Sat.conflicts e.se_counts.Sat.learned
+            e.se_counts.Sat.restarts
+            (if j = List.length runs - 1 then "" else ","))
+        runs;
+      out "    ]}%s\n" (if i = List.length e2e_results - 1 then "" else ","))
+    e2e_results;
+  out "  ]\n}\n";
+  close_out oc;
+  Format.printf "(wrote BENCH_smt.json)@."
+
+(* ------------------------------------------------------------------ *)
 (* Observability ablation (DESIGN.md §4.11): the same workload at the
    three levels — off / metrics-only / full tracing — measuring the wall
    time of prepare + UAF check, verifying the report keys are identical
@@ -1215,6 +1488,7 @@ let experiments =
     ("resilience", resilience);
     ("par", par);
     ("prune", prune);
+    ("smt", smt);
     ("obs", obs);
     ("micro", micro);
   ]

@@ -64,6 +64,15 @@ let solver_budget_arg =
           "Wall-clock budget per feasibility query for the full solver rung \
            (the halved retry gets half of it).")
 
+let solver_conflicts_arg =
+  Arg.(
+    value & opt int Pinpoint_smt.Sat.default_budget
+    & info [ "solver-conflicts" ] ~docv:"N"
+        ~doc:
+          "CDCL conflict budget per SAT call for the full solver rung (the \
+           halved retry gets half).  Exhaustion yields an Unknown verdict \
+           (report kept), not a ladder step-down.")
+
 let inject_seed_arg =
   Arg.(
     value & opt int 0
@@ -191,8 +200,9 @@ let print_incidents ~verbose (a : Pinpoint.Analysis.t) =
   end
 
 let check_cmd =
-  let run file checkers verbose confirm deadline_s budget_s seed rate seg_rate
-      no_prune no_qcache prune_stride jobs trace metrics_json obs =
+  let run file checkers verbose confirm deadline_s budget_s solver_conflicts
+      seed rate seg_rate no_prune no_qcache prune_stride jobs trace metrics_json
+      obs =
     install_injection ~seed ~rate ~seg_rate;
     set_obs_level ~trace ~metrics_json ~obs;
     with_jobs jobs @@ fun pool ->
@@ -214,6 +224,7 @@ let check_cmd =
               Pinpoint.Engine.default_config with
               deadline = Pinpoint_util.Metrics.deadline_after deadline_s;
               solver_budget_s = budget_s;
+              solver_conflict_budget = solver_conflicts;
               prune_prefixes = not no_prune;
               prune_stride;
               use_qcache = not no_qcache;
@@ -267,7 +278,8 @@ let check_cmd =
   let term =
     Term.(
       const run $ file_arg $ checkers_arg $ verbose_arg $ confirm_arg
-      $ deadline_arg $ solver_budget_arg $ inject_seed_arg $ inject_rate_arg
+      $ deadline_arg $ solver_budget_arg $ solver_conflicts_arg
+      $ inject_seed_arg $ inject_rate_arg
       $ inject_seg_rate_arg $ no_prune_arg $ no_qcache_arg $ prune_stride_arg
       $ jobs_arg $ trace_arg $ metrics_json_arg $ obs_arg)
   in

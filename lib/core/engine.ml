@@ -21,6 +21,7 @@ type config = {
   use_qcache : bool;
   deadline : Metrics.deadline;
   solver_budget_s : float;
+  solver_conflict_budget : int;
 }
 
 let default_config =
@@ -36,6 +37,7 @@ let default_config =
     use_qcache = true;
     deadline = Metrics.no_deadline;
     solver_budget_s = infinity;
+    solver_conflict_budget = Pinpoint_smt.Sat.default_budget;
   }
 
 type stats = {
@@ -195,6 +197,7 @@ let emit ctx (path : Vpath.t) =
                cannot take the checker run down with it. *)
             let v, model, rung =
               Solver.check_degrading ~budget_s:ctx.cfg.solver_budget_s
+                ~conflict_budget:ctx.cfg.solver_conflict_budget
                 ~deadline:ctx.cfg.deadline ?log:ctx.resilience ~subject cond
             in
             (match rung with

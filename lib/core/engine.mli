@@ -45,6 +45,11 @@ type config = {
           exhaustion the query steps down the degradation ladder
           ({!Pinpoint_smt.Solver.check_degrading}) instead of aborting the
           source (default [infinity]) *)
+  solver_conflict_budget : int;
+      (** per-SAT-call CDCL conflict budget for the full solver rung (the
+          halved rung gets half); exhaustion yields [Unknown] without a
+          step-down (default {!Pinpoint_smt.Sat.default_budget}, CLI
+          [--solver-conflicts]) *)
 }
 
 val default_config : config

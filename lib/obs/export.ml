@@ -131,6 +131,7 @@ let query_json (q : Obs.query) =
       ("rung", jstr q.q_rung);
       ("verdict", jstr q.q_verdict);
       ("atoms", string_of_int q.q_atoms);
+      ("conflicts", string_of_int q.q_conflicts);
       ("latency_s", jfloat q.q_latency_s);
       ("dom", string_of_int q.q_dom);
     ]
@@ -251,7 +252,8 @@ let pp_summary ppf () =
       ppf ();
     Format.fprintf ppf "== top slowest SMT queries ==@.";
     Pp.table
-      ~header:[ "source -> sink"; "rung"; "verdict"; "atoms"; "latency" ]
+      ~header:
+        [ "source -> sink"; "rung"; "verdict"; "atoms"; "conflicts"; "latency" ]
       ~rows:
         (List.map
            (fun (q : Obs.query) ->
@@ -260,6 +262,7 @@ let pp_summary ppf () =
                q.q_rung;
                q.q_verdict;
                string_of_int q.q_atoms;
+               string_of_int q.q_conflicts;
                Pp.to_string Metrics.pp_duration q.q_latency_s;
              ])
            (top_slowest qs))

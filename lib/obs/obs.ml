@@ -38,6 +38,7 @@ type query = {
   q_rung : string;
   q_verdict : string;
   q_atoms : int;
+  q_conflicts : int;
   q_latency_s : float;
   q_dom : int;
 }
@@ -128,7 +129,7 @@ let span ?attrs name f =
     Fun.protect ~finally:(fun () -> end_span ()) f
   end
 
-let record_query ~subject ~rung ~verdict ~atoms ~latency_s =
+let record_query ~subject ~rung ~verdict ~atoms ~conflicts ~latency_s =
   if metrics_on () then begin
     let b = buf () in
     b.b_queries <-
@@ -137,6 +138,7 @@ let record_query ~subject ~rung ~verdict ~atoms ~latency_s =
         q_rung = rung;
         q_verdict = verdict;
         q_atoms = atoms;
+        q_conflicts = conflicts;
         q_latency_s = latency_s;
         q_dom = b.b_dom;
       }

@@ -130,6 +130,7 @@ type query = {
   q_rung : string;  (** full / halved / linear / gave-up / cached *)
   q_verdict : string;  (** sat / unsat / unknown *)
   q_atoms : int;  (** atom count of the queried formula *)
+  q_conflicts : int;  (** CDCL conflicts spent on this query *)
   q_latency_s : float;
   q_dom : int;
 }
@@ -139,6 +140,7 @@ val record_query :
   rung:string ->
   verdict:string ->
   atoms:int ->
+  conflicts:int ->
   latency_s:float ->
   unit
 

@@ -31,6 +31,11 @@ type stats = {
   mutable n_cache_hits : int;
   mutable n_cache_misses : int;
   mutable n_core_shrink_calls : int;
+  mutable n_propagations : int;
+  mutable n_conflicts : int;
+  mutable n_learned : int;
+  mutable n_restarts : int;
+  mutable n_ne_dropped : int;
 }
 
 let zero () =
@@ -45,6 +50,11 @@ let zero () =
     n_cache_hits = 0;
     n_cache_misses = 0;
     n_core_shrink_calls = 0;
+    n_propagations = 0;
+    n_conflicts = 0;
+    n_learned = 0;
+    n_restarts = 0;
+    n_ne_dropped = 0;
   }
 
 (* Counters are domain-local: each worker accumulates into its own record
@@ -79,6 +89,15 @@ let fields =
       field "n_core_shrink_calls"
         (fun s -> s.n_core_shrink_calls)
         (fun s v -> s.n_core_shrink_calls <- v);
+      field "n_propagations"
+        (fun s -> s.n_propagations)
+        (fun s v -> s.n_propagations <- v);
+      field "n_conflicts" (fun s -> s.n_conflicts) (fun s v -> s.n_conflicts <- v);
+      field "n_learned" (fun s -> s.n_learned) (fun s v -> s.n_learned <- v);
+      field "n_restarts" (fun s -> s.n_restarts) (fun s v -> s.n_restarts <- v);
+      field "n_ne_dropped"
+        (fun s -> s.n_ne_dropped)
+        (fun s v -> s.n_ne_dropped <- v);
     ]
 
 let reset_stats () = Obs.Agg.copy_into fields ~into:(stats ()) (zero ())
@@ -154,11 +173,78 @@ let encode sat atom_vars (e : Expr.t) : int =
   in
   enc e
 
-(* The lazy-SMT core, stats-free so the degradation ladder can run it more
-   than once per query.  Raises [Metrics.Timeout] when the deadline expires
-   (polled before the linear fast path, at every refutation round, inside
-   the DPLL loop and inside the theory solver). *)
-let check_raw ~max_iters ~deadline (e : Expr.t) :
+(* Persistent per-query solver state: the Tseitin encoding is built once
+   and the root literal is passed to {!Sat.solve} as an *assumption*, not
+   a unit clause, so the degradation ladder can re-enter the same
+   instance (keeping learned clauses, saved phases and theory blocking
+   clauses) with a different budget instead of rebuilding the CNF. *)
+type query = {
+  q_sat : Sat.t;
+  q_root : int;
+  q_atom_vars : (int, int) Hashtbl.t; (* atom expr id -> SAT var *)
+  q_var_atom : (int, Expr.t) Hashtbl.t; (* SAT var -> atom expr *)
+}
+
+let make_query (e : Expr.t) : query =
+  let sat = Sat.create () in
+  let atom_vars : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let root = encode sat atom_vars e in
+  (* Map SAT var -> atom expression for model extraction. *)
+  let atoms = Expr.atoms e in
+  let var_atom : (int, Expr.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun a ->
+      match Hashtbl.find_opt atom_vars a.Expr.id with
+      | Some v -> Hashtbl.add var_atom v a
+      | None -> ())
+    atoms;
+  { q_sat = sat; q_root = root; q_atom_vars = atom_vars; q_var_atom = var_atom }
+
+(* Both wrappers below fold the callee's effort counters into the
+   domain-local stats even when the call escapes by [Metrics.Timeout]:
+   a deadline abort must not make the work it burned disappear from the
+   profile. *)
+
+let solve_counted ~budget ~deadline q =
+  let st = stats () in
+  let c0 = Sat.counts q.q_sat in
+  let fin () =
+    let c1 = Sat.counts q.q_sat in
+    st.n_propagations <-
+      st.n_propagations + (c1.Sat.propagations - c0.Sat.propagations);
+    st.n_conflicts <- st.n_conflicts + (c1.Sat.conflicts - c0.Sat.conflicts);
+    st.n_learned <- st.n_learned + (c1.Sat.learned - c0.Sat.learned);
+    st.n_restarts <- st.n_restarts + (c1.Sat.restarts - c0.Sat.restarts)
+  in
+  match Sat.solve ~budget ~assumptions:[ q.q_root ] ~deadline q.q_sat with
+  | r ->
+    fin ();
+    r
+  | exception exn ->
+    fin ();
+    raise exn
+
+let theory_check ~deadline literals =
+  let st = stats () in
+  let d0 = Theory.n_dropped () in
+  let fin () = st.n_ne_dropped <- st.n_ne_dropped + (Theory.n_dropped () - d0) in
+  match Theory.check ~deadline literals with
+  | r ->
+    fin ();
+    r
+  | exception exn ->
+    fin ();
+    raise exn
+
+(* The lazy-SMT core, verdict-stats-free so the degradation ladder can run
+   it more than once per query.  Raises [Metrics.Timeout] when the deadline
+   expires (polled before the linear fast path, at every refutation round,
+   inside the CDCL propagation loop and inside the theory solver).
+
+   [query] memoises the encoded instance across calls: a re-run (rung
+   escalation) resumes the same solver state under assumptions and pays
+   only the delta. *)
+let check_raw ~max_iters ~conflicts ~deadline ?query (e : Expr.t) :
     verdict * (Expr.t * bool) list =
   if Expr.is_true e then (Sat, [])
   else if Expr.is_false e then (Unsat, [])
@@ -168,36 +254,24 @@ let check_raw ~max_iters ~deadline (e : Expr.t) :
     match Linear_solver.check e with
     | Linear_solver.Unsat -> (Unsat, [])
     | Linear_solver.Maybe ->
-      let sat = Sat.create () in
-      let atom_vars : (int, int) Hashtbl.t = Hashtbl.create 64 in
-      let root = encode sat atom_vars e in
-      Sat.add_clause sat [ root ];
-      (* Map SAT var -> atom expression for model extraction. *)
-      let atoms = Expr.atoms e in
-      let var_atom : (int, Expr.t) Hashtbl.t = Hashtbl.create 64 in
-      List.iter
-        (fun a ->
-          match Hashtbl.find_opt atom_vars a.Expr.id with
-          | Some v -> Hashtbl.add var_atom v a
-          | None -> ())
-        atoms;
+      let q = match query with Some get -> get () | None -> make_query e in
       let sat_model : (Expr.t * bool) list ref = ref [] in
       let rec loop iter =
         if iter >= max_iters then Unknown
         else begin
           Metrics.check deadline;
-          match Sat.solve ~deadline sat with
+          match solve_counted ~budget:conflicts ~deadline q with
           | None -> Unknown
           | Some Sat.Unsat -> Unsat
           | Some (Sat.Sat model) -> (
             let literals =
               Hashtbl.fold
                 (fun v atom acc -> (atom, model.(v)) :: acc)
-                var_atom []
+                q.q_var_atom []
             in
             let st = stats () in
             st.n_theory_calls <- st.n_theory_calls + 1;
-            match Theory.check ~deadline literals with
+            match theory_check ~deadline literals with
             | Theory.Sat ->
               sat_model := literals;
               Sat
@@ -233,19 +307,22 @@ let check_raw ~max_iters ~deadline (e : Expr.t) :
                         else true)
                       !core
                   in
-                  if !removed && Theory.check ~deadline without = Theory.Unsat
+                  if !removed && theory_check ~deadline without = Theory.Unsat
                   then core := without)
                 theory_lits;
               let blocking =
                 List.map
                   (fun (atom, b) ->
-                    let v = Hashtbl.find atom_vars atom.Expr.id in
+                    let v = Hashtbl.find q.q_atom_vars atom.Expr.id in
                     if b then -v else v)
                   !core
               in
               if blocking = [] then Unsat
               else begin
-                Sat.add_clause sat blocking;
+                (* The blocking clause persists in the instance: later
+                   iterations — and later rungs resuming this query —
+                   never revisit the refuted propositional model. *)
+                Sat.add_clause q.q_sat blocking;
                 loop (iter + 1)
               end)
         end
@@ -273,8 +350,9 @@ let cache_store e v m =
   | Unsat -> Qcache.add e Qcache.Cached_unsat
   | Unknown -> ()
 
-let check_with_model ?(max_iters = 400) ?(deadline = Metrics.no_deadline)
-    (e : Expr.t) : verdict * (Expr.t * bool) list =
+let check_with_model ?(max_iters = 400) ?(conflict_budget = Sat.default_budget)
+    ?(deadline = Metrics.no_deadline) (e : Expr.t) :
+    verdict * (Expr.t * bool) list =
   let st = stats () in
   st.n_queries <- st.n_queries + 1;
   match Qcache.find e with
@@ -285,12 +363,13 @@ let check_with_model ?(max_iters = 400) ?(deadline = Metrics.no_deadline)
     (v, m)
   | None ->
     if Qcache.enabled () then st.n_cache_misses <- st.n_cache_misses + 1;
-    let v, m = check_raw ~max_iters ~deadline e in
+    let v, m = check_raw ~max_iters ~conflicts:conflict_budget ~deadline e in
     record_verdict v;
     cache_store e v m;
     (v, m)
 
-let check ?max_iters ?deadline e = fst (check_with_model ?max_iters ?deadline e)
+let check ?max_iters ?conflict_budget ?deadline e =
+  fst (check_with_model ?max_iters ?conflict_budget ?deadline e)
 
 (* ------------------------------------------------------------------ *)
 (* Degradation ladder (robustness layer): full lazy-SMT -> retry with
@@ -307,12 +386,13 @@ let check ?max_iters ?deadline e = fst (check_with_model ?max_iters ?deadline e)
    histogram is looked up by name each time (not cached in a [lazy]):
    [Obs.reset] replaces the registry's entries, and a cached handle would
    go on feeding an orphan. *)
-let profile_query ~subject ~qt0 e ((v, _, rung) as result) =
+let profile_query ~subject ~qt0 ~conf0 e ((v, _, rung) as result) =
   if Obs.metrics_on () then begin
     let latency_s = Metrics.now_mono () -. qt0 in
     let rung_s = rung_name rung and verdict_s = verdict_name v in
     let atoms = List.length (Expr.atoms e) in
-    Obs.record_query ~subject ~rung:rung_s ~verdict:verdict_s ~atoms
+    let conflicts = (stats ()).n_conflicts - conf0 in
+    Obs.record_query ~subject ~rung:rung_s ~verdict:verdict_s ~atoms ~conflicts
       ~latency_s;
     Obs.observe (Obs.histogram "smt.query.latency_s") latency_s;
     if Obs.tracing_on () then
@@ -329,12 +409,14 @@ let profile_query ~subject ~qt0 e ((v, _, rung) as result) =
   result
 
 let check_degrading ?(max_iters = 400) ?(budget_s = infinity)
-    ?(deadline = Metrics.no_deadline) ?log ?(subject = "query") (e : Expr.t) :
+    ?(conflict_budget = Sat.default_budget) ?(deadline = Metrics.no_deadline)
+    ?log ?(subject = "query") (e : Expr.t) :
     verdict * (Expr.t * bool) list * rung =
   let qt0 = Metrics.now_mono () in
   if Obs.tracing_on () then Obs.begin_span "smt.query";
   let st = stats () in
   st.n_queries <- st.n_queries + 1;
+  let conf0 = st.n_conflicts in
   let t0 = Metrics.now () in
   let incident detail fallback =
     match log with
@@ -353,9 +435,21 @@ let check_degrading ?(max_iters = 400) ?(budget_s = infinity)
     if Resilience.Inject.enabled () then Resilience.Inject.solver_fault ()
     else None
   in
+  (* The encoded instance is shared across rungs: built lazily on the
+     first rung that needs it, re-entered (learned clauses, saved phases
+     and theory blocking clauses intact) by any later rung. *)
+  let memo_query = ref None in
+  let get_query () =
+    match !memo_query with
+    | Some q -> q
+    | None ->
+      let q = make_query e in
+      memo_query := Some q;
+      q
+  in
   (* Run one rung behind an exception barrier; [sabotage] only applies to
      the first (full) rung. *)
-  let try_rung ~iters ~budget ~sabotage =
+  let try_rung ~iters ~conflicts ~budget ~sabotage =
     let d = Metrics.min_deadline deadline (Metrics.deadline_after budget) in
     match
       (match sabotage with
@@ -364,7 +458,7 @@ let check_degrading ?(max_iters = 400) ?(budget_s = infinity)
          Metrics.wait_until d;
          raise Metrics.Timeout
        | Some Resilience.Inject.Unknown_verdict | None -> ());
-      check_raw ~max_iters:iters ~deadline:d e
+      check_raw ~max_iters:iters ~conflicts ~deadline:d ~query:get_query e
     with
     | v, m -> Ok (v, m)
     | exception Metrics.Timeout ->
@@ -382,7 +476,10 @@ let check_degrading ?(max_iters = 400) ?(budget_s = infinity)
     (v, m, rung)
   in
   let run_ladder sabotage =
-    match try_rung ~iters:max_iters ~budget:budget_s ~sabotage with
+    match
+      try_rung ~iters:max_iters ~conflicts:conflict_budget ~budget:budget_s
+        ~sabotage
+    with
     | Ok (v, m) ->
       (* Only an unsabotaged full-rung verdict is cacheable; degraded-rung
          answers may be weaker than what the full solver would say.
@@ -391,10 +488,15 @@ let check_degrading ?(max_iters = 400) ?(budget_s = infinity)
       if sabotage = None then cache_store e v m;
       finish Rung_full v m
     | Error detail1 -> (
-      incident detail1 "retry with halved max_iters";
+      incident detail1 "resume with halved budgets";
+      (* The halved rung halves every budget axis consistently — loop
+         iterations, wall-clock and the per-call conflict budget — and
+         re-enters the same solver state under assumptions, so it pays
+         only the delta beyond what the full rung already learned. *)
       match
         try_rung
           ~iters:(max 1 (max_iters / 2))
+          ~conflicts:(max 1 (conflict_budget / 2))
           ~budget:(budget_s /. 2.0) ~sabotage:None
       with
       | Ok (v, m) -> finish Rung_halved v m
@@ -410,7 +512,7 @@ let check_degrading ?(max_iters = 400) ?(budget_s = infinity)
      (one draw per query, hit or miss), so incident fingerprints stay
      identical across [--jobs] levels even though which domain populates a
      given cache entry is racy. *)
-  profile_query ~subject ~qt0 e
+  profile_query ~subject ~qt0 ~conf0 e
     (match fault with
     | Some Resilience.Inject.Unknown_verdict ->
       incident "injected: unknown-verdict" "kept the report (Unknown)";

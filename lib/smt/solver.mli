@@ -1,10 +1,17 @@
 (** The full SMT solver — Pinpoint's stand-in for Z3 (see DESIGN.md §1).
 
     A classic lazy-SMT loop: the boolean skeleton of the formula is
-    Tseitin-encoded and handed to the DPLL core ({!Sat}); whenever the core
+    Tseitin-encoded and handed to the CDCL core ({!Sat}); whenever the core
     finds a propositional model, the conjunction of the atom literals it
     assigns is checked by the linear-arithmetic theory solver ({!Theory});
     theory conflicts are returned to the core as blocking clauses.
+
+    The loop is {e incremental}: the encoding is built once per query, the
+    root literal is asserted as a solver {e assumption}, and blocking
+    clauses as well as the CDCL core's learned clauses persist across
+    refutation rounds — and across degradation-ladder rungs, which re-enter
+    the same solver state with smaller budgets instead of rebuilding the
+    CNF.
 
     Used only at the bug-detection stage to decide the feasibility of
     candidate value-flow paths (§3.3); the points-to stage uses the
@@ -23,14 +30,21 @@ type verdict =
                  soundy clients *)
 
 val check :
-  ?max_iters:int -> ?deadline:Pinpoint_util.Metrics.deadline -> Expr.t -> verdict
+  ?max_iters:int ->
+  ?conflict_budget:int ->
+  ?deadline:Pinpoint_util.Metrics.deadline ->
+  Expr.t ->
+  verdict
 (** Decide satisfiability of a formula.  [max_iters] caps the number of
-    theory-refutation rounds (default 400).  On [deadline] expiry
+    theory-refutation rounds (default 400); [conflict_budget] caps the
+    CDCL conflicts each SAT call may spend (default
+    {!Sat.default_budget}).  On [deadline] expiry
     {!Pinpoint_util.Metrics.Timeout} is raised (use {!check_degrading} for
     the non-raising, degrading variant). *)
 
 val check_with_model :
   ?max_iters:int ->
+  ?conflict_budget:int ->
   ?deadline:Pinpoint_util.Metrics.deadline ->
   Expr.t ->
   verdict * (Expr.t * bool) list
@@ -74,6 +88,7 @@ val pp_rung : Format.formatter -> rung -> unit
 val check_degrading :
   ?max_iters:int ->
   ?budget_s:float ->
+  ?conflict_budget:int ->
   ?deadline:Pinpoint_util.Metrics.deadline ->
   ?log:Pinpoint_util.Resilience.log ->
   ?subject:string ->
@@ -82,9 +97,12 @@ val check_degrading :
 (** Never raises (except [Out_of_memory]): crashes and timeouts inside a
     rung are converted into a step down the ladder, each step recorded as
     an incident on [log] (if given) under [subject].  [budget_s] is the
-    per-query wall budget of the full rung (the retry gets half);
-    [deadline] is the enclosing (checker-run) deadline — the effective
-    rung deadline is the earlier of the two.  Consults
+    per-query wall budget of the full rung and [conflict_budget] its
+    per-SAT-call conflict budget (the retry gets half of each, on the
+    {e same} solver state: rung escalation resumes the incrementally
+    encoded instance under assumptions, keeping learned and blocking
+    clauses).  [deadline] is the enclosing (checker-run) deadline — the
+    effective rung deadline is the earlier of the two.  Consults
     {!Pinpoint_util.Resilience.Inject} for seeded fault injection.
 
     Cache interaction (when {!Qcache} is enabled): the injection fault is
@@ -110,6 +128,13 @@ type stats = {
                                        neither hits nor misses) *)
   mutable n_core_shrink_calls : int;
       (** unsat-core deletion-shrink passes run by the lazy-SMT loop *)
+  mutable n_propagations : int;  (** CDCL unit propagations *)
+  mutable n_conflicts : int;     (** CDCL conflicts (the budget unit) *)
+  mutable n_learned : int;       (** clauses learned by conflict analysis *)
+  mutable n_restarts : int;      (** CDCL restarts *)
+  mutable n_ne_dropped : int;
+      (** disequalities dropped past {!Theory.max_ne_splits} — each one an
+          explicit over-approximation of satisfiability *)
 }
 
 val stats : unit -> stats

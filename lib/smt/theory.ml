@@ -3,6 +3,12 @@ type verdict = Sat | Unsat | Unknown
 let max_ne_splits = 10
 let max_derived = 4000
 
+(* Disequalities dropped past [max_ne_splits] silently over-approximate
+   satisfiability; this domain-local counter makes the loss observable
+   ({!Solver} folds the delta into its [n_ne_dropped] stat). *)
+let dropped_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let n_dropped () = !(Domain.DLS.get dropped_key)
+
 (* A linear expression: map from variable key to rational coefficient, plus
    a constant.  Variable keys are Symbol ids for integer variables, and
    synthetic keys for uninterpreted (non-linear / boolean-valued) terms. *)
@@ -237,7 +243,15 @@ let check_ineqs deadline cstrs =
           else true)
         nes
     in
-    let nes = if List.length nes > max_ne_splits then [] else nes in
+    let nes =
+      let n = List.length nes in
+      if n > max_ne_splits then begin
+        let d = Domain.DLS.get dropped_key in
+        d := !d + n;
+        []
+      end
+      else nes
+    in
     let rec branch nes acc_unknown chosen =
       match nes with
       | [] -> (

@@ -25,6 +25,12 @@ type verdict = Sat | Unsat | Unknown
 
 val max_ne_splits : int
 
+val n_dropped : unit -> int
+(** Cumulative count (per domain) of disequalities dropped because a
+    conjunction exceeded {!max_ne_splits}.  Each drop over-approximates
+    satisfiability; {!Solver} reads deltas around its theory calls and
+    surfaces them as the [n_ne_dropped] stat. *)
+
 val check :
   ?deadline:Pinpoint_util.Metrics.deadline ->
   (Expr.t * bool) list ->

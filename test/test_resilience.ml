@@ -106,6 +106,48 @@ let test_full_rung () =
   Alcotest.check verdict "unsat" Solver.Unsat v2;
   Alcotest.check rung "full rung" Solver.Rung_full r2
 
+(* --- conflict budgets on the ladder --- *)
+
+let bvar name = E.var (Symbol.fresh name Symbol.Bool)
+
+(* PHP(5,4) over boolean atoms: propositionally unsat, invisible to the
+   linear rung, and every refutation path goes through real CDCL
+   conflicts — so the conflict budget is what decides its fate. *)
+let php_formula () =
+  let n = 4 in
+  let v =
+    Array.init (n + 1) (fun i ->
+        Array.init n (fun j -> bvar (Printf.sprintf "php_%d_%d" i j)))
+  in
+  let disj = function [] -> E.fls | x :: r -> List.fold_left E.or_ x r in
+  let conj = List.fold_left E.and_ E.tru in
+  let atleast = List.init (n + 1) (fun i -> disj (Array.to_list v.(i))) in
+  let atmost = ref [] in
+  for j = 0 to n - 1 do
+    for i1 = 0 to n do
+      for i2 = i1 + 1 to n do
+        atmost := E.or_ (E.not_ v.(i1).(j)) (E.not_ v.(i2).(j)) :: !atmost
+      done
+    done
+  done;
+  conj (atleast @ !atmost)
+
+let test_conflict_budget_ladder () =
+  (* Exhausting the conflict budget is the full rung answering its normal
+     budgeted Unknown — an Ok verdict, not a crash — so the ladder must
+     NOT step down and the report survives. *)
+  let st = Solver.stats () in
+  let deg0 = st.Solver.n_degraded in
+  let v, m, r = Solver.check_degrading ~conflict_budget:0 (php_formula ()) in
+  Alcotest.check verdict "budgeted unknown" Solver.Unknown v;
+  Alcotest.check rung "still the full rung" Solver.Rung_full r;
+  Alcotest.(check bool) "no model" true (m = []);
+  Alcotest.(check int) "not counted as degraded" deg0 st.Solver.n_degraded;
+  (* with the default budget the same pigeonhole is refuted outright *)
+  let v2, _, r2 = Solver.check_degrading (php_formula ()) in
+  Alcotest.check verdict "unsat" Solver.Unsat v2;
+  Alcotest.check rung "full rung" Solver.Rung_full r2
+
 let test_deadline_linear_rung () =
   (* Expired deadline: full and halved rungs abort before touching the
      formula; the linear contradiction check still refutes. *)
@@ -463,6 +505,8 @@ let suite =
     Alcotest.test_case "protect barrier" `Quick test_protect;
     Alcotest.test_case "sat in-loop deadline" `Quick test_sat_deadline;
     Alcotest.test_case "full rung decides" `Quick test_full_rung;
+    Alcotest.test_case "conflict budget: budgeted unknown, no step-down"
+      `Quick test_conflict_budget_ladder;
     Alcotest.test_case "expired deadline: linear rung" `Quick
       test_deadline_linear_rung;
     Alcotest.test_case "expired deadline: gave up" `Quick

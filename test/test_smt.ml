@@ -206,6 +206,138 @@ let test_sat_empty_clause () =
   Sat.add_clause s [];
   Alcotest.(check bool) "empty clause unsat" true (Sat.solve s = Some Sat.Unsat)
 
+let test_sat_assumptions () =
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  Sat.add_clause s [ a; b ];
+  Sat.add_clause s [ -a; b ];
+  Alcotest.(check bool) "unsat under -b" true
+    (Sat.solve ~assumptions:[ -b ] s = Some Sat.Unsat);
+  (* unsat-under-assumptions must not poison the instance *)
+  (match Sat.solve s with
+  | Some (Sat.Sat m) -> Alcotest.(check bool) "b true" true m.(b)
+  | _ -> Alcotest.fail "instance itself should be satisfiable");
+  Alcotest.(check bool) "contradictory assumptions" true
+    (Sat.solve ~assumptions:[ a; -a ] s = Some Sat.Unsat);
+  (* an assumption over a brand-new variable is just pinned *)
+  let c = Sat.new_var s in
+  match Sat.solve ~assumptions:[ -c; b ] s with
+  | Some (Sat.Sat m) ->
+    Alcotest.(check bool) "assumption -c honoured" false m.(c);
+    Alcotest.(check bool) "assumption b honoured" true m.(b)
+  | _ -> Alcotest.fail "expected sat under assumptions"
+
+(* Pigeonhole clauses PHP(n+1, n): n+1 pigeons into n holes — unsat, and
+   exponentially hard for resolution, so it actually exercises conflict
+   analysis, restarts and the conflict budget. *)
+let php_clauses n =
+  let v i j = (i * n) + j + 1 in
+  let cs = ref [] in
+  for i = 0 to n do
+    cs := List.init n (fun j -> v i j) :: !cs
+  done;
+  for j = 0 to n - 1 do
+    for i1 = 0 to n do
+      for i2 = i1 + 1 to n do
+        cs := [ -(v i1 j); -(v i2 j) ] :: !cs
+      done
+    done
+  done;
+  !cs
+
+let test_sat_conflict_budget () =
+  let mk () =
+    let s = Sat.create () in
+    List.iter (Sat.add_clause s) (php_clauses 5);
+    s
+  in
+  let s = mk () in
+  Alcotest.(check bool) "php(6,5) unsat" true (Sat.solve s = Some Sat.Unsat);
+  let c = Sat.counts s in
+  Alcotest.(check bool) "conflicts counted" true (c.Sat.conflicts > 0);
+  Alcotest.(check bool) "clauses learned" true (c.Sat.learned > 0);
+  Alcotest.(check bool) "propagations counted" true (c.Sat.propagations > 0);
+  Alcotest.(check bool) "decisions counted" true (c.Sat.decisions > 0);
+  let s2 = mk () in
+  Alcotest.(check bool) "budget 0 exhausts" true (Sat.solve ~budget:0 s2 = None);
+  (* budget exhaustion is resumable: everything learned so far persists
+     and an uncapped call finishes the proof *)
+  Alcotest.(check bool) "resume decides" true (Sat.solve s2 = Some Sat.Unsat)
+
+(* --- CDCL vs the reference chronological DPLL (Sat_ref oracle) --- *)
+
+let kcnf_gen =
+  let gen =
+    let open QCheck.Gen in
+    int_range 3 10 >>= fun n_vars ->
+    int_range 1 (4 * n_vars) >>= fun n_clauses ->
+    list_size (return n_clauses)
+      ( int_range 1 4 >>= fun len ->
+        list_size (return len)
+          ( int_range 1 n_vars >>= fun v ->
+            bool >>= fun sign -> return (if sign then v else -v) ) )
+    >>= fun clauses -> return (n_vars, clauses)
+  in
+  QCheck.make gen ~print:(fun (n, cs) ->
+      Printf.sprintf "%d vars: %s" n
+        (String.concat " & "
+           (List.map
+              (fun c ->
+                "(" ^ String.concat " " (List.map string_of_int c) ^ ")")
+              cs)))
+
+let eval_clauses clauses (model : bool array) =
+  List.for_all
+    (List.exists (fun l -> if l > 0 then model.(abs l) else not model.(abs l)))
+    clauses
+
+let cdcl_vs_ref =
+  Helpers.qtest ~count:500 "sat: CDCL agrees with reference DPLL" kcnf_gen
+    (fun (n_vars, clauses) ->
+      let s = Sat.create () in
+      Sat.ensure_vars s n_vars;
+      List.iter (Sat.add_clause s) clauses;
+      let r = Sat_ref.create () in
+      Sat_ref.ensure_vars r n_vars;
+      List.iter (Sat_ref.add_clause r) clauses;
+      match (Sat.solve s, Sat_ref.solve r) with
+      (* every CDCL model is verified by direct clause evaluation *)
+      | Some (Sat.Sat m), Some (Sat_ref.Sat m') ->
+        eval_clauses clauses m && eval_clauses clauses m'
+      | Some Sat.Unsat, Some Sat_ref.Unsat -> true
+      | _ -> false)
+
+let cdcl_assumptions_vs_units =
+  Helpers.qtest ~count:300 "sat: assumptions equivalent to unit clauses"
+    kcnf_gen (fun (n_vars, clauses) ->
+      (* solving under assumptions must give the same verdict as solving a
+         copy with the assumptions added as unit clauses, and must leave
+         the instance reusable *)
+      let assumptions = [ 1; -2 ] in
+      let s = Sat.create () in
+      Sat.ensure_vars s n_vars;
+      List.iter (Sat.add_clause s) clauses;
+      let u = Sat.create () in
+      Sat.ensure_vars u n_vars;
+      List.iter (Sat.add_clause u) clauses;
+      List.iter (fun l -> Sat.add_clause u [ l ]) assumptions;
+      let verdict_of = function
+        | Some (Sat.Sat m) ->
+          if eval_clauses clauses m then `Sat else `Bogus
+        | Some Sat.Unsat -> `Unsat
+        | None -> `Budget
+      in
+      let under_assumptions = verdict_of (Sat.solve ~assumptions s) in
+      let with_units = verdict_of (Sat.solve u) in
+      under_assumptions = with_units
+      (* and the assumption query must not have weakened the instance *)
+      && verdict_of (Sat.solve s)
+         = verdict_of
+             (let f = Sat.create () in
+              Sat.ensure_vars f n_vars;
+              List.iter (Sat.add_clause f) clauses;
+              Sat.solve f))
+
 (* --- full solver vs brute force --- *)
 
 (* random formulas over 3 bools and 2 small ints; brute-force over
@@ -476,6 +608,53 @@ let test_qcache_shard_safety () =
   Alcotest.(check bool) "hot entry still correct" true
     (Solver.check hot = Solver.Sat)
 
+(* --- theory: dropped disequalities are counted, not silent --- *)
+
+let test_theory_ne_dropped_counted () =
+  let x = ivar "ned_x" in
+  let lits = List.init (Theory.max_ne_splits + 2) (fun i -> (E.ne x (E.int i), true)) in
+  let d0 = Theory.n_dropped () in
+  Alcotest.(check bool) "over-approximated to sat" true
+    (Theory.check lits = Theory.Sat);
+  Alcotest.(check int) "every dropped disequality counted"
+    (Theory.max_ne_splits + 2)
+    (Theory.n_dropped () - d0);
+  (* under the cap nothing is dropped *)
+  let small = List.init 3 (fun i -> (E.ne x (E.int i), true)) in
+  let d1 = Theory.n_dropped () in
+  ignore (Theory.check small);
+  Alcotest.(check int) "below the cap: no drops" 0 (Theory.n_dropped () - d1)
+
+let test_solver_ne_dropped_stat () =
+  let x = ivar "nes_x" in
+  let e =
+    List.fold_left
+      (fun acc i -> E.and_ acc (E.ne x (E.int i)))
+      E.tru
+      (List.init (Theory.max_ne_splits + 2) Fun.id)
+  in
+  let st = Solver.stats () in
+  let d0 = st.Solver.n_ne_dropped in
+  Alcotest.(check bool) "sat by over-approximation" true
+    (Solver.check e = Solver.Sat);
+  Alcotest.(check bool) "n_ne_dropped surfaced in Solver.stats" true
+    (st.Solver.n_ne_dropped - d0 >= Theory.max_ne_splits + 2)
+
+(* --- solver: CDCL effort counters flow into Solver.stats --- *)
+
+let test_solver_effort_counters () =
+  let st = Solver.stats () in
+  let p0 = st.Solver.n_propagations in
+  let x = ivar "eff_x" in
+  let e =
+    E.and_
+      (E.or_ (E.lt x (E.int 5)) (E.lt (E.int 7) x))
+      (E.or_ (E.le (E.int 0) x) (E.eq x (E.int 9)))
+  in
+  Alcotest.(check bool) "query decided" true (Solver.check e <> Solver.Unsat);
+  Alcotest.(check bool) "propagations recorded" true
+    (st.Solver.n_propagations > p0)
+
 let suite =
   [
     Alcotest.test_case "constant folding" `Quick test_constant_folding;
@@ -501,6 +680,16 @@ let suite =
     Alcotest.test_case "theory: negated literals" `Quick test_theory_negated_literals;
     Alcotest.test_case "sat: basic" `Quick test_sat_basic;
     Alcotest.test_case "sat: empty clause" `Quick test_sat_empty_clause;
+    Alcotest.test_case "sat: assumptions" `Quick test_sat_assumptions;
+    Alcotest.test_case "sat: conflict budget + counters" `Quick
+      test_sat_conflict_budget;
+    cdcl_vs_ref;
+    cdcl_assumptions_vs_units;
+    Alcotest.test_case "theory: ne drops counted" `Quick
+      test_theory_ne_dropped_counted;
+    Alcotest.test_case "solver: ne drop stat" `Quick test_solver_ne_dropped_stat;
+    Alcotest.test_case "solver: effort counters" `Quick
+      test_solver_effort_counters;
     solver_vs_bruteforce;
     solver_sat_completeness;
     Alcotest.test_case "solver: fast paths" `Quick test_solver_fastpath;
