@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
 
    Experiments: fig7 fig8 fig9 fig10 table1 table2 table3 juliet
-   solverstats ablation leaks resilience par prune smt obs micro. *)
+   solverstats ablation leaks resilience par prune smt obs serve micro. *)
 
 module Metrics = Pinpoint_util.Metrics
 module Subjects = Pinpoint_workload.Subjects
@@ -1471,6 +1471,221 @@ let obs () =
   Format.printf "(wrote BENCH_obs.json)@."
 
 (* ------------------------------------------------------------------ *)
+(* Server mode (DESIGN.md §4.13): resident incremental re-analysis vs a
+   full batch re-run, over a stream of small edits.  Each request edits
+   ~1% of the subject's functions (a constant flip, re-emitted to source)
+   and re-checks UAF; the incremental side applies Incr.update + check on
+   the resident state, the batch side recompiles and re-prepares from the
+   same file contents.  Per request we assert the rendered reports are
+   byte-identical, then dump latency percentiles and reuse rates to
+   BENCH_serve.json.  The contract: incremental p50 strictly below batch
+   p50, with identical reports throughout. *)
+
+let serve () =
+  let module Ast = Pinpoint_frontend.Ast in
+  let module Parser = Pinpoint_frontend.Parser in
+  let module Lower = Pinpoint_frontend.Lower in
+  let module Incr = Pinpoint_server.Incr in
+  Format.printf "@.== Server mode: incremental re-analysis vs batch re-run ==@.@.";
+  let subject =
+    Gen.generate ~name:"serve"
+      { Gen.default_params with Gen.seed = 77; target_loc = 1500 }
+  in
+  let n_files = 8 in
+  let n_requests = 25 in
+  (* Editable model: per-file fdecl lists; contents re-emitted per edit. *)
+  let emit fds =
+    let buf = Buffer.create 4096 in
+    let ppf = Format.formatter_of_buffer buf in
+    let current = ref "" in
+    List.iter
+      (fun (fd : Ast.fdecl) ->
+        if fd.Ast.unit_name <> !current then begin
+          Format.fprintf ppf "unit %S;@.@." fd.Ast.unit_name;
+          current := fd.Ast.unit_name
+        end;
+        Format.fprintf ppf "%a@." Ast.pp_fdecl fd)
+      fds;
+    Format.pp_print_flush ppf ();
+    Buffer.contents buf
+  in
+  let fds = (Parser.parse_string ~file:"<gen>" subject.Gen.source).Ast.funcs in
+  let n_funcs = List.length fds in
+  let per = max 1 ((n_funcs + n_files - 1) / n_files) in
+  let chunks = Array.make n_files [] in
+  List.iteri
+    (fun i fd ->
+      let c = min (n_files - 1) (i / per) in
+      chunks.(c) <- fd :: chunks.(c))
+    fds;
+  let chunks =
+    Array.mapi
+      (fun i fds -> (Printf.sprintf "serve_%d.mc" i, List.rev fds))
+      chunks
+  in
+  let contents () =
+    Array.to_list (Array.map (fun (n, fds) -> (n, emit fds)) chunks)
+  in
+  let rec bump_expr found (e : Ast.expr) =
+    let node =
+      match e.Ast.enode with
+      | Ast.Eint n when not !found ->
+        found := true;
+        Ast.Eint (n + 1)
+      | (Ast.Eint _ | Ast.Ebool _ | Ast.Enull | Ast.Evar _ | Ast.Emalloc) as n
+        ->
+        n
+      | Ast.Ederef (a, k) -> Ast.Ederef (bump_expr found a, k)
+      | Ast.Ebin (op, a, b) ->
+        let a = bump_expr found a in
+        Ast.Ebin (op, a, bump_expr found b)
+      | Ast.Eun (op, a) -> Ast.Eun (op, bump_expr found a)
+      | Ast.Ecall (f, args) -> Ast.Ecall (f, List.map (bump_expr found) args)
+      | Ast.Evcall (f, args) -> Ast.Evcall (f, List.map (bump_expr found) args)
+    in
+    { e with Ast.enode = node }
+  in
+  let rec bump_stmt found (s : Ast.stmt) =
+    let node =
+      match s.Ast.snode with
+      | Ast.Sdecl (t, x, e) -> Ast.Sdecl (t, x, Option.map (bump_expr found) e)
+      | Ast.Sassign (x, e) -> Ast.Sassign (x, bump_expr found e)
+      | Ast.Sstore (k, x, e) -> Ast.Sstore (k, x, bump_expr found e)
+      | Ast.Sif (c, a, b) ->
+        let c = bump_expr found c in
+        let a = bump_stmt found a in
+        Ast.Sif (c, a, Option.map (bump_stmt found) b)
+      | Ast.Swhile (c, b) ->
+        let c = bump_expr found c in
+        Ast.Swhile (c, bump_stmt found b)
+      | Ast.Sreturn e -> Ast.Sreturn (Option.map (bump_expr found) e)
+      | Ast.Sexpr e -> Ast.Sexpr (bump_expr found e)
+      | Ast.Sblock ss -> Ast.Sblock (List.map (bump_stmt found) ss)
+    in
+    { s with Ast.snode = node }
+  in
+  let bump_function ~chunk ~idx =
+    let name, cfds = chunks.(chunk) in
+    let n = List.length cfds in
+    if n = 0 then false
+    else begin
+      let target = idx mod n in
+      let found = ref false in
+      let cfds =
+        List.mapi
+          (fun j (fd : Ast.fdecl) ->
+            if j = target then
+              { fd with Ast.body = bump_stmt found fd.Ast.body }
+            else fd)
+          cfds
+      in
+      chunks.(chunk) <- (name, cfds);
+      !found
+    end
+  in
+  let spec = Pinpoint.Checkers.use_after_free in
+  let renders reports =
+    List.map Pinpoint.Report.one_line
+      (List.filter Pinpoint.Report.is_reported reports)
+  in
+  let st = Incr.load (contents ()) in
+  let edits_per_request = max 1 (n_funcs / 100) in
+  Format.printf
+    "subject %d funcs in %d files, %d requests x %d edited funcs (~1%%)@."
+    n_funcs n_files n_requests edits_per_request;
+  let incr_lat = ref [] in
+  let batch_lat = ref [] in
+  let cones = ref [] in
+  let mismatches = ref 0 in
+  for r = 1 to n_requests do
+    (* Edit ~1% of the functions, spread over chunks. *)
+    let touched = Hashtbl.create 4 in
+    for e = 0 to edits_per_request - 1 do
+      let k = (r * edits_per_request) + e in
+      let chunk = k mod n_files in
+      ignore (bump_function ~chunk ~idx:(k / n_files));
+      Hashtbl.replace touched chunk ()
+    done;
+    let changed =
+      Hashtbl.fold
+        (fun c () acc ->
+          let name, cfds = chunks.(c) in
+          (name, emit cfds) :: acc)
+        touched []
+    in
+    let (stats, incr_renders), m_incr =
+      Metrics.measure (fun () ->
+          let stats = Incr.update st changed in
+          (stats, renders (fst (Incr.check st spec))))
+    in
+    let batch_renders, m_batch =
+      Metrics.measure (fun () ->
+          let fds =
+            List.concat_map
+              (fun (n, c) -> (Parser.parse_string ~file:n c).Ast.funcs)
+              (contents ())
+          in
+          let prog = Lower.compile { Ast.funcs = fds } in
+          let a = Pinpoint.Analysis.prepare prog in
+          renders (fst (Pinpoint.Analysis.check a spec)))
+    in
+    if incr_renders <> batch_renders then incr mismatches;
+    incr_lat := m_incr.Metrics.wall_s :: !incr_lat;
+    batch_lat := m_batch.Metrics.wall_s :: !batch_lat;
+    cones := stats.Incr.dirty_cone :: !cones
+  done;
+  let pct p l =
+    match List.sort compare l with
+    | [] -> 0.0
+    | sorted ->
+      List.nth sorted
+        (min (List.length sorted - 1)
+           (int_of_float (p *. float_of_int (List.length sorted - 1) +. 0.5)))
+  in
+  let p50i = pct 0.5 !incr_lat and p99i = pct 0.99 !incr_lat in
+  let p50b = pct 0.5 !batch_lat and p99b = pct 0.99 !batch_lat in
+  let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+  let mean_cone = mean (List.map float_of_int !cones) in
+  let reuse_pct = 100.0 *. (1.0 -. (mean_cone /. float_of_int n_funcs)) in
+  Pp.table
+    ~header:[ "side"; "p50"; "p99"; "mean" ]
+    ~rows:
+      [
+        [
+          "incremental"; str "%a" pp_dur p50i; str "%a" pp_dur p99i;
+          str "%a" pp_dur (mean !incr_lat);
+        ];
+        [
+          "batch"; str "%a" pp_dur p50b; str "%a" pp_dur p99b;
+          str "%a" pp_dur (mean !batch_lat);
+        ];
+      ]
+    Format.std_formatter ();
+  Format.printf
+    "reports %s across %d requests; mean dirty cone %.1f/%d funcs (%.1f%% reused); p50 speedup %.1fx@."
+    (if !mismatches = 0 then "identical" else "DIFFER")
+    n_requests mean_cone n_funcs reuse_pct
+    (if p50i > 0.0 then p50b /. p50i else 0.0);
+  let oc = open_out "BENCH_serve.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out
+    "{\n  \"experiment\": \"serve\",\n  \"subject\": %S,\n  \"loc\": %d,\n\
+    \  \"functions\": %d,\n  \"files\": %d,\n  \"requests\": %d,\n\
+    \  \"edited_funcs_per_request\": %d,\n  \"reports_identical\": %b,\n\
+    \  \"incremental\": {\"p50_s\": %.6f, \"p99_s\": %.6f, \"mean_s\": %.6f},\n\
+    \  \"batch\": {\"p50_s\": %.6f, \"p99_s\": %.6f, \"mean_s\": %.6f},\n\
+    \  \"p50_speedup\": %.3f,\n  \"mean_dirty_cone\": %.2f,\n\
+    \  \"reuse_pct\": %.2f\n}\n"
+    "serve" subject.Gen.loc n_funcs n_files n_requests edits_per_request
+    (!mismatches = 0) p50i p99i (mean !incr_lat) p50b p99b (mean !batch_lat)
+    (if p50i > 0.0 then p50b /. p50i else 0.0)
+    mean_cone reuse_pct;
+  close_out oc;
+  if !mismatches > 0 then
+    failwith "serve: incremental reports diverged from batch";
+  Format.printf "(wrote BENCH_serve.json)@."
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1490,6 +1705,7 @@ let experiments =
     ("prune", prune);
     ("smt", smt);
     ("obs", obs);
+    ("serve", serve);
     ("micro", micro);
   ]
 

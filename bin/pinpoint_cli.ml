@@ -29,6 +29,14 @@ let checkers_conv =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MC source file")
 
+let files_arg =
+  Arg.(
+    non_empty & pos_all file []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "MC source file(s); several files are compiled as one program \
+           (calls may cross file boundaries)")
+
 let checkers_arg =
   Arg.(
     value
@@ -200,18 +208,20 @@ let print_incidents ~verbose (a : Pinpoint.Analysis.t) =
   end
 
 let check_cmd =
-  let run file checkers verbose confirm deadline_s budget_s solver_conflicts
+  let run files checkers verbose confirm deadline_s budget_s solver_conflicts
       seed rate seg_rate no_prune no_qcache prune_stride jobs trace metrics_json
       obs =
     install_injection ~seed ~rate ~seg_rate;
     set_obs_level ~trace ~metrics_json ~obs;
     with_jobs jobs @@ fun pool ->
-    match Pinpoint.Analysis.prepare_file ?pool file with
+    match Pinpoint.Analysis.prepare_files ?pool files with
     | exception Pinpoint_frontend.Parser.Error (msg, line) ->
-      Printf.eprintf "%s:%d: parse error: %s\n" file line msg;
+      Printf.eprintf "%s:%d: parse error: %s\n" (String.concat "," files) line
+        msg;
       exit 1
     | exception Pinpoint_frontend.Lower.Error (msg, loc) ->
-      Printf.eprintf "%s:%d: error: %s\n" file loc.Pinpoint_ir.Stmt.line msg;
+      Printf.eprintf "%s:%d: error: %s\n" loc.Pinpoint_ir.Stmt.file
+        loc.Pinpoint_ir.Stmt.line msg;
       exit 1
     | a ->
       let any = ref false in
@@ -264,11 +274,7 @@ let check_cmd =
               in
               if verbose then Format.printf "%a%s@." Pinpoint.Report.pp r suffix
               else
-                Format.printf "%s: %a -> %a (%s -> %s)%s@."
-                  r.Pinpoint.Report.checker Pinpoint_ir.Stmt.pp_loc
-                  r.Pinpoint.Report.source_loc Pinpoint_ir.Stmt.pp_loc
-                  r.Pinpoint.Report.sink_loc r.Pinpoint.Report.source_fn
-                  r.Pinpoint.Report.sink_fn suffix)
+                Format.printf "%s%s@." (Pinpoint.Report.one_line r) suffix)
             statuses)
         checkers;
       print_incidents ~verbose a;
@@ -277,13 +283,13 @@ let check_cmd =
   in
   let term =
     Term.(
-      const run $ file_arg $ checkers_arg $ verbose_arg $ confirm_arg
+      const run $ files_arg $ checkers_arg $ verbose_arg $ confirm_arg
       $ deadline_arg $ solver_budget_arg $ solver_conflicts_arg
       $ inject_seed_arg $ inject_rate_arg
       $ inject_seg_rate_arg $ no_prune_arg $ no_qcache_arg $ prune_stride_arg
       $ jobs_arg $ trace_arg $ metrics_json_arg $ obs_arg)
   in
-  Cmd.v (Cmd.info "check" ~doc:"Run checkers on an MC source file") term
+  Cmd.v (Cmd.info "check" ~doc:"Run checkers on MC source file(s)") term
 
 let what_arg =
   Arg.(
@@ -430,6 +436,132 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc:"Per-function analysis statistics") term
 
+(* ---------- the analysis server (DESIGN.md §4.13) ---------- *)
+
+let socket_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Serve newline-delimited JSON requests over a Unix-domain socket \
+           at $(docv) (default: stdin/stdout).")
+
+let queue_depth_arg =
+  Arg.(
+    value & opt int Pinpoint_server.Server.default_config.queue_depth
+    & info [ "queue-depth" ] ~docv:"N"
+        ~doc:
+          "Admission control: requests queued beyond $(docv) are refused \
+           with an explicit overloaded response instead of buffering.")
+
+let max_rss_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "max-rss-mb" ] ~docv:"MB"
+        ~doc:
+          "Load shedding: refuse check requests (after one forced major GC) \
+           while the resident set exceeds $(docv) megabytes (0 = unlimited).")
+
+let snapshot_dir_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "snapshot-dir" ] ~docv:"DIR"
+        ~doc:
+          "Crash-safe warm restart: write epoch snapshots and an update \
+           journal under $(docv), and recover from them at startup.")
+
+let snapshot_every_arg =
+  Arg.(
+    value & opt int Pinpoint_server.Server.default_config.snapshot_every
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:"Full snapshot (and journal truncation) every $(docv) updates.")
+
+let qcache_cap_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "qcache-cap" ] ~docv:"N"
+        ~doc:
+          "Cap the shared SMT verdict cache at $(docv) entries with \
+           clock/LRU eviction (0 = unbounded).")
+
+let incident_cap_arg =
+  Arg.(
+    value & opt int Pinpoint_server.Server.default_config.incident_cap
+    & info [ "incident-cap" ] ~docv:"N"
+        ~doc:
+          "Retain at most $(docv) incidents in the shared log; older ones \
+           are rotated out but stay counted.")
+
+let serve_files_arg =
+  Arg.(
+    value & pos_all file []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Initial MC source file(s) to load; may be empty, in which case \
+           the first check request must carry the full file set.")
+
+let serve_cmd =
+  let run files socket queue_depth max_rss_mb snapshot_dir snapshot_every
+      qcache_cap incident_cap deadline_s budget_s solver_conflicts seed rate
+      seg_rate jobs trace metrics_json obs =
+    install_injection ~seed ~rate ~seg_rate;
+    set_obs_level ~trace ~metrics_json ~obs;
+    with_jobs jobs @@ fun pool ->
+    let config =
+      {
+        Pinpoint_server.Server.queue_depth;
+        max_rss_mb;
+        snapshot_dir;
+        snapshot_every;
+        incident_cap;
+        qcache_cap = (if qcache_cap > 0 then Some qcache_cap else None);
+        default_deadline_s = deadline_s;
+        solver_budget_s = budget_s;
+        solver_conflicts;
+        pool;
+      }
+    in
+    let t = Pinpoint_server.Server.create ~config () in
+    let recovered = Pinpoint_server.Server.recover t in
+    if (not recovered) && files <> [] then begin
+      let read path =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> (path, really_input_string ic (in_channel_length ic)))
+      in
+      match Pinpoint_server.Server.load_files t (List.map read files) with
+      | () -> ()
+      | exception Pinpoint_frontend.Parser.Error (msg, line) ->
+        Printf.eprintf "%s:%d: parse error: %s\n" (String.concat "," files)
+          line msg;
+        exit 1
+      | exception Pinpoint_frontend.Lower.Error (msg, loc) ->
+        Printf.eprintf "%s:%d: error: %s\n" loc.Pinpoint_ir.Stmt.file
+          loc.Pinpoint_ir.Stmt.line msg;
+        exit 1
+    end;
+    (match socket with
+    | Some path -> Pinpoint_server.Server.serve_socket t path
+    | None -> Pinpoint_server.Server.serve_stdio t);
+    export_obs ~trace ~metrics_json ~obs
+  in
+  let term =
+    Term.(
+      const run $ serve_files_arg $ socket_arg $ queue_depth_arg $ max_rss_arg
+      $ snapshot_dir_arg $ snapshot_every_arg $ qcache_cap_arg
+      $ incident_cap_arg $ deadline_arg $ solver_budget_arg
+      $ solver_conflicts_arg $ inject_seed_arg $ inject_rate_arg
+      $ inject_seg_rate_arg $ jobs_arg $ trace_arg $ metrics_json_arg
+      $ obs_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent analysis server (newline-delimited JSON \
+          requests; incremental re-analysis of changed files)")
+    term
+
 let list_cmd =
   let run () =
     List.iter
@@ -444,6 +576,6 @@ let list_cmd =
 let main =
   let doc = "Pinpoint: fast and precise sparse value-flow analysis" in
   Cmd.group (Cmd.info "pinpoint" ~doc)
-    [ check_cmd; dump_cmd; baseline_cmd; stats_cmd; leaks_cmd; list_cmd ]
+    [ check_cmd; dump_cmd; baseline_cmd; stats_cmd; leaks_cmd; serve_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -90,8 +90,10 @@ let force_symbols (prog : Pinpoint_ir.Prog.t) =
             (Pinpoint_ir.Stmt.uses s)))
     (Pinpoint_ir.Prog.functions prog)
 
-let prepare_with ?pool frontend_m (prog : Pinpoint_ir.Prog.t) : t =
-  let resilience = Resilience.create () in
+let prepare_with ?resilience ?pool frontend_m (prog : Pinpoint_ir.Prog.t) : t =
+  let resilience =
+    match resilience with Some r -> r | None -> Resilience.create ()
+  in
   Option.iter
     (fun p -> Pinpoint_par.Pool.set_log p (Some resilience))
     pool;
@@ -177,7 +179,7 @@ let zero_m =
     promoted_words = 0.0;
   }
 
-let prepare ?pool prog = prepare_with ?pool zero_m prog
+let prepare ?resilience ?pool prog = prepare_with ?resilience ?pool zero_m prog
 
 let prepare_source ?pool ?(file = "<string>") src =
   let prog, fm =
@@ -194,6 +196,15 @@ let prepare_file ?pool path =
         Obs.span "lower"
           ~attrs:[ ("file", path) ]
           (fun () -> Pinpoint_frontend.Lower.compile_file path))
+  in
+  prepare_with ?pool fm prog
+
+let prepare_files ?pool paths =
+  let prog, fm =
+    Metrics.measure (fun () ->
+        Obs.span "lower"
+          ~attrs:[ ("files", string_of_int (List.length paths)) ]
+          (fun () -> Pinpoint_frontend.Lower.compile_files paths))
   in
   prepare_with ?pool fm prog
 

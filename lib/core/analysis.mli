@@ -35,18 +35,41 @@ val seg_of : t -> string -> Pinpoint_seg.Seg.t option
 val incidents : t -> Pinpoint_util.Resilience.incident list
 (** Incidents accumulated so far, oldest first. *)
 
-val prepare : ?pool:Pinpoint_par.Pool.t -> Pinpoint_ir.Prog.t -> t
+val build_seg :
+  Pinpoint_util.Resilience.log ->
+  Pinpoint_ir.Func.t ->
+  Pinpoint_pta.Pta.t ->
+  Pinpoint_seg.Seg.t option
+(** Build one function's SEG behind the standard exception barrier,
+    consulting the fault injector (drop / truncate / crash faults land in
+    the incident log exactly as during {!prepare}).  Exposed for the
+    analysis server's partial rebuilds (DESIGN.md §4.13) so incremental
+    SEG construction shares the batch pipeline's fault envelope. *)
+
+val prepare :
+  ?resilience:Pinpoint_util.Resilience.log ->
+  ?pool:Pinpoint_par.Pool.t ->
+  Pinpoint_ir.Prog.t ->
+  t
 (** Run every phase up to (and including) summary generation on an
     already-compiled program.  With [pool] (and more than one job) the
     transform and RV phases run as bottom-up SCC waves and SEG builds fan
     out per function; the result — SEGs, summaries, reports — is identical
     to a sequential run (DESIGN.md §4.9).  The pool's incident log is
-    pointed at this analysis's {!t.resilience}. *)
+    pointed at this analysis's {!t.resilience}.  With [resilience] the
+    given log is used instead of a fresh one — the analysis server passes
+    its long-lived capacity-capped log so incidents from successive
+    (re)builds accumulate in one place. *)
 
 val prepare_source : ?pool:Pinpoint_par.Pool.t -> ?file:string -> string -> t
 (** Parse, compile and prepare MC source text. *)
 
 val prepare_file : ?pool:Pinpoint_par.Pool.t -> string -> t
+
+val prepare_files : ?pool:Pinpoint_par.Pool.t -> string list -> t
+(** Parse, compile and prepare the concatenation of several MC files (in
+    argument order) as one program — the batch twin of the analysis
+    server's multi-file subject model. *)
 
 val seg_size : t -> int * int
 (** Total (vertices, edges) over all SEGs — the Figure 7/8 size metric. *)

@@ -484,8 +484,8 @@ let zero_stats () =
     solver = Solver.zero ();
   }
 
-let run ?(config = default_config) ?resilience ?pool (prog : Prog.t) ~seg_of
-    ~rv (spec : Checker_spec.t) : Report.t list * stats =
+let run ?(config = default_config) ?resilience ?pool ?vf (prog : Prog.t)
+    ~seg_of ~rv (spec : Checker_spec.t) : Report.t list * stats =
   (* The verdict cache is a process-global table but gated per run: enable
      it for the duration of this run according to the config, restoring
      the previous state on the way out (runs can nest via bench). *)
@@ -497,15 +497,21 @@ let run ?(config = default_config) ?resilience ?pool (prog : Prog.t) ~seg_of
   in
   (* VF-summary generation runs behind its own barrier: if it crashes, the
      engine falls back to an empty summary table and disables VF pruning —
-     it descends into every defined callee, slower but soundy. *)
+     it descends into every defined callee, slower but soundy.  A resident
+     caller (the analysis server) passes its incrementally-maintained
+     table via [vf] and skips generation entirely. *)
   let vf =
-    Resilience.protect ?log:resilience ~phase:Resilience.Vf_summary
-      ~subject:spec.Checker_spec.name
-      ~fallback_note:"empty VF summaries; VF pruning disabled" ~fallback:None
-      (fun () ->
-        Obs.span "summary.vf"
-          ~attrs:[ ("checker", spec.Checker_spec.name) ]
-          (fun () -> Some (Vf.generate prog seg_of (Checker_spec.vf_spec spec))))
+    match vf with
+    | Some _ -> vf
+    | None ->
+      Resilience.protect ?log:resilience ~phase:Resilience.Vf_summary
+        ~subject:spec.Checker_spec.name
+        ~fallback_note:"empty VF summaries; VF pruning disabled" ~fallback:None
+        (fun () ->
+          Obs.span "summary.vf"
+            ~attrs:[ ("checker", spec.Checker_spec.name) ]
+            (fun () ->
+              Some (Vf.generate prog seg_of (Checker_spec.vf_spec spec))))
   in
   let config, vf =
     match vf with

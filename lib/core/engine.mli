@@ -81,6 +81,7 @@ val run :
   ?config:config ->
   ?resilience:Pinpoint_util.Resilience.log ->
   ?pool:Pinpoint_par.Pool.t ->
+  ?vf:Pinpoint_summary.Vf.t ->
   Pinpoint_ir.Prog.t ->
   seg_of:(string -> Pinpoint_seg.Seg.t option) ->
   rv:Pinpoint_summary.Rv.t ->
@@ -100,4 +101,9 @@ val run :
     With [pool] (and more than one job) the per-source searches fan out
     over the pool.  Searches are independent (task-local contexts, keyed
     injection streams) and the merge is in source-enumeration order, so
-    the report list and stats are identical at every [--jobs] level. *)
+    the report list and stats are identical at every [--jobs] level.
+
+    With [vf] the engine uses the given (resident, incrementally
+    maintained) VF-summary table instead of generating one — the analysis
+    server's path (DESIGN.md §4.13).  The caller is responsible for the
+    table matching [prog]. *)

@@ -26,6 +26,10 @@ let is_degraded r =
 let key r =
   (r.source_fn, r.source_loc.Pinpoint_ir.Stmt.line, r.sink_fn, r.sink_loc.Pinpoint_ir.Stmt.line)
 
+let one_line r =
+  Format.asprintf "%s: %a -> %a (%s -> %s)" r.checker Pinpoint_ir.Stmt.pp_loc
+    r.source_loc Pinpoint_ir.Stmt.pp_loc r.sink_loc r.source_fn r.sink_fn
+
 let pp_verdict ppf = function
   | Feasible -> Format.pp_print_string ppf "feasible"
   | Feasible_unknown -> Format.pp_print_string ppf "feasible?"

@@ -34,5 +34,11 @@ val is_degraded : t -> bool
 val key : t -> string * int * string * int
 (** Dedup key: source function/line + sink function/line. *)
 
+val one_line : t -> string
+(** The canonical non-verbose rendering
+    ("checker: file:line -> file:line (srcfn -> sinkfn)") shared by the
+    CLI and the analysis server, so server responses are byte-comparable
+    with batch [check] output. *)
+
 val pp : Format.formatter -> t -> unit
 val pp_summary : Format.formatter -> t list -> unit

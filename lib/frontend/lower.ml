@@ -445,3 +445,9 @@ let compile_string ?(file = "<string>") src =
   compile (Parser.parse_string ~file src)
 
 let compile_file path = compile (Parser.parse_file path)
+
+let compile_files paths =
+  let funcs =
+    List.concat_map (fun p -> (Parser.parse_file p).Ast.funcs) paths
+  in
+  compile { Ast.funcs }

@@ -37,3 +37,9 @@ val compile_string : ?file:string -> string -> Pinpoint_ir.Prog.t
 (** Parse and compile MC source text. *)
 
 val compile_file : string -> Pinpoint_ir.Prog.t
+
+val compile_files : string list -> Pinpoint_ir.Prog.t
+(** Parse each file and compile their concatenation (in argument order) as
+    one program.  Function signatures and method groups are resolved
+    across files, so calls may cross file boundaries — the multi-file
+    subject model of the analysis server (DESIGN.md §4.13). *)

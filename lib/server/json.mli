@@ -1,0 +1,36 @@
+(** Minimal JSON codec for the analysis server's newline-delimited
+    protocol (DESIGN.md §4.13).  The protocol is deliberately small —
+    strict parsing, one value per request line — so no external JSON
+    dependency is needed. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact single-line rendering (never contains a raw newline: control
+    characters in strings are escaped, so a value is always one NDJSON
+    line). *)
+
+val parse : string -> (t, string) result
+(** Strict parse of exactly one JSON value (plus surrounding
+    whitespace). *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing field or non-object. *)
+
+val string_opt : t -> string option
+val int_opt : t -> int option
+
+val number_opt : t -> float option
+(** Accepts both [Int] and [Float]. *)
+
+val bool_opt : t -> bool option
+val list_opt : t -> t list option

@@ -1,4 +1,4 @@
-(* Shared SMT verdict cache (DESIGN.md §4.10).
+(* Shared SMT verdict cache (DESIGN.md §4.10, §4.13).
 
    Keyed by the hash-consed expression id: within a process two structurally
    identical formulas are the same node, so physical identity is structural
@@ -14,17 +14,51 @@
 
    Sharding bounds contention: entries hash to one of [n_shards] tables,
    each behind its own mutex, so concurrent domains only collide when they
-   touch the same shard. *)
+   touch the same shard.
+
+   Bounding: batch runs leave the cache unbounded (historical behaviour),
+   but a resident server process caps it with {!set_capacity}.  Each shard
+   then keeps its entries in a fixed-size ring swept by a clock hand:
+   a hit sets the slot's reference bit, and an insert into a full shard
+   advances the hand, clearing reference bits, until it finds a cold slot
+   to evict — second-chance LRU with O(1) amortised eviction and no
+   per-hit allocation.  Eviction only ever forgets a verdict (the next
+   identical query recomputes it), so caps never change reports. *)
 
 type entry = Cached_sat of (Expr.t * bool) list | Cached_unsat
 
 let n_shards = 16
 
-type shard = { lock : Mutex.t; tbl : (int, entry) Hashtbl.t }
+type slot = {
+  key : int;  (** hash-cons id; -1 = empty *)
+  entry : entry;
+  mutable referenced : bool;
+}
+
+type shard = {
+  lock : Mutex.t;
+  tbl : (int, slot) Hashtbl.t;
+  (* Ring of live slots, only used when a capacity is set.  [ring.(i)] is
+     [None] for a not-yet-used position; evicted positions are reused in
+     place so [tbl] and [ring] always describe the same slot set.  [free]
+     holds the unused positions, so the clock only ever evicts when the
+     shard really is full. *)
+  mutable ring : slot option array;
+  mutable free : int list;
+  mutable hand : int;
+  mutable cap : int;  (** per-shard capacity; [max_int] = unbounded *)
+}
 
 let shards =
   Array.init n_shards (fun _ ->
-      { lock = Mutex.create (); tbl = Hashtbl.create 256 })
+      {
+        lock = Mutex.create ();
+        tbl = Hashtbl.create 256;
+        ring = [||];
+        free = [];
+        hand = 0;
+        cap = max_int;
+      })
 
 (* Off by default: direct solver clients (unit tests, baselines) keep their
    historical per-query behaviour.  The engine enables it for the duration
@@ -34,28 +68,130 @@ let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
 let set_enabled b = Atomic.set enabled_flag b
 
+(* Lifetime counters (process-wide): inserts and clock evictions.  These
+   feed the server's status report and the [qcache.*] observability
+   gauges. *)
+let n_evictions = Atomic.make 0
+let n_inserts = Atomic.make 0
+
 let shard_of (e : Expr.t) = shards.((e.Expr.id land max_int) mod n_shards)
 
 let find (e : Expr.t) : entry option =
   if not (enabled ()) then None
   else
     let s = shard_of e in
-    Mutex.protect s.lock (fun () -> Hashtbl.find_opt s.tbl e.Expr.id)
+    Mutex.protect s.lock (fun () ->
+        match Hashtbl.find_opt s.tbl e.Expr.id with
+        | Some slot ->
+          slot.referenced <- true;
+          Some slot.entry
+        | None -> None)
+
+(* Find the ring position to (re)use for a new slot: a free position if one
+   exists, otherwise sweep the clock hand over reference bits until a cold
+   slot turns up and evict it.  Called with the shard lock held and
+   [s.cap < max_int]. *)
+let evict_position_locked s =
+  match s.free with
+  | i :: rest ->
+    s.free <- rest;
+    i
+  | [] ->
+    let n = Array.length s.ring in
+    let rec sweep budget =
+      let i = s.hand in
+      s.hand <- (s.hand + 1) mod n;
+      match s.ring.(i) with
+      | None -> i (* unreachable with an empty free list; harmless *)
+      | Some slot ->
+        if slot.referenced && budget > 0 then begin
+          slot.referenced <- false;
+          sweep (budget - 1)
+        end
+        else begin
+          Hashtbl.remove s.tbl slot.key;
+          Atomic.incr n_evictions;
+          i
+        end
+    in
+    (* Budget 2n: after one full sweep every bit is clear, the second sweep
+       must land — keeps the loop obviously terminating. *)
+    sweep (2 * n)
 
 let add (e : Expr.t) (entry : entry) : unit =
   if enabled () then begin
     let s = shard_of e in
-    (* last write wins: verdicts are pure, so a racing double-computation
-       stores the same value either way *)
-    Mutex.protect s.lock (fun () -> Hashtbl.replace s.tbl e.Expr.id entry)
+    Mutex.protect s.lock (fun () ->
+        match Hashtbl.find_opt s.tbl e.Expr.id with
+        | Some _ ->
+          (* verdicts are pure: a racing double-computation stores the same
+             value, so keep the existing slot (and its ring position) *)
+          ()
+        | None ->
+          Atomic.incr n_inserts;
+          let slot = { key = e.Expr.id; entry; referenced = false } in
+          if s.cap = max_int then Hashtbl.replace s.tbl e.Expr.id slot
+          else begin
+            let pos = evict_position_locked s in
+            s.ring.(pos) <- Some slot;
+            Hashtbl.replace s.tbl e.Expr.id slot
+          end)
   end
+
+let iota n = List.init n (fun i -> i)
 
 let clear () =
   Array.iter
-    (fun s -> Mutex.protect s.lock (fun () -> Hashtbl.reset s.tbl))
+    (fun s ->
+      Mutex.protect s.lock (fun () ->
+          Hashtbl.reset s.tbl;
+          Array.fill s.ring 0 (Array.length s.ring) None;
+          s.free <- iota (Array.length s.ring);
+          s.hand <- 0))
     shards
+
+let set_capacity cap =
+  match cap with
+  | None ->
+    Array.iter
+      (fun s ->
+        Mutex.protect s.lock (fun () ->
+            s.cap <- max_int;
+            s.ring <- [||];
+            s.free <- [];
+            s.hand <- 0))
+      shards
+  | Some c ->
+    let per_shard = max 1 ((max 1 c + n_shards - 1) / n_shards) in
+    Array.iter
+      (fun s ->
+        Mutex.protect s.lock (fun () ->
+            (* Resizing drops the shard's contents: the server sets the cap
+               once at startup, and a dropped verdict is only a future
+               recomputation. *)
+            Hashtbl.reset s.tbl;
+            s.cap <- per_shard;
+            s.ring <- Array.make per_shard None;
+            s.free <- iota per_shard;
+            s.hand <- 0))
+      shards
+
+let capacity () =
+  let s = shards.(0) in
+  let per = Mutex.protect s.lock (fun () -> s.cap) in
+  if per = max_int then None else Some (per * n_shards)
 
 let length () =
   Array.fold_left
     (fun acc s -> acc + Mutex.protect s.lock (fun () -> Hashtbl.length s.tbl))
     0 shards
+
+type stats = { entries : int; cap : int option; evictions : int; inserts : int }
+
+let stats () =
+  {
+    entries = length ();
+    cap = capacity ();
+    evictions = Atomic.get n_evictions;
+    inserts = Atomic.get n_inserts;
+  }

@@ -42,3 +42,28 @@ val clear : unit -> unit
 
 val length : unit -> int
 (** Total number of cached verdicts across shards. *)
+
+val set_capacity : int option -> unit
+(** [set_capacity (Some n)] bounds the cache at ~[n] entries (split evenly
+    over the shards, at least one per shard): each shard keeps its entries
+    in a clock ring — a hit sets a reference bit, an insert into a full
+    shard sweeps the hand, clearing bits, and evicts the first cold slot
+    (second-chance LRU).  Eviction only forgets verdicts, so a cap never
+    changes reports — a batch run is oblivious to it, a resident server
+    needs it to bound RSS (DESIGN.md §4.13).  [None] (the default)
+    restores unbounded growth.  Changing the capacity resets the cache. *)
+
+val capacity : unit -> int option
+(** The configured total entry cap, if any. *)
+
+type stats = {
+  entries : int;        (** live entries across shards *)
+  cap : int option;     (** configured capacity *)
+  evictions : int;      (** clock evictions since process start *)
+  inserts : int;        (** inserts since process start *)
+}
+
+val stats : unit -> stats
+(** Lifetime cache statistics (process-wide; eviction/insert counters are
+    monotonic and survive {!clear}).  Published as [qcache.*] gauges by
+    {!Solver.obs_publish}. *)

@@ -120,7 +120,20 @@ let diff a b =
   Obs.Agg.sub_into fields ~into:r b;
   r
 
-let obs_publish s = Obs.Agg.publish ~prefix:"solver." fields s
+let obs_publish s =
+  Obs.Agg.publish ~prefix:"solver." fields s;
+  (* The verdict cache's lifetime state (process-wide, not per-run deltas):
+     entry count, capacity and clock evictions — the gauges a resident
+     server's RSS bound is judged by. *)
+  if Obs.metrics_on () then begin
+    let q = Qcache.stats () in
+    Obs.set_gauge (Obs.gauge "qcache.entries") (float_of_int q.Qcache.entries);
+    Obs.set_gauge (Obs.gauge "qcache.capacity")
+      (match q.Qcache.cap with Some c -> float_of_int c | None -> -1.0);
+    Obs.set_gauge (Obs.gauge "qcache.evictions")
+      (float_of_int q.Qcache.evictions);
+    Obs.set_gauge (Obs.gauge "qcache.inserts") (float_of_int q.Qcache.inserts)
+  end
 
 let sat_or_unknown = function Sat | Unknown -> true | Unsat -> false
 

@@ -140,6 +140,28 @@ let generate ?resilience ?pool (prog : Prog.t) (seg_of : string -> Seg.t option)
       (Prog.bottom_up_sccs prog));
   t
 
+(* Incremental regeneration (DESIGN.md §4.13): drop the dirty entries,
+   then redo the dirty SCCs bottom-up against the retained clean entries.
+   [dirty] is caller-closed (see {!Pinpoint_transform.Transform.update}),
+   so a clean function's summary — which depends only on its own SEG and
+   its callees' summaries — is exactly what a full regenerate would
+   produce, by induction over the bottom-up order. *)
+let update ?resilience (t : t) (prog : Prog.t) ~(dirty : string -> bool) =
+  List.iter
+    (fun (f : Func.t) ->
+      if dirty f.Func.fname then Hashtbl.remove t.tbl f.Func.fname)
+    (Prog.functions prog);
+  List.iter
+    (fun scc ->
+      if List.exists (fun (f : Func.t) -> dirty f.Func.fname) scc then
+        process_scc ?resilience t
+          ~lookup:(Hashtbl.find_opt t.tbl)
+          ~put:(Hashtbl.replace t.tbl)
+          scc)
+    (Prog.bottom_up_sccs prog)
+
+let remove (t : t) name = Hashtbl.remove t.tbl name
+
 let pp ppf t =
   Hashtbl.iter
     (fun name entries ->

@@ -42,6 +42,23 @@ val generate :
     call-graph SCCs are processed as a bottom-up wave on the pool,
     producing the same summaries as the sequential order. *)
 
+val update :
+  ?resilience:Pinpoint_util.Resilience.log ->
+  t ->
+  Pinpoint_ir.Prog.t ->
+  dirty:(string -> bool) ->
+  unit
+(** Incremental regeneration for the analysis server (DESIGN.md §4.13):
+    drop the [dirty] functions' entries and redo the dirty SCCs bottom-up
+    against the retained clean entries.  [dirty] must be closed under "is
+    a transitive caller of a dirty function"; the summaries then equal a
+    from-scratch {!generate} over the same program.  The [seg_of] closure
+    given at {!generate} time is consulted again, so it must reflect the
+    {e updated} SEG table (the server's table is mutated in place). *)
+
+val remove : t -> string -> unit
+(** Forget one function's summary (deleted functions). *)
+
 val find : t -> string -> entry option array option
 (** Per return position; [None] entries are non-variable returns. *)
 

@@ -172,6 +172,29 @@ let generate (prog : Prog.t) (seg_of : string -> Seg.t option) (spec : spec) : t
     (Prog.bottom_up_sccs prog);
   t
 
+(* Incremental regeneration (DESIGN.md §4.13): same contract as
+   {!Rv.update} — [dirty] is caller-closed, so every SCC is wholly dirty
+   or wholly clean, and clean summaries (a function of the function's own
+   SEG and its callees' summaries) are already what a full generate would
+   compute. *)
+let update (t : t) (prog : Prog.t) (seg_of : string -> Seg.t option)
+    (spec : spec) ~(dirty : string -> bool) =
+  List.iter
+    (fun (f : Func.t) -> if dirty f.Func.fname then Hashtbl.remove t f.Func.fname)
+    (Prog.functions prog);
+  List.iter
+    (fun scc ->
+      List.iter
+        (fun (f : Func.t) ->
+          if dirty f.Func.fname then
+            match seg_of f.Func.fname with
+            | None -> ()
+            | Some seg -> Hashtbl.replace t f.Func.fname (summarize seg t spec))
+        scc)
+    (Prog.bottom_up_sccs prog)
+
+let remove (t : t) name = Hashtbl.remove t name
+
 let pp ppf (t : t) =
   Hashtbl.iter
     (fun name s ->

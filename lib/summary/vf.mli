@@ -46,5 +46,20 @@ val empty : unit -> t
     generation crashes: with no VF1/VF4 facts the engine must disable VF
     pruning (descend everywhere) to stay soundy. *)
 
+val update :
+  t ->
+  Pinpoint_ir.Prog.t ->
+  (string -> Pinpoint_seg.Seg.t option) ->
+  spec ->
+  dirty:(string -> bool) ->
+  unit
+(** Incremental regeneration for the analysis server (DESIGN.md §4.13):
+    drop the [dirty] functions' summaries and recompute them bottom-up
+    against the retained clean entries.  [dirty] must be closed under "is
+    a transitive caller of a dirty function"; the table then equals a
+    from-scratch {!generate} over the same program. *)
+
+val remove : t -> string -> unit
+
 val find : t -> string -> fsum option
 val pp : Format.formatter -> t -> unit

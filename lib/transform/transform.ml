@@ -280,6 +280,38 @@ let run ?resilience ?pool (prog : Prog.t) : result =
       (Prog.bottom_up_sccs prog));
   { ifaces; ptas }
 
+(* Incremental re-transformation (DESIGN.md §4.13).  [dirty] names the
+   functions whose bodies were re-lowered (fresh, untransformed IR) — by
+   construction of the invalidation cone this set is closed under "is a
+   transitive caller of", so every SCC is either entirely dirty or entirely
+   clean.  Dirty entries are dropped first: during reprocessing a
+   same-SCC member not yet reprocessed must look unknown, exactly as it
+   does in a from-scratch bottom-up run — with that, induction over the
+   bottom-up SCC order gives interfaces and points-to results identical to
+   a full [run] on the same program. *)
+let update ?resilience (t : result) (prog : Prog.t) ~(dirty : string -> bool) =
+  let stale name =
+    if dirty name then begin
+      Hashtbl.remove t.ifaces name;
+      Hashtbl.remove t.ptas name
+    end
+  in
+  List.iter (fun (f : Func.t) -> stale f.Func.fname) (Prog.functions prog);
+  List.iter
+    (fun scc ->
+      if List.exists (fun (f : Func.t) -> dirty f.Func.fname) scc then
+        process_scc ?resilience
+          ~iface_of:(Hashtbl.find_opt t.ifaces)
+          ~put_iface:(Hashtbl.replace t.ifaces)
+          ~flush_ifaces:(fun () -> ())
+          ~put_pta:(Hashtbl.replace t.ptas)
+          scc)
+    (Prog.bottom_up_sccs prog)
+
+let remove (t : result) name =
+  Hashtbl.remove t.ifaces name;
+  Hashtbl.remove t.ptas name
+
 let pp_iface ppf i =
   Format.fprintf ppf "refs: %a; mods: %a%s"
     (Pinpoint_util.Pp.list (fun ppf (j, k, v) ->

@@ -58,4 +58,24 @@ val run :
     components are done, so the result is identical to the sequential
     order. *)
 
+val update :
+  ?resilience:Pinpoint_util.Resilience.log ->
+  result ->
+  Pinpoint_ir.Prog.t ->
+  dirty:(string -> bool) ->
+  unit
+(** Incremental re-transformation for the analysis server (DESIGN.md
+    §4.13).  [dirty] marks the functions of [prog] whose bodies are fresh
+    (re-lowered, untransformed); the set {b must} be closed under "is a
+    transitive caller of a dirty function" — then every call-graph SCC is
+    entirely dirty or entirely clean.  Dirty table entries are dropped and
+    the dirty SCCs reprocessed bottom-up against the retained clean
+    interfaces, producing interfaces and points-to results identical to a
+    from-scratch {!run} on the same program.  Sequential (cones are small);
+    clean functions are never touched. *)
+
+val remove : result -> string -> unit
+(** Forget one function's interface and points-to entries (deleted
+    functions). *)
+
 val pp_iface : Format.formatter -> iface -> unit

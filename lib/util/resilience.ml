@@ -37,29 +37,73 @@ type incident = {
 
 (* The log is shared by every worker of a parallel run, so mutation goes
    through a mutex.  Reads ([incidents], [by_phase]) take it too: a list
-   snapshot under the lock is cheap and keeps traversals race-free. *)
+   snapshot under the lock is cheap and keeps traversals race-free.
+
+   Rotation: a long-lived process (the analysis server) caps the log at
+   [capacity] retained incidents; older ones are dropped and only counted.
+   Trimming a newest-first list means cutting its tail, which is O(n), so
+   it is amortised — the list may grow to 2x capacity before a trim. *)
 type log = {
   mutable rev_incidents : incident list;
-  mutable n : int;
+  mutable n : int;  (** retained *)
+  mutable capacity : int;
+  mutable dropped : int;  (** rotated out, no longer in [rev_incidents] *)
   lock : Mutex.t;
 }
 
-let create () = { rev_incidents = []; n = 0; lock = Mutex.create () }
+let create ?(capacity = max_int) () =
+  {
+    rev_incidents = [];
+    n = 0;
+    capacity = max 1 capacity;
+    dropped = 0;
+    lock = Mutex.create ();
+  }
+
+(* Keep the first [k] elements (the newest, list is newest-first). *)
+let take k l =
+  let rec go k acc = function
+    | x :: rest when k > 0 -> go (k - 1) (x :: acc) rest
+    | _ -> List.rev acc
+  in
+  go k [] l
+
+let trim_locked log =
+  if log.n > log.capacity then begin
+    log.rev_incidents <- take log.capacity log.rev_incidents;
+    log.dropped <- log.dropped + (log.n - log.capacity);
+    log.n <- log.capacity
+  end
 
 let record log i =
   Mutex.protect log.lock (fun () ->
       log.rev_incidents <- i :: log.rev_incidents;
-      log.n <- log.n + 1)
+      log.n <- log.n + 1;
+      if log.capacity < max_int && log.n >= 2 * log.capacity then
+        trim_locked log)
+
+let set_capacity log c =
+  Mutex.protect log.lock (fun () ->
+      log.capacity <- max 1 c;
+      trim_locked log)
 
 let incidents log =
-  Mutex.protect log.lock (fun () -> List.rev log.rev_incidents)
+  Mutex.protect log.lock (fun () ->
+      trim_locked log;
+      List.rev log.rev_incidents)
 
-let count log = Mutex.protect log.lock (fun () -> log.n)
+(* Total ever recorded ([n] + [dropped] is invariant under trimming), so
+   clients that difference two [count] calls — the engine's per-run
+   incident attribution — are unaffected by rotation. *)
+let count log = Mutex.protect log.lock (fun () -> log.n + log.dropped)
+let dropped log = Mutex.protect log.lock (fun () -> log.dropped)
+let retained log = Mutex.protect log.lock (fun () -> min log.n log.capacity)
 
 let clear log =
   Mutex.protect log.lock (fun () ->
       log.rev_incidents <- [];
-      log.n <- 0)
+      log.n <- 0;
+      log.dropped <- 0)
 
 let by_phase log =
   let snapshot = Mutex.protect log.lock (fun () -> log.rev_incidents) in
@@ -101,6 +145,9 @@ let pp_incident ppf i =
 
 let pp_summary ppf log =
   Format.fprintf ppf "%d incident(s)" (count log);
+  (match dropped log with
+  | 0 -> ()
+  | d -> Format.fprintf ppf " (%d rotated out)" d);
   List.iter
     (fun (p, n) -> Format.fprintf ppf "; %s: %d" (phase_name p) n)
     (by_phase log)

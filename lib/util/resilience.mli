@@ -37,13 +37,31 @@ type incident = {
     Thread-safe: workers of a parallel run record into one shared log. *)
 type log
 
-val create : unit -> log
+val create : ?capacity:int -> unit -> log
+(** [capacity] caps the number of {e retained} incidents (default
+    unbounded): once exceeded, the oldest are rotated out and only
+    counted, so a high-fault-rate long-lived process (the analysis
+    server's soak scenario) cannot grow the log without bound. *)
+
 val record : log -> incident -> unit
 
 val incidents : log -> incident list
-(** Chronological order. *)
+(** Chronological order; at most [capacity] entries (the newest). *)
 
 val count : log -> int
+(** Total incidents ever recorded, including rotated-out ones —
+    monotonic, so differencing two [count] calls attributes incidents to
+    an interval regardless of rotation. *)
+
+val set_capacity : log -> int -> unit
+(** Change the retention cap (clamped to >= 1); trims immediately. *)
+
+val dropped : log -> int
+(** Incidents rotated out so far. *)
+
+val retained : log -> int
+(** Incidents currently in the log ([count] - [dropped], capped). *)
+
 val clear : log -> unit
 
 val by_phase : log -> (phase * int) list
@@ -70,7 +88,8 @@ val phase_name : phase -> string
 val pp_incident : Format.formatter -> incident -> unit
 
 val pp_summary : Format.formatter -> log -> unit
-(** One line per phase with a non-zero incident count. *)
+(** One line per phase with a non-zero incident count (retained only);
+    includes the rotated-out count when non-zero. *)
 
 (** Deterministic, seeded fault injection (built on {!Prng}). *)
 module Inject : sig

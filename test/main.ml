@@ -22,4 +22,5 @@ let () =
       ("resilience", Test_resilience.suite);
       ("par", Test_par.suite);
       ("obs", Test_obs.suite);
+      ("server", Test_server.suite);
     ]

@@ -1,0 +1,546 @@
+(* Tests for the analysis server (DESIGN.md §4.13): incremental
+   re-analysis identity against batch runs, fault-injected soak,
+   deadline isolation, warm restart from epoch snapshots, and the
+   resource caps (qcache entries, incident log) the server relies on. *)
+
+module Ast = Pinpoint_frontend.Ast
+module Parser = Pinpoint_frontend.Parser
+module Lower = Pinpoint_frontend.Lower
+module Gen = Pinpoint_workload.Gen
+module Resilience = Pinpoint_util.Resilience
+module Qcache = Pinpoint_smt.Qcache
+module Json = Pinpoint_server.Json
+module Incr = Pinpoint_server.Incr
+module Server = Pinpoint_server.Server
+
+(* ---------- subject plumbing ---------- *)
+
+let subject ?(seed = 11) ?(loc = 400) () =
+  (Gen.generate ~name:"srv"
+     { Gen.default_params with Gen.seed; target_loc = loc })
+    .Gen.source
+
+(* Emit a run of fdecls as MC source, with unit headers where the unit
+   changes (mirrors Ast.pp_program, which round-trips by construction). *)
+let emit_fdecls (fds : Ast.fdecl list) =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  let current = ref "" in
+  List.iter
+    (fun (fd : Ast.fdecl) ->
+      if fd.Ast.unit_name <> !current then begin
+        Format.fprintf ppf "unit %S;@.@." fd.Ast.unit_name;
+        current := fd.Ast.unit_name
+      end;
+      Format.fprintf ppf "%a@." Ast.pp_fdecl fd)
+    fds;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(* Split a subject into [k] files of consecutive functions.  The mutable
+   array of per-file fdecl lists is the test's editable model; file
+   contents are re-emitted from it after each edit. *)
+let split_subject k src =
+  let fds = (Parser.parse_string ~file:"<gen>" src).Ast.funcs in
+  let n = List.length fds in
+  let per = max 1 ((n + k - 1) / k) in
+  let chunks = Array.make k [] in
+  List.iteri
+    (fun i fd -> chunks.(min (k - 1) (i / per)) <- fd :: chunks.(min (k - 1) (i / per)))
+    fds;
+  Array.mapi (fun i fds -> (Printf.sprintf "srv_%d.mc" i, List.rev fds)) chunks
+
+let contents_of (chunks : (string * Ast.fdecl list) array) =
+  Array.to_list (Array.map (fun (n, fds) -> (n, emit_fdecls fds)) chunks)
+
+(* ---------- AST edits ---------- *)
+
+let rec bump_expr found (e : Ast.expr) =
+  let node =
+    match e.Ast.enode with
+    | Ast.Eint n when not !found ->
+      found := true;
+      Ast.Eint (n + 1)
+    | (Ast.Eint _ | Ast.Ebool _ | Ast.Enull | Ast.Evar _ | Ast.Emalloc) as n ->
+      n
+    | Ast.Ederef (a, k) -> Ast.Ederef (bump_expr found a, k)
+    | Ast.Ebin (op, a, b) ->
+      let a = bump_expr found a in
+      Ast.Ebin (op, a, bump_expr found b)
+    | Ast.Eun (op, a) -> Ast.Eun (op, bump_expr found a)
+    | Ast.Ecall (f, args) -> Ast.Ecall (f, List.map (bump_expr found) args)
+    | Ast.Evcall (f, args) -> Ast.Evcall (f, List.map (bump_expr found) args)
+  in
+  { e with Ast.enode = node }
+
+let rec bump_stmt found (s : Ast.stmt) =
+  let node =
+    match s.Ast.snode with
+    | Ast.Sdecl (t, x, e) -> Ast.Sdecl (t, x, Option.map (bump_expr found) e)
+    | Ast.Sassign (x, e) -> Ast.Sassign (x, bump_expr found e)
+    | Ast.Sstore (k, x, e) -> Ast.Sstore (k, x, bump_expr found e)
+    | Ast.Sif (c, a, b) ->
+      let c = bump_expr found c in
+      let a = bump_stmt found a in
+      Ast.Sif (c, a, Option.map (bump_stmt found) b)
+    | Ast.Swhile (c, b) ->
+      let c = bump_expr found c in
+      Ast.Swhile (c, bump_stmt found b)
+    | Ast.Sreturn e -> Ast.Sreturn (Option.map (bump_expr found) e)
+    | Ast.Sexpr e -> Ast.Sexpr (bump_expr found e)
+    | Ast.Sblock ss -> Ast.Sblock (List.map (bump_stmt found) ss)
+  in
+  { s with Ast.snode = node }
+
+(* Flip the first integer literal of the [i]-th function (cyclically) of
+   the chunk; returns false when that function has no integer literal. *)
+let bump_nth_function chunks ~chunk ~i =
+  let name, fds = chunks.(chunk) in
+  let n = List.length fds in
+  if n = 0 then false
+  else begin
+    let target = i mod n in
+    let found = ref false in
+    let fds =
+      List.mapi
+        (fun j (fd : Ast.fdecl) ->
+          if j = target then { fd with Ast.body = bump_stmt found fd.Ast.body }
+          else fd)
+        fds
+    in
+    chunks.(chunk) <- (name, fds);
+    !found
+  end
+
+let added_counter = ref 0
+
+let add_function chunks ~chunk =
+  incr added_counter;
+  let fname = Printf.sprintf "__srv_added_%d" !added_counter in
+  let src = Printf.sprintf "void %s() { int t = 1; print(t); }" fname in
+  let fd = List.hd (Parser.parse_string ~file:"<add>" src).Ast.funcs in
+  let name, fds = chunks.(chunk) in
+  (* Keep the chunk's trailing unit: re-emission will re-open "main" for
+     the added function if needed, which is itself a structural change. *)
+  chunks.(chunk) <- (name, fds @ [ fd ])
+
+(* ---------- batch vs server ---------- *)
+
+let render_reports reports =
+  List.map Pinpoint.Report.one_line
+    (List.filter Pinpoint.Report.is_reported reports)
+
+let batch_renders ?pool files (spec : Pinpoint.Checker_spec.t) =
+  let fds =
+    List.concat_map
+      (fun (n, c) -> (Parser.parse_string ~file:n c).Ast.funcs)
+      files
+  in
+  let prog = Lower.compile { Ast.funcs = fds } in
+  let a = Pinpoint.Analysis.prepare ?pool prog in
+  let reports, _ = Pinpoint.Analysis.check a spec in
+  render_reports reports
+
+let server_renders st spec =
+  let reports, _ = Incr.check st spec in
+  render_reports reports
+
+let checkers_under_test =
+  [ Pinpoint.Checkers.use_after_free; Pinpoint.Checkers.double_free ]
+
+(* Scripted edit sequence; after every update the resident state must
+   report exactly what a from-scratch batch run over the same file
+   contents reports. *)
+let run_identity ?pool () =
+  let chunks = split_subject 3 (subject ~seed:23 ~loc:450 ()) in
+  let st = Incr.load ?pool (contents_of chunks) in
+  let compare_all step =
+    List.iter
+      (fun (spec : Pinpoint.Checker_spec.t) ->
+        Alcotest.(check (list string))
+          (Printf.sprintf "step %d: %s server = batch" step
+             spec.Pinpoint.Checker_spec.name)
+          (batch_renders ?pool (contents_of chunks) spec)
+          (server_renders st spec))
+      checkers_under_test
+  in
+  compare_all 0;
+  (* Constant flips walking across chunks and functions. *)
+  let step = ref 0 in
+  for i = 1 to 5 do
+    let chunk = i mod 3 in
+    ignore (bump_nth_function chunks ~chunk ~i:(2 * i));
+    let name, fds = chunks.(chunk) in
+    let stats = Incr.update st [ (name, emit_fdecls fds) ] in
+    Alcotest.(check bool)
+      (Printf.sprintf "edit %d incremental" i)
+      false stats.Incr.full_rebuild;
+    incr step;
+    compare_all !step
+  done;
+  (* No-op update: same contents, nothing dirty. *)
+  let name0, fds0 = chunks.(0) in
+  let stats = Incr.update st [ (name0, emit_fdecls fds0) ] in
+  Alcotest.(check int) "no-op dirty cone" 0 stats.Incr.dirty_cone;
+  (* Structural edit: adding a function forces a transparent full
+     rebuild, and identity must still hold. *)
+  add_function chunks ~chunk:1;
+  let name1, fds1 = chunks.(1) in
+  let stats = Incr.update st [ (name1, emit_fdecls fds1) ] in
+  Alcotest.(check bool) "add-function rebuilds" true stats.Incr.full_rebuild;
+  incr step;
+  compare_all !step
+
+let test_identity_seq () = run_identity ()
+
+let test_identity_jobs4 () =
+  Pinpoint_par.Pool.with_pool ~jobs:4 (fun pool -> run_identity ~pool ())
+
+(* The dirty cone stays a cone: editing a leaf function must not rebuild
+   the whole program. *)
+let test_cone_is_partial () =
+  let chunks = split_subject 2 (subject ~seed:31 ~loc:400 ()) in
+  let st = Incr.load (contents_of chunks) in
+  let total = Incr.n_functions st in
+  ignore (bump_nth_function chunks ~chunk:0 ~i:1);
+  let name, fds = chunks.(0) in
+  let stats = Incr.update st [ (name, emit_fdecls fds) ] in
+  Alcotest.(check bool) "not a full rebuild" false stats.Incr.full_rebuild;
+  Alcotest.(check bool)
+    (Printf.sprintf "cone %d < total %d" stats.Incr.dirty_cone total)
+    true
+    (stats.Incr.dirty_cone < total)
+
+(* ---------- server protocol ---------- *)
+
+let req_of_files ?id ?(checkers = []) ?deadline_s files =
+  let fields = ref [] in
+  Option.iter (fun i -> fields := [ ("id", Json.Int i) ]) id;
+  fields := !fields @ [ ("op", Json.String "check") ];
+  if files <> [] then
+    fields :=
+      !fields
+      @ [
+          ( "files",
+            Json.List
+              (List.map
+                 (fun (n, c) ->
+                   Json.Obj
+                     [ ("name", Json.String n); ("contents", Json.String c) ])
+                 files) );
+        ];
+  if checkers <> [] then
+    fields :=
+      !fields
+      @ [ ("checkers", Json.List (List.map (fun c -> Json.String c) checkers)) ];
+  Option.iter
+    (fun d -> fields := !fields @ [ ("deadline_s", Json.Float d) ])
+    deadline_s;
+  Json.to_string (Json.Obj !fields)
+
+let parse_response resp =
+  match Json.parse resp with
+  | Ok j -> j
+  | Error msg -> Alcotest.failf "bad response JSON: %s (%s)" msg resp
+
+let response_ok j =
+  match Option.bind (Json.member "ok" j) Json.bool_opt with
+  | Some b -> b
+  | None -> false
+
+let response_renders j =
+  match Option.bind (Json.member "checkers" j) Json.list_opt with
+  | None -> []
+  | Some cs ->
+    List.concat_map
+      (fun c ->
+        match Option.bind (Json.member "reports" c) Json.list_opt with
+        | None -> []
+        | Some rs ->
+          List.filter_map
+            (fun r -> Option.bind (Json.member "render" r) Json.string_opt)
+            rs)
+      cs
+
+(* (b) fault-injected soak: 200 requests at 20% injection, every request
+   answered, state alive throughout, caches and incident log bounded. *)
+let test_soak () =
+  let chunks = split_subject 1 (subject ~seed:47 ~loc:250 ()) in
+  let config =
+    {
+      Server.default_config with
+      Server.qcache_cap = Some 256;
+      incident_cap = 100;
+    }
+  in
+  let t = Server.create ~config () in
+  Server.load_files t (contents_of chunks);
+  Fun.protect
+    ~finally:(fun () ->
+      Resilience.Inject.clear ();
+      Qcache.set_capacity None)
+    (fun () ->
+      Resilience.Inject.(
+        install
+          {
+            default with
+            seed = 7;
+            solver_fault_rate = 0.2;
+            seg_drop_rate = 0.2 /. 3.0;
+            seg_truncate_rate = 0.2 /. 3.0;
+            seg_crash_rate = 0.2 /. 3.0;
+          });
+      for i = 1 to 200 do
+        ignore (bump_nth_function chunks ~chunk:0 ~i);
+        let name, fds = chunks.(0) in
+        let req =
+          req_of_files ~id:i
+            ~checkers:[ "use-after-free" ]
+            [ (name, emit_fdecls fds) ]
+        in
+        let resp, action = Server.handle_line t req in
+        let j = parse_response resp in
+        if action <> `Continue then Alcotest.failf "request %d stopped server" i;
+        if not (response_ok j) then
+          Alcotest.failf "request %d not ok: %s" i resp
+      done;
+      let resp, _ =
+        Server.handle_line t (Json.to_string (Json.Obj [ ("op", Json.String "status") ]))
+      in
+      let j = parse_response resp in
+      Alcotest.(check bool) "status ok" true (response_ok j);
+      let stat path =
+        match
+          Option.bind
+            (List.fold_left
+               (fun acc k -> Option.bind acc (Json.member k))
+               (Some j) path)
+            Json.int_opt
+        with
+        | Some n -> n
+        | None -> Alcotest.failf "status missing %s" (String.concat "." path)
+      in
+      Alcotest.(check bool)
+        "faults actually injected" true
+        (stat [ "incidents"; "total" ] > 0);
+      Alcotest.(check bool)
+        "incident log bounded" true
+        (stat [ "incidents"; "retained" ] <= 100);
+      Alcotest.(check bool)
+        "qcache bounded" true
+        (stat [ "qcache"; "entries" ] <= 256))
+
+(* (c) a deadline-blown request degrades its own verdicts and leaves the
+   next request untouched. *)
+let test_deadline_isolation () =
+  let chunks = split_subject 1 (subject ~seed:53 ~loc:300 ()) in
+  let t = Server.create () in
+  Server.load_files t (contents_of chunks);
+  let blown, action =
+    Server.handle_line t
+      (req_of_files ~id:1 ~checkers:[ "use-after-free" ] ~deadline_s:1e-9 [])
+  in
+  Alcotest.(check bool) "server continues" true (action = `Continue);
+  Alcotest.(check bool) "blown request answered" true
+    (response_ok (parse_response blown));
+  let resp, _ =
+    Server.handle_line t (req_of_files ~id:2 ~checkers:[ "use-after-free" ] [])
+  in
+  let j = parse_response resp in
+  Alcotest.(check bool) "next request ok" true (response_ok j);
+  Alcotest.(check (list string))
+    "next request matches batch"
+    (batch_renders (contents_of chunks) Pinpoint.Checkers.use_after_free)
+    (response_renders j)
+
+(* RSS watermark shedding: an absurdly low watermark refuses the check
+   with an explicit overloaded response and keeps the server alive. *)
+let test_rss_shedding () =
+  let chunks = split_subject 1 (subject ~seed:59 ~loc:150 ()) in
+  let t =
+    Server.create
+      ~config:{ Server.default_config with Server.max_rss_mb = 0.001 }
+      ()
+  in
+  Server.load_files t (contents_of chunks);
+  let resp, action = Server.handle_line t (req_of_files ~id:1 []) in
+  let j = parse_response resp in
+  Alcotest.(check bool) "request refused" false (response_ok j);
+  Alcotest.(check (option bool))
+    "marked overloaded" (Some true)
+    (Option.bind (Json.member "overloaded" j) Json.bool_opt);
+  Alcotest.(check bool) "server continues" true (action = `Continue)
+
+(* A malformed request (bad JSON, bad MC) is an error response, not a
+   crash, and the resident state survives. *)
+let test_request_isolation () =
+  let chunks = split_subject 1 (subject ~seed:61 ~loc:150 ()) in
+  let t = Server.create () in
+  Server.load_files t (contents_of chunks);
+  let before = batch_renders (contents_of chunks) Pinpoint.Checkers.use_after_free in
+  List.iter
+    (fun bad ->
+      let resp, action = Server.handle_line t bad in
+      Alcotest.(check bool) "continues" true (action = `Continue);
+      Alcotest.(check bool)
+        (Printf.sprintf "rejected: %s" bad)
+        false
+        (response_ok (parse_response resp)))
+    [
+      "not json at all";
+      {|{"op":"frobnicate"}|};
+      {|{"op":"check","files":[{"name":"srv_0.mc","contents":"void broken( {"}]}|};
+    ];
+  let resp, _ =
+    Server.handle_line t (req_of_files ~checkers:[ "use-after-free" ] [])
+  in
+  Alcotest.(check (list string))
+    "state survived bad requests" before
+    (response_renders (parse_response resp))
+
+(* (d) warm restart: a fresh server recovering from the epoch snapshot +
+   journal answers exactly like the one that wrote them. *)
+let test_warm_restart () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pinpoint_srv_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  let config =
+    {
+      Server.default_config with
+      Server.snapshot_dir = Some dir;
+      snapshot_every = 1000 (* force journal replay, not snapshot reload *);
+    }
+  in
+  let chunks = split_subject 2 (subject ~seed:67 ~loc:300 ()) in
+  let t1 = Server.create ~config () in
+  Server.load_files t1 (contents_of chunks);
+  for i = 1 to 3 do
+    ignore (bump_nth_function chunks ~chunk:(i mod 2) ~i);
+    let name, fds = chunks.(i mod 2) in
+    let resp, _ =
+      Server.handle_line t1
+        (req_of_files ~id:i ~checkers:[ "use-after-free" ]
+           [ (name, emit_fdecls fds) ])
+    in
+    Alcotest.(check bool) "update ok" true (response_ok (parse_response resp))
+  done;
+  let final t =
+    let resp, _ =
+      Server.handle_line t (req_of_files ~checkers:[ "use-after-free" ] [])
+    in
+    response_renders (parse_response resp)
+  in
+  let expected = final t1 in
+  let t2 = Server.create ~config () in
+  Alcotest.(check bool) "recovered" true (Server.recover t2);
+  Alcotest.(check (list string)) "same reports after restart" expected (final t2);
+  (* A torn journal tail (crash mid-append) is ignored, not fatal. *)
+  let oc =
+    open_out_gen [ Open_append ] 0o644 (Filename.concat dir "journal.jsonl")
+  in
+  output_string oc {|{"epoch":99,"files":[{"name":"srv_0.mc","con|};
+  close_out oc;
+  let t3 = Server.create ~config () in
+  Alcotest.(check bool) "recovered past torn tail" true (Server.recover t3);
+  Alcotest.(check (list string)) "torn tail ignored" expected (final t3)
+
+(* ---------- satellite caps ---------- *)
+
+let test_qcache_cap () =
+  Fun.protect
+    ~finally:(fun () ->
+      Qcache.set_enabled false;
+      Qcache.set_capacity None)
+    (fun () ->
+      Qcache.set_capacity (Some 32);
+      Qcache.set_enabled true;
+      let evictions0 = (Qcache.stats ()).Qcache.evictions in
+      (* Distinct live formulas: [eq (int i) (int 0)] would constant-fold
+         to one shared expression. *)
+      let x =
+        Pinpoint_smt.Expr.var
+          (Pinpoint_smt.Symbol.fresh "qcache_test" Pinpoint_smt.Symbol.Int)
+      in
+      for i = 1 to 200 do
+        Qcache.add
+          (Pinpoint_smt.Expr.eq x (Pinpoint_smt.Expr.int i))
+          Qcache.Cached_unsat
+      done;
+      let st = Qcache.stats () in
+      Alcotest.(check bool)
+        (Printf.sprintf "bounded: %d <= 32" st.Qcache.entries)
+        true (st.Qcache.entries <= 32);
+      Alcotest.(check bool) "evictions counted" true
+        (st.Qcache.evictions > evictions0);
+      Alcotest.(check (option int)) "capacity visible" (Some 32) st.Qcache.cap)
+
+let test_incident_rotation () =
+  let log = Resilience.create ~capacity:5 () in
+  for i = 1 to 12 do
+    Resilience.record log
+      {
+        Resilience.phase = Resilience.Solver_query;
+        subject = Printf.sprintf "q%d" i;
+        detail = "synthetic";
+        fallback = "none";
+        elapsed_s = 0.0;
+      }
+  done;
+  Alcotest.(check int) "total is monotonic" 12 (Resilience.count log);
+  Alcotest.(check int) "retained capped" 5 (Resilience.retained log);
+  (* Rotation is amortised; [incidents] forces the pending trim. *)
+  let kept = Resilience.incidents log in
+  Alcotest.(check int) "total unchanged by trim" 12 (Resilience.count log);
+  Alcotest.(check int) "dropped counted" 7 (Resilience.dropped log);
+  Alcotest.(check int) "list capped" 5 (List.length kept);
+  Alcotest.(check string) "newest kept" "q12"
+    (List.nth kept 4).Resilience.subject;
+  Alcotest.(check string) "oldest rotated out" "q8"
+    (List.hd kept).Resilience.subject
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\nd\te\r \x01 ü");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.String ""; Json.Obj [] ]);
+      ]
+  in
+  let s = Json.to_string v in
+  Alcotest.(check bool) "one line" false (String.contains s '\n');
+  (match Json.parse s with
+  | Ok v' -> Alcotest.(check bool) "roundtrip" true (v = v')
+  | Error e -> Alcotest.failf "reparse failed: %s" e);
+  (match Json.parse {| {"u":"ü😀","e":[]} |} with
+  | Ok v -> (
+    match Option.bind (Json.member "u" v) Json.string_opt with
+    | Some s -> Alcotest.(check string) "unicode escapes" "\xc3\xbc\xf0\x9f\x98\x80" s
+    | None -> Alcotest.fail "missing member")
+  | Error e -> Alcotest.failf "unicode parse failed: %s" e);
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.failf "accepted %S" bad
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\":1} trailing"; "nul"; "\"unterminated" ]
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "incremental identity (seq)" `Quick test_identity_seq;
+    Alcotest.test_case "incremental identity (jobs 4)" `Quick test_identity_jobs4;
+    Alcotest.test_case "dirty cone is partial" `Quick test_cone_is_partial;
+    Alcotest.test_case "request isolation" `Quick test_request_isolation;
+    Alcotest.test_case "deadline isolation" `Quick test_deadline_isolation;
+    Alcotest.test_case "rss shedding" `Quick test_rss_shedding;
+    Alcotest.test_case "warm restart" `Quick test_warm_restart;
+    Alcotest.test_case "qcache cap" `Quick test_qcache_cap;
+    Alcotest.test_case "incident rotation" `Quick test_incident_rotation;
+    Alcotest.test_case "fault-injected soak (200 req)" `Slow test_soak;
+  ]
