@@ -1686,6 +1686,166 @@ let serve () =
   Format.printf "(wrote BENCH_serve.json)@."
 
 (* ------------------------------------------------------------------ *)
+(* scale: MLoC scaling with the disk-resident artifact store
+   (DESIGN.md §4.14).  Subjects of 0.02-4 MLoC (override with
+   PINPOINT_BENCH_SCALE_MLOCS="0.02,0.5") run through the CLI as
+   subprocesses — one process per configuration so the getrusage peak-RSS
+   watermark (read back from --metrics-json) is isolated per run — store
+   off vs on.  The contract: identical reports, and at MLoC scale the
+   store holds peak RSS and artifact bytes/LoC below the all-resident
+   run.  Dumps BENCH_scale.json.  Opt-in (like micro): subprocess runs at
+   4 MLoC take minutes. *)
+
+let scale () =
+  Format.printf "@.=== scale: MLoC subjects, store on vs off ===@.";
+  let mlocs =
+    match Sys.getenv_opt "PINPOINT_BENCH_SCALE_MLOCS" with
+    | Some s ->
+      String.split_on_char ',' s
+      |> List.filter_map (fun x -> float_of_string_opt (String.trim x))
+    | None -> [ 0.02; 0.5; 1.0; 4.0 ]
+  in
+  let jobs =
+    match Sys.getenv_opt "PINPOINT_BENCH_SCALE_JOBS" with
+    | Some s -> int_of_string s
+    | None -> 4
+  in
+  let cli =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/pinpoint_cli.exe"
+  in
+  if not (Sys.file_exists cli) then
+    failwith (str "scale: CLI not found at %s (run under dune exec)" cli);
+  let tmp = Filename.get_temp_dir_name () in
+  let base = Filename.concat tmp (str "pinpoint_scale_%d" (Unix.getpid ())) in
+  (try Unix.mkdir base 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let sh cmd =
+    let t0 = Unix.gettimeofday () in
+    let rc = Sys.command cmd in
+    if rc <> 0 && rc <> 2 then failwith (str "scale: command failed (%d): %s" rc cmd);
+    Unix.gettimeofday () -. t0
+  in
+  let metric_of file key =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    let pat = str "%S: " key in
+    let rec find i =
+      if i + String.length pat > String.length s then 0.0
+      else if String.sub s i (String.length pat) = pat then begin
+        let j = ref (i + String.length pat) in
+        let b = Buffer.create 16 in
+        while
+          !j < String.length s
+          && (match s.[!j] with '0' .. '9' | '.' | '-' | 'e' -> true | _ -> false)
+        do
+          Buffer.add_char b s.[!j];
+          incr j
+        done;
+        float_of_string (Buffer.contents b)
+      end
+      else find (i + 1)
+    in
+    find 0
+  in
+  let file_eq a b =
+    let read f =
+      let ic = open_in_bin f in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    in
+    read a = read b
+  in
+  let dir_bytes d =
+    if Sys.file_exists d then
+      Array.fold_left
+        (fun acc f ->
+          acc + (Unix.stat (Filename.concat d f)).Unix.st_size)
+        0 (Sys.readdir d)
+    else 0
+  in
+  let rows =
+    List.map
+      (fun mloc ->
+        let subject =
+          Gen.generate ~name:"scale" (Gen.scaled ~seed:7 ~mloc ())
+        in
+        let tag = str "%03dk" (int_of_float (mloc *. 1000.0)) in
+        let src = Filename.concat base (str "s%s.mc" tag) in
+        let oc = open_out src in
+        output_string oc subject.Gen.source;
+        close_out oc;
+        let loc = subject.Gen.loc in
+        Format.printf "%.2f MLoC (%d lines): store off...@." mloc loc;
+        let m_off = Filename.concat base (str "off%s.json" tag) in
+        let r_off = Filename.concat base (str "off%s.txt" tag) in
+        let t_off =
+          sh
+            (str "%s check %s -c use-after-free --jobs %d --metrics-json %s > %s"
+               (Filename.quote cli) (Filename.quote src) jobs
+               (Filename.quote m_off) (Filename.quote r_off))
+        in
+        Format.printf "  ... on@.";
+        let store_dir = Filename.concat base (str "store%s" tag) in
+        let m_on = Filename.concat base (str "on%s.json" tag) in
+        let r_on = Filename.concat base (str "on%s.txt" tag) in
+        let t_on =
+          sh
+            (str
+               "%s check %s -c use-after-free --jobs %d --store-dir %s \
+                --metrics-json %s > %s"
+               (Filename.quote cli) (Filename.quote src) jobs
+               (Filename.quote store_dir) (Filename.quote m_on)
+               (Filename.quote r_on))
+        in
+        let rss_off = metric_of m_off "process.maxrss_kb" in
+        let rss_on = metric_of m_on "process.maxrss_kb" in
+        let store_bytes = dir_bytes store_dir in
+        let identical = file_eq r_off r_on in
+        Sys.remove src;
+        (mloc, loc, t_off, t_on, rss_off, rss_on, store_bytes, identical))
+      mlocs
+  in
+  Pp.table
+    ~header:
+      [ "MLoC"; "rss off"; "rss on"; "wall off"; "wall on"; "store B/LoC"; "reports" ]
+    ~rows:
+      (List.map
+         (fun (mloc, loc, t_off, t_on, rss_off, rss_on, sb, id) ->
+           [
+             str "%.2f" mloc;
+             str "%a" pp_bytes (rss_off *. 1024.0);
+             str "%a" pp_bytes (rss_on *. 1024.0);
+             str "%a" pp_dur t_off;
+             str "%a" pp_dur t_on;
+             str "%.1f" (float_of_int sb /. float_of_int loc);
+             (if id then "identical" else "DIFFER");
+           ])
+         rows)
+    Format.std_formatter ();
+  let oc = open_out "BENCH_scale.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"experiment\": \"scale\",\n  \"jobs\": %d,\n  \"rows\": [\n" jobs;
+  List.iteri
+    (fun i (mloc, loc, t_off, t_on, rss_off, rss_on, sb, id) ->
+      out
+        "    {\"mloc\": %.3f, \"loc\": %d, \"wall_off_s\": %.3f, \
+         \"wall_on_s\": %.3f, \"maxrss_off_kb\": %.0f, \"maxrss_on_kb\": \
+         %.0f, \"store_bytes\": %d, \"store_bytes_per_loc\": %.2f, \
+         \"reports_identical\": %b}%s\n"
+        mloc loc t_off t_on rss_off rss_on sb
+        (float_of_int sb /. float_of_int loc)
+        id
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ]\n}\n";
+  close_out oc;
+  if List.exists (fun (_, _, _, _, _, _, _, id) -> not id) rows then
+    failwith "scale: store-on reports diverged from store-off";
+  Format.printf "(wrote BENCH_scale.json)@."
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1706,6 +1866,7 @@ let experiments =
     ("smt", smt);
     ("obs", obs);
     ("serve", serve);
+    ("scale", scale);
     ("micro", micro);
   ]
 
@@ -1714,8 +1875,9 @@ let () =
   let to_run =
     match args with
     | [] | [ "all" ] ->
-      (* everything except micro (micro is opt-in: statistically sound but slow) *)
-      List.filter (fun (n, _) -> n <> "micro") experiments
+      (* everything except the opt-in slow ones: micro (statistically
+         sound but slow) and scale (multi-minute MLoC subprocess runs) *)
+      List.filter (fun (n, _) -> n <> "micro" && n <> "scale") experiments
     | names ->
       List.filter_map
         (fun n ->

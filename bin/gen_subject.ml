@@ -17,9 +17,18 @@ let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List known subjects")
 let loc_arg =
   Arg.(value & opt int 2000 & info [ "loc" ] ~doc:"Target LoC for 'custom'")
 
+let mloc_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "mloc" ] ~docv:"M"
+        ~doc:
+          "MLoC-scale 'custom' subject: $(docv) million lines (fractional \
+           allowed, e.g. 0.2 = 200 KLoC) in ~4 KLoC units with cross-unit \
+           fan-in and per-MLoC-scaled planted bugs.  Overrides --loc.")
+
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Seed for 'custom'")
 
-let run name out list_subjects loc seed =
+let run name out list_subjects loc mloc seed =
   if list_subjects then
     List.iter
       (fun (i : Pinpoint_workload.Subjects.info) ->
@@ -30,8 +39,13 @@ let run name out list_subjects loc seed =
   else begin
     let subject =
       if name = "custom" then
-        Pinpoint_workload.Gen.generate ~name:"custom"
-          { Pinpoint_workload.Gen.default_params with seed; target_loc = loc }
+        let params =
+          match mloc with
+          | Some m -> Pinpoint_workload.Gen.scaled ~seed ~mloc:m ()
+          | None ->
+            { Pinpoint_workload.Gen.default_params with seed; target_loc = loc }
+        in
+        Pinpoint_workload.Gen.generate ~name:"custom" params
       else
         match Pinpoint_workload.Subjects.find name with
         | Some info -> Pinpoint_workload.Subjects.generate info
@@ -58,6 +72,9 @@ let run name out list_subjects loc seed =
   end
 
 let () =
-  let term = Term.(const run $ name_arg $ out_arg $ list_arg $ loc_arg $ seed_arg) in
+  let term =
+    Term.(
+      const run $ name_arg $ out_arg $ list_arg $ loc_arg $ mloc_arg $ seed_arg)
+  in
   let cmd = Cmd.v (Cmd.info "pinpoint-gen" ~doc:"Generate synthetic subjects") term in
   exit (Cmd.eval cmd)

@@ -2,6 +2,7 @@ module Metrics = Pinpoint_util.Metrics
 module Resilience = Pinpoint_util.Resilience
 module Seg = Pinpoint_seg.Seg
 module Obs = Pinpoint_obs.Obs
+module Store = Pinpoint_store.Store
 
 type phase_metrics = {
   frontend : Metrics.measurement;
@@ -19,9 +20,17 @@ type t = {
   resilience : Resilience.log;
   pool : Pinpoint_par.Pool.t option;
       (* carried so [check] fans its per-source searches out too *)
+  store : Store.t option;
+      (* disk-resident artifact store; when present [segs] stays empty
+         and lookups fault artifacts back in through the LRU *)
 }
 
-let seg_of t name = Hashtbl.find_opt t.segs name
+let seg_of t name =
+  match t.store with
+  | Some st -> Store.seg_of st name
+  | None -> Hashtbl.find_opt t.segs name
+
+let store t = t.store
 let incidents t = Resilience.incidents t.resilience
 
 (* Build one function's SEG behind an exception barrier, consulting the
@@ -90,10 +99,12 @@ let force_symbols (prog : Pinpoint_ir.Prog.t) =
             (Pinpoint_ir.Stmt.uses s)))
     (Pinpoint_ir.Prog.functions prog)
 
-let prepare_with ?resilience ?pool frontend_m (prog : Pinpoint_ir.Prog.t) : t =
+let prepare_with ?resilience ?pool ?store frontend_m (prog : Pinpoint_ir.Prog.t)
+    : t =
   let resilience =
     match resilience with Some r -> r | None -> Resilience.create ()
   in
+  Option.iter (fun st -> Store.register_program st prog) store;
   Option.iter
     (fun p -> Pinpoint_par.Pool.set_log p (Some resilience))
     pool;
@@ -107,7 +118,16 @@ let prepare_with ?resilience ?pool frontend_m (prog : Pinpoint_ir.Prog.t) : t =
   let transform, tm =
     Metrics.measure ~extra_alloc (fun () ->
         Obs.span "transform" (fun () ->
-            Pinpoint_transform.Transform.run ~resilience ?pool prog))
+            match store with
+            | Some st ->
+              (* Spill mode: points-to results stream to the store per
+                 SCC instead of accumulating; [transform.ptas] stays
+                 empty.  Sequential — the id/symbol order is the one the
+                 sequential path produces, so artifacts decode to the
+                 exact objects a store-off run would hold. *)
+              Pinpoint_transform.Transform.run ~resilience
+                ~pta_sink:(Store.put_pta st) prog
+            | None -> Pinpoint_transform.Transform.run ~resilience ?pool prog))
   in
   let segs, sm =
     Metrics.measure ~extra_alloc (fun () ->
@@ -118,35 +138,61 @@ let prepare_with ?resilience ?pool frontend_m (prog : Pinpoint_ir.Prog.t) : t =
         force_symbols prog;
         let funcs = Array.of_list (Pinpoint_ir.Prog.functions prog) in
         Seg.reserve_addresses (Array.to_list funcs);
-        let build (f : Pinpoint_ir.Func.t) =
-          match
-            Hashtbl.find_opt transform.Pinpoint_transform.Transform.ptas
-              f.Pinpoint_ir.Func.fname
-          with
-          | Some pta -> build_seg resilience f pta
-          | None -> None
-        in
-        let built =
-          match pool with
-          | Some p when Pinpoint_par.Pool.jobs p > 1 ->
-            Pinpoint_par.Pool.parallel_map p build funcs
-          | _ -> Array.map (fun f -> Some (build f)) funcs
-        in
-        let segs = Hashtbl.create 64 in
-        Array.iteri
-          (fun i r ->
-            match r with
-            | Some (Some seg) ->
-              Hashtbl.replace segs funcs.(i).Pinpoint_ir.Func.fname seg
-            | _ -> ())
-          built;
-        segs)
+        match store with
+        | Some st ->
+          (* Sequential build-and-spill: fault each function's PTA back
+             in (bounded by the store LRU), build its SEG, spill it.
+             Peak heap is one function plus the LRU, not the program. *)
+          Array.iter
+            (fun (f : Pinpoint_ir.Func.t) ->
+              let fname = f.Pinpoint_ir.Func.fname in
+              Resilience.protect ~log:resilience ~phase:Resilience.Seg_build
+                ~subject:fname ~fallback_note:"function gets no SEG"
+                ~fallback:()
+                (fun () ->
+                  match Store.pta_of st fname with
+                  | None -> ()
+                  | Some pta -> (
+                    match build_seg resilience f pta with
+                    | Some seg -> Store.put_seg st fname seg
+                    | None -> ())))
+            funcs;
+          Hashtbl.create 1
+        | None ->
+          let build (f : Pinpoint_ir.Func.t) =
+            match
+              Hashtbl.find_opt transform.Pinpoint_transform.Transform.ptas
+                f.Pinpoint_ir.Func.fname
+            with
+            | Some pta -> build_seg resilience f pta
+            | None -> None
+          in
+          let built =
+            match pool with
+            | Some p when Pinpoint_par.Pool.jobs p > 1 ->
+              Pinpoint_par.Pool.parallel_map p build funcs
+            | _ -> Array.map (fun f -> Some (build f)) funcs
+          in
+          let segs = Hashtbl.create 64 in
+          Array.iteri
+            (fun i r ->
+              match r with
+              | Some (Some seg) ->
+                Hashtbl.replace segs funcs.(i).Pinpoint_ir.Func.fname seg
+              | _ -> ())
+            built;
+          segs)
   in
   let rv, rm =
     Metrics.measure ~extra_alloc (fun () ->
         Obs.span "summary" (fun () ->
-            Pinpoint_summary.Rv.generate ~resilience ?pool prog
-              (Hashtbl.find_opt segs)))
+            match store with
+            | Some st ->
+              Pinpoint_summary.Rv.generate ~resilience
+                ~backend:(Store.rv_backend st) prog (Store.seg_of st)
+            | None ->
+              Pinpoint_summary.Rv.generate ~resilience ?pool prog
+                (Hashtbl.find_opt segs)))
   in
   if Obs.metrics_on () then begin
     let publish name (m : Metrics.measurement) =
@@ -169,6 +215,7 @@ let prepare_with ?resilience ?pool frontend_m (prog : Pinpoint_ir.Prog.t) : t =
       { frontend = frontend_m; transform = tm; seg_build = sm; summaries = rm };
     resilience;
     pool;
+    store;
   }
 
 let zero_m =
@@ -179,43 +226,104 @@ let zero_m =
     promoted_words = 0.0;
   }
 
-let prepare ?resilience ?pool prog = prepare_with ?resilience ?pool zero_m prog
+let prepare ?resilience ?pool ?store prog =
+  prepare_with ?resilience ?pool ?store zero_m prog
 
-let prepare_source ?pool ?(file = "<string>") src =
+let prepare_source ?pool ?store ?(file = "<string>") src =
   let prog, fm =
     Metrics.measure (fun () ->
         Obs.span "lower"
           ~attrs:[ ("file", file) ]
           (fun () -> Pinpoint_frontend.Lower.compile_string ~file src))
   in
-  prepare_with ?pool fm prog
+  prepare_with ?pool ?store fm prog
 
-let prepare_file ?pool path =
+let prepare_file ?pool ?store path =
   let prog, fm =
     Metrics.measure (fun () ->
         Obs.span "lower"
           ~attrs:[ ("file", path) ]
           (fun () -> Pinpoint_frontend.Lower.compile_file path))
   in
-  prepare_with ?pool fm prog
+  prepare_with ?pool ?store fm prog
 
-let prepare_files ?pool paths =
+let prepare_files ?pool ?store paths =
   let prog, fm =
     Metrics.measure (fun () ->
         Obs.span "lower"
           ~attrs:[ ("files", string_of_int (List.length paths)) ]
           (fun () -> Pinpoint_frontend.Lower.compile_files paths))
   in
-  prepare_with ?pool fm prog
+  prepare_with ?pool ?store fm prog
 
 let seg_size t =
-  Hashtbl.fold
-    (fun _ seg (v, e) -> (v + Seg.n_vertices seg, e + Seg.n_edges seg))
-    t.segs (0, 0)
+  match t.store with
+  | Some st -> Store.seg_sizes st
+  | None ->
+    Hashtbl.fold
+      (fun _ seg (v, e) -> (v + Seg.n_vertices seg, e + Seg.n_edges seg))
+      t.segs (0, 0)
+
+module Vf = Pinpoint_summary.Vf
+
+(* Generate one checker's VF summary table under the exact barrier and
+   span the engine uses when it generates one itself, so incidents and
+   traces are indistinguishable between the resident and store paths. *)
+let generate_vf t (spec : Checker_spec.t) =
+  Resilience.protect ~log:t.resilience ~phase:Resilience.Vf_summary
+    ~subject:spec.Checker_spec.name
+    ~fallback_note:"empty VF summaries; VF pruning disabled" ~fallback:None
+    (fun () ->
+      Obs.span "summary.vf"
+        ~attrs:[ ("checker", spec.Checker_spec.name) ]
+        (fun () -> Some (Vf.generate t.prog (seg_of t) (Checker_spec.vf_spec spec))))
+
+let seal_store t specs =
+  match t.store with
+  | None -> ()
+  | Some st ->
+    List.iter
+      (fun (spec : Checker_spec.t) ->
+        match Store.vf_of st spec.Checker_spec.name with
+        | Some _ -> ()
+        | None -> (
+          match generate_vf t spec with
+          | Some vf -> Store.put_vf st spec.Checker_spec.name vf
+          | None -> ()))
+      specs;
+    Store.seal st
 
 let check ?config t spec =
-  Engine.run ?config ~resilience:t.resilience ?pool:t.pool t.prog
-    ~seg_of:(seg_of t) ~rv:t.rv spec
+  match t.store with
+  | None ->
+    Engine.run ?config ~resilience:t.resilience ?pool:t.pool t.prog
+      ~seg_of:(seg_of t) ~rv:t.rv spec
+  | Some st ->
+    (* The VF table lives in the store in store mode: fault it in if a
+       prior check (or {!seal_store}) persisted it, generate-and-persist
+       otherwise.  On a generation crash, mirror the engine's fallback —
+       empty table, pruning off — so reports match a store-off run. *)
+    let vf =
+      match Store.vf_of st spec.Checker_spec.name with
+      | Some _ as r -> r
+      | None -> (
+        match generate_vf t spec with
+        | Some vf as r ->
+          if not (Store.is_sealed st) then
+            Store.put_vf st spec.Checker_spec.name vf;
+          r
+        | None -> None)
+    in
+    let config =
+      match config with Some c -> c | None -> Engine.default_config
+    in
+    let config, vf =
+      match vf with
+      | Some vf -> (config, vf)
+      | None -> ({ config with Engine.use_vf_pruning = false }, Vf.empty ())
+    in
+    Engine.run ~config ~resilience:t.resilience ?pool:t.pool t.prog
+      ~seg_of:(seg_of t) ~rv:t.rv ~vf spec
 
 let check_all ?config t specs =
   List.map

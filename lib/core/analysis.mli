@@ -28,9 +28,15 @@ type t = {
   pool : Pinpoint_par.Pool.t option;
       (** the worker pool the preparation phases ran on, if any; [check]
           reuses it for its per-source fan-out *)
+  store : Pinpoint_store.Store.t option;
+      (** disk-resident artifact store (DESIGN.md §4.14); when present
+          [segs] stays empty and {!seg_of} faults SEGs back in through
+          the store's LRU *)
 }
 
 val seg_of : t -> string -> Pinpoint_seg.Seg.t option
+
+val store : t -> Pinpoint_store.Store.t option
 
 val incidents : t -> Pinpoint_util.Resilience.incident list
 (** Incidents accumulated so far, oldest first. *)
@@ -49,6 +55,7 @@ val build_seg :
 val prepare :
   ?resilience:Pinpoint_util.Resilience.log ->
   ?pool:Pinpoint_par.Pool.t ->
+  ?store:Pinpoint_store.Store.t ->
   Pinpoint_ir.Prog.t ->
   t
 (** Run every phase up to (and including) summary generation on an
@@ -59,14 +66,30 @@ val prepare :
     pointed at this analysis's {!t.resilience}.  With [resilience] the
     given log is used instead of a fresh one — the analysis server passes
     its long-lived capacity-capped log so incidents from successive
-    (re)builds accumulate in one place. *)
+    (re)builds accumulate in one place.
 
-val prepare_source : ?pool:Pinpoint_par.Pool.t -> ?file:string -> string -> t
+    With [store] the preparation phases spill every per-function artifact
+    (PTA, SEG, RV summary) to the store as it is produced instead of
+    keeping it resident, bounding peak heap to the store's LRU plus the
+    IR; preparation is sequential ([pool] still accelerates {!check}).
+    Reports are byte-identical to a store-off run. *)
+
+val prepare_source :
+  ?pool:Pinpoint_par.Pool.t ->
+  ?store:Pinpoint_store.Store.t ->
+  ?file:string ->
+  string ->
+  t
 (** Parse, compile and prepare MC source text. *)
 
-val prepare_file : ?pool:Pinpoint_par.Pool.t -> string -> t
+val prepare_file :
+  ?pool:Pinpoint_par.Pool.t -> ?store:Pinpoint_store.Store.t -> string -> t
 
-val prepare_files : ?pool:Pinpoint_par.Pool.t -> string list -> t
+val prepare_files :
+  ?pool:Pinpoint_par.Pool.t ->
+  ?store:Pinpoint_store.Store.t ->
+  string list ->
+  t
 (** Parse, compile and prepare the concatenation of several MC files (in
     argument order) as one program — the batch twin of the analysis
     server's multi-file subject model. *)
@@ -74,9 +97,19 @@ val prepare_files : ?pool:Pinpoint_par.Pool.t -> string list -> t
 val seg_size : t -> int * int
 (** Total (vertices, edges) over all SEGs — the Figure 7/8 size metric. *)
 
+val seal_store : t -> Checker_spec.t list -> unit
+(** Store mode only (no-op otherwise): generate and persist the VF
+    summary table for each given checker, then seal the store — index,
+    checksummed trailer, rename to the epoch file — switching reads to
+    the mmap path.  Later {!check} calls fault their VF tables back from
+    the sealed blob instead of regenerating them. *)
+
 val check :
   ?config:Engine.config -> t -> Checker_spec.t -> Report.t list * Engine.stats
-(** Run one checker. *)
+(** Run one checker.  In store mode the VF summary table is faulted from
+    the store (or generated and persisted on first use); on a generation
+    crash the engine's fallback is mirrored — empty table, VF pruning
+    disabled — so reports match a store-off run. *)
 
 val check_all :
   ?config:Engine.config ->

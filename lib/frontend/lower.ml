@@ -441,13 +441,50 @@ let compile (p : Ast.program) : Prog.t =
     p.Ast.funcs;
   prog
 
-let compile_string ?(file = "<string>") src =
-  compile (Parser.parse_string ~file src)
+(* Streaming compilation: tokenize each source once, parse twice.  The
+   first pass collects signatures and method groups (forward calls and
+   vcall lowering need the whole program's), the second lowers; both
+   drop every function's AST as soon as it is consumed, so peak heap
+   holds the token buffers and the growing IR — never the whole-program
+   AST, which rivals the IR for size at MLoC scale. *)
+let compile_streams streams =
+  let sigs : (string, Ty_sig.t) Hashtbl.t = Hashtbl.create 64 in
+  let groups : (string, string list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun stm ->
+      Parser.iter_fdecls stm (fun (fd : Ast.fdecl) ->
+          Hashtbl.replace sigs fd.Ast.fname
+            {
+              Ty_sig.ret = fd.Ast.ret;
+              params = Some (List.map fst fd.Ast.params);
+            };
+          match fd.Ast.group with
+          | Some g ->
+            let cur = Option.value (Hashtbl.find_opt groups g) ~default:[] in
+            Hashtbl.replace groups g (cur @ [ fd.Ast.fname ])
+          | None -> ()))
+    streams;
+  let prog = Prog.create () in
+  List.iter
+    (fun stm ->
+      Parser.iter_fdecls stm (fun (fd : Ast.fdecl) ->
+          let f = lower_fdecl ~groups sigs fd in
+          Prog.add prog ~unit_name:fd.Ast.unit_name f))
+    streams;
+  prog
 
-let compile_file path = compile (Parser.parse_file path)
+let compile_string ?(file = "<string>") src =
+  compile_streams [ Parser.stream ~file src ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  src
+
+let compile_file path = compile_streams [ Parser.stream ~file:path (read_file path) ]
 
 let compile_files paths =
-  let funcs =
-    List.concat_map (fun p -> (Parser.parse_file p).Ast.funcs) paths
-  in
-  compile { Ast.funcs }
+  compile_streams
+    (List.map (fun p -> Parser.stream ~file:p (read_file p)) paths)

@@ -361,6 +361,36 @@ let parse_string ?(file = "<string>") src =
   let st = { file; toks; pos = 0; unit_name = "main" } in
   program st
 
+(* Streaming interface: tokenize once, replay the token buffer per pass.
+   Each [iter_fdecls] hands function ASTs to the callback one at a time,
+   so no pass ever materialises the whole program AST — at MLoC scale
+   that AST rivals the lowered IR for peak heap. *)
+
+type stream = state
+
+let stream ?(file = "<string>") src =
+  let toks =
+    try Lexer.tokenize ~file src
+    with Lexer.Error (msg, line) -> raise (Error (msg, line))
+  in
+  { file; toks; pos = 0; unit_name = "main" }
+
+let iter_fdecls (st : stream) f =
+  st.pos <- 0;
+  st.unit_name <- "main";
+  while peek_tok st <> EOF do
+    match peek_tok st with
+    | KW_UNIT -> (
+      advance st;
+      match peek_tok st with
+      | STRING s ->
+        advance st;
+        expect st SEMI "expected ';' after unit declaration";
+        st.unit_name <- s
+      | _ -> fail st "expected string after 'unit'")
+    | _ -> f (func st)
+  done
+
 let parse_file path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in

@@ -27,3 +27,15 @@ exception Error of string * int  (** message, line *)
 
 val parse_string : ?file:string -> string -> Ast.program
 val parse_file : string -> Ast.program
+
+type stream
+(** A tokenised source, replayable: tokenize once, parse many times. *)
+
+val stream : ?file:string -> string -> stream
+
+val iter_fdecls : stream -> (Ast.fdecl -> unit) -> unit
+(** Parse the stream from the top, handing each function declaration to
+    the callback as soon as it is built — the whole-program AST is never
+    materialised (the lowering pipeline makes two passes: signatures and
+    method groups first, then the functions themselves).  Raises
+    {!Error} exactly as {!parse_string} would. *)

@@ -32,10 +32,15 @@ module Seg = Pinpoint_seg.Seg
 module Transform = Pinpoint_transform.Transform
 module Rv = Pinpoint_summary.Rv
 module Vf = Pinpoint_summary.Vf
+module Store = Pinpoint_store.Store
 
 type state = {
   resilience : Resilience.log;
   pool : Pinpoint_par.Pool.t option;
+  store : Store.t option;
+      (** disk-resident artifact store: per-function PTAs, SEGs and RV
+          summaries live here instead of the resident tables; never
+          sealed while serving, so incremental updates keep appending *)
   mutable files : (string * string) list;  (** (name, contents), load order *)
   mutable file_fdecls : (string * Ast.fdecl list) list;  (** same order *)
   mutable digests : (string, Digest.t) Hashtbl.t;  (** fname -> body digest *)
@@ -64,6 +69,11 @@ let epoch st = st.epoch
 let files st = st.files
 let resilience st = st.resilience
 let n_functions st = List.length (Prog.functions st.prog)
+
+let seg_of st =
+  match st.store with
+  | Some store -> Store.seg_of store
+  | None -> Hashtbl.find_opt st.segs
 
 (* ---------- hashing ---------- *)
 
@@ -106,7 +116,21 @@ let digest_table fdecls =
 let full_build st =
   let fdecls = all_fdecls st in
   let prog = Lower.compile { Ast.funcs = fdecls } in
-  let a = Pinpoint.Analysis.prepare ~resilience:st.resilience ?pool:st.pool prog in
+  (* Store mode: the previous program's artifacts are stale (functions
+     were re-lowered, so their variables are fresh objects) — drop them
+     before the rebuild re-spills everything.  Dead blob bytes are not
+     reclaimed; RSS shedding, not disk, is the server's bound. *)
+  Option.iter
+    (fun store ->
+      List.iter
+        (fun (f : Func.t) -> Store.remove_fn store f.Func.fname)
+        (Prog.functions st.prog);
+      Store.drop_resident store)
+    st.store;
+  let a =
+    Pinpoint.Analysis.prepare ~resilience:st.resilience ?pool:st.pool
+      ?store:st.store prog
+  in
   st.prog <- a.Pinpoint.Analysis.prog;
   st.transform <- a.Pinpoint.Analysis.transform;
   st.segs <- a.Pinpoint.Analysis.segs;
@@ -115,7 +139,7 @@ let full_build st =
   st.digests <- digest_table fdecls;
   st.structure <- structure_digest fdecls
 
-let load ?incident_cap ?pool (files : (string * string) list) : state =
+let load ?incident_cap ?pool ?store (files : (string * string) list) : state =
   let resilience =
     match incident_cap with
     | Some c -> Resilience.create ~capacity:c ()
@@ -126,6 +150,7 @@ let load ?incident_cap ?pool (files : (string * string) list) : state =
     {
       resilience;
       pool;
+      store;
       files;
       file_fdecls;
       digests = Hashtbl.create 64;
@@ -283,12 +308,24 @@ let update (st : state) (changed : (string * string) list) : update_stats =
         (fun name () ->
           Transform.remove st.transform name;
           Hashtbl.remove st.segs name;
+          Option.iter (fun store -> Store.remove_fn store name) st.store;
           Rv.remove st.rv name;
           Hashtbl.iter (fun _ (_, vf) -> Vf.remove vf name) st.vfs)
         dirty_tbl;
       (* … and reprocess the dirty SCCs bottom-up against the retained
-         clean tables, mirroring the batch phase order. *)
-      Transform.update ~resilience:st.resilience st.transform st.prog ~dirty;
+         clean tables, mirroring the batch phase order.  Store mode: the
+         dirty functions' fresh variables were registered by re-lowering;
+         their PTAs stream back to the store and SEGs are spilled as
+         rebuilt, just like batch prepare. *)
+      (match st.store with
+      | Some store ->
+        List.iter
+          (fun (f : Func.t) -> if dirty f.Func.fname then Store.register_fn store f)
+          (Prog.functions st.prog);
+        Transform.update ~resilience:st.resilience
+          ~pta_sink:(Store.put_pta store) st.transform st.prog ~dirty
+      | None ->
+        Transform.update ~resilience:st.resilience st.transform st.prog ~dirty);
       let dirty_funcs =
         List.filter (fun (f : Func.t) -> dirty f.Func.fname)
           (Prog.functions st.prog)
@@ -297,15 +334,23 @@ let update (st : state) (changed : (string * string) list) : update_stats =
       Seg.reserve_addresses dirty_funcs;
       List.iter
         (fun (f : Func.t) ->
-          match Hashtbl.find_opt st.transform.Transform.ptas f.Func.fname with
+          let pta =
+            match st.store with
+            | Some store -> Store.pta_of store f.Func.fname
+            | None -> Hashtbl.find_opt st.transform.Transform.ptas f.Func.fname
+          in
+          match pta with
           | Some pta -> (
             match Pinpoint.Analysis.build_seg st.resilience f pta with
-            | Some seg -> Hashtbl.replace st.segs f.Func.fname seg
+            | Some seg -> (
+              match st.store with
+              | Some store -> Store.put_seg store f.Func.fname seg
+              | None -> Hashtbl.replace st.segs f.Func.fname seg)
             | None -> ())
           | None -> ())
         dirty_funcs;
       Rv.update ~resilience:st.resilience st.rv st.prog ~dirty;
-      let seg_of name = Hashtbl.find_opt st.segs name in
+      let seg_of = seg_of st in
       Hashtbl.iter
         (fun cname (spec, vf) ->
           (* A crash while refreshing a resident VF table drops the table;
@@ -340,6 +385,7 @@ let update (st : state) (changed : (string * string) list) : update_stats =
 
 let check ?config (st : state) (spec : Pinpoint.Checker_spec.t) :
     Pinpoint.Report.t list * Pinpoint.Engine.stats =
+  let seg_of = seg_of st in
   let vf =
     match Hashtbl.find_opt st.vfs spec.Pinpoint.Checker_spec.name with
     | Some (_, vf) -> Some vf
@@ -350,8 +396,7 @@ let check ?config (st : state) (spec : Pinpoint.Checker_spec.t) :
           ~fallback_note:"engine runs without VF pruning" ~fallback:None
           (fun () ->
             Some
-              (Vf.generate st.prog
-                 (Hashtbl.find_opt st.segs)
+              (Vf.generate st.prog seg_of
                  (Pinpoint.Checker_spec.vf_spec spec)))
       in
       Option.iter
@@ -361,6 +406,4 @@ let check ?config (st : state) (spec : Pinpoint.Checker_spec.t) :
       vf
   in
   Pinpoint.Engine.run ?config ~resilience:st.resilience ?pool:st.pool ?vf
-    st.prog
-    ~seg_of:(Hashtbl.find_opt st.segs)
-    ~rv:st.rv spec
+    st.prog ~seg_of ~rv:st.rv spec

@@ -34,6 +34,9 @@ type config = {
   solver_budget_s : float;
   solver_conflicts : int;
   pool : Pinpoint_par.Pool.t option;
+  store : Pinpoint_store.Store.t option;
+      (** artifact store for the resident subject; kept unsealed so
+          incremental updates can keep appending *)
 }
 
 let default_config =
@@ -48,6 +51,7 @@ let default_config =
     solver_budget_s = infinity;
     solver_conflicts = Pinpoint_smt.Sat.default_budget;
     pool = None;
+    store = None;
   }
 
 type rungs = {
@@ -191,7 +195,10 @@ let create ?(config = default_config) () =
   }
 
 let load_files t files =
-  let st = Incr.load ~incident_cap:t.cfg.incident_cap ?pool:t.cfg.pool files in
+  let st =
+    Incr.load ~incident_cap:t.cfg.incident_cap ?pool:t.cfg.pool
+      ?store:t.cfg.store files
+  in
   t.st <- Some st;
   t.epoch_base <- 0;
   write_snapshot t
@@ -221,7 +228,8 @@ let recover t =
             (Option.bind (Json.member "epoch" snap) Json.int_opt)
         in
         let st =
-          Incr.load ~incident_cap:t.cfg.incident_cap ?pool:t.cfg.pool files
+          Incr.load ~incident_cap:t.cfg.incident_cap ?pool:t.cfg.pool
+            ?store:t.cfg.store files
         in
         t.st <- Some st;
         t.epoch_base <- epoch;

@@ -20,6 +20,9 @@ type config = {
   solver_budget_s : float;
   solver_conflicts : int;
   pool : Pinpoint_par.Pool.t option;
+  store : Pinpoint_store.Store.t option;
+      (** artifact store for the resident subject (DESIGN.md §4.14);
+          kept unsealed so incremental updates can keep appending *)
 }
 
 val default_config : config

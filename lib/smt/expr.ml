@@ -82,22 +82,43 @@ let skey_of = function
 
 (* The hash-cons table is global and shared by every domain, so interning
    is serialised by a mutex.  Ids are used only for equality, hashing and
-   memo keys — never for structure (see [skey_of] above). *)
-let table : (key, t) Hashtbl.t = Hashtbl.create 4096
+   memo keys — never for structure (see [skey_of] above).
+
+   The table holds its elements weakly: a formula nothing else references
+   — e.g. one whose owning artifacts were all evicted by the disk-resident
+   store — is collected, and a later re-intern of the same structure
+   builds a fresh, structurally identical node.  Equality and hashing go
+   through [key_of], which identifies children by id, so only candidates
+   whose children are already canonical can merge (the hash-consing
+   invariant), and both are stable for as long as an element is alive
+   (children are strongly referenced by their parent).  Ids are never
+   reused — the counter only advances on a real insertion — so stale
+   id-keyed memo entries can dangle but never alias. *)
+module Weak_tbl = Weak.Make (struct
+  type nonrec t = t
+
+  let equal a b = key_of a.node = key_of b.node
+  let hash e = Hashtbl.hash (key_of e.node)
+end)
+
+let table = Weak_tbl.create 4096
 let counter = ref 0
 let lock = Mutex.create ()
 
 let make node =
-  let k = key_of node in
   Mutex.protect lock (fun () ->
-      match Hashtbl.find_opt table k with
-      | Some e -> e
-      | None ->
-        let e = { id = !counter; skey = skey_of node; node } in
-        incr counter;
-        Hashtbl.add table k e;
-        e)
+      let candidate = { id = !counter; skey = skey_of node; node } in
+      let e = Weak_tbl.merge table candidate in
+      if e == candidate then incr counter;
+      e)
 
+(* Raw interning entry for deserializers: a [node] whose children are
+   already interned re-enters the hash-cons table and comes back as
+   *the* canonical expression — physically equal to the original when
+   it still exists.  Callers must respect the commutative-ordering
+   invariant themselves (store nodes that were built by the smart
+   constructors already do). *)
+let of_node = make
 let n_created () = !counter
 let tru = make True
 let fls = make False

@@ -1,0 +1,126 @@
+(* Flat int arenas with a varint byte form.  Zigzag maps signed ints to
+   unsigned so that small-magnitude values of either sign — the vast
+   majority of what artifacts contain (tags, vids, sids, list lengths,
+   small deltas) — encode in one byte.  The mapping is a bijection on
+   the full OCaml int range: [lsl]/[lsr] wrap consistently, so even
+   [min_int]/[max_int] round-trip (tested). *)
+
+let zig n = (n lsl 1) lxor (n asr (Sys.int_size - 1))
+let unzig z = (z lsr 1) lxor (-(z land 1))
+
+let varint_of_int buf n =
+  let u = zig n in
+  (* The top bit of [u] would be lost by [lsr 7] loops only if we forgot
+     that OCaml ints are 63-bit; 9 groups of 7 bits cover all 63. *)
+  let rec go u =
+    if u lsr 7 = 0 then Buffer.add_char buf (Char.chr (u land 0x7f))
+    else begin
+      Buffer.add_char buf (Char.chr (u land 0x7f lor 0x80));
+      go (u lsr 7)
+    end
+  in
+  go u
+
+let int_of_varint b ~pos =
+  let rec go acc shift =
+    let c = Char.code (Bytes.get b !pos) in
+    incr pos;
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c land 0x80 = 0 then acc else go acc (shift + 7)
+  in
+  unzig (go 0 0)
+
+type t = {
+  mutable ints : int array;
+  mutable n : int;
+  strs : Buffer.t;          (* pool contents, length-prefixed *)
+  str_ids : (string, int) Hashtbl.t;
+  mutable n_strs : int;
+}
+
+let create ?(cap = 64) () =
+  {
+    ints = Array.make (max 8 cap) 0;
+    n = 0;
+    strs = Buffer.create 64;
+    str_ids = Hashtbl.create 8;
+    n_strs = 0;
+  }
+
+let push a v =
+  if a.n = Array.length a.ints then begin
+    let bigger = Array.make (2 * a.n) 0 in
+    Array.blit a.ints 0 bigger 0 a.n;
+    a.ints <- bigger
+  end;
+  a.ints.(a.n) <- v;
+  a.n <- a.n + 1
+
+let push_str a s =
+  let id =
+    match Hashtbl.find_opt a.str_ids s with
+    | Some id -> id
+    | None ->
+      let id = a.n_strs in
+      a.n_strs <- id + 1;
+      Hashtbl.add a.str_ids s id;
+      varint_of_int a.strs (String.length s);
+      Buffer.add_string a.strs s;
+      id
+  in
+  push a id
+
+let push_list a f l =
+  push a (List.length l);
+  List.iter f l
+
+let len a = a.n
+let ints a = Array.sub a.ints 0 a.n
+
+let to_bytes a =
+  let buf = Buffer.create (4 * a.n) in
+  varint_of_int buf a.n_strs;
+  Buffer.add_buffer buf a.strs;
+  varint_of_int buf a.n;
+  for i = 0 to a.n - 1 do
+    varint_of_int buf a.ints.(i)
+  done;
+  Buffer.to_bytes buf
+
+type cursor = {
+  data : int array;
+  pool : string array;
+  mutable pos : int;
+}
+
+let of_bytes b =
+  let pos = ref 0 in
+  let n_strs = int_of_varint b ~pos in
+  (* Explicit loops: [Array.init]'s application order is unspecified,
+     and decoding is all cursor side effects. *)
+  let pool = Array.make n_strs "" in
+  for i = 0 to n_strs - 1 do
+    let len = int_of_varint b ~pos in
+    pool.(i) <- Bytes.sub_string b !pos len;
+    pos := !pos + len
+  done;
+  let n = int_of_varint b ~pos in
+  let data = Array.make n 0 in
+  for i = 0 to n - 1 do
+    data.(i) <- int_of_varint b ~pos
+  done;
+  { data; pool; pos = 0 }
+
+let read c =
+  let v = c.data.(c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let read_str c = c.pool.(read c)
+
+let read_list c f =
+  let n = read c in
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (f c :: acc) in
+  go n []
+
+let at_end c = c.pos >= Array.length c.data

@@ -1,0 +1,48 @@
+(** Flat int-arena encoding for store artifacts.
+
+    Records are flattened into a growable int array plus a small string
+    pool (the CDCL clause arena in [lib/smt/sat.ml] is the in-repo
+    template for the flat-array style).  [to_bytes] serialises the
+    arena as zigzag varints, so small magnitudes — vids, sids, tags,
+    deltas — cost one byte; [of_bytes] restores a cursor over exactly
+    the same int/string sequence.  The int array is the unit of
+    record↔flat identity testing; the byte form is what the blob store
+    persists. *)
+
+type t
+(** A write arena: flat int array + string pool. *)
+
+val create : ?cap:int -> unit -> t
+val push : t -> int -> unit
+
+val push_str : t -> string -> unit
+(** Interns the string in the arena's pool and pushes its pool index. *)
+
+val push_list : t -> ('a -> unit) -> 'a list -> unit
+(** Length-prefixed: pushes [List.length l], then each element via the
+    callback (which should [push]/[push_str] into the same arena). *)
+
+val len : t -> int
+(** Number of ints pushed so far. *)
+
+val ints : t -> int array
+(** Copy of the flat int array [0, len). *)
+
+val to_bytes : t -> bytes
+(** String pool, then the int sequence, all as varints. *)
+
+type cursor
+(** A read cursor over a serialised arena. *)
+
+val of_bytes : bytes -> cursor
+val read : cursor -> int
+val read_str : cursor -> string
+val read_list : cursor -> (cursor -> 'a) -> 'a list
+(** Reads the length prefix then that many elements, preserving order. *)
+
+val at_end : cursor -> bool
+
+val varint_of_int : Buffer.t -> int -> unit
+(** Exposed for the trailer/index writers in {!Blob}. *)
+
+val int_of_varint : bytes -> pos:int ref -> int

@@ -1,0 +1,45 @@
+(** Epoch-versioned append-only blob file with an mmap read path.
+
+    Lifecycle: a store is built by appending extents to [dir]/store.tmp
+    (plain [write]/[lseek] I/O — the OS page cache keeps warm reads
+    cheap while the file is still growing), then {!seal} writes the
+    caller's index, a fixed-size checksummed trailer, fsyncs, and
+    renames to [dir]/store.epNNNNNN.bin — the same temp+rename epoch
+    discipline as the server snapshot, so a crash mid-seal leaves the
+    previous epoch intact.  Sealed files are memory-mapped (Bigarray),
+    so resident cost is page-cache pressure, not heap.
+
+    {!open_latest} walks epochs newest-first and returns the first file
+    whose trailer validates (magic, bounds, FNV-64 of the index) —
+    torn or truncated writes fall back to the previous epoch. *)
+
+type t
+
+val create : dir:string -> t
+(** Start a writable blob at [dir]/store.tmp (creates [dir] if needed).
+    The next epoch number is one past the highest sealed epoch present. *)
+
+val append : t -> bytes -> int
+(** Append an extent, returning its offset.  Writable blobs only. *)
+
+val read : t -> off:int -> len:int -> bytes
+(** Read an extent back (file I/O while writable, mmap once sealed). *)
+
+val size : t -> int
+
+val seal : t -> index:bytes -> unit
+(** Append [index], write the trailer, fsync, rename to the epoch file
+    and switch to the mmap read path.  Idempotent. *)
+
+val is_sealed : t -> bool
+val epoch : t -> int
+val path : t -> string
+(** Current backing file (store.tmp while writing, epoch file after). *)
+
+val index : t -> bytes option
+(** The index extent recorded at seal time ([None] while writing). *)
+
+val open_latest : dir:string -> t option
+(** Newest sealed epoch in [dir] whose trailer validates, mmap'd. *)
+
+val close : t -> unit

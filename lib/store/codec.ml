@@ -1,0 +1,633 @@
+open Pinpoint_ir
+module E = Pinpoint_smt.Expr
+module Cell = Pinpoint_pta.Cell
+module Pta = Pinpoint_pta.Pta
+module Seg = Pinpoint_seg.Seg
+module Rv = Pinpoint_summary.Rv
+module Vf = Pinpoint_summary.Vf
+
+type env = {
+  funcs : (string, Func.t) Hashtbl.t;
+  vars : (string, (int, Var.t) Hashtbl.t) Hashtbl.t;
+      (* the (fname, vid) -> resident Var.t catalog; filled by the
+         register walkers at encode time, consulted at decode time *)
+  expr_bank : (int, int * int) Hashtbl.t; (* expr id -> blob extent *)
+  expr_cache : (int, E.t) Hashtbl.t;      (* blob offset -> decoded expr *)
+  rows : Intern.t;
+  mutable expr_hits : int;
+  mutable expr_misses : int;
+  append : bytes -> int;
+  fetch : off:int -> len:int -> bytes;
+}
+
+type stats = { row : Intern.stats; expr_hits : int; expr_misses : int }
+
+let create_env ~append ~fetch =
+  {
+    funcs = Hashtbl.create 256;
+    vars = Hashtbl.create 256;
+    expr_bank = Hashtbl.create 4096;
+    expr_cache = Hashtbl.create 4096;
+    rows = Intern.create ();
+    expr_hits = 0;
+    expr_misses = 0;
+    append;
+    fetch;
+  }
+
+let register_func env (f : Func.t) = Hashtbl.replace env.funcs f.Func.fname f
+
+let stats env =
+  { row = Intern.stats env.rows; expr_hits = env.expr_hits; expr_misses = env.expr_misses }
+
+let func_of env fname =
+  match Hashtbl.find_opt env.funcs fname with
+  | Some f -> f
+  | None -> invalid_arg ("Codec: unregistered function " ^ fname)
+
+let var_catalog env fname =
+  match Hashtbl.find_opt env.vars fname with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 64 in
+    Hashtbl.replace env.vars fname tbl;
+    tbl
+
+let register_var env fname (v : Var.t) =
+  Hashtbl.replace (var_catalog env fname) v.Var.vid v
+
+let var_of env fname vid =
+  match Hashtbl.find_opt (var_catalog env fname) vid with
+  | Some v -> v
+  | None ->
+    invalid_arg (Printf.sprintf "Codec: unknown variable %s/#%d" fname vid)
+
+(* --- formulas ------------------------------------------------------ *)
+
+(* A banked formula is one record: its node DAG in dependency order,
+   children as local indices.  Bottom-up re-interning through
+   [E.of_node] returns the canonical hash-consed nodes, so decode(encode
+   e) == e (physical equality). *)
+
+let enc_expr_record (e : E.t) : bytes =
+  let a = Arena.create () in
+  let memo = Hashtbl.create 16 in
+  let count = ref 0 in
+  let rec node_of (e : E.t) : int =
+    match Hashtbl.find_opt memo e.E.id with
+    | Some idx -> idx
+    | None ->
+      (* children first: every child index is below the node's own *)
+      let payload =
+        match e.E.node with
+        | E.True -> `T 0
+        | E.False -> `T 1
+        | E.Int v -> `I (2, v)
+        | E.Var s -> `I (3, (s :> int))
+        | E.Not c -> `U (4, node_of c)
+        | E.And (x, y) -> `B (5, node_of x, node_of y)
+        | E.Or (x, y) -> `B (6, node_of x, node_of y)
+        | E.Eq (x, y) -> `B (7, node_of x, node_of y)
+        | E.Ne (x, y) -> `B (8, node_of x, node_of y)
+        | E.Lt (x, y) -> `B (9, node_of x, node_of y)
+        | E.Le (x, y) -> `B (10, node_of x, node_of y)
+        | E.Add (x, y) -> `B (11, node_of x, node_of y)
+        | E.Sub (x, y) -> `B (12, node_of x, node_of y)
+        | E.Mul (x, y) -> `B (13, node_of x, node_of y)
+        | E.Neg c -> `U (14, node_of c)
+      in
+      (match payload with
+      | `T tag -> Arena.push a tag
+      | `I (tag, v) ->
+        Arena.push a tag;
+        Arena.push a v
+      | `U (tag, c) ->
+        Arena.push a tag;
+        Arena.push a c
+      | `B (tag, x, y) ->
+        Arena.push a tag;
+        Arena.push a x;
+        Arena.push a y);
+      let idx = !count in
+      incr count;
+      Hashtbl.replace memo e.E.id idx;
+      idx
+  in
+  ignore (node_of e);
+  Arena.to_bytes a
+
+let dec_expr_record (b : bytes) : E.t =
+  let c = Arena.of_bytes b in
+  let nodes = ref [] in
+  let n = ref 0 in
+  let arr = Array.make 16 E.tru in
+  let grown = ref arr in
+  let get i = !grown.(i) in
+  let add e =
+    if !n = Array.length !grown then begin
+      let bigger = Array.make (2 * !n) E.tru in
+      Array.blit !grown 0 bigger 0 !n;
+      grown := bigger
+    end;
+    !grown.(!n) <- e;
+    incr n
+  in
+  ignore nodes;
+  while not (Arena.at_end c) do
+    let tag = Arena.read c in
+    let e =
+      match tag with
+      | 0 -> E.tru
+      | 1 -> E.fls
+      | 2 -> E.of_node (E.Int (Arena.read c))
+      | 3 -> E.of_node (E.Var (Arena.read c))
+      | 4 -> E.of_node (E.Not (get (Arena.read c)))
+      | 5 ->
+        let x = get (Arena.read c) in
+        E.of_node (E.And (x, get (Arena.read c)))
+      | 6 ->
+        let x = get (Arena.read c) in
+        E.of_node (E.Or (x, get (Arena.read c)))
+      | 7 ->
+        let x = get (Arena.read c) in
+        E.of_node (E.Eq (x, get (Arena.read c)))
+      | 8 ->
+        let x = get (Arena.read c) in
+        E.of_node (E.Ne (x, get (Arena.read c)))
+      | 9 ->
+        let x = get (Arena.read c) in
+        E.of_node (E.Lt (x, get (Arena.read c)))
+      | 10 ->
+        let x = get (Arena.read c) in
+        E.of_node (E.Le (x, get (Arena.read c)))
+      | 11 ->
+        let x = get (Arena.read c) in
+        E.of_node (E.Add (x, get (Arena.read c)))
+      | 12 ->
+        let x = get (Arena.read c) in
+        E.of_node (E.Sub (x, get (Arena.read c)))
+      | 13 ->
+        let x = get (Arena.read c) in
+        E.of_node (E.Mul (x, get (Arena.read c)))
+      | 14 -> E.of_node (E.Neg (get (Arena.read c)))
+      | t -> invalid_arg (Printf.sprintf "Codec: bad expr tag %d" t)
+    in
+    add e
+  done;
+  if !n = 0 then invalid_arg "Codec: empty expr record";
+  get (!n - 1)
+
+(* Inline form inside arenas: trivial formulas are stored in place,
+   anything else as a banked extent (memoized per hash-cons id). *)
+let enc_expr env a (e : E.t) =
+  match e.E.node with
+  | E.True -> Arena.push a 0
+  | E.False -> Arena.push a 1
+  | E.Int v ->
+    Arena.push a 2;
+    Arena.push a v
+  | E.Var s ->
+    Arena.push a 3;
+    Arena.push a (s :> int)
+  | _ ->
+    let off, len =
+      match Hashtbl.find_opt env.expr_bank e.E.id with
+      | Some extent ->
+        env.expr_hits <- env.expr_hits + 1;
+        extent
+      | None ->
+        let b = enc_expr_record e in
+        let off = env.append b in
+        let extent = (off, Bytes.length b) in
+        env.expr_misses <- env.expr_misses + 1;
+        Hashtbl.replace env.expr_bank e.E.id extent;
+        extent
+    in
+    Arena.push a 4;
+    Arena.push a off;
+    Arena.push a len
+
+let dec_expr env c =
+  match Arena.read c with
+  | 0 -> E.tru
+  | 1 -> E.fls
+  | 2 -> E.of_node (E.Int (Arena.read c))
+  | 3 -> E.of_node (E.Var (Arena.read c))
+  | 4 -> (
+    let off = Arena.read c in
+    let len = Arena.read c in
+    match Hashtbl.find_opt env.expr_cache off with
+    | Some e -> e
+    | None ->
+      let e = dec_expr_record (env.fetch ~off ~len) in
+      Hashtbl.replace env.expr_cache off e;
+      e)
+  | t -> invalid_arg (Printf.sprintf "Codec: bad inline expr tag %d" t)
+
+(* --- small pieces --------------------------------------------------- *)
+
+let enc_cell a (cell : Cell.t) =
+  match cell with
+  | Cell.CAlloc sid ->
+    Arena.push a 0;
+    Arena.push a sid
+  | Cell.CDeref v ->
+    Arena.push a 1;
+    Arena.push a v.Var.vid
+
+let dec_cell env fname c : Cell.t =
+  match Arena.read c with
+  | 0 -> Cell.CAlloc (Arena.read c)
+  | 1 -> Cell.CDeref (var_of env fname (Arena.read c))
+  | t -> invalid_arg (Printf.sprintf "Codec: bad cell tag %d" t)
+
+let enc_operand a (o : Stmt.operand) =
+  match o with
+  | Stmt.Ovar v ->
+    Arena.push a 0;
+    Arena.push a v.Var.vid
+  | Stmt.Oint v ->
+    Arena.push a 1;
+    Arena.push a v
+  | Stmt.Obool b ->
+    Arena.push a 2;
+    Arena.push a (if b then 1 else 0)
+  | Stmt.Onull -> Arena.push a 3
+
+let dec_operand env fname c : Stmt.operand =
+  match Arena.read c with
+  | 0 -> Stmt.Ovar (var_of env fname (Arena.read c))
+  | 1 -> Stmt.Oint (Arena.read c)
+  | 2 -> Stmt.Obool (Arena.read c <> 0)
+  | 3 -> Stmt.Onull
+  | t -> invalid_arg (Printf.sprintf "Codec: bad operand tag %d" t)
+
+(* A row: a standalone arena serialised and interned by content.  Rows
+   never contain strings (extents, vids, sids, tags only), so identical
+   structure means identical bytes even across functions. *)
+let put_row env (a : Arena.t) : int * int =
+  Intern.put env.rows ~append:env.append (Arena.to_bytes a)
+
+let fetch_row env ~off ~len = Arena.of_bytes (env.fetch ~off ~len)
+
+(* --- PTA artifacts -------------------------------------------------- *)
+
+let register_operand env fname (o : Stmt.operand) =
+  match o with Stmt.Ovar v -> register_var env fname v | _ -> ()
+
+let register_cell env fname (cell : Cell.t) =
+  match cell with
+  | Cell.CDeref v -> register_var env fname v
+  | Cell.CAlloc _ -> ()
+
+let register_pta env (pta : Pta.t) =
+  let fname = (pta.Pta.func).Func.fname in
+  Var.Tbl.iter
+    (fun owner entries ->
+      register_var env fname owner;
+      List.iter (fun (cell, _) -> register_cell env fname cell) entries)
+    pta.Pta.pts;
+  Hashtbl.iter
+    (fun _sid entries ->
+      List.iter
+        (fun (e : Pta.entry) -> register_operand env fname e.Pta.value)
+        entries)
+    pta.Pta.load_res;
+  Hashtbl.iter
+    (fun _sid cells ->
+      List.iter (fun (cell, _) -> register_cell env fname cell) cells)
+    pta.Pta.store_tgts;
+  List.iter
+    (fun (i : Pta.incoming) ->
+      register_var env fname i.Pta.ivar;
+      register_var env fname i.Pta.root)
+    pta.Pta.incomings;
+  List.iter (fun (cell, _, _) -> register_cell env fname cell) pta.Pta.freed_cells
+
+let enc_cond_cells env (a : Arena.t) cells =
+  Arena.push_list a
+    (fun (cell, cond) ->
+      enc_cell a cell;
+      enc_expr env a cond)
+    cells
+
+let dec_cond_cells env fname c =
+  Arena.read_list c (fun c ->
+      let cell = dec_cell env fname c in
+      let cond = dec_expr env c in
+      (cell, cond))
+
+let enc_pta env (pta : Pta.t) : bytes =
+  register_pta env pta;
+  let fname = (pta.Pta.func).Func.fname in
+  let a = Arena.create ~cap:256 () in
+  Arena.push_str a fname;
+  Arena.push_list a
+    (fun (i : Pta.incoming) ->
+      Arena.push a i.Pta.ivar.Var.vid;
+      Arena.push a i.Pta.root.Var.vid;
+      Arena.push a i.Pta.depth)
+    pta.Pta.incomings;
+  let push_pairs =
+    Arena.push_list a (fun (i, k) ->
+        Arena.push a i;
+        Arena.push a k)
+  in
+  push_pairs pta.Pta.refs;
+  push_pairs pta.Pta.mods;
+  Arena.push_list a
+    (fun (cell, cond, sid) ->
+      enc_cell a cell;
+      enc_expr env a cond;
+      Arena.push a sid)
+    pta.Pta.freed_cells;
+  (* pts: one interned row per owner *)
+  let pts_rows =
+    Var.Tbl.fold
+      (fun owner entries acc ->
+        let row = Arena.create () in
+        enc_cond_cells env row entries;
+        (owner.Var.vid, put_row env row) :: acc)
+      pta.Pta.pts []
+  in
+  Arena.push_list a
+    (fun (vid, (off, len)) ->
+      Arena.push a vid;
+      Arena.push a off;
+      Arena.push a len)
+    pts_rows;
+  let push_sid_rows tbl enc_row =
+    let rows =
+      Hashtbl.fold
+        (fun sid entries acc ->
+          let row = Arena.create () in
+          enc_row row entries;
+          (sid, put_row env row) :: acc)
+        tbl []
+    in
+    Arena.push_list a
+      (fun (sid, (off, len)) ->
+        Arena.push a sid;
+        Arena.push a off;
+        Arena.push a len)
+      rows
+  in
+  push_sid_rows pta.Pta.load_res (fun row entries ->
+      Arena.push_list row
+        (fun (e : Pta.entry) ->
+          enc_operand row e.Pta.value;
+          enc_expr env row e.Pta.cond;
+          Arena.push row e.Pta.store_sid)
+        entries);
+  push_sid_rows pta.Pta.store_tgts (fun row cells ->
+      enc_cond_cells env row cells);
+  Arena.to_bytes a
+
+let dec_pta env (b : bytes) : Pta.t =
+  let c = Arena.of_bytes b in
+  let fname = Arena.read_str c in
+  let func = func_of env fname in
+  let incomings =
+    Arena.read_list c (fun c ->
+        let ivar = var_of env fname (Arena.read c) in
+        let root = var_of env fname (Arena.read c) in
+        let depth = Arena.read c in
+        { Pta.ivar; root; depth })
+  in
+  let read_pairs () =
+    Arena.read_list c (fun c ->
+        let i = Arena.read c in
+        let k = Arena.read c in
+        (i, k))
+  in
+  let refs = read_pairs () in
+  let mods = read_pairs () in
+  let freed_cells =
+    Arena.read_list c (fun c ->
+        let cell = dec_cell env fname c in
+        let cond = dec_expr env c in
+        let sid = Arena.read c in
+        (cell, cond, sid))
+  in
+  let pts = Var.Tbl.create 64 in
+  List.iter
+    (fun (owner, entries) -> Var.Tbl.replace pts owner entries)
+    (Arena.read_list c (fun c ->
+         let owner = var_of env fname (Arena.read c) in
+         let off = Arena.read c in
+         let len = Arena.read c in
+         (owner, dec_cond_cells env fname (fetch_row env ~off ~len))));
+  let read_sid_rows dec_row =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (sid, entries) -> Hashtbl.replace tbl sid entries)
+      (Arena.read_list c (fun c ->
+           let sid = Arena.read c in
+           let off = Arena.read c in
+           let len = Arena.read c in
+           (sid, dec_row (fetch_row env ~off ~len))));
+    tbl
+  in
+  let load_res =
+    read_sid_rows (fun row ->
+        Arena.read_list row (fun row ->
+            let value = dec_operand env fname row in
+            let cond = dec_expr env row in
+            let store_sid = Arena.read row in
+            { Pta.value; cond; store_sid }))
+  in
+  let store_tgts = read_sid_rows (fun row -> dec_cond_cells env fname row) in
+  { Pta.func; pts; load_res; store_tgts; incomings; refs; mods; freed_cells }
+
+(* --- SEG artifacts -------------------------------------------------- *)
+
+let register_seg env (seg : Seg.t) =
+  let fname = (Seg.func seg).Func.fname in
+  let reg_adj () v (es : Seg.edge list) =
+    register_var env fname v;
+    List.iter (fun (e : Seg.edge) -> register_var env fname e.Seg.dst) es
+  in
+  Seg.fold_succs seg ~init:() ~f:reg_adj;
+  Seg.fold_preds seg ~init:() ~f:reg_adj;
+  List.iter (fun (u : Seg.use) -> register_var env fname u.Seg.uvar) (Seg.uses seg)
+
+let enc_seg env (seg : Seg.t) : bytes =
+  register_seg env seg;
+  let fname = (Seg.func seg).Func.fname in
+  let a = Arena.create ~cap:256 () in
+  Arena.push_str a fname;
+  Arena.push a (Seg.n_control_edges seg);
+  let enc_adj rows =
+    Arena.push_list a
+      (fun (vid, (off, len)) ->
+        Arena.push a vid;
+        Arena.push a off;
+        Arena.push a len)
+      rows
+  in
+  let adj_rows fold =
+    fold ~init:[] ~f:(fun acc (v : Var.t) (es : Seg.edge list) ->
+        let row = Arena.create () in
+        Arena.push_list row
+          (fun (e : Seg.edge) ->
+            Arena.push row e.Seg.dst.Var.vid;
+            Arena.push row (match e.Seg.kind with Seg.Copy -> 0 | Seg.Operand -> 1);
+            enc_expr env row e.Seg.cond)
+          es;
+        (v.Var.vid, put_row env row) :: acc)
+  in
+  enc_adj (adj_rows (Seg.fold_succs seg));
+  enc_adj (adj_rows (Seg.fold_preds seg));
+  Arena.push_list a
+    (fun (u : Seg.use) ->
+      Arena.push a u.Seg.uvar.Var.vid;
+      Arena.push a u.Seg.sid;
+      match u.Seg.ukind with
+      | Seg.Deref k ->
+        Arena.push a 0;
+        Arena.push a k
+      | Seg.Call_arg { callee; arg_index } ->
+        Arena.push a 1;
+        Arena.push_str a callee;
+        Arena.push a arg_index
+      | Seg.Ret_op i ->
+        Arena.push a 2;
+        Arena.push a i)
+    (Seg.uses seg);
+  Arena.to_bytes a
+
+let dec_seg env ~(pta : Pta.t) (b : bytes) : Seg.t =
+  let c = Arena.of_bytes b in
+  let fname = Arena.read_str c in
+  if fname <> (pta.Pta.func).Func.fname then
+    invalid_arg
+      (Printf.sprintf "Codec: SEG artifact %s decoded against PTA of %s" fname
+         (pta.Pta.func).Func.fname);
+  let func = func_of env fname in
+  let n_control_edges = Arena.read c in
+  let dec_adj () =
+    Arena.read_list c (fun c ->
+        let v = var_of env fname (Arena.read c) in
+        let off = Arena.read c in
+        let len = Arena.read c in
+        let row = fetch_row env ~off ~len in
+        let es =
+          Arena.read_list row (fun row ->
+              let dst = var_of env fname (Arena.read row) in
+              let kind = if Arena.read row = 0 then Seg.Copy else Seg.Operand in
+              let cond = dec_expr env row in
+              { Seg.dst; cond; kind })
+        in
+        (v, es))
+  in
+  let succs = dec_adj () in
+  let preds = dec_adj () in
+  let uses =
+    Arena.read_list c (fun c ->
+        let uvar = var_of env fname (Arena.read c) in
+        let sid = Arena.read c in
+        let ukind =
+          match Arena.read c with
+          | 0 -> Seg.Deref (Arena.read c)
+          | 1 ->
+            let callee = Arena.read_str c in
+            let arg_index = Arena.read c in
+            Seg.Call_arg { callee; arg_index }
+          | 2 -> Seg.Ret_op (Arena.read c)
+          | t -> invalid_arg (Printf.sprintf "Codec: bad ukind tag %d" t)
+        in
+        { Seg.uvar; sid; ukind })
+  in
+  Seg.of_parts ~func ~pta ~succs ~preds ~uses ~n_control_edges
+
+(* --- RV artifacts --------------------------------------------------- *)
+
+let register_rv env fname (entries : Rv.entry option array) =
+  Array.iter
+    (function
+      | Some (e : Rv.entry) ->
+        register_var env fname e.Rv.var;
+        Var.Set.iter (register_var env fname) e.Rv.params
+      | None -> ())
+    entries
+
+let enc_rv env fname (entries : Rv.entry option array) : bytes =
+  register_rv env fname entries;
+  let a = Arena.create () in
+  Arena.push_str a fname;
+  Arena.push a (Array.length entries);
+  Array.iter
+    (function
+      | None -> Arena.push a 0
+      | Some (e : Rv.entry) ->
+        Arena.push a 1;
+        Arena.push a e.Rv.var.Var.vid;
+        enc_expr env a e.Rv.closed;
+        Arena.push_list a
+          (fun (p : Var.t) -> Arena.push a p.Var.vid)
+          (Var.Set.elements e.Rv.params))
+    entries;
+  Arena.to_bytes a
+
+let dec_rv env (b : bytes) : Rv.entry option array =
+  let c = Arena.of_bytes b in
+  let fname = Arena.read_str c in
+  let n = Arena.read c in
+  let out = Array.make n None in
+  for i = 0 to n - 1 do
+    match Arena.read c with
+    | 0 -> ()
+    | _ ->
+      let var = var_of env fname (Arena.read c) in
+      let closed = dec_expr env c in
+      let params =
+        Arena.read_list c (fun c -> var_of env fname (Arena.read c))
+        |> List.fold_left (fun acc v -> Var.Set.add v acc) Var.Set.empty
+      in
+      out.(i) <- Some { Rv.var; closed; params }
+  done;
+  out
+
+(* --- VF artifacts --------------------------------------------------- *)
+
+let enc_vf _env (vf : Vf.t) : bytes =
+  let a = Arena.create () in
+  let entries =
+    Vf.fold vf ~init:[] ~f:(fun acc name s -> (name, s) :: acc)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Arena.push_list a
+    (fun (name, (s : Vf.fsum)) ->
+      Arena.push_str a name;
+      Arena.push_list a
+        (fun (i, j) ->
+          Arena.push a i;
+          Arena.push a j)
+        s.Vf.vf1;
+      let push_ints = Arena.push_list a (Arena.push a) in
+      push_ints s.Vf.vf2;
+      push_ints s.Vf.vf3;
+      push_ints s.Vf.vf4)
+    entries;
+  Arena.to_bytes a
+
+let dec_vf _env (b : bytes) : Vf.t =
+  let c = Arena.of_bytes b in
+  let vf = Vf.empty () in
+  let entries =
+    Arena.read_list c (fun c ->
+        let name = Arena.read_str c in
+        let vf1 =
+          Arena.read_list c (fun c ->
+              let i = Arena.read c in
+              let j = Arena.read c in
+              (i, j))
+        in
+        let read_ints () = Arena.read_list c Arena.read in
+        let vf2 = read_ints () in
+        let vf3 = read_ints () in
+        let vf4 = read_ints () in
+        (name, { Vf.vf1; vf2; vf3; vf4 }))
+  in
+  List.iter (fun (name, s) -> Vf.add vf name s) entries;
+  vf

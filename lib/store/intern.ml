@@ -1,0 +1,46 @@
+type stats = {
+  hits : int;
+  misses : int;
+  bytes_saved : int;
+  bytes_written : int;
+}
+
+type t = {
+  rows : (string, int * int) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable bytes_saved : int;
+  mutable bytes_written : int;
+}
+
+let create () =
+  {
+    rows = Hashtbl.create 4096;
+    hits = 0;
+    misses = 0;
+    bytes_saved = 0;
+    bytes_written = 0;
+  }
+
+let put t ~append row =
+  let key = Bytes.unsafe_to_string row in
+  match Hashtbl.find_opt t.rows key with
+  | Some extent ->
+    t.hits <- t.hits + 1;
+    t.bytes_saved <- t.bytes_saved + Bytes.length row;
+    extent
+  | None ->
+    let off = append row in
+    let extent = (off, Bytes.length row) in
+    t.misses <- t.misses + 1;
+    t.bytes_written <- t.bytes_written + Bytes.length row;
+    Hashtbl.replace t.rows key extent;
+    extent
+
+let stats t : stats =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    bytes_saved = t.bytes_saved;
+    bytes_written = t.bytes_written;
+  }

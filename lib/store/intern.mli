@@ -1,0 +1,25 @@
+(** Row interning: identical serialised rows are stored once.
+
+    Points-to rows and SEG edge rows are massively repetitive across a
+    large program — generated (and real) code repeats the same local
+    shapes, and per-function ids are dense from zero, so byte-identical
+    rows recur across functions.  The bank keys rows by their bytes and
+    hands back the blob extent of the first occurrence; hit/miss and
+    saved-byte counters feed the dedup gauges. *)
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  bytes_saved : int;       (** Bytes NOT appended thanks to dedup. *)
+  bytes_written : int;     (** Bytes actually appended for rows. *)
+}
+
+val create : unit -> t
+
+val put : t -> append:(bytes -> int) -> bytes -> int * int
+(** [put t ~append row] returns the [(off, len)] of [row] in the blob,
+    appending it via [append] only on first sight. *)
+
+val stats : t -> stats

@@ -1,0 +1,74 @@
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option; (* towards most-recently-used *)
+  mutable next : 'a node option; (* towards least-recently-used *)
+}
+
+type 'a t = {
+  cap : int;
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option; (* most recently used *)
+  mutable tail : 'a node option; (* least recently used *)
+}
+
+let create ~cap = { cap; tbl = Hashtbl.create 64; head = None; tail = None }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some n ->
+    unlink t n;
+    push_front t n;
+    Some n.value
+
+let put t k v =
+  (match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+    n.value <- v;
+    unlink t n;
+    push_front t n
+  | None ->
+    let n = { key = k; value = v; prev = None; next = None } in
+    Hashtbl.replace t.tbl k n;
+    push_front t n);
+  if t.cap <= 0 then []
+  else begin
+    let evicted = ref [] in
+    while Hashtbl.length t.tbl > t.cap do
+      match t.tail with
+      | None -> Hashtbl.reset t.tbl (* unreachable: length > 0 *)
+      | Some n ->
+        unlink t n;
+        Hashtbl.remove t.tbl n.key;
+        evicted := (n.key, n.value) :: !evicted
+    done;
+    !evicted
+  end
+
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl k
+
+let mem t k = Hashtbl.mem t.tbl k
+let length t = Hashtbl.length t.tbl
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None

@@ -194,6 +194,8 @@ let update (t : t) (prog : Prog.t) (seg_of : string -> Seg.t option)
     (Prog.bottom_up_sccs prog)
 
 let remove (t : t) name = Hashtbl.remove t name
+let fold (t : t) ~init ~f = Hashtbl.fold (fun name s acc -> f acc name s) t init
+let add (t : t) name s = Hashtbl.replace t name s
 
 let pp ppf (t : t) =
   Hashtbl.iter

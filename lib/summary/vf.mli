@@ -62,4 +62,11 @@ val update :
 val remove : t -> string -> unit
 
 val find : t -> string -> fsum option
+
+val fold : t -> init:'a -> f:('a -> string -> fsum -> 'a) -> 'a
+(** Iterate all entries (the artifact store's encode path). *)
+
+val add : t -> string -> fsum -> unit
+(** Insert one entry (the artifact store's decode path). *)
+
 val pp : Format.formatter -> t -> unit

@@ -243,10 +243,22 @@ let process_scc ?resilience ~iface_of ~put_iface ~flush_ifaces ~put_pta
           put_pta f.Func.fname pta2))
     scc
 
-let run ?resilience ?pool (prog : Prog.t) : result =
+let run ?resilience ?pool ?pta_sink (prog : Prog.t) : result =
   let ifaces : (string, iface) Hashtbl.t = Hashtbl.create 64 in
   let ptas : (string, Pta.t) Hashtbl.t = Hashtbl.create 64 in
   (match pool with
+  | _ when pta_sink <> None ->
+    (* Spill mode (the artifact store): points-to results stream to the
+       sink as each SCC finishes instead of accumulating in [ptas], so
+       resident memory is one SCC's worth.  Sequential by design. *)
+    let sink = Option.get pta_sink in
+    List.iter
+      (process_scc ?resilience
+         ~iface_of:(Hashtbl.find_opt ifaces)
+         ~put_iface:(Hashtbl.replace ifaces)
+         ~flush_ifaces:(fun () -> ())
+         ~put_pta:sink)
+      (Prog.bottom_up_sccs prog)
   | Some pool when Pinpoint_par.Pool.jobs pool > 1 ->
     (* SCC-wave parallel path: a component starts once all its callee
        components are done, so every cross-SCC [iface_of] lookup finds
@@ -289,7 +301,8 @@ let run ?resilience ?pool (prog : Prog.t) : result =
    does in a from-scratch bottom-up run — with that, induction over the
    bottom-up SCC order gives interfaces and points-to results identical to
    a full [run] on the same program. *)
-let update ?resilience (t : result) (prog : Prog.t) ~(dirty : string -> bool) =
+let update ?resilience ?pta_sink (t : result) (prog : Prog.t)
+    ~(dirty : string -> bool) =
   let stale name =
     if dirty name then begin
       Hashtbl.remove t.ifaces name;
@@ -297,6 +310,11 @@ let update ?resilience (t : result) (prog : Prog.t) ~(dirty : string -> bool) =
     end
   in
   List.iter (fun (f : Func.t) -> stale f.Func.fname) (Prog.functions prog);
+  let put_pta =
+    match pta_sink with
+    | Some sink -> sink
+    | None -> Hashtbl.replace t.ptas
+  in
   List.iter
     (fun scc ->
       if List.exists (fun (f : Func.t) -> dirty f.Func.fname) scc then
@@ -304,7 +322,7 @@ let update ?resilience (t : result) (prog : Prog.t) ~(dirty : string -> bool) =
           ~iface_of:(Hashtbl.find_opt t.ifaces)
           ~put_iface:(Hashtbl.replace t.ifaces)
           ~flush_ifaces:(fun () -> ())
-          ~put_pta:(Hashtbl.replace t.ptas)
+          ~put_pta
           scc)
     (Prog.bottom_up_sccs prog)
 

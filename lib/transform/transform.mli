@@ -45,6 +45,7 @@ val max_conduits : int ref
 val run :
   ?resilience:Pinpoint_util.Resilience.log ->
   ?pool:Pinpoint_par.Pool.t ->
+  ?pta_sink:(string -> Pinpoint_pta.Pta.t -> unit) ->
   Pinpoint_ir.Prog.t ->
   result
 (** Transform the whole program in place and return the interface and
@@ -56,10 +57,17 @@ val run :
     With [pool] (and more than one job) call-graph SCCs are processed as a
     bottom-up wave on the pool — a component starts once its callee
     components are done, so the result is identical to the sequential
-    order. *)
+    order.
+
+    With [pta_sink] (the artifact store's spill mode) points-to results
+    stream to the sink as each SCC finishes and [result.ptas] stays
+    empty, bounding resident memory to one SCC; the run is sequential
+    and [pool] is ignored.  Everything else — ids, symbols, formulas —
+    is produced in the same order as the sequential path. *)
 
 val update :
   ?resilience:Pinpoint_util.Resilience.log ->
+  ?pta_sink:(string -> Pinpoint_pta.Pta.t -> unit) ->
   result ->
   Pinpoint_ir.Prog.t ->
   dirty:(string -> bool) ->
@@ -72,7 +80,9 @@ val update :
     the dirty SCCs reprocessed bottom-up against the retained clean
     interfaces, producing interfaces and points-to results identical to a
     from-scratch {!run} on the same program.  Sequential (cones are small);
-    clean functions are never touched. *)
+    clean functions are never touched.  With [pta_sink] fresh points-to
+    results go to the sink instead of [result.ptas] (store mode, as in
+    {!run}). *)
 
 val remove : result -> string -> unit
 (** Forget one function's interface and points-to entries (deleted

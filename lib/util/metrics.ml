@@ -13,6 +13,8 @@ external now_mono : unit -> (float[@unboxed])
   = "pinpoint_now_mono" "pinpoint_now_mono_unboxed"
 [@@noalloc]
 
+external peak_rss_kb : unit -> int = "pinpoint_peak_rss_kb" [@@noalloc]
+
 (* [Gc.allocated_bytes] only counts the calling domain's allocation, so a
    phase that fans work out to a pool would under-report; [extra_alloc]
    lets the caller fold the workers' own counters into the measurement.

@@ -63,6 +63,11 @@ val now_mono : unit -> float
     native path; use for span timestamps and durations, never for
     anything compared against wall-clock time. *)
 
+val peak_rss_kb : unit -> int
+(** Peak resident set size of this process in kilobytes (getrusage
+    [ru_maxrss]).  A monotone high watermark — useful for end-of-run
+    memory accounting and RSS-cap enforcement, not per-phase deltas. *)
+
 val pp_bytes : Format.formatter -> float -> unit
 (** Human-readable byte counts ("1.5MB"). *)
 

@@ -31,3 +31,26 @@ CAMLprim value pinpoint_now_mono(value unit)
 {
   return caml_copy_double(pinpoint_now_mono_unboxed(unit));
 }
+
+/* Peak resident set size of the process, in kilobytes.  getrusage's
+   ru_maxrss is a high watermark: it never decreases, so per-phase
+   deltas are meaningless but end-of-run values are exactly what an RSS
+   cap wants to enforce.  Linux reports kilobytes; macOS reports bytes,
+   normalised here so callers always see kB. */
+
+#include <sys/resource.h>
+
+CAMLprim value pinpoint_peak_rss_kb(value unit)
+{
+  struct rusage ru;
+  long kb = 0;
+  (void)unit;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#ifdef __APPLE__
+    kb = ru.ru_maxrss / 1024;
+#else
+    kb = ru.ru_maxrss;
+#endif
+  }
+  return Val_long(kb);
+}

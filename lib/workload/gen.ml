@@ -15,6 +15,7 @@ type params = {
   n_taint_traps : int;
   n_leaks : int;
   with_frees : bool;
+  cross_unit : bool;
 }
 
 let default_params =
@@ -32,6 +33,31 @@ let default_params =
     n_taint_traps = 1;
     n_leaks = 0;
     with_frees = true;
+    cross_unit = false;
+  }
+
+(* MLoC-scale presets: many small units (~4 KLoC each, so per-unit state
+   stays bounded and generation is linear in the target), bug counts
+   scaled per MLoC, and cross-unit fan-in turned on.  [mloc] may be
+   fractional (0.2 = 200 KLoC). *)
+let scaled ?(seed = 1) ~mloc () =
+  let target_loc = int_of_float (mloc *. 1_000_000.0) in
+  let per_mloc n = max 1 (int_of_float (mloc *. float_of_int n)) in
+  {
+    seed;
+    target_loc;
+    n_units = max 8 (target_loc / 4000);
+    n_real_uaf = per_mloc 40;
+    n_real_uaf_local = per_mloc 10;
+    n_real_df = per_mloc 30;
+    n_uaf_traps = per_mloc 120;
+    n_hard_traps = per_mloc 20;
+    n_use_before_free = per_mloc 60;
+    n_taint_real = per_mloc 30;
+    n_taint_traps = per_mloc 30;
+    n_leaks = per_mloc 20;
+    with_frees = true;
+    cross_unit = true;
   }
 
 type subject = {
@@ -49,6 +75,9 @@ type gen = {
   (* filler functions callable from later filler, per unit:
      (name, takes_ptr, returns_ptr) *)
   mutable callable : (string * bool * bool) list;
+  (* bounded sample of earlier units' filler functions ([cross_unit]
+     fan-in); kept short so picking a callee stays O(1) at any scale *)
+  mutable exports : (string * bool * bool) list;
 }
 
 let plant g ~kind ~fname ~line ~real ~descr =
@@ -514,7 +543,12 @@ let generate ~name (p : params) : subject =
       truth = [];
       fcount = 0;
       callable = [];
+      exports = [];
     }
+  in
+  let rec take n = function
+    | x :: tl when n > 0 -> x :: take (n - 1) tl
+    | _ -> []
   in
   let units = max 1 p.n_units in
   (* Plan how many planted patterns go to each unit (round-robin). *)
@@ -568,10 +602,14 @@ let generate ~name (p : params) : subject =
       unit_of_job;
     (* filler to reach the per-unit share of the size target *)
     let unit_target = p.target_loc * (u + 1) / units in
-    g.callable <- [];
+    (* Cross-unit fan-in: seed this unit's callee pool with a bounded
+       sample of earlier units' filler, so call chains cross unit
+       boundaries the way real code bases' utility layers do. *)
+    g.callable <- (if p.cross_unit then take 8 g.exports else []);
     while E.current_line g.em < unit_target do
       ignore (filler_function g ~unit_tag:tag ~with_frees:p.with_frees)
-    done
+    done;
+    if p.cross_unit then g.exports <- take 32 (take 4 g.callable @ g.exports)
   done;
   {
     name;

@@ -34,9 +34,20 @@ type params = {
   n_taint_traps : int;     (** infeasible taint flows *)
   n_leaks : int;           (** planted conditional memory leaks *)
   with_frees : bool;       (** filler contains (safe) free calls *)
+  cross_unit : bool;
+      (** filler may call a bounded sample of earlier units' functions
+          (realistic cross-unit fan-in; off by default so historical
+          subjects stay byte-identical) *)
 }
 
 val default_params : params
+
+val scaled : ?seed:int -> mloc:float -> unit -> params
+(** MLoC-scale preset: [mloc] million lines (fractional allowed, e.g.
+    [0.2] = 200 KLoC) split into ~4 KLoC units with cross-unit fan-in
+    and per-MLoC-scaled planted bug counts.  Generation is linear in the
+    target (bounded per-unit state), so an 8 MLoC subject emits in
+    seconds. *)
 
 type subject = {
   name : string;

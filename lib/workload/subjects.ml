@@ -35,6 +35,7 @@ let mk ?(real_uaf = 0) ?(real_uaf_local = 0) ?(real_df = 0) ?(hard = 0)
         n_taint_traps = taint_traps;
         n_leaks = leaks;
         with_frees;
+        cross_unit = false;
       };
   }
 

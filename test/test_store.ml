@@ -1,0 +1,381 @@
+(* Tests for the disk-resident artifact store (DESIGN.md §4.14): flat
+   arena round-trips, formula/row interning, blob seal + torn-write
+   recovery, LRU-eviction report identity against store-off runs, dedup
+   determinism, and the server's store-backed incremental mode. *)
+
+module Arena = Pinpoint_store.Arena
+module Blob = Pinpoint_store.Blob
+module Resident = Pinpoint_store.Resident
+module Store = Pinpoint_store.Store
+module Seg = Pinpoint_seg.Seg
+module Rv = Pinpoint_summary.Rv
+module Vf = Pinpoint_summary.Vf
+module E = Pinpoint_smt.Expr
+module Gen = Pinpoint_workload.Gen
+module Incr = Pinpoint_server.Incr
+
+let tmp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "pinpoint_store_test_%d_%d" (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let corpus_dir () =
+  let candidates = [ "../corpus"; "corpus"; "../../corpus"; "../../../corpus" ] in
+  match List.find_opt Sys.file_exists candidates with
+  | Some d -> d
+  | None -> Alcotest.fail "corpus directory not found"
+
+let corpus_files () =
+  let dir = corpus_dir () in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".mc")
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+(* ---------- arenas ---------- *)
+
+let test_arena_roundtrip () =
+  let ints =
+    [ 0; 1; -1; 63; 64; -64; -65; 1 lsl 20; -(1 lsl 20); max_int; min_int ]
+  in
+  let a = Arena.create () in
+  List.iter (Arena.push a) ints;
+  Arena.push_str a "";
+  Arena.push_str a "hello";
+  Arena.push_str a "hello" (* interned: same pool id *);
+  Arena.push_list a (Arena.push a) [ 7; -7; 42 ];
+  let c = Arena.of_bytes (Arena.to_bytes a) in
+  List.iter
+    (fun expect -> Alcotest.(check int) "int round-trip" expect (Arena.read c))
+    ints;
+  Alcotest.(check string) "empty string" "" (Arena.read_str c);
+  Alcotest.(check string) "string" "hello" (Arena.read_str c);
+  Alcotest.(check string) "interned string" "hello" (Arena.read_str c);
+  Alcotest.(check (list int)) "list" [ 7; -7; 42 ] (Arena.read_list c Arena.read);
+  Alcotest.(check bool) "cursor drained" true (Arena.at_end c)
+
+let test_varint_extremes () =
+  (* zigzag + varint must be a bijection over the full int range *)
+  List.iter
+    (fun n ->
+      let a = Arena.create () in
+      Arena.push a n;
+      let c = Arena.of_bytes (Arena.to_bytes a) in
+      Alcotest.(check int) (Printf.sprintf "varint %d" n) n (Arena.read c))
+    [ min_int; min_int + 1; -1; 0; 1; max_int - 1; max_int ]
+
+(* ---------- LRU ---------- *)
+
+let test_lru () =
+  let l : int Resident.t = Resident.create ~cap:2 in
+  Alcotest.(check (list (pair string int))) "no eviction" [] (Resident.put l "a" 1);
+  Alcotest.(check (list (pair string int))) "no eviction" [] (Resident.put l "b" 2);
+  ignore (Resident.find l "a") (* touch: b becomes LRU *);
+  Alcotest.(check (list (pair string int)))
+    "evicts LRU" [ ("b", 2) ] (Resident.put l "c" 3);
+  Alcotest.(check bool) "a resident" true (Resident.mem l "a");
+  Alcotest.(check bool) "b gone" false (Resident.mem l "b");
+  Alcotest.(check int) "len" 2 (Resident.length l)
+
+(* ---------- codec round-trips over the corpus ---------- *)
+
+(* Spill every function's PTA / SEG / RV into a fresh store, drop the
+   resident copies, fault everything back and compare against the
+   original objects.  Variables and formulas must come back physically
+   identical (the decode path re-interns through the same hash-cons
+   tables), so deep equality on the public structure is exact. *)
+let check_seg_equal name (orig : Seg.t) (dec : Seg.t) =
+  let adj fold seg =
+    fold seg ~init:[] ~f:(fun acc v es -> (v, es) :: acc)
+  in
+  Alcotest.(check bool)
+    (name ^ ": succs identical") true
+    (adj Seg.fold_succs orig = adj Seg.fold_succs dec);
+  Alcotest.(check bool)
+    (name ^ ": preds identical") true
+    (adj Seg.fold_preds orig = adj Seg.fold_preds dec);
+  Alcotest.(check bool)
+    (name ^ ": uses identical") true
+    (Seg.uses orig = Seg.uses dec);
+  Alcotest.(check int)
+    (name ^ ": vertices") (Seg.n_vertices orig) (Seg.n_vertices dec);
+  Alcotest.(check int) (name ^ ": edges") (Seg.n_edges orig) (Seg.n_edges dec)
+
+let test_artifact_roundtrip () =
+  List.iter
+    (fun path ->
+      let a = Pinpoint.Analysis.prepare_source ~file:path (read_file path) in
+      let st = Store.create ~dir:(tmp_dir ()) ~max_resident:4 () in
+      Store.register_program st a.Pinpoint.Analysis.prog;
+      let ptas = a.Pinpoint.Analysis.transform.Pinpoint_transform.Transform.ptas in
+      Hashtbl.iter (Store.put_pta st) ptas;
+      Hashtbl.iter (Store.put_seg st) a.Pinpoint.Analysis.segs;
+      List.iter
+        (fun (f : Pinpoint_ir.Func.t) ->
+          let fname = f.Pinpoint_ir.Func.fname in
+          match Rv.find a.Pinpoint.Analysis.rv fname with
+          | Some entries -> Store.put_rv st fname entries
+          | None -> ())
+        (Pinpoint_ir.Prog.functions a.Pinpoint.Analysis.prog);
+      Store.drop_resident st;
+      let base = Filename.basename path in
+      (* PTA: compare a canonical dump — the record embeds hashtables,
+         and structural [=] on those is layout- (insertion-order-)
+         sensitive.  Vars and formulas decode physically identical, so
+         polymorphic compare on the dumped contents is exact. *)
+      let dump_pta (p : Pinpoint_pta.Pta.t) =
+        let sorted_tbl fold tbl =
+          fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+        in
+        ( Pinpoint_ir.Var.Tbl.fold
+            (fun v rows acc -> (v, rows) :: acc)
+            p.Pinpoint_pta.Pta.pts []
+          |> List.sort (fun (a, _) (b, _) -> Pinpoint_ir.Var.compare a b),
+          sorted_tbl Hashtbl.fold p.Pinpoint_pta.Pta.load_res,
+          sorted_tbl Hashtbl.fold p.Pinpoint_pta.Pta.store_tgts,
+          p.Pinpoint_pta.Pta.incomings,
+          p.Pinpoint_pta.Pta.refs,
+          p.Pinpoint_pta.Pta.mods,
+          p.Pinpoint_pta.Pta.freed_cells )
+      in
+      Hashtbl.iter
+        (fun fname (orig : Pinpoint_pta.Pta.t) ->
+          match Store.pta_of st fname with
+          | None -> Alcotest.failf "%s: %s PTA missing" base fname
+          | Some dec ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %s PTA identical" base fname)
+              true
+              (dump_pta orig = dump_pta dec))
+        ptas;
+      Store.drop_resident st;
+      Hashtbl.iter
+        (fun fname orig ->
+          match Store.seg_of st fname with
+          | None -> Alcotest.failf "%s: %s SEG missing" base fname
+          | Some dec -> check_seg_equal (base ^ ": " ^ fname) orig dec)
+        a.Pinpoint.Analysis.segs;
+      Store.drop_resident st;
+      List.iter
+        (fun (f : Pinpoint_ir.Func.t) ->
+          let fname = f.Pinpoint_ir.Func.fname in
+          match Rv.find a.Pinpoint.Analysis.rv fname with
+          | None -> ()
+          | Some entries ->
+            let dec =
+              match Store.rv_of st fname with
+              | Some d -> d
+              | None -> Alcotest.failf "%s: %s RV missing" base fname
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %s RV identical" base fname)
+              true (entries = dec))
+        (Pinpoint_ir.Prog.functions a.Pinpoint.Analysis.prog);
+      Store.close st)
+    (corpus_files ())
+
+let test_vf_roundtrip () =
+  let path = List.hd (corpus_files ()) in
+  let a = Pinpoint.Analysis.prepare_source ~file:path (read_file path) in
+  let spec = List.hd Pinpoint.Checkers.all in
+  let vf =
+    Vf.generate a.Pinpoint.Analysis.prog
+      (Pinpoint.Analysis.seg_of a)
+      (Pinpoint.Checker_spec.vf_spec spec)
+  in
+  let st = Store.create ~dir:(tmp_dir ()) () in
+  Store.register_program st a.Pinpoint.Analysis.prog;
+  Store.put_vf st "c" vf;
+  Store.drop_resident st;
+  let dec =
+    match Store.vf_of st "c" with
+    | Some d -> d
+    | None -> Alcotest.fail "VF missing"
+  in
+  let dump vf =
+    Vf.fold vf ~init:[] ~f:(fun acc name s -> (name, s) :: acc)
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "VF identical" true (dump vf = dump dec);
+  Store.close st
+
+(* ---------- blob seal / reopen / torn-write recovery ---------- *)
+
+let test_blob_reopen () =
+  let dir = tmp_dir () in
+  let st = Store.create ~dir () in
+  Store.put_vf st "t" (Vf.empty ());
+  Store.seal st;
+  Alcotest.(check bool) "sealed" true (Store.is_sealed st);
+  (match Store.reopen ~dir with
+  | None -> Alcotest.fail "reopen failed on a sealed store"
+  | Some r ->
+    Alcotest.(check int) "epoch 1" 1 r.Store.epoch;
+    Alcotest.(check bool)
+      "artifact listed" true
+      (List.mem_assoc "v/t" r.Store.artifacts);
+    let off, len = List.assoc "v/t" r.Store.artifacts in
+    Alcotest.(check int) "readable" len (Bytes.length (r.Store.read ~off ~len));
+    r.Store.finish ());
+  Store.close st;
+  (* A torn later epoch (truncated mid-write, no valid trailer) must be
+     skipped in favour of the older sealed one. *)
+  let torn = Filename.concat dir "store.ep000002.bin" in
+  let oc = open_out_bin torn in
+  output_string oc "PNPSTOR1 torn garbage";
+  close_out oc;
+  (match Store.reopen ~dir with
+  | None -> Alcotest.fail "reopen failed with a torn newest epoch"
+  | Some r ->
+    Alcotest.(check int) "fell back to epoch 1" 1 r.Store.epoch;
+    r.Store.finish ());
+  (* Nothing valid at all -> None. *)
+  let empty = tmp_dir () in
+  Alcotest.(check bool) "no epochs" true (Store.reopen ~dir:empty = None)
+
+(* ---------- report identity under eviction ---------- *)
+
+let reports_of a =
+  List.map
+    (fun (spec : Pinpoint.Checker_spec.t) ->
+      let reports, _ = Pinpoint.Analysis.check a spec in
+      ( spec.Pinpoint.Checker_spec.name,
+        List.map Pinpoint.Report.one_line
+          (List.filter Pinpoint.Report.is_reported reports) ))
+    Pinpoint.Checkers.all
+
+let gen_source ~seed ~loc =
+  (Gen.generate ~name:"store-sub"
+     { Gen.default_params with Gen.seed; target_loc = loc; cross_unit = true })
+    .Gen.source
+
+let test_eviction_identity jobs () =
+  let src = gen_source ~seed:21 ~loc:500 in
+  let with_pool f =
+    if jobs > 1 then Pinpoint_par.Pool.with_pool ~jobs (fun p -> f (Some p))
+    else f None
+  in
+  with_pool @@ fun pool ->
+  let baseline = reports_of (Pinpoint.Analysis.prepare_source ?pool src) in
+  List.iter
+    (fun max_resident ->
+      let st = Store.create ~dir:(tmp_dir ()) ~max_resident () in
+      let a = Pinpoint.Analysis.prepare_source ?pool ~store:st src in
+      Pinpoint.Analysis.seal_store a Pinpoint.Checkers.all;
+      let got = reports_of a in
+      Alcotest.(check bool)
+        (Printf.sprintf "reports identical (max_resident=%d, jobs=%d)"
+           max_resident jobs)
+        true (baseline = got);
+      let stats = Store.stats st in
+      Alcotest.(check bool)
+        "store actually spilled" true
+        (stats.Store.spills > 0);
+      if max_resident = 1 then
+        Alcotest.(check bool)
+          "tiny LRU actually evicted" true
+          (stats.Store.evictions > 0);
+      Store.close st)
+    [ 1; 4 ]
+
+(* ---------- dedup determinism ---------- *)
+
+let test_dedup_determinism () =
+  let src = gen_source ~seed:22 ~loc:400 in
+  let run () =
+    let st = Store.create ~dir:(tmp_dir ()) () in
+    let a = Pinpoint.Analysis.prepare_source ~store:st src in
+    ignore (Pinpoint.Analysis.seg_size a);
+    let s = Store.stats st in
+    let bytes = Store.file_bytes st in
+    Store.close st;
+    (s.Store.spills, s.Store.row, s.Store.expr_hits, s.Store.expr_misses, bytes)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "two runs, same stats and bytes" true (a = b);
+  let _, row, _, _, _ = a in
+  Alcotest.(check bool) "rows actually dedup" true (row.Pinpoint_store.Intern.hits > 0)
+
+(* ---------- store-mode prepare matches store-off structure ---------- *)
+
+let test_seg_size_store_mode () =
+  let src = gen_source ~seed:23 ~loc:300 in
+  let off = Pinpoint.Analysis.seg_size (Pinpoint.Analysis.prepare_source src) in
+  let st = Store.create ~dir:(tmp_dir ()) () in
+  let a = Pinpoint.Analysis.prepare_source ~store:st src in
+  Alcotest.(check (pair int int)) "seg_size identical" off
+    (Pinpoint.Analysis.seg_size a);
+  Store.close st
+
+(* ---------- server incremental mode on a store ---------- *)
+
+let test_server_store_incremental () =
+  let src = gen_source ~seed:24 ~loc:400 in
+  (* Same-shaped edit both sides: append a fresh function to the file. *)
+  let edit src =
+    src ^ "\nvoid store_edit_probe(int s) {\n  int *p = malloc();\n  *p = s;\n  print(*p);\n  free(p);\n}\n"
+  in
+  let run store =
+    let st = Incr.load ?store [ ("sub.mc", src) ] in
+    let r0 =
+      List.map
+        (fun spec ->
+          List.map Pinpoint.Report.one_line
+            (List.filter Pinpoint.Report.is_reported
+               (fst (Incr.check st spec))))
+        Pinpoint.Checkers.all
+    in
+    let stats = Incr.update st [ ("sub.mc", edit src) ] in
+    let r1 =
+      List.map
+        (fun spec ->
+          List.map Pinpoint.Report.one_line
+            (List.filter Pinpoint.Report.is_reported
+               (fst (Incr.check st spec))))
+        Pinpoint.Checkers.all
+    in
+    (r0, r1, stats.Incr.full_rebuild)
+  in
+  let r0_off, r1_off, _ = run None in
+  let store = Store.create ~dir:(tmp_dir ()) ~max_resident:4 () in
+  let r0_on, r1_on, _ = run (Some store) in
+  Alcotest.(check bool) "initial reports identical" true (r0_off = r0_on);
+  Alcotest.(check bool) "post-update reports identical" true (r1_off = r1_on);
+  Alcotest.(check bool)
+    "store spilled during serve" true
+    ((Store.stats store).Store.spills > 0);
+  Store.close store
+
+let suite =
+  [
+    Alcotest.test_case "arena round-trip" `Quick test_arena_roundtrip;
+    Alcotest.test_case "varint extremes" `Quick test_varint_extremes;
+    Alcotest.test_case "resident LRU" `Quick test_lru;
+    Alcotest.test_case "artifact round-trip (corpus)" `Quick
+      test_artifact_roundtrip;
+    Alcotest.test_case "VF round-trip" `Quick test_vf_roundtrip;
+    Alcotest.test_case "blob seal / reopen / torn write" `Quick
+      test_blob_reopen;
+    Alcotest.test_case "eviction report identity (seq)" `Quick
+      (test_eviction_identity 1);
+    Alcotest.test_case "eviction report identity (jobs 4)" `Quick
+      (test_eviction_identity 4);
+    Alcotest.test_case "dedup determinism" `Quick test_dedup_determinism;
+    Alcotest.test_case "seg_size in store mode" `Quick
+      test_seg_size_store_mode;
+    Alcotest.test_case "server incremental on store" `Quick
+      test_server_store_incremental;
+  ]
