@@ -1,0 +1,5 @@
+let () =
+  match Pinpoint_server.Json.parse {|{"op":"check","x":"\uzzzz"}|} with
+  | Ok _ -> print_endline "ok"
+  | Error e -> Printf.printf "Error: %s\n" e
+  | exception e -> Printf.printf "EXCEPTION: %s\n" (Printexc.to_string e)
