@@ -733,13 +733,45 @@ let micro () =
    cores — on a 1-core container the sweep honestly measures the
    oversubscription overhead instead. *)
 
+type par_run = {
+  pr_jobs : int;
+  pr_chunk : int;  (* representative prepare-fan-out chunk size; 0 = n/a *)
+  pr_prep_s : float;
+  pr_transform_s : float;  (* transform + PTA phase wall time *)
+  pr_pta_busy_s : float;  (* busy seconds inside Pta.run, summed over domains *)
+  pr_seg_s : float;
+  pr_summary_s : float;
+  pr_check_s : float;
+}
+
 let par () =
   Format.printf "@.== Parallel runtime: domain pool + SCC waves ==@.@.";
   let n_cores = Domain.recommended_domain_count () in
   Format.printf "host: %d recommended domain(s)%s@.@." n_cores
     (if n_cores = 1 then
-       " — 1-core container, so jobs > 1 measures scheduling/GC overhead, not speedup"
+       " — 1-core container; --jobs is capped at the core count, so every \
+        level runs the same capped pool and the sweep verifies determinism \
+        and flat overhead rather than speedup"
      else "");
+  (* Keep the previous file's numbers (sans their own "previous") so the
+     regenerated BENCH_par.json shows the before/after trajectory. *)
+  let previous =
+    match
+      let ic = open_in "BENCH_par.json" in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception _ -> None
+    | s -> (
+      match Pinpoint_server.Json.parse s with
+      | Ok (Pinpoint_server.Json.Obj fields) ->
+        Some
+          (Pinpoint_server.Json.to_string
+             (Pinpoint_server.Json.Obj
+                (List.filter (fun (k, _) -> k <> "previous") fields)))
+      | _ -> None)
+  in
   let jobs_levels = [ 1; 2; 4; 8 ] in
   let measure_one name =
     let info =
@@ -751,68 +783,93 @@ let par () =
         (fun jobs ->
           (* the transform rewrites the program in place: recompile per run *)
           let prog = Gen.compile subject in
+          let n_funcs = List.length (Pinpoint_ir.Prog.functions prog) in
+          let eff = Pinpoint_par.Pool.effective_jobs jobs in
+          let chunk =
+            if eff <= 1 then 0
+            else
+              let plan = Pinpoint_par.Chunk.plan ~jobs:eff n_funcs in
+              (n_funcs + List.length plan - 1) / max 1 (List.length plan)
+          in
           let run pool =
+            Pinpoint_pta.Pta.reset_cumulative_wall ();
             let analysis, prep_m =
               Metrics.measure (fun () -> Pinpoint.Analysis.prepare ?pool prog)
             in
+            let pta_busy = Pinpoint_pta.Pta.cumulative_wall_s () in
+            let m = analysis.Pinpoint.Analysis.metrics in
             let reports, check_m =
               Metrics.measure (fun () ->
                   fst
                     (Pinpoint.Analysis.check analysis
                        Pinpoint.Checkers.use_after_free))
             in
-            ( prep_m.Metrics.wall_s,
-              check_m.Metrics.wall_s,
+            ( {
+                pr_jobs = jobs;
+                pr_chunk = chunk;
+                pr_prep_s = prep_m.Metrics.wall_s;
+                pr_transform_s = m.Pinpoint.Analysis.transform.Metrics.wall_s;
+                pr_pta_busy_s = pta_busy;
+                pr_seg_s = m.Pinpoint.Analysis.seg_build.Metrics.wall_s;
+                pr_summary_s = m.Pinpoint.Analysis.summaries.Metrics.wall_s;
+                pr_check_s = check_m.Metrics.wall_s;
+              },
               List.sort_uniq compare
                 (List.map Pinpoint.Report.key
                    (List.filter Pinpoint.Report.is_reported reports)) )
           in
-          let prep_s, check_s, keys =
-            if jobs <= 1 then run None
-            else Pinpoint_par.Pool.with_pool ~jobs (fun p -> run (Some p))
-          in
-          (jobs, prep_s, check_s, keys))
+          if eff <= 1 then run None
+          else Pinpoint_par.Pool.with_pool ~jobs:eff (fun p -> run (Some p)))
         jobs_levels
     in
     let identical =
       match runs with
-      | (_, _, _, k1) :: rest ->
+      | (_, k1) :: rest ->
         List.for_all
-          (fun (j, _, _, k) ->
+          (fun (r, k) ->
             if k <> k1 then
               Format.printf "  !! %s: reports at jobs=%d differ from jobs=1@."
-                name j;
+                name r.pr_jobs;
             k = k1)
           rest
       | [] -> true
     in
-    (name, subject.Gen.loc, runs, identical)
+    (name, subject.Gen.loc, List.map fst runs, identical)
   in
   let results = List.map measure_one [ "vortex"; "mysql" ] in
+  let total r = r.pr_prep_s +. r.pr_check_s in
   List.iter
     (fun (name, loc, runs, identical) ->
       Format.printf "%s (%d LoC): reports %s across jobs levels@." name loc
         (if identical then "identical" else "DIFFER");
-      let base =
-        match runs with (_, p, c, _) :: _ -> p +. c | [] -> 0.0
-      in
+      let base = match runs with r :: _ -> total r | [] -> 0.0 in
       let rows =
         List.map
-          (fun (jobs, prep_s, check_s, _) ->
-            let total = prep_s +. check_s in
+          (fun r ->
             [
-              string_of_int jobs;
-              str "%a" pp_dur prep_s;
-              str "%a" pp_dur check_s;
-              str "%a" pp_dur total;
-              str "%.2fx" (if total > 0.0 then base /. total else 1.0);
+              string_of_int r.pr_jobs;
+              (if r.pr_chunk = 0 then "-" else string_of_int r.pr_chunk);
+              str "%a" pp_dur r.pr_prep_s;
+              str "%a" pp_dur r.pr_transform_s;
+              str "%a" pp_dur r.pr_pta_busy_s;
+              str "%a" pp_dur r.pr_seg_s;
+              str "%a" pp_dur r.pr_summary_s;
+              str "%a" pp_dur r.pr_check_s;
+              str "%a" pp_dur (total r);
+              str "%.2fx" (if total r > 0.0 then base /. total r else 1.0);
             ])
           runs
       in
       Pp.table
-        ~header:[ "jobs"; "prepare"; "check"; "total"; "speedup" ]
+        ~header:
+          [
+            "jobs"; "chunk"; "prepare"; "transform"; "pta busy"; "seg";
+            "summary"; "check"; "total"; "speedup";
+          ]
         ~rows Format.std_formatter ();
-      Format.printf "@.")
+      Format.printf
+        "  (transform includes PTA; pta busy sums across domains, so it can \
+         exceed the phase wall time at jobs > 1)@.@.")
     results;
   (* machine-readable dump; hand-rolled JSON (no JSON dependency) *)
   let oc = open_out "BENCH_par.json" in
@@ -821,25 +878,31 @@ let par () =
     n_cores;
   List.iteri
     (fun i (name, loc, runs, identical) ->
-      let base =
-        match runs with (_, p, c, _) :: _ -> p +. c | [] -> 0.0
-      in
+      let base = match runs with r :: _ -> total r | [] -> 0.0 in
       out "    {\"name\": %S, \"loc\": %d, \"reports_identical\": %b, \"runs\": [\n"
         name loc identical;
       List.iteri
-        (fun j (jobs, prep_s, check_s, _) ->
-          let total = prep_s +. check_s in
+        (fun j r ->
           out
-            "      {\"jobs\": %d, \"prepare_s\": %.6f, \"check_s\": %.6f, \
-             \"total_s\": %.6f, \"speedup\": %.3f}%s\n"
-            jobs prep_s check_s total
-            (if total > 0.0 then base /. total else 1.0)
+            "      {\"jobs\": %d, \"chunk_size\": %d, \"prepare_s\": %.6f, \
+             \"transform_s\": %.6f, \"pta_busy_s\": %.6f, \"seg_s\": %.6f, \
+             \"summary_s\": %.6f, \"check_s\": %.6f, \"total_s\": %.6f, \
+             \"speedup\": %.3f}%s\n"
+            r.pr_jobs r.pr_chunk r.pr_prep_s r.pr_transform_s r.pr_pta_busy_s
+            r.pr_seg_s r.pr_summary_s r.pr_check_s (total r)
+            (if total r > 0.0 then base /. total r else 1.0)
             (if j = List.length runs - 1 then "" else ","))
         runs;
-      out "    ]}%s\n" (if i = List.length results - 1 then "" else ",");
-      ignore identical)
+      out "    ]}%s\n" (if i = List.length results - 1 then "" else ","))
     results;
-  out "  ]\n}\n";
+  out "  ]%s\n"
+    (match previous with
+    | Some _ -> ","
+    | None -> "");
+  (match previous with
+  | Some p -> out "  \"previous\": %s\n" p
+  | None -> ());
+  out "}\n";
   close_out oc;
   Format.printf "(wrote BENCH_par.json)@."
 

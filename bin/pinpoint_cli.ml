@@ -132,8 +132,20 @@ let jobs_arg =
     value & opt int 1
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Run the analysis on $(docv) domains (default 1 = sequential).  \
-           Reports, stats and injected faults are identical at every level.")
+          "Run the analysis on $(docv) domains (default 1 = sequential, \
+           capped at the host's core count — extra domains beyond that \
+           only add GC-barrier overhead).  Reports, stats and injected \
+           faults are identical at every level.")
+
+let chunk_size_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "chunk-size" ] ~docv:"N"
+        ~doc:
+          "Force parallel task batches of exactly $(docv) work items \
+           (functions) each.  Default 0 = automatic: about four \
+           weight-balanced chunks per worker.  A tuning knob for \
+           $(b,--jobs); reports and stats are identical at every value.")
 
 (* Artifact-store flags (DESIGN.md §4.14), shared by check and serve. *)
 
@@ -231,14 +243,20 @@ let set_obs_level ~trace ~metrics_json ~obs =
 
 (* Called explicitly before any [exit 2] (a [Fun.protect] finaliser would
    not run across [exit]). *)
-let export_obs ~trace ~metrics_json ~obs =
+let export_obs ?pool ~trace ~metrics_json ~obs () =
+  (* The pool outlives the export (it is shut down by [with_jobs]), so
+     fold its par.* counters into the registry before writing the file. *)
+  Option.iter Pinpoint_par.Pool.publish_obs pool;
   Option.iter Pinpoint_obs.Export.write_trace trace;
   Option.iter Pinpoint_obs.Export.write_metrics metrics_json;
   if obs then Format.printf "%a" Pinpoint_obs.Export.pp_summary ()
 
 (* [--jobs 1] must be the plain sequential pipeline — no pool, no domains —
    so it stays byte-for-byte the historical code path. *)
-let with_jobs jobs f =
+let with_jobs ?(chunk_size = 0) jobs f =
+  Pinpoint_par.Chunk.set_override
+    (if chunk_size > 0 then Some chunk_size else None);
+  let jobs = Pinpoint_par.Pool.effective_jobs jobs in
   if jobs <= 1 then f None
   else Pinpoint_par.Pool.with_pool ~jobs (fun p -> f (Some p))
 
@@ -268,11 +286,11 @@ let print_incidents ~verbose (a : Pinpoint.Analysis.t) =
 
 let check_cmd =
   let run files checkers verbose confirm deadline_s budget_s solver_conflicts
-      seed rate seg_rate no_prune no_qcache prune_stride jobs store_dir
-      max_resident rss_cap_mb trace metrics_json obs =
+      seed rate seg_rate no_prune no_qcache prune_stride jobs chunk_size
+      store_dir max_resident rss_cap_mb trace metrics_json obs =
     install_injection ~seed ~rate ~seg_rate;
     set_obs_level ~trace ~metrics_json ~obs;
-    with_jobs jobs @@ fun pool ->
+    with_jobs ~chunk_size jobs @@ fun pool ->
     with_store ~store_dir ~max_resident @@ fun store ->
     match Pinpoint.Analysis.prepare_files ?pool ?store files with
     | exception Pinpoint_frontend.Parser.Error (msg, line) ->
@@ -343,7 +361,7 @@ let check_cmd =
         checkers;
       print_incidents ~verbose a;
       publish_process_obs store;
-      export_obs ~trace ~metrics_json ~obs;
+      export_obs ?pool ~trace ~metrics_json ~obs ();
       Option.iter Pinpoint_store.Store.close store;
       check_rss_cap ~rss_cap_mb;
       if !any then exit 2
@@ -354,8 +372,8 @@ let check_cmd =
       $ deadline_arg $ solver_budget_arg $ solver_conflicts_arg
       $ inject_seed_arg $ inject_rate_arg
       $ inject_seg_rate_arg $ no_prune_arg $ no_qcache_arg $ prune_stride_arg
-      $ jobs_arg $ store_dir_arg $ max_resident_arg $ rss_cap_arg
-      $ trace_arg $ metrics_json_arg $ obs_arg)
+      $ jobs_arg $ chunk_size_arg $ store_dir_arg $ max_resident_arg
+      $ rss_cap_arg $ trace_arg $ metrics_json_arg $ obs_arg)
   in
   Cmd.v (Cmd.info "check" ~doc:"Run checkers on MC source file(s)") term
 
@@ -432,9 +450,9 @@ let baseline_cmd =
   Cmd.v (Cmd.info "baseline" ~doc:"Run a baseline tool on an MC source file") term
 
 let leaks_cmd =
-  let run file seed rate seg_rate jobs =
+  let run file seed rate seg_rate jobs chunk_size =
     install_injection ~seed ~rate ~seg_rate;
-    with_jobs jobs @@ fun pool ->
+    with_jobs ~chunk_size jobs @@ fun pool ->
     let a = Pinpoint.Analysis.prepare_file ?pool file in
     let reports =
       Pinpoint.Leak.check ~resilience:a.Pinpoint.Analysis.resilience
@@ -449,14 +467,14 @@ let leaks_cmd =
   let term =
     Term.(
       const run $ file_arg $ inject_seed_arg $ inject_rate_arg
-      $ inject_seg_rate_arg $ jobs_arg)
+      $ inject_seg_rate_arg $ jobs_arg $ chunk_size_arg)
   in
   Cmd.v (Cmd.info "leaks" ~doc:"Run the memory-leak checker") term
 
 let stats_cmd =
-  let run file jobs trace metrics_json obs =
+  let run file jobs chunk_size trace metrics_json obs =
     set_obs_level ~trace ~metrics_json ~obs;
-    with_jobs jobs @@ fun pool ->
+    with_jobs ~chunk_size jobs @@ fun pool ->
     let a = Pinpoint.Analysis.prepare_file ?pool file in
     let v, e = Pinpoint.Analysis.seg_size a in
     let prog = a.Pinpoint.Analysis.prog in
@@ -496,11 +514,12 @@ let stats_cmd =
           (Pinpoint_ir.Func.n_blocks f)
           sv se iface)
       (Pinpoint_ir.Prog.functions prog);
-    export_obs ~trace ~metrics_json ~obs
+    export_obs ?pool ~trace ~metrics_json ~obs ()
   in
   let term =
     Term.(
-      const run $ file_arg $ jobs_arg $ trace_arg $ metrics_json_arg $ obs_arg)
+      const run $ file_arg $ jobs_arg $ chunk_size_arg $ trace_arg
+      $ metrics_json_arg $ obs_arg)
   in
   Cmd.v (Cmd.info "stats" ~doc:"Per-function analysis statistics") term
 
@@ -571,10 +590,10 @@ let serve_files_arg =
 let serve_cmd =
   let run files socket queue_depth max_rss_mb snapshot_dir snapshot_every
       qcache_cap incident_cap deadline_s budget_s solver_conflicts seed rate
-      seg_rate jobs store_dir max_resident trace metrics_json obs =
+      seg_rate jobs chunk_size store_dir max_resident trace metrics_json obs =
     install_injection ~seed ~rate ~seg_rate;
     set_obs_level ~trace ~metrics_json ~obs;
-    with_jobs jobs @@ fun pool ->
+    with_jobs ~chunk_size jobs @@ fun pool ->
     with_store ~store_dir ~max_resident @@ fun store ->
     let config =
       {
@@ -615,7 +634,7 @@ let serve_cmd =
     | Some path -> Pinpoint_server.Server.serve_socket t path
     | None -> Pinpoint_server.Server.serve_stdio t);
     publish_process_obs store;
-    export_obs ~trace ~metrics_json ~obs;
+    export_obs ?pool ~trace ~metrics_json ~obs ();
     Option.iter Pinpoint_store.Store.close store
   in
   let term =
@@ -624,8 +643,8 @@ let serve_cmd =
       $ snapshot_dir_arg $ snapshot_every_arg $ qcache_cap_arg
       $ incident_cap_arg $ deadline_arg $ solver_budget_arg
       $ solver_conflicts_arg $ inject_seed_arg $ inject_rate_arg
-      $ inject_seg_rate_arg $ jobs_arg $ store_dir_arg $ max_resident_arg
-      $ trace_arg $ metrics_json_arg $ obs_arg)
+      $ inject_seg_rate_arg $ jobs_arg $ chunk_size_arg $ store_dir_arg
+      $ max_resident_arg $ trace_arg $ metrics_json_arg $ obs_arg)
   in
   Cmd.v
     (Cmd.info "serve"

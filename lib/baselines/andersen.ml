@@ -1,6 +1,10 @@
 open Pinpoint_ir
 module Metrics = Pinpoint_util.Metrics
-module ISet = Set.Make (Int)
+module Wavefront = Pinpoint_pta.Wavefront
+
+(* Shared with the wavefront solver, so constraint generation here and
+   solving there exchange sets without conversion. *)
+module ISet = Wavefront.ISet
 
 (* Node space: dense ints.
    - one node per (function, variable)
@@ -79,7 +83,7 @@ let total_pts_size t =
   done;
   !s
 
-let run ?(deadline = Metrics.no_deadline) (prog : Prog.t) : t =
+let run ?(deadline = Metrics.no_deadline) ?pool ?diff (prog : Prog.t) : t =
   let t =
     {
       var_node = Hashtbl.create 1024;
@@ -221,64 +225,25 @@ let run ?(deadline = Metrics.no_deadline) (prog : Prog.t) : t =
           f.Func.params
       | None -> ())
     entry_like;
-  (* Worklist solving. *)
-  let work = Queue.create () in
-  let dirty = Hashtbl.create 1024 in
-  let enqueue n =
-    if not (Hashtbl.mem dirty n) then begin
-      Hashtbl.add dirty n ();
-      Queue.add n work
-    end
+  (* Solve: hand the generated constraints to the wavefront solver
+     (DESIGN.md §4.15) — sequential difference propagation by default,
+     textbook full-set re-union with [~diff:false], SCC-partitioned
+     parallel waves with [pool].  All modes reach the same least
+     fixpoint, so the baseline's points-to sets are unchanged. *)
+  let sys =
+    {
+      Wavefront.n_nodes = t.n_nodes;
+      obj_mem = t.obj_mem;
+      copy = Array.sub t.copy 0 t.n_nodes;
+      loads = Array.map (List.map fst) (Array.sub t.loads 0 t.n_nodes);
+      stores = Array.map (List.map fst) (Array.sub t.stores 0 t.n_nodes);
+      init = ((t.obj_mem.(u), u) :: List.rev !init_pts);
+    }
   in
-  List.iter
-    (fun (n, o) ->
-      if not (ISet.mem o t.pts.(n)) then begin
-        t.pts.(n) <- ISet.add o t.pts.(n);
-        enqueue n
-      end)
-    !init_pts;
-  enqueue t.obj_mem.(u);
-  (try
-  while not (Queue.is_empty work) do
-    Metrics.check deadline;
-    let n = Queue.pop work in
-    Hashtbl.remove dirty n;
-    t.iterations <- t.iterations + 1;
-    let pn = t.pts.(n) in
-    (* dynamic edges from loads/stores through n *)
-    List.iter
-      (fun (dst, _) ->
-        ISet.iter
-          (fun o ->
-            let m = t.obj_mem.(o) in
-            if not (ISet.mem dst t.copy.(m)) then begin
-              t.copy.(m) <- ISet.add dst t.copy.(m);
-              if not (ISet.is_empty t.pts.(m)) then enqueue m
-            end)
-          pn)
-      t.loads.(n);
-    List.iter
-      (fun (src, _) ->
-        ISet.iter
-          (fun o ->
-            let m = t.obj_mem.(o) in
-            if not (ISet.mem m t.copy.(src)) then begin
-              t.copy.(src) <- ISet.add m t.copy.(src);
-              if not (ISet.is_empty t.pts.(src)) then enqueue src
-            end)
-          pn)
-      t.stores.(n);
-    (* propagate along copy edges *)
-    ISet.iter
-      (fun m ->
-        let before = t.pts.(m) in
-        let after = ISet.union before pn in
-        if not (ISet.equal before after) then begin
-          t.pts.(m) <- after;
-          enqueue m
-        end)
-      t.copy.(n)
-  done
-  with Metrics.Timeout -> t.timed_out <- true);
+  let r = Wavefront.solve ~deadline ?pool ?diff sys in
+  t.pts <- r.Wavefront.pts;
+  t.iterations <- r.Wavefront.iterations;
+  t.timed_out <- r.Wavefront.timed_out;
   t
+
 let timed_out t = t.timed_out

@@ -8,19 +8,27 @@
     trap": it survives at scale but floods the downstream SVFG with false
     edges.
 
-    Implemented as the textbook worklist algorithm: copy edges are
-    propagated transitively; loads and stores add edges on the fly as
-    points-to sets grow.  Multi-level accesses are lowered into chains of
-    synthetic nodes.  Unknown values (parameters of entry functions,
-    returns of external functions) point to a universal object [U] whose
-    content points back to [U]. *)
+    Constraint generation lives here; solving is delegated to
+    {!Pinpoint_pta.Wavefront} (difference propagation by default, the
+    textbook full-set worklist with [~diff:false], SCC-partitioned
+    parallel waves with [?pool]) — every mode reaches the same least
+    fixpoint.  Multi-level accesses are lowered into chains of synthetic
+    nodes.  Unknown values (parameters of entry functions, returns of
+    external functions) point to a universal object [U] whose content
+    points back to [U]. *)
 
 module ISet : Set.S with type elt = int
 
 type t
 
-val run : ?deadline:Pinpoint_util.Metrics.deadline -> Pinpoint_ir.Prog.t -> t
-(** May raise [Pinpoint_util.Metrics.Timeout]. *)
+val run :
+  ?deadline:Pinpoint_util.Metrics.deadline ->
+  ?pool:Pinpoint_par.Pool.t ->
+  ?diff:bool ->
+  Pinpoint_ir.Prog.t ->
+  t
+(** On deadline expiry the result is marked {!timed_out} instead of
+    raising. *)
 
 val node_of_var : t -> string -> Pinpoint_ir.Var.t -> int option
 (** Solver node of a variable (function name + var). *)

@@ -170,7 +170,18 @@ let prepare_with ?resilience ?pool ?store frontend_m (prog : Pinpoint_ir.Prog.t)
           let built =
             match pool with
             | Some p when Pinpoint_par.Pool.jobs p > 1 ->
-              Pinpoint_par.Pool.parallel_map p build funcs
+              (* One pool task per statement-weighted chunk of functions
+                 (DESIGN.md §4.15), not one per function. *)
+              let weights =
+                Array.map
+                  (fun (f : Pinpoint_ir.Func.t) ->
+                    let n = ref 0 in
+                    Pinpoint_ir.Func.iter_blocks f (fun blk ->
+                        n := !n + List.length blk.Pinpoint_ir.Func.stmts);
+                    !n)
+                  funcs
+              in
+              Pinpoint_par.Chunk.parallel_map ~weights p build funcs
             | _ -> Array.map (fun f -> Some (build f)) funcs
           in
           let segs = Hashtbl.create 64 in

@@ -602,7 +602,11 @@ let run ?(config = default_config) ?resilience ?pool ?vf (prog : Prog.t)
   let results =
     match pool with
     | Some pool when Pinpoint_par.Pool.jobs pool > 1 ->
-      Pinpoint_par.Pool.parallel_map pool run_source src_arr
+      (* Chunked fan-out (DESIGN.md §4.15): sources from one chunk share a
+         pool task.  Each source still gets its own context, barrier and
+         injection stream, and the merge below is positional, so chunking
+         is invisible to reports and stats. *)
+      Pinpoint_par.Chunk.parallel_map pool run_source src_arr
     | _ -> Array.map (fun s -> Some (run_source s)) src_arr
   in
   let main_delta = Solver.diff (Solver.snapshot ()) m0 in

@@ -184,12 +184,13 @@ let metrics_json ?top_k () =
       ]
   in
   jobj
-    [
-      ("counters", jobj counters);
-      ("gauges", jobj gauges);
-      ("histograms", jobj histograms);
-      ("smt", smt);
-    ]
+    ([
+       ("counters", jobj counters);
+       ("gauges", jobj gauges);
+       ("histograms", jobj histograms);
+       ("smt", smt);
+     ]
+    @ Obs.json_sections ())
 
 (* ------------------------------------------------------------------ *)
 

@@ -299,6 +299,22 @@ let snapshot () : Snapshot.t =
                    }) ))
 
 (* ------------------------------------------------------------------ *)
+(* Extra JSON sections: lower layers (e.g. the SMT verdict cache) register
+   a producer here so the metrics export can include subsystem-specific
+   structured data without this library depending on them. *)
+
+let sections_lock = Mutex.create ()
+let sections : (string * (unit -> string)) list ref = ref []
+
+let register_json_section name f =
+  Mutex.protect sections_lock (fun () ->
+      sections := (name, f) :: List.remove_assoc name !sections)
+
+let json_sections () =
+  let fs = Mutex.protect sections_lock (fun () -> List.rev !sections) in
+  List.map (fun (n, f) -> (n, f ())) fs
+
+(* ------------------------------------------------------------------ *)
 (* Fieldwise aggregation *)
 
 module Agg = struct

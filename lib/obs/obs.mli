@@ -123,6 +123,18 @@ end
 
 val snapshot : unit -> Snapshot.t
 
+(** {1 Extra JSON sections} *)
+
+val register_json_section : string -> (unit -> string) -> unit
+(** [register_json_section name f] makes the metrics JSON export include a
+    top-level field [name] whose value is the raw JSON produced by [f ()]
+    at export time.  Lets lower layers (e.g. the SMT verdict cache)
+    contribute structured data without this library depending on them.
+    Re-registering a name replaces the previous producer. *)
+
+val json_sections : unit -> (string * string) list
+(** Evaluate every registered producer, in registration order. *)
+
 (** {1 SMT query profiler} *)
 
 type query = {

@@ -2,13 +2,45 @@ module R = Pinpoint_util.Resilience
 module Metrics = Pinpoint_util.Metrics
 module Obs = Pinpoint_obs.Obs
 
+(* Work-stealing pool (DESIGN.md §4.15).
+
+   Each worker domain owns a deque: tasks submitted from a worker (the
+   cascade launches of {!Sched}, chunk subtasks) go to the back of its own
+   deque and are popped LIFO by the owner — the common case is then an
+   uncontended push/pop on the owner's lock with no global traffic.  Tasks
+   submitted from outside the pool (the coordinator) land on a shared
+   inject queue.  A worker that runs dry takes from the inject queue, then
+   steals from a sibling: it drains the {e front} (oldest, coarsest) half
+   of the victim's deque in one lock acquisition, runs one task and keeps
+   the rest on its own deque — steal-half amortizes the steal cost over
+   ragged waves where one worker inherits a long cascade.
+
+   Locking protocol: a deque lock may be held while taking the global
+   [m], never the reverse, and no two deque locks are ever held at once
+   (a steal drains the victim under its lock, releases, then pushes the
+   surplus under the thief's own lock).  [queued] counts tasks that sit
+   in some queue, claimed tasks are counted by [active]; a task is
+   accounted [active] {e before} it stops being [queued], so the idle
+   predicate [queued = 0 && active = 0] never observes a task in flight
+   as already finished. *)
+
+type deque = {
+  dm : Mutex.t;
+  mutable buf : (unit -> unit) array;
+  mutable head : int;  (* index of the oldest task *)
+  mutable len : int;
+}
+
 type t = {
   jobs : int;
+  uid : int;
   mutable log : R.log option;
-  queue : (unit -> unit) Queue.t;
+  inject : (unit -> unit) Queue.t;  (* submissions from non-worker domains *)
+  deques : deque array;  (* one per worker domain *)
   m : Mutex.t;
   nonempty : Condition.t;  (* a task was enqueued, or [stop] was set *)
-  idle : Condition.t;      (* the queue drained and no task is running *)
+  idle : Condition.t;      (* every queue drained and no task is running *)
+  queued : int Atomic.t;   (* tasks resting in the inject queue or a deque *)
   mutable active : int;    (* tasks currently executing on workers/helpers *)
   mutable stop : bool;
   mutable domains : unit Domain.t array;
@@ -18,10 +50,22 @@ type t = {
          everything the workers allocate).  Each slot is written only by
          its own worker; [allocated_bytes] sums a racy but monotone
          snapshot, which is all the metrics layer needs. *)
+  busy : float array;  (* per-lane busy seconds; last slot = helpers *)
+  ran : int array;     (* per-lane executed-task counts; last slot = helpers *)
+  n_steals : int Atomic.t;  (* successful steal operations *)
+  n_stolen : int Atomic.t;  (* tasks that changed lanes via a steal *)
+  published : bool Atomic.t;  (* par.* counters already folded into Obs *)
 }
+
+let pool_uids = Atomic.make 0
+
+(* Which pool the current domain is a worker of, and its lane.  Workers
+   of a pool submit to their own deque; every other domain injects. *)
+let dls_wid : (int * int) Domain.DLS.key = Domain.DLS.new_key (fun () -> (-1, -1))
 
 let jobs t = t.jobs
 let set_log t log = t.log <- log
+let incident_log t = t.log
 
 let note t ~t0 exn =
   match t.log with
@@ -45,53 +89,204 @@ let guard t task () =
   let t0 = Metrics.now () in
   try Obs.span "par.task" task with exn -> note t ~t0 exn
 
-let enqueue t task =
+(* ---- deque primitives (caller holds [d.dm]) ---- *)
+
+let dq_grow d =
+  let cap = Array.length d.buf in
+  let buf' = Array.make (2 * cap) (fun () -> ()) in
+  for i = 0 to d.len - 1 do
+    buf'.(i) <- d.buf.((d.head + i) mod cap)
+  done;
+  d.buf <- buf';
+  d.head <- 0
+
+let dq_push_back d task =
+  let cap = Array.length d.buf in
+  if d.len = cap then dq_grow d;
+  let cap = Array.length d.buf in
+  d.buf.((d.head + d.len) mod cap) <- task;
+  d.len <- d.len + 1
+
+let dq_pop_back d =
+  if d.len = 0 then None
+  else begin
+    let cap = Array.length d.buf in
+    let i = (d.head + d.len - 1) mod cap in
+    let task = d.buf.(i) in
+    d.buf.(i) <- (fun () -> ());
+    d.len <- d.len - 1;
+    Some task
+  end
+
+(* Take [k] tasks from the front (oldest end), front-most first. *)
+let dq_take_front d k =
+  let cap = Array.length d.buf in
+  let taken = ref [] in
+  for _ = 1 to k do
+    if d.len > 0 then begin
+      taken := d.buf.(d.head) :: !taken;
+      d.buf.(d.head) <- (fun () -> ());
+      d.head <- (d.head + 1) mod cap;
+      d.len <- d.len - 1
+    end
+  done;
+  List.rev !taken
+
+(* ---- submission ---- *)
+
+let wake t =
+  Mutex.lock t.m;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.m
+
+let push_inject t task =
   Mutex.lock t.m;
   if t.stop then begin
     Mutex.unlock t.m;
     invalid_arg "Pool.submit: pool is shut down"
   end;
-  Queue.push task t.queue;
+  Queue.push task t.inject;
+  Atomic.incr t.queued;
   Condition.signal t.nonempty;
   Mutex.unlock t.m
+
+let push_worker t wid task =
+  let d = t.deques.(wid) in
+  Mutex.lock d.dm;
+  dq_push_back d task;
+  Atomic.incr t.queued;
+  Mutex.unlock d.dm;
+  wake t
+
+let enqueue t task =
+  let puid, wid = Domain.DLS.get dls_wid in
+  if puid = t.uid && wid >= 0 then push_worker t wid task else push_inject t task
+
+(* ---- claiming: flip a task from queued to active ----
+
+   Ordered so observers never see it as neither: [active] is bumped while
+   the task is still counted in [queued], then [queued] is released. *)
+
+let claim t =
+  Mutex.lock t.m;
+  t.active <- t.active + 1;
+  Mutex.unlock t.m;
+  Atomic.decr t.queued
 
 let finish_one t =
   Mutex.lock t.m;
   t.active <- t.active - 1;
-  if t.active = 0 && Queue.is_empty t.queue then Condition.broadcast t.idle;
+  if t.active = 0 && Atomic.get t.queued = 0 then Condition.broadcast t.idle;
   Mutex.unlock t.m
 
-let try_run_one t =
+(* ---- taking work ---- *)
+
+let take_own t wid =
+  let d = t.deques.(wid) in
+  Mutex.lock d.dm;
+  match dq_pop_back d with
+  | Some task ->
+    claim t;
+    Mutex.unlock d.dm;
+    Some task
+  | None ->
+    Mutex.unlock d.dm;
+    None
+
+let take_inject t =
   Mutex.lock t.m;
-  if Queue.is_empty t.queue then begin
+  if Queue.is_empty t.inject then begin
     Mutex.unlock t.m;
-    false
+    None
   end
   else begin
-    let task = Queue.pop t.queue in
+    let task = Queue.pop t.inject in
     t.active <- t.active + 1;
     Mutex.unlock t.m;
-    task ();
-    finish_one t;
-    true
+    Atomic.decr t.queued;
+    Some task
   end
 
+(* Steal from some sibling deque, round-robin from [thief + 1].  Takes the
+   oldest [ceil (len / 2)] tasks in one victim-lock acquisition; the first
+   is claimed and returned to run now, the surplus is re-queued — onto the
+   thief's own deque when the thief is a worker, back via the inject queue
+   for a helping external domain (which owns no deque). *)
+let steal t ~thief =
+  let nw = Array.length t.deques in
+  let rec go tried =
+    if tried >= nw then None
+    else begin
+      let v = (thief + 1 + tried) mod nw in
+      if v = thief then go (tried + 1)
+      else begin
+        let d = t.deques.(v) in
+        Mutex.lock d.dm;
+        let k = (d.len + 1) / 2 in
+        let taken = if k = 0 then [] else dq_take_front d k in
+        Mutex.unlock d.dm;
+        match taken with
+        | [] -> go (tried + 1)
+        | task :: surplus ->
+          Atomic.incr t.n_steals;
+          ignore (Atomic.fetch_and_add t.n_stolen (List.length taken));
+          (if surplus <> [] then
+             if thief >= 0 then begin
+               let own = t.deques.(thief) in
+               Mutex.lock own.dm;
+               List.iter (dq_push_back own) surplus;
+               Mutex.unlock own.dm;
+               wake t
+             end
+             else begin
+               (* external helper: hand the surplus back for anyone *)
+               Mutex.lock t.m;
+               List.iter (fun task -> Queue.push task t.inject) surplus;
+               Condition.broadcast t.nonempty;
+               Mutex.unlock t.m
+             end);
+          claim t;
+          Some task
+      end
+    end
+  in
+  if nw = 0 then None else go 0
+
+let find_task t wid =
+  match take_own t wid with
+  | Some _ as r -> r
+  | None -> (
+    match take_inject t with
+    | Some _ as r -> r
+    | None -> steal t ~thief:wid)
+
+(* ---- execution lanes ---- *)
+
+let run_task t lane task =
+  let t0 = Metrics.now () in
+  task ();
+  t.busy.(lane) <- t.busy.(lane) +. (Metrics.now () -. t0);
+  t.ran.(lane) <- t.ran.(lane) + 1;
+  finish_one t
+
 let rec worker t wid =
-  Mutex.lock t.m;
-  while Queue.is_empty t.queue && not t.stop do
-    Condition.wait t.nonempty t.m
-  done;
-  if Queue.is_empty t.queue then Mutex.unlock t.m (* stop, queue drained *)
-  else begin
-    let task = Queue.pop t.queue in
-    t.active <- t.active + 1;
-    Mutex.unlock t.m;
+  match find_task t wid with
+  | Some task ->
     let a0 = Gc.allocated_bytes () in
-    task ();
+    run_task t wid task;
     t.alloc.(wid) <- t.alloc.(wid) +. (Gc.allocated_bytes () -. a0);
-    finish_one t;
     worker t wid
-  end
+  | None ->
+    Mutex.lock t.m;
+    while Atomic.get t.queued = 0 && not t.stop do
+      Condition.wait t.nonempty t.m
+    done;
+    let quit = t.stop && Atomic.get t.queued = 0 in
+    Mutex.unlock t.m;
+    if not quit then worker t wid
+
+let effective_jobs jobs =
+  max 1 (min jobs (Domain.recommended_domain_count ()))
 
 let create ?log ~jobs () =
   let jobs = max 1 jobs in
@@ -99,23 +294,53 @@ let create ?log ~jobs () =
   let t =
     {
       jobs;
+      uid = Atomic.fetch_and_add pool_uids 1;
       log;
-      queue = Queue.create ();
+      inject = Queue.create ();
+      deques =
+        Array.init n_workers (fun _ ->
+            { dm = Mutex.create (); buf = Array.make 32 (fun () -> ()); head = 0; len = 0 });
       m = Mutex.create ();
       nonempty = Condition.create ();
       idle = Condition.create ();
+      queued = Atomic.make 0;
       active = 0;
       stop = false;
       domains = [||];
       alloc = Array.make (max 1 n_workers) 0.0;
+      busy = Array.make (n_workers + 1) 0.0;
+      ran = Array.make (n_workers + 1) 0;
+      n_steals = Atomic.make 0;
+      n_stolen = Atomic.make 0;
+      published = Atomic.make false;
     }
   in
-  t.domains <- Array.init n_workers (fun wid -> Domain.spawn (fun () -> worker t wid));
+  t.domains <-
+    Array.init n_workers (fun wid ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set dls_wid (t.uid, wid);
+            worker t wid));
   t
 
 let submit t task =
   let task = guard t task in
   if t.jobs <= 1 then task () else enqueue t task
+
+(* The helper lane (the submitting domain lending itself): takes from the
+   inject queue first, then steals.  Used by {!parallel_map} and by the
+   {!Sched} drive loop. *)
+let try_run_one t =
+  let lane = Array.length t.deques in
+  match take_inject t with
+  | Some task ->
+    run_task t lane task;
+    true
+  | None -> (
+    match steal t ~thief:(-1) with
+    | Some task ->
+      run_task t lane task;
+      true
+    | None -> false)
 
 let parallel_map (type a b) t (f : a -> b) (arr : a array) : b option array =
   let n = Array.length arr in
@@ -141,7 +366,7 @@ let parallel_map (type a b) t (f : a -> b) (arr : a array) : b option array =
       Mutex.unlock m
     in
     for i = 0 to n - 1 do enqueue t (run i) done;
-    (* The caller is one of the [jobs] lanes: help drain the queue, then
+    (* The caller is one of the [jobs] lanes: help drain the queues, then
        wait for stragglers still running on workers. *)
     while try_run_one t do () done;
     Mutex.lock m;
@@ -153,10 +378,30 @@ let parallel_map (type a b) t (f : a -> b) (arr : a array) : b option array =
 let wait_idle t =
   if t.jobs > 1 then begin
     Mutex.lock t.m;
-    while not (Queue.is_empty t.queue && t.active = 0) do
+    while not (Atomic.get t.queued = 0 && t.active = 0) do
       Condition.wait t.idle t.m
     done;
     Mutex.unlock t.m
+  end
+
+type steal_stats = { steals : int; stolen_tasks : int; helper_tasks : int }
+
+let steal_stats t =
+  {
+    steals = Atomic.get t.n_steals;
+    stolen_tasks = Atomic.get t.n_stolen;
+    helper_tasks = t.ran.(Array.length t.deques);
+  }
+
+(* Scheduling observability (DESIGN.md §4.15): lifetime counters, folded
+   into the registry at shutdown so [--metrics-json] reports how the run
+   was load-balanced.  Purely observational — never read by the analysis. *)
+let publish_obs t =
+  if Obs.metrics_on () && not (Atomic.exchange t.published true) then begin
+    Obs.add (Obs.counter "par.steals") (Atomic.get t.n_steals);
+    Obs.add (Obs.counter "par.stolen_tasks") (Atomic.get t.n_stolen);
+    Obs.add (Obs.counter "par.tasks") (Array.fold_left ( + ) 0 t.ran);
+    Obs.set_gauge (Obs.gauge "par.busy_s") (Obs.Agg.sum_f t.busy)
   end
 
 let shutdown t =
@@ -167,7 +412,10 @@ let shutdown t =
     t.stop <- true;
     Condition.broadcast t.nonempty;
     Mutex.unlock t.m;
-    if not already then Array.iter Domain.join t.domains
+    if not already then begin
+      Array.iter Domain.join t.domains;
+      publish_obs t
+    end
   end
 
 let with_pool ?log ~jobs f =

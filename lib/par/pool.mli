@@ -1,8 +1,9 @@
-(** A fixed-size pool of worker domains.
+(** A fixed-size, work-stealing pool of worker domains.
 
-    The parallel runtime of the analysis (DESIGN.md §4.9): [Analysis],
-    [Transform], [Rv] and [Engine] hand their per-function / per-SCC /
-    per-source task units to a pool instead of running them inline.
+    The parallel runtime of the analysis (DESIGN.md §4.9, §4.15):
+    [Analysis], [Transform], [Rv] and [Engine] hand their per-chunk /
+    per-SCC-batch / per-source task units to a pool instead of running
+    them inline.
 
     Design points:
 
@@ -10,6 +11,14 @@
       the task on the calling domain immediately.  The sequential pipeline
       is therefore exactly the code path exercised by a 1-core run, and
       [--jobs 1] is byte-for-byte the historical behaviour.
+    - {b work stealing}: each worker owns a deque; tasks submitted from a
+      worker go to its own deque (uncontended in the common case) and a
+      dry worker steals the oldest half of a sibling's deque in one lock
+      acquisition.  External submissions land on a shared inject queue.
+      Stealing only changes {e which lane} runs a task, never the result:
+      all stages that use the pool merge in deterministic (positional or
+      program) order, so reports and stats are byte-identical at any
+      [--jobs] level regardless of the steal schedule.
     - {b exception capture}: a task that escapes its own barriers never
       kills a worker.  The exception is recorded as a [Par_task] incident
       on the pool's {!Pinpoint_util.Resilience.log} (when one is attached
@@ -30,8 +39,20 @@ val create : ?log:Pinpoint_util.Resilience.log -> jobs:int -> unit -> t
 val jobs : t -> int
 (** The configured concurrency level (>= 1). *)
 
+val effective_jobs : int -> int
+(** [effective_jobs jobs] caps a requested [--jobs] level at the host's
+    recommended domain count.  Spawning more domains than cores cannot
+    run more work concurrently — it only adds stop-the-world GC barrier
+    and scheduling cost — and results are identical at every level, so
+    the CLI and benchmarks create pools at this capped width.  Tests
+    that deliberately oversubscribe call {!with_pool} directly. *)
+
 val set_log : t -> Pinpoint_util.Resilience.log option -> unit
 (** Attach (or detach) the incident log that receives [Par_task] records. *)
+
+val incident_log : t -> Pinpoint_util.Resilience.log option
+(** The currently attached log, if any — {!Chunk} records its per-item
+    failures on the same log. *)
 
 val submit : t -> (unit -> unit) -> unit
 (** Enqueue a fire-and-forget task.  Exceptions it raises are captured and
@@ -63,3 +84,21 @@ val with_pool :
 val allocated_bytes : t -> float
 (** Total bytes allocated by the worker domains so far (excluding the
     submitting domain, which [Gc.allocated_bytes] already covers). *)
+
+type steal_stats = {
+  steals : int;  (** successful steal operations (victim deque non-empty) *)
+  stolen_tasks : int;  (** tasks that changed lanes via a steal *)
+  helper_tasks : int;  (** tasks executed by helping external domains *)
+}
+
+val steal_stats : t -> steal_stats
+(** Lifetime load-balancing counters.  Observational only: the steal
+    schedule never affects analysis results.  Also published to the
+    [par.*] Obs counters at {!shutdown} when metrics are on. *)
+
+val publish_obs : t -> unit
+(** Fold the [par.*] counters and [par.busy_s] gauge into the Obs
+    registry now (no-op when metrics are off).  Idempotent — {!shutdown}
+    calls it too, so callers that export metrics before the pool dies
+    (the CLI writes [--metrics-json] inside the pool's scope) publish
+    once and the shutdown call becomes a no-op. *)

@@ -6,83 +6,134 @@ module Digraph = Pinpoint_util.Digraph
    condensation into a dependency-counted DAG and releases a component to
    the pool the moment its last callee component completes — a rolling
    bottom-up wave rather than lock-step levels, so one slow component only
-   delays the components that actually depend on it. *)
+   delays the components that actually depend on it.
+
+   Batching (DESIGN.md §4.15): components that become ready {e at the same
+   time} are mutually independent — [pending.(c)] counts unfinished callee
+   components, so if two components both hit zero before either has run,
+   neither can depend on the other.  A simultaneous release set can
+   therefore be partitioned into batches that one task processes
+   back-to-back: per-function task overhead and per-component table
+   locking amortize over the batch, and {!Chunk.plan} sizes the batches by
+   component weight so a ragged wave still overpartitions enough for the
+   pool's work stealing to balance it. *)
+
+(* Shared core: run the condensation DAG, releasing simultaneously-ready
+   components through [batches_of] (identity-per-component for the classic
+   entry point).  [f] receives one batch of component member-lists. *)
+let run_dag pool (g : Digraph.t) ~(batches_of : int array -> int list -> int list list)
+    (f : int list list -> unit) =
+  let comps = Array.of_list (Digraph.sccs g) in
+  let nc = Array.length comps in
+  if nc > 0 then begin
+    let comp_of = Array.make (Digraph.n_nodes g) (-1) in
+    Array.iteri
+      (fun ci members -> List.iter (fun v -> comp_of.(v) <- ci) members)
+      comps;
+    (* Caller comp [cu] waits on callee comp [cv] for every distinct
+       cross-component edge u -> v. *)
+    let pending = Array.make nc 0 in
+    let dependents = Array.make nc [] in
+    let seen = Hashtbl.create 256 in
+    Digraph.iter_edges g (fun u v ->
+        let cu = comp_of.(u) and cv = comp_of.(v) in
+        if cu >= 0 && cv >= 0 && cu <> cv && not (Hashtbl.mem seen (cu, cv))
+        then begin
+          Hashtbl.add seen (cu, cv) ();
+          pending.(cu) <- pending.(cu) + 1;
+          dependents.(cv) <- cu :: dependents.(cv)
+        end);
+    let sizes = Array.map List.length comps in
+    let m = Mutex.create () in
+    let progress = Condition.create () in
+    let completed = ref 0 in
+    let rec launch batch =
+      Pool.submit pool (fun () ->
+          Fun.protect
+            ~finally:(fun () -> complete batch)
+            (fun () -> f (List.map (fun ci -> comps.(ci)) batch)))
+    and complete batch =
+      let ready = ref [] in
+      Mutex.lock m;
+      completed := !completed + List.length batch;
+      List.iter
+        (fun ci ->
+          List.iter
+            (fun cu ->
+              pending.(cu) <- pending.(cu) - 1;
+              if pending.(cu) = 0 then ready := cu :: !ready)
+            dependents.(ci))
+        batch;
+      Condition.broadcast progress;
+      Mutex.unlock m;
+      (* Launch outside the lock: submit may run the task inline. *)
+      List.iter launch (batches_of sizes (List.sort compare !ready))
+    in
+    (* Snapshot the leaves BEFORE submitting anything: once the first
+       task is enqueued, workers start completing components and
+       cascade-launching their dependents concurrently — re-reading
+       [pending.(ci)] here would race with those decrements and could
+       launch a cascade-released component a second time.  A structural
+       leaf (pending = 0 from the graph alone) can never be released by
+       [complete], so the snapshot set and the cascade set are disjoint. *)
+    let leaves = ref [] in
+    for ci = nc - 1 downto 0 do
+      if pending.(ci) = 0 then leaves := ci :: !leaves
+    done;
+    List.iter launch (batches_of sizes !leaves);
+    (* Drive: the caller helps execute queued components; when the queue
+       is empty it blocks until some in-flight component completes (which
+       may release new ones). *)
+    let rec drive () =
+      let done_ = Mutex.protect m (fun () -> !completed >= nc) in
+      if not done_ then
+        if Pool.try_run_one pool then drive ()
+        else begin
+          Mutex.lock m;
+          let c0 = !completed in
+          while !completed = c0 && !completed < nc do
+            Condition.wait progress m
+          done;
+          Mutex.unlock m;
+          drive ()
+        end
+    in
+    drive ()
+  end
 
 let run_bottom_up pool (g : Digraph.t) (f : int list -> unit) =
   let comps = Digraph.sccs g in
   if Pool.jobs pool <= 1 then List.iter f comps
+  else
+    run_dag pool g
+      ~batches_of:(fun _sizes ready -> List.map (fun ci -> [ ci ]) ready)
+      (fun batch -> List.iter f batch)
+
+let run_bottom_up_batched ?weights pool (g : Digraph.t)
+    (f : int list list -> unit) =
+  let comps = Digraph.sccs g in
+  if Pool.jobs pool <= 1 then List.iter (fun c -> f [ c ]) comps
   else begin
-    let comps = Array.of_list comps in
-    let nc = Array.length comps in
-    if nc > 0 then begin
-      let comp_of = Array.make (Digraph.n_nodes g) (-1) in
-      Array.iteri
-        (fun ci members -> List.iter (fun v -> comp_of.(v) <- ci) members)
-        comps;
-      (* Caller comp [cu] waits on callee comp [cv] for every distinct
-         cross-component edge u -> v. *)
-      let pending = Array.make nc 0 in
-      let dependents = Array.make nc [] in
-      let seen = Hashtbl.create 256 in
-      Digraph.iter_edges g (fun u v ->
-          let cu = comp_of.(u) and cv = comp_of.(v) in
-          if cu >= 0 && cv >= 0 && cu <> cv && not (Hashtbl.mem seen (cu, cv))
-          then begin
-            Hashtbl.add seen (cu, cv) ();
-            pending.(cu) <- pending.(cu) + 1;
-            dependents.(cv) <- cu :: dependents.(cv)
-          end);
-      let m = Mutex.create () in
-      let progress = Condition.create () in
-      let completed = ref 0 in
-      let rec launch ci =
-        Pool.submit pool (fun () ->
-            Fun.protect
-              ~finally:(fun () -> complete ci)
-              (fun () -> f comps.(ci)))
-      and complete ci =
-        let ready = ref [] in
-        Mutex.lock m;
-        incr completed;
-        List.iter
-          (fun cu ->
-            pending.(cu) <- pending.(cu) - 1;
-            if pending.(cu) = 0 then ready := cu :: !ready)
-          dependents.(ci);
-        Condition.broadcast progress;
-        Mutex.unlock m;
-        (* Launch outside the lock: submit may run the task inline. *)
-        List.iter launch (List.sort compare !ready)
-      in
-      (* Snapshot the leaves BEFORE submitting anything: once the first
-         task is enqueued, workers start completing components and
-         cascade-launching their dependents concurrently — re-reading
-         [pending.(ci)] here would race with those decrements and could
-         launch a cascade-released component a second time.  A structural
-         leaf (pending = 0 from the graph alone) can never be released by
-         [complete], so the snapshot set and the cascade set are disjoint. *)
-      let leaves = ref [] in
-      for ci = nc - 1 downto 0 do
-        if pending.(ci) = 0 then leaves := ci :: !leaves
-      done;
-      List.iter launch !leaves;
-      (* Drive: the caller helps execute queued components; when the queue
-         is empty it blocks until some in-flight component completes (which
-         may release new ones). *)
-      let rec drive () =
-        let done_ = Mutex.protect m (fun () -> !completed >= nc) in
-        if not done_ then
-          if Pool.try_run_one pool then drive ()
-          else begin
-            Mutex.lock m;
-            let c0 = !completed in
-            while !completed = c0 && !completed < nc do
-              Condition.wait progress m
-            done;
-            Mutex.unlock m;
-            drive ()
-          end
-      in
-      drive ()
-    end
+    (* Per-component weight: member count, or the summed node weights
+       (statement counts) when the caller knows them. *)
+    let comp_weight sizes members ci =
+      match weights with
+      | None -> sizes.(ci)
+      | Some w -> List.fold_left (fun acc v -> acc + w.(v)) 0 members
+    in
+    let comps_arr = Array.of_list comps in
+    run_dag pool g
+      ~batches_of:(fun sizes ready ->
+        match ready with
+        | [] -> []
+        | [ ci ] -> [ [ ci ] ]
+        | _ ->
+          let arr = Array.of_list ready in
+          let ws =
+            Array.map (fun ci -> comp_weight sizes comps_arr.(ci) ci) arr
+          in
+          Chunk.plan ~jobs:(Pool.jobs pool) ~weights:ws (Array.length arr)
+          |> List.map (fun (start, len) ->
+                 Array.to_list (Array.sub arr start len)))
+      f
   end

@@ -25,11 +25,60 @@ let quasi_pruning = ref true
 let n_kept = Atomic.make 0
 let n_pruned = Atomic.make 0
 
+(* Row-level difference propagation (DESIGN.md §4.15).  The dominant PTA
+   cost is re-classifying conditional points-to rows whose condition was
+   already classified: or-merged and φ-gated conditions recur across
+   statements, blocks and both PTA passes of a function (and across
+   functions for the ubiquitous gate shapes), and [Lin.check] is a pure
+   function of the hash-consed formula, so a row whose condition id was
+   seen before needs no linear solve at all — only {e changed} rows are
+   reprocessed.  The memo is sharded like the qcache so parallel transform
+   tasks don't contend; hash-cons ids are never reused (even under the
+   weak table's eviction) so a cached verdict can never be wrong, and the
+   kept/pruned counters are bumped on hits exactly as on misses — stats
+   stay byte-identical with the memo on or off, at any [--jobs]. *)
+let diff_propagation = ref true
+
+let memo_shards = 16
+
+let memo : (int, bool) Hashtbl.t array =
+  Array.init memo_shards (fun _ -> Hashtbl.create 512)
+
+let memo_locks = Array.init memo_shards (fun _ -> Mutex.create ())
+let n_row_hits = Atomic.make 0
+let n_row_misses = Atomic.make 0
+
 let stats_sat_conditions () = (Atomic.get n_kept, Atomic.get n_pruned)
+let stats_rows () = (Atomic.get n_row_hits, Atomic.get n_row_misses)
 
 let reset_stats () =
   Atomic.set n_kept 0;
-  Atomic.set n_pruned 0
+  Atomic.set n_pruned 0;
+  Atomic.set n_row_hits 0;
+  Atomic.set n_row_misses 0
+
+(* [Lin.check cond = Maybe], through the verdict memo. *)
+let lin_feasible cond =
+  if not !diff_propagation then
+    match Lin.check cond with Lin.Unsat -> false | Lin.Maybe -> true
+  else begin
+    let id = cond.E.id in
+    let s = (id land max_int) mod memo_shards in
+    let cached =
+      Mutex.protect memo_locks.(s) (fun () -> Hashtbl.find_opt memo.(s) id)
+    in
+    match cached with
+    | Some b ->
+      Atomic.incr n_row_hits;
+      b
+    | None ->
+      Atomic.incr n_row_misses;
+      let b =
+        match Lin.check cond with Lin.Unsat -> false | Lin.Maybe -> true
+      in
+      Mutex.protect memo_locks.(s) (fun () -> Hashtbl.replace memo.(s) id b);
+      b
+  end
 
 let feasible cond =
   if E.is_false cond then begin
@@ -41,14 +90,14 @@ let feasible cond =
     Atomic.incr n_kept;
     true
   end
-  else
-    match Lin.check cond with
-    | Lin.Unsat ->
-      Atomic.incr n_pruned;
-      false
-    | Lin.Maybe ->
-      Atomic.incr n_kept;
-      true
+  else if lin_feasible cond then begin
+    Atomic.incr n_kept;
+    true
+  end
+  else begin
+    Atomic.incr n_pruned;
+    false
+  end
 
 let operand_equal a b =
   match (a, b) with
@@ -490,6 +539,22 @@ let run ?(discover = true) (f : Func.t) : t =
     mods = List.sort compare ctx.mods;
     freed_cells = ctx.freed;
   }
+
+(* Cumulative PTA busy time, summed across domains (so at jobs > 1 it can
+   exceed the wall clock of the transform phase that hosts it).  Feeds the
+   per-stage columns of [bench par]; never read by the analysis. *)
+let cum_lock = Mutex.create ()
+let cum_wall_s = ref 0.0
+let cumulative_wall_s () = Mutex.protect cum_lock (fun () -> !cum_wall_s)
+let reset_cumulative_wall () = Mutex.protect cum_lock (fun () -> cum_wall_s := 0.0)
+
+let run ?discover f =
+  let t0 = Pinpoint_util.Metrics.now () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Pinpoint_util.Metrics.now () -. t0 in
+      Mutex.protect cum_lock (fun () -> cum_wall_s := !cum_wall_s +. dt))
+    (fun () -> run ?discover f)
 
 let pts_of (t : t) v =
   match Var.Tbl.find_opt t.pts v with Some p -> p | None -> []

@@ -1,0 +1,45 @@
+(** Whole-program inclusion-constraint (Andersen-style) wavefront solver
+    with difference propagation and SCC-partitioned parallel waves
+    (DESIGN.md §4.15).
+
+    The constraint system's solution is the least fixpoint of a monotone
+    function on a finite lattice, so every solving mode — the textbook
+    full-set worklist, sequential difference propagation, or parallel
+    SCC-partitioned waves at any [--jobs] — produces {e identical}
+    points-to sets; only the amount of work differs.  {!solve_full} is
+    kept as the oracle the unit tests compare the other modes against.
+    {!Pinpoint_baselines.Andersen} generates its constraints into a {!sys}
+    and delegates solving here. *)
+
+module ISet : Set.S with type elt = int
+
+type sys = {
+  n_nodes : int;
+  obj_mem : int array;  (** object id -> content node *)
+  copy : ISet.t array;
+      (** static copy edges [pts(src) ⊆ pts(dst)]; not mutated by solve *)
+  loads : int list array;
+      (** [dst ∈ loads.(p)]: for each [o ∈ pts(p)], [pts(dst) ⊇ pts(mem o)] *)
+  stores : int list array;
+      (** [src ∈ stores.(p)]: for each [o ∈ pts(p)], [pts(mem o) ⊇ pts(src)] *)
+  init : (int * int) list;  (** initial [(node, object)] memberships *)
+}
+
+type result = {
+  pts : ISet.t array;  (** the least fixpoint (per node, object ids) *)
+  iterations : int;  (** node processings (work metric, mode-dependent) *)
+  rounds : int;  (** wave barriers (parallel mode; 0 sequentially) *)
+  timed_out : bool;
+      (** deadline hit: [pts] is then a partial under-approximation *)
+}
+
+val solve :
+  ?deadline:Pinpoint_util.Metrics.deadline ->
+  ?pool:Pinpoint_par.Pool.t ->
+  ?diff:bool ->
+  sys ->
+  result
+(** Solve to the least fixpoint.  With [pool] (and more than one job):
+    SCC-partitioned parallel waves with per-task delta outboxes exchanged
+    at wave barriers.  Otherwise sequential: difference propagation by
+    default, or the textbook full-set worklist with [~diff:false]. *)

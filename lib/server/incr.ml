@@ -33,6 +33,8 @@ module Transform = Pinpoint_transform.Transform
 module Rv = Pinpoint_summary.Rv
 module Vf = Pinpoint_summary.Vf
 module Store = Pinpoint_store.Store
+module Pool = Pinpoint_par.Pool
+module Chunk = Pinpoint_par.Chunk
 
 type state = {
   resilience : Resilience.log;
@@ -325,30 +327,59 @@ let update (st : state) (changed : (string * string) list) : update_stats =
         Transform.update ~resilience:st.resilience
           ~pta_sink:(Store.put_pta store) st.transform st.prog ~dirty
       | None ->
-        Transform.update ~resilience:st.resilience st.transform st.prog ~dirty);
+        Transform.update ~resilience:st.resilience ?pool:st.pool st.transform
+          st.prog ~dirty);
       let dirty_funcs =
         List.filter (fun (f : Func.t) -> dirty f.Func.fname)
           (Prog.functions st.prog)
       in
       List.iter force_symbols_of dirty_funcs;
       Seg.reserve_addresses dirty_funcs;
-      List.iter
-        (fun (f : Func.t) ->
-          let pta =
-            match st.store with
-            | Some store -> Store.pta_of store f.Func.fname
-            | None -> Hashtbl.find_opt st.transform.Transform.ptas f.Func.fname
-          in
-          match pta with
-          | Some pta -> (
-            match Pinpoint.Analysis.build_seg st.resilience f pta with
-            | Some seg -> (
-              match st.store with
-              | Some store -> Store.put_seg store f.Func.fname seg
-              | None -> Hashtbl.replace st.segs f.Func.fname seg)
+      (* Rebuild the dirty SEGs, mirroring batch prepare: streaming in
+         store mode (artifact puts are sequential), chunked over the pool
+         otherwise — builds are per-function pure, the table writes below
+         happen positionally on this thread, so results are identical at
+         any [--jobs]. *)
+      (match st.store with
+      | Some store ->
+        List.iter
+          (fun (f : Func.t) ->
+            match Store.pta_of store f.Func.fname with
+            | Some pta -> (
+              match Pinpoint.Analysis.build_seg st.resilience f pta with
+              | Some seg -> Store.put_seg store f.Func.fname seg
+              | None -> ())
             | None -> ())
-          | None -> ())
-        dirty_funcs;
+          dirty_funcs
+      | None ->
+        let dirty_arr = Array.of_list dirty_funcs in
+        let build (f : Func.t) =
+          match Hashtbl.find_opt st.transform.Transform.ptas f.Func.fname with
+          | Some pta -> Pinpoint.Analysis.build_seg st.resilience f pta
+          | None -> None
+        in
+        let built =
+          match st.pool with
+          | Some p when Pool.jobs p > 1 ->
+            let weights =
+              Array.map
+                (fun (f : Func.t) ->
+                  let n = ref 0 in
+                  Func.iter_blocks f (fun blk ->
+                      n := !n + List.length blk.Func.stmts);
+                  !n)
+                dirty_arr
+            in
+            Chunk.parallel_map ~weights p build dirty_arr
+          | _ -> Array.map (fun f -> Some (build f)) dirty_arr
+        in
+        Array.iteri
+          (fun i r ->
+            match r with
+            | Some (Some seg) ->
+              Hashtbl.replace st.segs dirty_arr.(i).Func.fname seg
+            | _ -> ())
+          built);
       Rv.update ~resilience:st.resilience st.rv st.prog ~dirty;
       let seg_of = seg_of st in
       Hashtbl.iter

@@ -25,6 +25,8 @@
    per-hit allocation.  Eviction only ever forgets a verdict (the next
    identical query recomputes it), so caps never change reports. *)
 
+module Obs = Pinpoint_obs.Obs
+
 type entry = Cached_sat of (Expr.t * bool) list | Cached_unsat
 
 let n_shards = 16
@@ -68,17 +70,90 @@ let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
 let set_enabled b = Atomic.set enabled_flag b
 
-(* Lifetime counters (process-wide): inserts and clock evictions.  These
-   feed the server's status report and the [qcache.*] observability
-   gauges. *)
+(* Lifetime counters (process-wide): probes, inserts and clock evictions.
+   These feed the server's status report and the [qcache.*] observability
+   counters/gauges. *)
 let n_evictions = Atomic.make 0
 let n_inserts = Atomic.make 0
+let n_probes = Atomic.make 0
 
 let shard_of (e : Expr.t) = shards.((e.Expr.id land max_int) mod n_shards)
 
+(* Near-miss accounting (metrics-level only).  The cache key is the
+   hash-cons id, so two formulas over the same comparison atoms but with
+   different boolean structure never hit each other.  Groups of probed
+   formulas sharing an atom multiset but not an id are "near misses":
+   they bound what a structure-normalising cache key could recover.
+   Keyed by a hash of the sorted atom-id multiset, so distinct multisets
+   can in principle collide — fine for a diagnostic. *)
+type nm = { nm_atoms : int; mutable nm_ids : int list; mutable nm_probes : int }
+
+let nm_lock = Mutex.create ()
+let nm_tbl : (int, nm) Hashtbl.t = Hashtbl.create 256
+let nm_max_groups = 1 lsl 14
+let nm_max_ids = 16
+
+let atom_signature (e : Expr.t) =
+  let ids =
+    List.sort compare (List.map (fun (a : Expr.t) -> a.Expr.id) (Expr.atoms e))
+  in
+  let h = List.fold_left (fun h i -> (h * 1000003) lxor i) 0x9e3779b9 ids in
+  ((h land max_int), List.length ids)
+
+let note_probe (e : Expr.t) =
+  let sg, n_atoms = atom_signature e in
+  Mutex.protect nm_lock (fun () ->
+      match Hashtbl.find_opt nm_tbl sg with
+      | Some r ->
+        r.nm_probes <- r.nm_probes + 1;
+        if
+          (not (List.mem e.Expr.id r.nm_ids))
+          && List.length r.nm_ids < nm_max_ids
+        then r.nm_ids <- e.Expr.id :: r.nm_ids
+      | None ->
+        if Hashtbl.length nm_tbl < nm_max_groups then
+          Hashtbl.add nm_tbl sg
+            { nm_atoms = n_atoms; nm_ids = [ e.Expr.id ]; nm_probes = 1 })
+
+type near_miss = {
+  signature : int;
+  atoms : int;
+  ids : int list;  (** distinct formula ids probed, ascending (capped) *)
+  probes : int;
+}
+
+let near_misses ?(top_k = 10) () =
+  let groups =
+    Mutex.protect nm_lock (fun () ->
+        Hashtbl.fold
+          (fun sg r acc ->
+            if List.length r.nm_ids >= 2 then
+              {
+                signature = sg;
+                atoms = r.nm_atoms;
+                ids = List.sort compare r.nm_ids;
+                probes = r.nm_probes;
+              }
+              :: acc
+            else acc)
+          nm_tbl [])
+  in
+  List.sort
+    (fun a b ->
+      match compare b.probes a.probes with
+      | 0 -> compare a.signature b.signature
+      | c -> c)
+    groups
+  |> List.filteri (fun i _ -> i < top_k)
+
 let find (e : Expr.t) : entry option =
   if not (enabled ()) then None
-  else
+  else begin
+    Atomic.incr n_probes;
+    if Obs.metrics_on () then begin
+      Obs.add (Obs.counter "qcache.n_probe") 1;
+      note_probe e
+    end;
     let s = shard_of e in
     Mutex.protect s.lock (fun () ->
         match Hashtbl.find_opt s.tbl e.Expr.id with
@@ -86,6 +161,7 @@ let find (e : Expr.t) : entry option =
           slot.referenced <- true;
           Some slot.entry
         | None -> None)
+  end
 
 (* Find the ring position to (re)use for a new slot: a free position if one
    exists, otherwise sweep the clock hand over reference bits until a cold
@@ -129,6 +205,7 @@ let add (e : Expr.t) (entry : entry) : unit =
           ()
         | None ->
           Atomic.incr n_inserts;
+          if Obs.metrics_on () then Obs.add (Obs.counter "qcache.n_insert") 1;
           let slot = { key = e.Expr.id; entry; referenced = false } in
           if s.cap = max_int then Hashtbl.replace s.tbl e.Expr.id slot
           else begin
@@ -186,7 +263,13 @@ let length () =
     (fun acc s -> acc + Mutex.protect s.lock (fun () -> Hashtbl.length s.tbl))
     0 shards
 
-type stats = { entries : int; cap : int option; evictions : int; inserts : int }
+type stats = {
+  entries : int;
+  cap : int option;
+  evictions : int;
+  inserts : int;
+  probes : int;
+}
 
 let stats () =
   {
@@ -194,4 +277,18 @@ let stats () =
     cap = capacity ();
     evictions = Atomic.get n_evictions;
     inserts = Atomic.get n_inserts;
+    probes = Atomic.get n_probes;
   }
+
+(* Contribute the near-miss table to [--metrics-json] (top groups of
+   structurally distinct formulas sharing an atom multiset). *)
+let () =
+  Obs.register_json_section "qcache_near_misses" (fun () ->
+      let row n =
+        Printf.sprintf
+          "{\"signature\": %d, \"atoms\": %d, \"distinct_formulas\": %d, \
+           \"probes\": %d, \"ids\": [%s]}"
+          n.signature n.atoms (List.length n.ids) n.probes
+          (String.concat ", " (List.map string_of_int n.ids))
+      in
+      "[" ^ String.concat ", " (List.map row (near_misses ~top_k:10 ())) ^ "]")

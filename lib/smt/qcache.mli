@@ -61,9 +61,31 @@ type stats = {
   cap : int option;     (** configured capacity *)
   evictions : int;      (** clock evictions since process start *)
   inserts : int;        (** inserts since process start *)
+  probes : int;         (** [find] calls while enabled, process-wide *)
 }
 
 val stats : unit -> stats
-(** Lifetime cache statistics (process-wide; eviction/insert counters are
-    monotonic and survive {!clear}).  Published as [qcache.*] gauges by
-    {!Solver.obs_publish}. *)
+(** Lifetime cache statistics (process-wide; the counters are monotonic
+    and survive {!clear}).  Published as [qcache.*] gauges by
+    {!Solver.obs_publish}; when metrics are on, every probe/insert also
+    bumps the [qcache.n_probe] / [qcache.n_insert] Obs counters. *)
+
+(** {1 Near misses}
+
+    The cache key is the hash-cons id, so two formulas over the same
+    comparison atoms but with different boolean structure never hit each
+    other.  When metrics are on, probes are additionally grouped by the
+    multiset of their atom ids; groups holding two or more distinct
+    formula ids are {e near misses} — an upper bound on what a
+    structure-normalising cache key could additionally recover.  Exported
+    as the [qcache_near_misses] section of [--metrics-json]. *)
+
+type near_miss = {
+  signature : int;  (** hash of the sorted atom-id multiset *)
+  atoms : int;      (** size of the multiset *)
+  ids : int list;   (** distinct formula ids probed, ascending (capped) *)
+  probes : int;     (** probes landing in this group *)
+}
+
+val near_misses : ?top_k:int -> unit -> near_miss list
+(** Top groups with ≥ 2 distinct ids, by descending probe count. *)

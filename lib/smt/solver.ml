@@ -132,7 +132,8 @@ let obs_publish s =
       (match q.Qcache.cap with Some c -> float_of_int c | None -> -1.0);
     Obs.set_gauge (Obs.gauge "qcache.evictions")
       (float_of_int q.Qcache.evictions);
-    Obs.set_gauge (Obs.gauge "qcache.inserts") (float_of_int q.Qcache.inserts)
+    Obs.set_gauge (Obs.gauge "qcache.inserts") (float_of_int q.Qcache.inserts);
+    Obs.set_gauge (Obs.gauge "qcache.probes") (float_of_int q.Qcache.probes)
   end
 
 let sat_or_unknown = function Sat | Unknown -> true | Unsat -> false

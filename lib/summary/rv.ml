@@ -146,17 +146,36 @@ let generate ?resilience ?pool ?backend (prog : Prog.t)
       (process_scc ?resilience t ~lookup:(find t) ~put:(put_entry t))
       (Prog.bottom_up_sccs prog)
   | Some pool when Pinpoint_par.Pool.jobs pool > 1 ->
+    (* Batched SCC wave (DESIGN.md §4.15): simultaneously-ready components
+       are mutually independent, so one task processes a whole batch
+       against a single batch-local overlay and publishes it with one lock
+       acquisition instead of one per component.  Summary closure chases
+       callee entries transitively (unlike the transform's one-level
+       interface lookups), so reads keep the locked fallback — the
+       overlay still absorbs every same-batch lookup. *)
     let g, funcs = Prog.call_graph prog in
+    let weights =
+      Array.map
+        (fun (f : Func.t) ->
+          let n = ref 0 in
+          Func.iter_blocks f (fun blk -> n := !n + List.length blk.Func.stmts);
+          !n)
+        funcs
+    in
     let lock = Mutex.create () in
-    Pinpoint_par.Sched.run_bottom_up pool g (fun members ->
-        let scc = List.map (fun i -> funcs.(i)) members in
-        let overlay = Hashtbl.create 8 in
-        process_scc ?resilience t
-          ~lookup:(fun name ->
-            match Hashtbl.find_opt overlay name with
-            | Some _ as r -> r
-            | None -> Mutex.protect lock (fun () -> Hashtbl.find_opt t.tbl name))
-          ~put:(Hashtbl.replace overlay) scc;
+    Pinpoint_par.Sched.run_bottom_up_batched ~weights pool g (fun batch ->
+        let overlay = Hashtbl.create 16 in
+        let lookup name =
+          match Hashtbl.find_opt overlay name with
+          | Some _ as r -> r
+          | None -> Mutex.protect lock (fun () -> Hashtbl.find_opt t.tbl name)
+        in
+        List.iter
+          (fun members ->
+            let scc = List.map (fun i -> funcs.(i)) members in
+            process_scc ?resilience t ~lookup ~put:(Hashtbl.replace overlay)
+              scc)
+          batch;
         Mutex.protect lock (fun () ->
             Hashtbl.iter (Hashtbl.replace t.tbl) overlay))
   | _ ->

@@ -243,6 +243,85 @@ let process_scc ?resilience ~iface_of ~put_iface ~flush_ifaces ~put_pta
           put_pta f.Func.fname pta2))
     scc
 
+let fn_weight (f : Func.t) =
+  let n = ref 0 in
+  Func.iter_blocks f (fun blk -> n := !n + List.length blk.Func.stmts);
+  !n
+
+(* Distinct callee names of a set of functions — computed {e before} any
+   rewriting, which neither renames callees nor adds call statements, so
+   the scan is a complete upper bound on what [iface_of] will ask for. *)
+let callee_names (fs : Func.t list) =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      Func.iter_blocks f (fun blk ->
+          List.iter
+            (fun (s : Stmt.t) ->
+              match s.Stmt.kind with
+              | Stmt.Call c ->
+                if not (Hashtbl.mem seen c.Stmt.callee) then
+                  Hashtbl.add seen c.Stmt.callee ()
+              | _ -> ())
+            blk.Func.stmts))
+    fs;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen []
+
+(* Parallel bottom-up driver shared by [run] and [update] (DESIGN.md
+   §4.15): one pool task per batch of simultaneously-ready (hence mutually
+   independent) components.  The batch keeps a local interface overlay,
+   prefetches the already-published cross-batch callee interfaces in a
+   single lock acquisition, and flushes its interfaces and points-to
+   results in one more — per-component locking is gone.  A callee is
+   either in the same SCC (overlay), in a completed component (prefetch
+   cache; the batch can't depend on a sibling batch member because
+   simultaneously-ready components form an antichain), or unknown — the
+   locked fallback lookup is only a safety net and never hits. *)
+let run_batched ?resilience pool (prog : Prog.t)
+    ~(ifaces : (string, iface) Hashtbl.t)
+    ~(put_ptas : (string * Pta.t) list -> unit) ~(skip : Func.t list -> bool) =
+  let g, funcs = Prog.call_graph prog in
+  let weights = Array.map fn_weight funcs in
+  let lock = Mutex.create () in
+  Pinpoint_par.Sched.run_bottom_up_batched ~weights pool g (fun batch ->
+      let sccs =
+        List.filter_map
+          (fun members ->
+            let scc = List.map (fun i -> funcs.(i)) members in
+            if skip scc then None else Some scc)
+          batch
+      in
+      if sccs <> [] then begin
+        let overlay : (string, iface) Hashtbl.t = Hashtbl.create 16 in
+        let cache : (string, iface) Hashtbl.t = Hashtbl.create 64 in
+        let names = callee_names (List.concat sccs) in
+        Mutex.protect lock (fun () ->
+            List.iter
+              (fun name ->
+                match Hashtbl.find_opt ifaces name with
+                | Some i -> Hashtbl.replace cache name i
+                | None -> ())
+              names);
+        let batch_ptas = ref [] in
+        List.iter
+          (process_scc ?resilience
+             ~iface_of:(fun name ->
+               match Hashtbl.find_opt overlay name with
+               | Some _ as r -> r
+               | None -> (
+                 match Hashtbl.find_opt cache name with
+                 | Some _ as r -> r
+                 | None ->
+                   Mutex.protect lock (fun () -> Hashtbl.find_opt ifaces name)))
+             ~put_iface:(Hashtbl.replace overlay)
+             ~flush_ifaces:(fun () -> ())
+             ~put_pta:(fun name pta -> batch_ptas := (name, pta) :: !batch_ptas))
+          sccs;
+        Mutex.protect lock (fun () ->
+            Hashtbl.iter (Hashtbl.replace ifaces) overlay;
+            put_ptas !batch_ptas)
+      end)
+
 let run ?resilience ?pool ?pta_sink (prog : Prog.t) : result =
   let ifaces : (string, iface) Hashtbl.t = Hashtbl.create 64 in
   let ptas : (string, Pta.t) Hashtbl.t = Hashtbl.create 64 in
@@ -262,26 +341,10 @@ let run ?resilience ?pool ?pta_sink (prog : Prog.t) : result =
   | Some pool when Pinpoint_par.Pool.jobs pool > 1 ->
     (* SCC-wave parallel path: a component starts once all its callee
        components are done, so every cross-SCC [iface_of] lookup finds
-       exactly what the sequential order would have found.  The shared
-       tables are guarded by one lock; same-SCC lookups hit the task-local
-       overlay first. *)
-    let g, funcs = Prog.call_graph prog in
-    let lock = Mutex.create () in
-    Pinpoint_par.Sched.run_bottom_up pool g (fun members ->
-        let scc = List.map (fun i -> funcs.(i)) members in
-        let overlay : (string, iface) Hashtbl.t = Hashtbl.create 8 in
-        process_scc ?resilience
-          ~iface_of:(fun name ->
-            match Hashtbl.find_opt overlay name with
-            | Some _ as r -> r
-            | None -> Mutex.protect lock (fun () -> Hashtbl.find_opt ifaces name))
-          ~put_iface:(Hashtbl.replace overlay)
-          ~flush_ifaces:(fun () ->
-            Mutex.protect lock (fun () ->
-                Hashtbl.iter (Hashtbl.replace ifaces) overlay))
-          ~put_pta:(fun name pta ->
-            Mutex.protect lock (fun () -> Hashtbl.replace ptas name pta))
-          scc)
+       exactly what the sequential order would have found. *)
+    run_batched ?resilience pool prog ~ifaces
+      ~put_ptas:(List.iter (fun (name, pta) -> Hashtbl.replace ptas name pta))
+      ~skip:(fun _ -> false)
   | _ ->
     List.iter
       (process_scc ?resilience
@@ -301,7 +364,7 @@ let run ?resilience ?pool ?pta_sink (prog : Prog.t) : result =
    does in a from-scratch bottom-up run — with that, induction over the
    bottom-up SCC order gives interfaces and points-to results identical to
    a full [run] on the same program. *)
-let update ?resilience ?pta_sink (t : result) (prog : Prog.t)
+let update ?resilience ?pool ?pta_sink (t : result) (prog : Prog.t)
     ~(dirty : string -> bool) =
   let stale name =
     if dirty name then begin
@@ -310,21 +373,32 @@ let update ?resilience ?pta_sink (t : result) (prog : Prog.t)
     end
   in
   List.iter (fun (f : Func.t) -> stale f.Func.fname) (Prog.functions prog);
-  let put_pta =
-    match pta_sink with
-    | Some sink -> sink
-    | None -> Hashtbl.replace t.ptas
-  in
-  List.iter
-    (fun scc ->
-      if List.exists (fun (f : Func.t) -> dirty f.Func.fname) scc then
-        process_scc ?resilience
-          ~iface_of:(Hashtbl.find_opt t.ifaces)
-          ~put_iface:(Hashtbl.replace t.ifaces)
-          ~flush_ifaces:(fun () -> ())
-          ~put_pta
-          scc)
-    (Prog.bottom_up_sccs prog)
+  match pool with
+  | Some pool when pta_sink = None && Pinpoint_par.Pool.jobs pool > 1 ->
+    (* Same batched wave as [run], skipping clean components (their
+       interfaces are retained in [t.ifaces] and visible to the prefetch).
+       Store mode keeps the sequential spill path below. *)
+    run_batched ?resilience pool prog ~ifaces:t.ifaces
+      ~put_ptas:
+        (List.iter (fun (name, pta) -> Hashtbl.replace t.ptas name pta))
+      ~skip:(fun scc ->
+        not (List.exists (fun (f : Func.t) -> dirty f.Func.fname) scc))
+  | _ ->
+    let put_pta =
+      match pta_sink with
+      | Some sink -> sink
+      | None -> Hashtbl.replace t.ptas
+    in
+    List.iter
+      (fun scc ->
+        if List.exists (fun (f : Func.t) -> dirty f.Func.fname) scc then
+          process_scc ?resilience
+            ~iface_of:(Hashtbl.find_opt t.ifaces)
+            ~put_iface:(Hashtbl.replace t.ifaces)
+            ~flush_ifaces:(fun () -> ())
+            ~put_pta
+            scc)
+      (Prog.bottom_up_sccs prog)
 
 let remove (t : result) name =
   Hashtbl.remove t.ifaces name;

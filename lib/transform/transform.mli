@@ -67,6 +67,7 @@ val run :
 
 val update :
   ?resilience:Pinpoint_util.Resilience.log ->
+  ?pool:Pinpoint_par.Pool.t ->
   ?pta_sink:(string -> Pinpoint_pta.Pta.t -> unit) ->
   result ->
   Pinpoint_ir.Prog.t ->
@@ -79,10 +80,12 @@ val update :
     entirely dirty or entirely clean.  Dirty table entries are dropped and
     the dirty SCCs reprocessed bottom-up against the retained clean
     interfaces, producing interfaces and points-to results identical to a
-    from-scratch {!run} on the same program.  Sequential (cones are small);
-    clean functions are never touched.  With [pta_sink] fresh points-to
-    results go to the sink instead of [result.ptas] (store mode, as in
-    {!run}). *)
+    from-scratch {!run} on the same program.  Sequential by default (cones
+    are small); with [pool] (and more than one job) the dirty components
+    run as the same batched bottom-up wave as {!run}, clean components
+    untouched.  With [pta_sink] fresh points-to results go to the sink
+    instead of [result.ptas] (store mode, as in {!run}; the run is then
+    sequential and [pool] is ignored). *)
 
 val remove : result -> string -> unit
 (** Forget one function's interface and points-to entries (deleted

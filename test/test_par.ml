@@ -4,8 +4,10 @@
 
 module Pool = Pinpoint_par.Pool
 module Sched = Pinpoint_par.Sched
+module Chunk = Pinpoint_par.Chunk
 module Digraph = Pinpoint_util.Digraph
 module R = Pinpoint_util.Resilience
+module Gen = Pinpoint_workload.Gen
 
 (* --- pool --- *)
 
@@ -53,6 +55,106 @@ let test_pool_submit_wait () =
       done;
       Pool.wait_idle p;
       Alcotest.(check int) "all tasks ran" 50 (Atomic.get hits))
+
+(* --- work stealing --- *)
+
+(* Deterministically force a steal: one worker claims the outer task,
+   pushes subtasks onto its own deque and then blocks until some other
+   lane has run one.  With the producer pinned, only a sibling's steal
+   (or the helper lane) can make progress — if stealing were broken the
+   producer would sit out the full timeout and run its own backlog,
+   failing the steal-count check rather than hanging. *)
+let test_steal_forced () =
+  let module Obs = Pinpoint_obs.Obs in
+  Obs.reset ();
+  Obs.set_level Obs.Metrics_only;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_level Obs.Off;
+      Obs.reset ())
+  @@ fun () ->
+  Pool.with_pool ~jobs:3 (fun p ->
+      let ran = Atomic.make 0 in
+      let k = 8 in
+      Pool.submit p (fun () ->
+          for _ = 1 to k do
+            Pool.submit p (fun () -> Atomic.incr ran)
+          done;
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          while Atomic.get ran = 0 && Unix.gettimeofday () < deadline do
+            Domain.cpu_relax ()
+          done);
+      Pool.wait_idle p;
+      Alcotest.(check int) "all subtasks ran" k (Atomic.get ran);
+      let s = Pool.steal_stats p in
+      Alcotest.(check bool) "at least one steal" true (s.Pool.steals >= 1);
+      Alcotest.(check bool)
+        "stolen tasks counted" true
+        (s.Pool.stolen_tasks >= 1);
+      (* publish before shutdown (the CLI's --metrics-json path); the
+         shutdown call must then be a no-op, not a double count *)
+      Pool.publish_obs p;
+      Pool.publish_obs p;
+      let counter name =
+        match List.assoc_opt name (Obs.snapshot ()) with
+        | Some (Obs.Snapshot.Counter n) -> n
+        | _ -> 0
+      in
+      Alcotest.(check int) "par.tasks published once" (k + 1) (counter "par.tasks");
+      Alcotest.(check bool)
+        "par.steals published" true
+        (counter "par.steals" = s.Pool.steals))
+
+(* --- chunk planning --- *)
+
+let check_plan_partitions n plan =
+  (* contiguous, in order, covering exactly [0, n) *)
+  let next = ref 0 in
+  List.iter
+    (fun (start, len) ->
+      Alcotest.(check int) "contiguous start" !next start;
+      Alcotest.(check bool) "positive length" true (len >= 1);
+      next := start + len)
+    plan;
+  Alcotest.(check int) "covers all items" n !next
+
+let test_chunk_plan () =
+  List.iter
+    (fun (jobs, n) ->
+      let plan = Chunk.plan ~jobs n in
+      check_plan_partitions n plan;
+      if n > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "jobs=%d n=%d: at most 4 chunks per lane" jobs n)
+          true
+          (List.length plan <= max 1 (min n (jobs * 4))))
+    [ (1, 10); (4, 100); (4, 3); (8, 1); (2, 0); (16, 1000) ]
+
+let test_chunk_plan_weighted () =
+  (* one huge item among many light ones: the heavy item must not drag a
+     long tail of light ones into its chunk *)
+  let n = 100 in
+  let weights = Array.init n (fun i -> if i = 0 then 10_000 else 1) in
+  let plan = Chunk.plan ~jobs:4 ~weights n in
+  check_plan_partitions n plan;
+  (match plan with
+  | (start, len) :: _ ->
+    Alcotest.(check int) "first chunk starts at 0" 0 start;
+    Alcotest.(check int) "heavy item rides alone" 1 len
+  | [] -> Alcotest.fail "empty plan");
+  Alcotest.(check bool) "several chunks" true (List.length plan >= 2)
+
+let test_chunk_plan_override () =
+  Chunk.set_override (Some 5);
+  Fun.protect
+    ~finally:(fun () -> Chunk.set_override None)
+    (fun () ->
+      let plan = Chunk.plan ~jobs:4 23 in
+      check_plan_partitions 23 plan;
+      Alcotest.(check (list (pair int int)))
+        "fixed-size chunks"
+        [ (0, 5); (5, 5); (10, 5); (15, 5); (20, 3) ]
+        plan)
 
 (* --- scheduler --- *)
 
@@ -219,6 +321,52 @@ let check_jobs_determinism_injected ~jobs () =
         true (seq = par))
     det_files
 
+(* --- ragged waves: a workload subject with skewed function sizes --- *)
+
+(* A multi-unit generated subject has call-graph waves mixing heavy and
+   trivial functions, so at fine chunking some worker finishes early and
+   must steal to stay busy.  The guarantee under test is identity: the
+   steal schedule (and any chunk size) must never leak into reports,
+   stats or incidents. *)
+let ragged_subject =
+  lazy
+    (Gen.generate ~name:"ragged"
+       {
+         Gen.default_params with
+         Gen.seed = 97;
+         target_loc = 6_000;
+         n_units = 6;
+         cross_unit = true;
+       })
+
+let check_ragged_determinism ~jobs () =
+  let src = (Lazy.force ragged_subject).Gen.source in
+  let seq = analysis_fingerprint None src in
+  Chunk.set_override (Some 1);
+  let par =
+    Fun.protect
+      ~finally:(fun () -> Chunk.set_override None)
+      (fun () ->
+        Pool.with_pool ~jobs (fun p -> analysis_fingerprint (Some p) src))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ragged subject: jobs 1 = jobs %d (chunk size 1)" jobs)
+    true (seq = par)
+
+let test_chunk_size_determinism () =
+  (* coarse override on the corpus: chunk geometry is invisible too *)
+  let dir = Test_corpus.corpus_dir () in
+  let src = read_file (Filename.concat dir "motivating.mc") in
+  let seq = analysis_fingerprint None src in
+  Chunk.set_override (Some 7);
+  let par =
+    Fun.protect
+      ~finally:(fun () -> Chunk.set_override None)
+      (fun () ->
+        Pool.with_pool ~jobs:4 (fun p -> analysis_fingerprint (Some p) src))
+  in
+  Alcotest.(check bool) "chunk size 7: jobs 1 = jobs 4" true (seq = par)
+
 (* --- domain-safety debug assertions (satellite: global-state audit) --- *)
 
 let test_owner_checks_clean () =
@@ -271,6 +419,10 @@ let suite =
     Alcotest.test_case "pool: exception capture" `Quick
       test_pool_exception_capture;
     Alcotest.test_case "pool: submit + wait_idle" `Quick test_pool_submit_wait;
+    Alcotest.test_case "pool: forced steal" `Quick test_steal_forced;
+    Alcotest.test_case "chunk: plan partitions" `Quick test_chunk_plan;
+    Alcotest.test_case "chunk: weighted plan" `Quick test_chunk_plan_weighted;
+    Alcotest.test_case "chunk: override" `Quick test_chunk_plan_override;
     Alcotest.test_case "sched: callees first" `Quick test_sched_order;
     Alcotest.test_case "sched: exactly-once launch" `Quick
       test_sched_exactly_once;
@@ -284,6 +436,12 @@ let suite =
       (check_jobs_determinism_injected ~jobs:4);
     Alcotest.test_case "determinism: jobs 8 + injection" `Quick
       (check_jobs_determinism_injected ~jobs:8);
+    Alcotest.test_case "determinism: ragged waves jobs 4" `Quick
+      (check_ragged_determinism ~jobs:4);
+    Alcotest.test_case "determinism: ragged waves jobs 8" `Quick
+      (check_ragged_determinism ~jobs:8);
+    Alcotest.test_case "determinism: chunk-size override" `Quick
+      test_chunk_size_determinism;
     Alcotest.test_case "owner checks stay silent" `Quick
       test_owner_checks_clean;
     Alcotest.test_case "metrics: clamped + pooled alloc" `Quick

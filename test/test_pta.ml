@@ -4,6 +4,9 @@ open Pinpoint_ir
 module Pta = Pinpoint_pta.Pta
 module Cell = Pinpoint_pta.Cell
 module E = Pinpoint_smt.Expr
+module Wavefront = Pinpoint_pta.Wavefront
+module Andersen = Pinpoint_baselines.Andersen
+module Pool = Pinpoint_par.Pool
 
 let var_named f name =
   let found = ref None in
@@ -226,6 +229,120 @@ let test_incoming_naming () =
   Alcotest.(check int) "two incomings" 2 (List.length pta.Pta.incomings);
   Alcotest.(check (list (pair int int))) "refs" [ (1, 1); (1, 2) ] pta.Pta.refs
 
+(* --- wavefront solver: every mode reaches the same least fixpoint --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  src
+
+(* Tiny constraint system exercising copy, load, store and init:
+   nodes 0..3 are variables x y p q, 4/5 the content cells of objects
+   o0/o1.  x ∋ o0, p ∋ o1, x ⊆ y, *p ⊇ y, q ⊇ *p — so the store routes
+   o0 into mem(o1) and the load reads it back into q, both via dynamic
+   edges discovered mid-solve. *)
+let test_wavefront_modes_synthetic () =
+  let copy = Array.make 6 Wavefront.ISet.empty in
+  copy.(0) <- Wavefront.ISet.singleton 1;
+  let loads = Array.make 6 [] in
+  loads.(2) <- [ 3 ];
+  let stores = Array.make 6 [] in
+  stores.(2) <- [ 1 ];
+  let sys =
+    {
+      Wavefront.n_nodes = 6;
+      obj_mem = [| 4; 5 |];
+      copy;
+      loads;
+      stores;
+      init = [ (0, 0); (2, 1) ];
+    }
+  in
+  let fp (r : Wavefront.result) =
+    Alcotest.(check bool) "not timed out" false r.Wavefront.timed_out;
+    Array.map Wavefront.ISet.elements r.Wavefront.pts
+  in
+  let full = fp (Wavefront.solve ~diff:false sys) in
+  let diff = fp (Wavefront.solve sys) in
+  let par =
+    fp (Pool.with_pool ~jobs:4 (fun p -> Wavefront.solve ~pool:p sys))
+  in
+  Alcotest.(check bool) "diff = full" true (diff = full);
+  Alcotest.(check bool) "parallel = full" true (par = full);
+  Alcotest.(check (list int)) "store routed o0 into mem(o1)" [ 0 ] full.(5);
+  Alcotest.(check (list int)) "load read it back into q" [ 0 ] full.(3)
+
+let andersen_fingerprint t =
+  List.init (Andersen.n_nodes t) (fun n ->
+      Andersen.ISet.elements (Andersen.pts t n))
+
+let test_wavefront_modes_corpus () =
+  let dir = Test_corpus.corpus_dir () in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".mc")
+    |> List.sort compare
+  in
+  List.iter
+    (fun file ->
+      let prog = Helpers.compile (read_file (Filename.concat dir file)) in
+      let full = Andersen.run ~diff:false prog in
+      let diff = Andersen.run prog in
+      let par =
+        Pool.with_pool ~jobs:4 (fun p -> Andersen.run ~pool:p prog)
+      in
+      let f0 = andersen_fingerprint full in
+      Alcotest.(check bool)
+        (file ^ ": difference propagation = full wavefront")
+        true
+        (andersen_fingerprint diff = f0);
+      Alcotest.(check bool)
+        (file ^ ": parallel waves = full wavefront")
+        true
+        (andersen_fingerprint par = f0))
+    files
+
+(* --- row-level difference propagation: memo on/off is invisible --- *)
+
+let test_row_memo_identity () =
+  let dir = Test_corpus.corpus_dir () in
+  let fingerprint src =
+    let prog = Helpers.compile src in
+    Pta.reset_stats ();
+    let per_fn =
+      List.map
+        (fun (f : Func.t) ->
+          let t = Pta.run f in
+          ( f.Func.fname,
+            List.length t.Pta.incomings,
+            t.Pta.refs,
+            t.Pta.mods,
+            List.length t.Pta.freed_cells ))
+        (Prog.functions prog)
+    in
+    (per_fn, Pta.stats_sat_conditions ())
+  in
+  List.iter
+    (fun file ->
+      let src = read_file (Filename.concat dir file) in
+      let on = fingerprint src in
+      let _, (kept, pruned) = on in
+      Alcotest.(check bool)
+        (file ^ ": conditions were classified")
+        true
+        (kept + pruned > 0);
+      Pta.diff_propagation := false;
+      let off =
+        Fun.protect
+          ~finally:(fun () -> Pta.diff_propagation := true)
+          (fun () -> fingerprint src)
+      in
+      Alcotest.(check bool)
+        (file ^ ": memo on/off identical (incl. kept/pruned stats)")
+        true (on = off))
+    [ "motivating.mc"; "correlated_trap.mc"; "complement_guards.mc" ]
+
 let suite =
   [
     Alcotest.test_case "alloc pts" `Quick test_alloc_pts;
@@ -241,4 +358,10 @@ let suite =
     Alcotest.test_case "freed cells" `Quick test_freed_cells;
     Alcotest.test_case "quasi path-sensitive pruning" `Quick test_quasi_pruning;
     Alcotest.test_case "incoming materialisation" `Quick test_incoming_naming;
+    Alcotest.test_case "wavefront: synthetic modes agree" `Quick
+      test_wavefront_modes_synthetic;
+    Alcotest.test_case "wavefront: corpus fixpoint equality" `Quick
+      test_wavefront_modes_corpus;
+    Alcotest.test_case "row memo on/off identity" `Quick
+      test_row_memo_identity;
   ]

@@ -263,14 +263,17 @@ let response_renders j =
       cs
 
 (* (b) fault-injected soak: 200 requests at 20% injection, every request
-   answered, state alive throughout, caches and incident log bounded. *)
-let test_soak () =
+   answered, state alive throughout, caches and incident log bounded.
+   Also run with a jobs-4 pool so the chunked dirty-cone rebuild path
+   soaks under the same fault rates. *)
+let test_soak ?pool () =
   let chunks = split_subject 1 (subject ~seed:47 ~loc:250 ()) in
   let config =
     {
       Server.default_config with
       Server.qcache_cap = Some 256;
       incident_cap = 100;
+      pool;
     }
   in
   let t = Server.create ~config () in
@@ -542,5 +545,9 @@ let suite =
     Alcotest.test_case "warm restart" `Quick test_warm_restart;
     Alcotest.test_case "qcache cap" `Quick test_qcache_cap;
     Alcotest.test_case "incident rotation" `Quick test_incident_rotation;
-    Alcotest.test_case "fault-injected soak (200 req)" `Slow test_soak;
+    Alcotest.test_case "fault-injected soak (200 req)" `Slow
+      (fun () -> test_soak ());
+    Alcotest.test_case "fault-injected soak (jobs 4)" `Slow
+      (fun () ->
+        Pinpoint_par.Pool.with_pool ~jobs:4 (fun p -> test_soak ~pool:p ()));
   ]
