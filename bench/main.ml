@@ -1408,12 +1408,133 @@ let smt () =
   Format.printf "(wrote BENCH_smt.json)@."
 
 (* ------------------------------------------------------------------ *)
+(* Editable serve-subject model shared by the obs and serve benches: a
+   subject split into per-file fdecl lists, with a deterministic
+   constant-flip edit and re-emission to source per request. *)
+
+module Edit = struct
+  module Ast = Pinpoint_frontend.Ast
+  module Parser = Pinpoint_frontend.Parser
+
+  let emit fds =
+    let buf = Buffer.create 4096 in
+    let ppf = Format.formatter_of_buffer buf in
+    let current = ref "" in
+    List.iter
+      (fun (fd : Ast.fdecl) ->
+        if fd.Ast.unit_name <> !current then begin
+          Format.fprintf ppf "unit %S;@.@." fd.Ast.unit_name;
+          current := fd.Ast.unit_name
+        end;
+        Format.fprintf ppf "%a@." Ast.pp_fdecl fd)
+      fds;
+    Format.pp_print_flush ppf ();
+    Buffer.contents buf
+
+  (* Split a source into [n_files] chunks of consecutive functions;
+     returns the editable chunk array and the function count. *)
+  let split ~n_files ~prefix src =
+    let fds = (Parser.parse_string ~file:"<gen>" src).Ast.funcs in
+    let n_funcs = List.length fds in
+    let per = max 1 ((n_funcs + n_files - 1) / n_files) in
+    let chunks = Array.make n_files [] in
+    List.iteri
+      (fun i fd ->
+        let c = min (n_files - 1) (i / per) in
+        chunks.(c) <- fd :: chunks.(c))
+      fds;
+    ( Array.mapi
+        (fun i fds -> (Printf.sprintf "%s_%d.mc" prefix i, List.rev fds))
+        chunks,
+      n_funcs )
+
+  let contents chunks =
+    Array.to_list (Array.map (fun (n, fds) -> (n, emit fds)) chunks)
+
+  let rec bump_expr found (e : Ast.expr) =
+    let node =
+      match e.Ast.enode with
+      | Ast.Eint n when not !found ->
+        found := true;
+        Ast.Eint (n + 1)
+      | (Ast.Eint _ | Ast.Ebool _ | Ast.Enull | Ast.Evar _ | Ast.Emalloc) as n
+        ->
+        n
+      | Ast.Ederef (a, k) -> Ast.Ederef (bump_expr found a, k)
+      | Ast.Ebin (op, a, b) ->
+        let a = bump_expr found a in
+        Ast.Ebin (op, a, bump_expr found b)
+      | Ast.Eun (op, a) -> Ast.Eun (op, bump_expr found a)
+      | Ast.Ecall (f, args) -> Ast.Ecall (f, List.map (bump_expr found) args)
+      | Ast.Evcall (f, args) -> Ast.Evcall (f, List.map (bump_expr found) args)
+    in
+    { e with Ast.enode = node }
+
+  let rec bump_stmt found (s : Ast.stmt) =
+    let node =
+      match s.Ast.snode with
+      | Ast.Sdecl (t, x, e) -> Ast.Sdecl (t, x, Option.map (bump_expr found) e)
+      | Ast.Sassign (x, e) -> Ast.Sassign (x, bump_expr found e)
+      | Ast.Sstore (k, x, e) -> Ast.Sstore (k, x, bump_expr found e)
+      | Ast.Sif (c, a, b) ->
+        let c = bump_expr found c in
+        let a = bump_stmt found a in
+        Ast.Sif (c, a, Option.map (bump_stmt found) b)
+      | Ast.Swhile (c, b) ->
+        let c = bump_expr found c in
+        Ast.Swhile (c, bump_stmt found b)
+      | Ast.Sreturn e -> Ast.Sreturn (Option.map (bump_expr found) e)
+      | Ast.Sexpr e -> Ast.Sexpr (bump_expr found e)
+      | Ast.Sblock ss -> Ast.Sblock (List.map (bump_stmt found) ss)
+    in
+    { s with Ast.snode = node }
+
+  (* Flip the first integer literal of the [idx]-th function (cyclically)
+     of the chunk; returns false when that function has none. *)
+  let bump_function chunks ~chunk ~idx =
+    let name, cfds = chunks.(chunk) in
+    let n = List.length cfds in
+    if n = 0 then false
+    else begin
+      let target = idx mod n in
+      let found = ref false in
+      let cfds =
+        List.mapi
+          (fun j (fd : Ast.fdecl) ->
+            if j = target then
+              { fd with Ast.body = bump_stmt found fd.Ast.body }
+            else fd)
+          cfds
+      in
+      chunks.(chunk) <- (name, cfds);
+      !found
+    end
+end
+
+(* Latency percentile over a sample list (nearest-rank interpolation). *)
+let pct p l =
+  match List.sort compare l with
+  | [] -> 0.0
+  | sorted ->
+    List.nth sorted
+      (min
+         (List.length sorted - 1)
+         (int_of_float (p *. float_of_int (List.length sorted - 1) +. 0.5)))
+
+(* ------------------------------------------------------------------ *)
 (* Observability ablation (DESIGN.md §4.11): the same workload at the
    three levels — off / metrics-only / full tracing — measuring the wall
    time of prepare + UAF check, verifying the report keys are identical
    at every level, and dumping BENCH_obs.json.  The contract under test:
    the disabled path costs a flag check per hook (target < 2% overhead,
-   i.e. within run-to-run noise), and no level changes the analysis. *)
+   i.e. within run-to-run noise), and no level changes the analysis.
+
+   A second, serve-mode leg (DESIGN.md §4.16) drives the same 25-request
+   edit stream through Server.handle_line at Off (flight recorder off)
+   vs Metrics_only + flight, on a ~200 KLoC resident subject (override
+   with PINPOINT_BENCH_OBS_SERVE_LOC): live request telemetry must cost
+   <= 3% on request p50 and leave every response byte-identical modulo
+   the wall-clock latency stamp. *)
 
 let obs () =
   let module Obs = Pinpoint_obs.Obs in
@@ -1511,6 +1632,179 @@ let obs () =
   Format.printf
     "disabled hook: %.1fns/call over a bare call (%d calls: bare %a, hooked %a)@."
     per_call_ns n pp_dur bare_s pp_dur hooked_s;
+  (* ---- serve-mode leg: request telemetry ablation (DESIGN.md §4.16) ---- *)
+  let module Json = Pinpoint_server.Json in
+  let module Server = Pinpoint_server.Server in
+  let module Flight = Pinpoint_obs.Flight in
+  let serve_loc =
+    match Sys.getenv_opt "PINPOINT_BENCH_OBS_SERVE_LOC" with
+    | Some s -> ( match int_of_string_opt (String.trim s) with
+                  | Some n when n > 0 -> n
+                  | _ -> 200_000)
+    | None -> 200_000
+  in
+  Format.printf
+    "@.-- serve-mode: Off vs Metrics_only+flight on a %d LoC resident \
+     subject --@."
+    serve_loc;
+  let serve_subject =
+    Gen.generate ~name:"obs-serve"
+      { Gen.default_params with Gen.seed = 101; target_loc = serve_loc }
+  in
+  let n_files = 8 in
+  let n_requests = 25 in
+  (* Responses carry a wall-clock latency stamp; strip it (and nothing
+     else) before comparing across levels. *)
+  let rec strip_latency j =
+    match j with
+    | Json.Obj kvs ->
+      Json.Obj
+        (List.filter (fun (k, _) -> k <> "latency_s") kvs
+        |> List.map (fun (k, v) -> (k, strip_latency v)))
+    | Json.List l -> Json.List (List.map strip_latency l)
+    | j -> j
+  in
+  let member_path path j =
+    List.fold_left (fun acc k -> Option.bind acc (Json.member k)) (Some j) path
+  in
+  let run_serve_level (label, level, flight) =
+    Obs.reset ();
+    Obs.set_level level;
+    Flight.clear ();
+    Flight.set_enabled flight;
+    let chunks, _ =
+      Edit.split ~n_files ~prefix:"obs_serve" serve_subject.Gen.source
+    in
+    let t =
+      Server.create ~config:{ Server.default_config with Server.flight } ()
+    in
+    Server.load_files t (Edit.contents chunks);
+    let lat = ref [] in
+    let responses = ref [] in
+    for r = 1 to n_requests do
+      let chunk = r mod n_files in
+      ignore (Edit.bump_function chunks ~chunk ~idx:(r / n_files));
+      let name, cfds = chunks.(chunk) in
+      let req =
+        Json.to_string
+          (Json.Obj
+             [
+               ("id", Json.Int r);
+               ("op", Json.String "check");
+               ( "files",
+                 Json.List
+                   [
+                     Json.Obj
+                       [
+                         ("name", Json.String name);
+                         ("contents", Json.String (Edit.emit cfds));
+                       ];
+                   ] );
+               ("checkers", Json.List [ Json.String "use-after-free" ]);
+             ])
+      in
+      let (resp, _), m = Metrics.measure (fun () -> Server.handle_line t req) in
+      lat := m.Metrics.wall_s :: !lat;
+      let stripped =
+        match Json.parse resp with
+        | Ok j -> Json.to_string (strip_latency j)
+        | Error _ -> resp
+      in
+      responses := stripped :: !responses
+    done;
+    (* after the stream, the metrics op must report non-trivial ordered
+       latency quantiles at Metrics_only *)
+    let quantiles =
+      if level = Obs.Metrics_only then begin
+        let resp, _ =
+          Server.handle_line t
+            (Json.to_string (Json.Obj [ ("op", Json.String "metrics") ]))
+        in
+        match Json.parse resp with
+        | Error _ -> None
+        | Ok j ->
+          let q field =
+            Option.bind
+              (member_path
+                 [ "totals"; "histograms"; "server.request_latency_s"; field ]
+                 j)
+              Json.number_opt
+          in
+          (match (q "p50", q "p95", q "p99") with
+          | Some p50, Some p95, Some p99 -> Some (p50, p95, p99)
+          | _ -> None)
+      end
+      else None
+    in
+    Obs.set_level Obs.Off;
+    Obs.reset ();
+    Flight.set_enabled false;
+    Flight.clear ();
+    (label, pct 0.5 !lat, pct 0.95 !lat, List.rev !responses, quantiles)
+  in
+  let serve_results =
+    List.map run_serve_level
+      [
+        ("off", Obs.Off, false); ("metrics+flight", Obs.Metrics_only, true);
+      ]
+  in
+  let serve_p50_off, serve_responses_off =
+    match serve_results with
+    | (_, p50, _, rs, _) :: _ -> (p50, rs)
+    | [] -> (0.0, [])
+  in
+  let serve_identical =
+    List.for_all (fun (_, _, _, rs, _) -> rs = serve_responses_off)
+      serve_results
+  in
+  let serve_overhead w =
+    if serve_p50_off > 0.0 then ((w /. serve_p50_off) -. 1.0) *. 100.0 else 0.0
+  in
+  Pp.table
+    ~header:[ "level"; "request p50"; "request p95"; "p50 overhead" ]
+    ~rows:
+      (List.map
+         (fun (label, p50, p95, _, _) ->
+           [
+             label; str "%a" pp_dur p50; str "%a" pp_dur p95;
+             str "%+.2f%%" (serve_overhead p50);
+           ])
+         serve_results)
+    Format.std_formatter ();
+  Format.printf "responses %s across levels (latency stamp stripped)@."
+    (if serve_identical then "identical" else "DIFFER");
+  let serve_quantiles =
+    List.fold_left (fun acc (_, _, _, _, q) -> if q <> None then q else acc)
+      None serve_results
+  in
+  (match serve_quantiles with
+  | Some (p50, p95, p99) ->
+    Format.printf
+      "metrics op after %d requests: request_latency p50=%a p95=%a p99=%a@."
+      n_requests pp_dur p50 pp_dur p95 pp_dur p99;
+    if not (p50 > 0.0 && p50 <= p95 && p95 <= p99) then
+      failwith "obs serve: metrics op quantiles trivial or unordered"
+  | None -> failwith "obs serve: metrics op returned no latency quantiles");
+  if not serve_identical then
+    failwith "obs serve: responses differ across obs levels";
+  (* Keep the previous file's numbers (sans their own "previous") so the
+     regenerated BENCH_obs.json shows the before/after trajectory. *)
+  let previous =
+    match
+      let ic = open_in "BENCH_obs.json" in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception _ -> None
+    | s -> (
+      match Json.parse s with
+      | Ok (Json.Obj fields) ->
+        Some
+          (Json.to_string
+             (Json.Obj (List.filter (fun (k, _) -> k <> "previous") fields)))
+      | _ -> None)
+  in
   let oc = open_out "BENCH_obs.json" in
   let out fmt = Printf.fprintf oc fmt in
   out
@@ -1527,8 +1821,30 @@ let obs () =
     results;
   out
     "  ],\n  \"disabled_hook\": {\"calls\": %d, \"bare_s\": %.6f, \
-     \"hooked_s\": %.6f, \"per_call_ns\": %.3f}\n"
+     \"hooked_s\": %.6f, \"per_call_ns\": %.3f},\n"
     n bare_s hooked_s per_call_ns;
+  out
+    "  \"serve\": {\n    \"loc\": %d,\n    \"requests\": %d,\n\
+    \    \"responses_identical\": %b,\n    \"levels\": [\n"
+    serve_loc n_requests serve_identical;
+  List.iteri
+    (fun i (label, p50, p95, _, _) ->
+      out
+        "      {\"level\": %S, \"request_p50_s\": %.6f, \"request_p95_s\": \
+         %.6f, \"p50_overhead_pct\": %.3f}%s\n"
+        label p50 p95 (serve_overhead p50)
+        (if i = List.length serve_results - 1 then "" else ","))
+    serve_results;
+  (match serve_quantiles with
+  | Some (p50, p95, p99) ->
+    out
+      "    ],\n    \"metrics_op\": {\"p50_s\": %.6f, \"p95_s\": %.6f, \
+       \"p99_s\": %.6f}\n  }"
+      p50 p95 p99
+  | None -> out "    ]\n  }");
+  (match previous with
+  | Some prev -> out ",\n  \"previous\": %s\n" prev
+  | None -> out "\n");
   out "}\n";
   close_out oc;
   Format.printf "(wrote BENCH_obs.json)@."
@@ -1557,95 +1873,11 @@ let serve () =
   let n_files = 8 in
   let n_requests = 25 in
   (* Editable model: per-file fdecl lists; contents re-emitted per edit. *)
-  let emit fds =
-    let buf = Buffer.create 4096 in
-    let ppf = Format.formatter_of_buffer buf in
-    let current = ref "" in
-    List.iter
-      (fun (fd : Ast.fdecl) ->
-        if fd.Ast.unit_name <> !current then begin
-          Format.fprintf ppf "unit %S;@.@." fd.Ast.unit_name;
-          current := fd.Ast.unit_name
-        end;
-        Format.fprintf ppf "%a@." Ast.pp_fdecl fd)
-      fds;
-    Format.pp_print_flush ppf ();
-    Buffer.contents buf
+  let chunks, n_funcs =
+    Edit.split ~n_files ~prefix:"serve" subject.Gen.source
   in
-  let fds = (Parser.parse_string ~file:"<gen>" subject.Gen.source).Ast.funcs in
-  let n_funcs = List.length fds in
-  let per = max 1 ((n_funcs + n_files - 1) / n_files) in
-  let chunks = Array.make n_files [] in
-  List.iteri
-    (fun i fd ->
-      let c = min (n_files - 1) (i / per) in
-      chunks.(c) <- fd :: chunks.(c))
-    fds;
-  let chunks =
-    Array.mapi
-      (fun i fds -> (Printf.sprintf "serve_%d.mc" i, List.rev fds))
-      chunks
-  in
-  let contents () =
-    Array.to_list (Array.map (fun (n, fds) -> (n, emit fds)) chunks)
-  in
-  let rec bump_expr found (e : Ast.expr) =
-    let node =
-      match e.Ast.enode with
-      | Ast.Eint n when not !found ->
-        found := true;
-        Ast.Eint (n + 1)
-      | (Ast.Eint _ | Ast.Ebool _ | Ast.Enull | Ast.Evar _ | Ast.Emalloc) as n
-        ->
-        n
-      | Ast.Ederef (a, k) -> Ast.Ederef (bump_expr found a, k)
-      | Ast.Ebin (op, a, b) ->
-        let a = bump_expr found a in
-        Ast.Ebin (op, a, bump_expr found b)
-      | Ast.Eun (op, a) -> Ast.Eun (op, bump_expr found a)
-      | Ast.Ecall (f, args) -> Ast.Ecall (f, List.map (bump_expr found) args)
-      | Ast.Evcall (f, args) -> Ast.Evcall (f, List.map (bump_expr found) args)
-    in
-    { e with Ast.enode = node }
-  in
-  let rec bump_stmt found (s : Ast.stmt) =
-    let node =
-      match s.Ast.snode with
-      | Ast.Sdecl (t, x, e) -> Ast.Sdecl (t, x, Option.map (bump_expr found) e)
-      | Ast.Sassign (x, e) -> Ast.Sassign (x, bump_expr found e)
-      | Ast.Sstore (k, x, e) -> Ast.Sstore (k, x, bump_expr found e)
-      | Ast.Sif (c, a, b) ->
-        let c = bump_expr found c in
-        let a = bump_stmt found a in
-        Ast.Sif (c, a, Option.map (bump_stmt found) b)
-      | Ast.Swhile (c, b) ->
-        let c = bump_expr found c in
-        Ast.Swhile (c, bump_stmt found b)
-      | Ast.Sreturn e -> Ast.Sreturn (Option.map (bump_expr found) e)
-      | Ast.Sexpr e -> Ast.Sexpr (bump_expr found e)
-      | Ast.Sblock ss -> Ast.Sblock (List.map (bump_stmt found) ss)
-    in
-    { s with Ast.snode = node }
-  in
-  let bump_function ~chunk ~idx =
-    let name, cfds = chunks.(chunk) in
-    let n = List.length cfds in
-    if n = 0 then false
-    else begin
-      let target = idx mod n in
-      let found = ref false in
-      let cfds =
-        List.mapi
-          (fun j (fd : Ast.fdecl) ->
-            if j = target then
-              { fd with Ast.body = bump_stmt found fd.Ast.body }
-            else fd)
-          cfds
-      in
-      chunks.(chunk) <- (name, cfds);
-      !found
-    end
-  in
+  let contents () = Edit.contents chunks in
+  let bump_function ~chunk ~idx = Edit.bump_function chunks ~chunk ~idx in
   let spec = Pinpoint.Checkers.use_after_free in
   let renders reports =
     List.map Pinpoint.Report.one_line
@@ -1673,7 +1905,7 @@ let serve () =
       Hashtbl.fold
         (fun c () acc ->
           let name, cfds = chunks.(c) in
-          (name, emit cfds) :: acc)
+          (name, Edit.emit cfds) :: acc)
         touched []
     in
     let (stats, incr_renders), m_incr =
@@ -1697,14 +1929,6 @@ let serve () =
     batch_lat := m_batch.Metrics.wall_s :: !batch_lat;
     cones := stats.Incr.dirty_cone :: !cones
   done;
-  let pct p l =
-    match List.sort compare l with
-    | [] -> 0.0
-    | sorted ->
-      List.nth sorted
-        (min (List.length sorted - 1)
-           (int_of_float (p *. float_of_int (List.length sorted - 1) +. 0.5)))
-  in
   let p50i = pct 0.5 !incr_lat and p99i = pct 0.99 !incr_lat in
   let p50b = pct 0.5 !batch_lat and p99b = pct 0.99 !batch_lat in
   let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in

@@ -587,10 +587,42 @@ let serve_files_arg =
           "Initial MC source file(s) to load; may be empty, in which case \
            the first check request must carry the full file set.")
 
+let prom_file_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "prom-file" ] ~docv:"PATH"
+        ~doc:
+          "Write a Prometheus text exposition of the live metrics registry \
+           to $(docv), refreshed at request-processing time at most every \
+           $(b,--prom-every) seconds.")
+
+let prom_every_arg =
+  Arg.(
+    value & opt float Pinpoint_server.Server.default_config.prom_every_s
+    & info [ "prom-every" ] ~docv:"SEC"
+        ~doc:"Minimum seconds between $(b,--prom-file) refreshes.")
+
+let flight_file_arg =
+  Arg.(
+    value & opt string Pinpoint_server.Server.default_config.flight_file
+    & info [ "flight-file" ] ~docv:"PATH"
+        ~doc:
+          "Flight-recorder dump target for crashes, RSS sheds and the \
+           $(b,dump) op's default.")
+
+let no_flight_arg =
+  Arg.(
+    value & flag
+    & info [ "no-flight" ]
+        ~doc:
+          "Disable the always-on flight recorder (normally kept on even at \
+           obs level off; its per-event cost is a few dozen nanoseconds).")
+
 let serve_cmd =
   let run files socket queue_depth max_rss_mb snapshot_dir snapshot_every
       qcache_cap incident_cap deadline_s budget_s solver_conflicts seed rate
-      seg_rate jobs chunk_size store_dir max_resident trace metrics_json obs =
+      seg_rate jobs chunk_size store_dir max_resident prom_file prom_every
+      flight_file no_flight trace metrics_json obs =
     install_injection ~seed ~rate ~seg_rate;
     set_obs_level ~trace ~metrics_json ~obs;
     with_jobs ~chunk_size jobs @@ fun pool ->
@@ -608,6 +640,13 @@ let serve_cmd =
         solver_conflicts;
         pool;
         store;
+        prom_file;
+        prom_every_s = prom_every;
+        flight_file;
+        flight = not no_flight;
+        window_width_s =
+          Pinpoint_server.Server.default_config.window_width_s;
+        window_slots = Pinpoint_server.Server.default_config.window_slots;
       }
     in
     let t = Pinpoint_server.Server.create ~config () in
@@ -644,7 +683,8 @@ let serve_cmd =
       $ incident_cap_arg $ deadline_arg $ solver_budget_arg
       $ solver_conflicts_arg $ inject_seed_arg $ inject_rate_arg
       $ inject_seg_rate_arg $ jobs_arg $ chunk_size_arg $ store_dir_arg
-      $ max_resident_arg $ trace_arg $ metrics_json_arg $ obs_arg)
+      $ max_resident_arg $ prom_file_arg $ prom_every_arg $ flight_file_arg
+      $ no_flight_arg $ trace_arg $ metrics_json_arg $ obs_arg)
   in
   Cmd.v
     (Cmd.info "serve"

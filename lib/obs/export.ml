@@ -42,8 +42,12 @@ let jarr items = "[" ^ String.concat ", " items ^ "]"
 let args_json attrs extra =
   jobj (List.map (fun (k, v) -> (k, jstr v)) attrs @ extra)
 
-let trace_json () =
-  let spans = Obs.spans () in
+let trace_json ?request_id () =
+  let spans =
+    match request_id with
+    | None -> Obs.spans ()
+    | Some rid -> List.filter (fun (s : Obs.span) -> s.req = rid) (Obs.spans ())
+  in
   let t_base =
     List.fold_left (fun acc (s : Obs.span) -> Float.min acc s.t0) infinity spans
   in
@@ -81,7 +85,9 @@ let trace_json () =
                 ("ph", jstr "B"); ("name", jstr s.name); ("cat", jstr "phase");
                 ("pid", "1"); ("tid", string_of_int s.dom);
                 ("ts", jfloat (us s.t0));
-                ("args", args_json s.attrs []);
+                ( "args",
+                  args_json s.attrs
+                    (if s.req = "" then [] else [ ("request", jstr s.req) ]) );
               ] );
           ( s.dom,
             s.close_seq,
@@ -134,10 +140,14 @@ let query_json (q : Obs.query) =
       ("conflicts", string_of_int q.q_conflicts);
       ("latency_s", jfloat q.q_latency_s);
       ("dom", string_of_int q.q_dom);
+      ("request", jstr q.q_req);
     ]
 
 (* ------------------------------------------------------------------ *)
 (* Metrics JSON *)
+
+let jquantile v q =
+  match Obs.Snapshot.quantile v q with None -> "0" | Some x -> jfloat x
 
 let value_json (v : Obs.Snapshot.value) =
   match v with
@@ -150,6 +160,9 @@ let value_json (v : Obs.Snapshot.value) =
         ("counts", jarr (Array.to_list (Array.map string_of_int h.counts)));
         ("sum", jfloat h.sum);
         ("n", string_of_int h.n);
+        ("p50", jquantile v 0.50);
+        ("p95", jquantile v 0.95);
+        ("p99", jquantile v 0.99);
       ]
 
 let metrics_json ?top_k () =
@@ -193,6 +206,62 @@ let metrics_json ?top_k () =
     @ Obs.json_sections ())
 
 (* ------------------------------------------------------------------ *)
+(* Prometheus text exposition (version 0.0.4: the `# TYPE` + samples
+   format every scraper accepts).  Histogram buckets are cumulative and
+   end with the mandatory `+Inf` bucket; names are sanitised to the
+   Prometheus charset and prefixed `pinpoint_`. *)
+
+let prom_name n =
+  let b = Bytes.of_string n in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_' || c = ':'
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  "pinpoint_" ^ Bytes.to_string b
+
+(* Prometheus floats: plain decimal or scientific, no JSON quirks. *)
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else Printf.sprintf "%.9g" f
+
+let prometheus ?snapshot () =
+  let snap = match snapshot with Some s -> s | None -> Obs.snapshot () in
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun (n, v) ->
+      let pn = prom_name n in
+      match (v : Obs.Snapshot.value) with
+      | Obs.Snapshot.Counter c ->
+        line "# TYPE %s counter" pn;
+        line "%s %d" pn c
+      | Obs.Snapshot.Gauge g ->
+        line "# TYPE %s gauge" pn;
+        line "%s %s" pn (prom_float g)
+      | Obs.Snapshot.Histogram h ->
+        line "# TYPE %s histogram" pn;
+        let cum = ref 0 in
+        Array.iteri
+          (fun i c ->
+            cum := !cum + c;
+            if i < Array.length h.edges then
+              line "%s_bucket{le=\"%s\"} %d" pn (prom_float h.edges.(i)) !cum)
+          h.counts;
+        line "%s_bucket{le=\"+Inf\"} %d" pn h.n;
+        line "%s_sum %s" pn (prom_float h.sum);
+        line "%s_count %d" pn h.n)
+    snap;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
 
 let write path contents =
   let oc = open_out path in
@@ -227,7 +296,14 @@ let pp_summary ppf () =
     (fun (n, v) ->
       match v with
       | Obs.Snapshot.Histogram h ->
-        Format.fprintf ppf "== histogram %s: n=%d sum=%.6g ==@." n h.n h.sum;
+        let q p =
+          match Obs.Snapshot.quantile v p with
+          | None -> "-"
+          | Some x -> Printf.sprintf "%.3g" x
+        in
+        Format.fprintf ppf
+          "== histogram %s: n=%d sum=%.6g p50=%s p95=%s p99=%s ==@." n h.n
+          h.sum (q 0.50) (q 0.95) (q 0.99);
         let rows =
           List.init
             (Array.length h.counts)

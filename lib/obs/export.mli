@@ -17,11 +17,25 @@
     - {b human summary} ([pp_summary]): the same content as aligned
       tables ([pinpoint stats --obs]). *)
 
-val trace_json : unit -> string
+val trace_json : ?request_id:string -> unit -> string
+(** [?request_id] keeps only spans recorded under that request — the
+    per-request Chrome trace slice served by the server's [dump] op.
+    Span begin-events carry a ["request"] arg when one was active. *)
+
 val write_trace : string -> unit
 
 val metrics_json : ?top_k:int -> unit -> string
+(** Histogram entries include interpolated [p50]/[p95]/[p99] fields
+    (0 when the histogram is empty). *)
+
 val write_metrics : ?top_k:int -> string -> unit
+
+val prometheus : ?snapshot:Obs.Snapshot.t -> unit -> string
+(** Prometheus text exposition (format 0.0.4) of [snapshot] (default: a
+    fresh {!Obs.snapshot}).  Counters and gauges map directly;
+    histograms emit cumulative [_bucket{le="…"}] samples ending in
+    [+Inf], plus [_sum] and [_count].  Names are sanitised to
+    [[a-zA-Z0-9_:]] and prefixed [pinpoint_]. *)
 
 val rung_distribution : Obs.query list -> (string * int) list
 (** Query count per rung name, sorted by rung name. *)

@@ -1,0 +1,163 @@
+module Metrics = Pinpoint_util.Metrics
+module Resilience = Pinpoint_util.Resilience
+
+(* Always-on flight recorder (DESIGN.md §4.16).
+
+   A bounded per-domain ring of recent events — request begin/end,
+   incidents, solver rung decisions — kept even at obs level [Off] so a
+   wedged or crashing server can be post-mortemed without re-running
+   under [--trace].  Recording is lock-free: each domain writes only its
+   own ring (same discipline as Obs's span buffers); the global registry
+   of rings is locked once per domain at first use and at dump time.
+   Reading another domain's ring races benignly — a dump taken while a
+   worker records may miss or duplicate the newest slot, which is
+   acceptable for a post-mortem artifact.
+
+   Gating is an [enabled] atomic *independent* of the obs level: the
+   whole point is recording while everything else is Off.  A disabled
+   hook is one atomic load and a branch. *)
+
+type event = {
+  e_t : float;  (* Metrics.now_mono at record *)
+  e_dom : int;
+  e_req : string;
+  e_kind : string;
+  e_name : string;
+  e_detail : string;
+  e_seq : int;  (* per-domain, monotonic (not reset by wraparound) *)
+}
+
+type ring = {
+  r_dom : int;
+  r_slots : event option array;
+  mutable r_next : int;
+  mutable r_seq : int;
+}
+
+let enabled_cell = Atomic.make false
+let enabled () = Atomic.get enabled_cell
+
+(* Capacity for rings created after the set; existing rings keep theirs
+   (they are owned by live domains — resizing under them would race). *)
+let capacity_cell = Atomic.make 512
+let set_capacity n = Atomic.set capacity_cell (max 8 n)
+
+let rings_lock = Mutex.create ()
+let rings : ring list ref = ref []
+
+let ring_key : ring Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let r =
+        {
+          r_dom = (Domain.self () :> int);
+          r_slots = Array.make (Atomic.get capacity_cell) None;
+          r_next = 0;
+          r_seq = 0;
+        }
+      in
+      Mutex.protect rings_lock (fun () -> rings := r :: !rings);
+      r)
+
+let record ?req ?(detail = "") ~kind name =
+  if Atomic.get enabled_cell then begin
+    let r = Domain.DLS.get ring_key in
+    let req = match req with Some s -> s | None -> Obs.request_id () in
+    r.r_seq <- r.r_seq + 1;
+    r.r_slots.(r.r_next) <-
+      Some
+        {
+          e_t = Metrics.now_mono ();
+          e_dom = r.r_dom;
+          e_req = req;
+          e_kind = kind;
+          e_name = name;
+          e_detail = detail;
+          e_seq = r.r_seq;
+        };
+    r.r_next <- (r.r_next + 1) mod Array.length r.r_slots
+  end
+
+(* Install the incident observer exactly once, on first enable.  The
+   hook itself checks [enabled], so a later disable silences it without
+   uninstalling. *)
+let observer_installed = Atomic.make false
+
+let set_enabled b =
+  Atomic.set enabled_cell b;
+  if b && not (Atomic.exchange observer_installed true) then
+    Resilience.set_observer
+      (Some
+         (fun (i : Resilience.incident) ->
+           if Atomic.get enabled_cell then
+             record ~kind:"incident" ~detail:i.detail
+               (Resilience.phase_name i.phase ^ ":" ^ i.subject)))
+
+let events () =
+  let rs = Mutex.protect rings_lock (fun () -> !rings) in
+  let evs =
+    List.concat_map
+      (fun r -> Array.to_list r.r_slots |> List.filter_map Fun.id)
+      rs
+  in
+  List.sort
+    (fun a b ->
+      match compare a.e_t b.e_t with
+      | 0 -> compare (a.e_dom, a.e_seq) (b.e_dom, b.e_seq)
+      | c -> c)
+    evs
+
+let clear () =
+  let rs = Mutex.protect rings_lock (fun () -> !rings) in
+  List.iter
+    (fun r ->
+      Array.fill r.r_slots 0 (Array.length r.r_slots) None;
+      r.r_next <- 0)
+    rs
+
+(* Minimal JSON escaping, duplicated from Export to keep the dependency
+   direction Export -> Flight available if ever needed. *)
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json ?(reason = "") () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"flight\":true,";
+  Buffer.add_string b
+    (Printf.sprintf "\"reason\":\"%s\",\"capacity\":%d,\"events\":["
+       (escape reason)
+       (Atomic.get capacity_cell));
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"t\":%.6f,\"dom\":%d,\"seq\":%d,\"kind\":\"%s\",\"name\":\"%s\",\"req\":\"%s\",\"detail\":\"%s\"}"
+           e.e_t e.e_dom e.e_seq (escape e.e_kind) (escape e.e_name)
+           (escape e.e_req) (escape e.e_detail)))
+    (events ());
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* Crash-path safe: never raises (a flight dump failing must not mask
+   the original error). *)
+let dump ?reason path =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (to_json ?reason ()));
+    true
+  with _ -> false

@@ -1,0 +1,55 @@
+(** Always-on bounded flight recorder.
+
+    A per-domain lock-free ring of the most recent noteworthy events —
+    request begin/end, resilience incidents, solver rung decisions —
+    recorded even when the obs level is [Off], so a wedged or crashed
+    server can be post-mortemed without re-running under [--trace].
+    Bounded: each domain keeps at most {e capacity} events; older ones
+    are overwritten.
+
+    Gated by its own enable flag, {e independent} of {!Obs.level}.  A
+    disabled {!record} is one atomic load and a branch. *)
+
+type event = {
+  e_t : float;  (** {!Pinpoint_util.Metrics.now_mono} at record time *)
+  e_dom : int;  (** recording domain *)
+  e_req : string;  (** ambient {!Obs.request_id}; [""] when none *)
+  e_kind : string;  (** "request" / "response" / "incident" / "rung" / … *)
+  e_name : string;
+  e_detail : string;
+  e_seq : int;  (** per-domain monotonic sequence number *)
+}
+
+val set_enabled : bool -> unit
+(** The first enable also installs a {!Pinpoint_util.Resilience}
+    observer so every recorded incident becomes a flight event (kind
+    ["incident"]); the observer checks the enable flag, so disabling
+    silences it again. *)
+
+val enabled : unit -> bool
+
+val set_capacity : int -> unit
+(** Ring capacity (events per domain, min 8, default 512) for rings
+    created {e after} this call — set it before the first {!record} on
+    each domain. *)
+
+val record : ?req:string -> ?detail:string -> kind:string -> string -> unit
+(** [record ~kind name] appends one event to the calling domain's ring.
+    [req] defaults to the ambient {!Obs.request_id}.  No-op when
+    disabled; never locks, never raises. *)
+
+val events : unit -> event list
+(** All retained events, every domain, time-ordered.  Reading races
+    benignly with concurrent recorders (a just-written slot may be
+    missed) — fine for a post-mortem artifact. *)
+
+val to_json : ?reason:string -> unit -> string
+(** [{"flight":true,"reason":…,"capacity":…,"events":[…]}]. *)
+
+val dump : ?reason:string -> string -> bool
+(** Write {!to_json} to a file.  Returns [false] instead of raising on
+    any error — a failing flight dump must never mask the crash that
+    triggered it. *)
+
+val clear : unit -> unit
+(** Empty every ring (test hook). *)

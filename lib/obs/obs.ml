@@ -19,6 +19,23 @@ let metrics_on () = Atomic.get level_cell > 0
 let tracing_on () = Atomic.get level_cell > 1
 
 (* ------------------------------------------------------------------ *)
+(* Request context *)
+
+(* The current request id, per domain.  "" means "no request" — the
+   empty string keeps the hot path allocation-free (no option boxing)
+   and serialises naturally as an absent attribute. *)
+let req_key : string Domain.DLS.key = Domain.DLS.new_key (fun () -> "")
+
+let set_request id = Domain.DLS.set req_key id
+let request_id () = Domain.DLS.get req_key
+let request () = match Domain.DLS.get req_key with "" -> None | s -> Some s
+
+let with_request id f =
+  let prev = Domain.DLS.get req_key in
+  Domain.DLS.set req_key id;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set req_key prev) f
+
+(* ------------------------------------------------------------------ *)
 (* Per-domain buffers *)
 
 type span = {
@@ -31,6 +48,7 @@ type span = {
   depth : int;
   open_seq : int;
   close_seq : int;
+  req : string;
 }
 
 type query = {
@@ -41,6 +59,7 @@ type query = {
   q_conflicts : int;
   q_latency_s : float;
   q_dom : int;
+  q_req : string;
 }
 
 type frame = {
@@ -49,6 +68,7 @@ type frame = {
   f_t0 : float;
   f_a0 : float;
   f_seq : int;
+  f_req : string;
 }
 
 (* Each domain owns one buffer; only its own domain ever writes it, so
@@ -95,6 +115,7 @@ let begin_span ?(attrs = []) name =
         f_t0 = Metrics.now_mono ();
         f_a0 = Gc.allocated_bytes ();
         f_seq = b.b_seq;
+        f_req = Domain.DLS.get req_key;
       }
       :: b.b_stack
   end
@@ -118,6 +139,7 @@ let end_span ?(attrs = []) () =
           depth = List.length rest;
           open_seq = fr.f_seq;
           close_seq = b.b_seq;
+          req = fr.f_req;
         }
         :: b.b_spans
   end
@@ -141,6 +163,7 @@ let record_query ~subject ~rung ~verdict ~atoms ~conflicts ~latency_s =
         q_conflicts = conflicts;
         q_latency_s = latency_s;
         q_dom = b.b_dom;
+        q_req = Domain.DLS.get req_key;
       }
       :: b.b_queries
   end
@@ -275,6 +298,66 @@ module Snapshot = struct
       if na < nb then (na, va) :: merge ta b
       else if nb < na then (nb, vb) :: merge a tb
       else (na, merge_value na va vb) :: merge ta tb
+
+  let diff_value name newer older =
+    match (newer, older) with
+    | Counter x, Counter y -> Counter (max 0 (x - y))
+    | Gauge x, Gauge _ -> Gauge x
+    | Histogram h1, Histogram h2 ->
+      if h1.edges <> h2.edges then
+        invalid_arg ("Obs.Snapshot.diff: bucket edges differ for " ^ name);
+      Histogram
+        {
+          edges = h1.edges;
+          counts = Array.map2 (fun a b -> max 0 (a - b)) h1.counts h2.counts;
+          sum = Float.max 0.0 (h1.sum -. h2.sum);
+          n = max 0 (h1.n - h2.n);
+        }
+    | _ -> kind_clash name
+
+  (* [diff newer older]: counters and histograms subtract (clamped at
+     zero — a concurrent reset can only shrink a window, never corrupt
+     it), gauges keep the newer reading.  Names only in [newer] are kept
+     verbatim; names only in [older] (a reset dropped them) vanish.  The
+     key algebraic fact the rolling window relies on:
+       merge (diff b a) (diff c b) = diff c a
+     whenever the registry grew monotonically between the snapshots. *)
+  let rec diff newer older =
+    match (newer, older) with
+    | l, [] -> l
+    | [], _ :: _ -> []
+    | (na, va) :: ta, (nb, vb) :: tb ->
+      if na < nb then (na, va) :: diff ta older
+      else if nb < na then diff newer tb
+      else (na, diff_value na va vb) :: diff ta tb
+
+  (* Prometheus-style quantile estimation over histogram buckets: find
+     the bucket holding the q-th observation and interpolate linearly
+     inside it.  The first bucket's lower edge is 0.0 (latencies and
+     sizes are non-negative here); the overflow bucket has no upper
+     bound, so it reports the last finite edge. *)
+  let quantile v q =
+    match v with
+    | Histogram { edges; counts; n; _ }
+      when n > 0 && Array.length edges > 0 ->
+      let last = edges.(Array.length edges - 1) in
+      let target = q *. float_of_int n in
+      let nb = Array.length counts in
+      let rec go i cum =
+        if i >= nb then Some last
+        else
+          let c = counts.(i) in
+          let cum' = cum +. float_of_int c in
+          if cum' >= target && c > 0 then
+            if i >= Array.length edges then Some last
+            else
+              let lo = if i = 0 then 0.0 else edges.(i - 1) in
+              let hi = edges.(i) in
+              Some (lo +. ((hi -. lo) *. ((target -. cum) /. float_of_int c)))
+          else go (i + 1) cum'
+      in
+      go 0 0.0
+    | _ -> None
 end
 
 let snapshot () : Snapshot.t =

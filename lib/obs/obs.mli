@@ -35,6 +35,28 @@ val metrics_on : unit -> bool
 val tracing_on : unit -> bool
 (** [level () = Trace]. *)
 
+(** {1 Request context}
+
+    A per-domain ambient request id.  The server stamps each incoming
+    request with one ({!with_request}), the pool re-installs it inside
+    stolen tasks, and every span, SMT profiler row and flight-recorder
+    event captures it at record time — so one slow NDJSON request can be
+    isolated in a Perfetto trace or a post-mortem flight dump.  The
+    empty string means "no request" (batch CLI runs never set one). *)
+
+val set_request : string -> unit
+(** Install [id] as this domain's current request id ([""] clears). *)
+
+val request_id : unit -> string
+(** This domain's current request id; [""] when none. *)
+
+val request : unit -> string option
+(** Like {!request_id} but [None] when no request is active. *)
+
+val with_request : string -> (unit -> 'a) -> 'a
+(** [with_request id f] runs [f] with [id] installed, restoring the
+    previous id afterwards (even if [f] raises). *)
+
 (** {1 Spans}
 
     A span brackets one unit of work: wall time (monotonic clock),
@@ -54,6 +76,7 @@ type span = {
   depth : int;  (** number of enclosing open spans on that domain *)
   open_seq : int;  (** per-domain sequence number of the open event *)
   close_seq : int;  (** … of the close event; [open_seq < close_seq] *)
+  req : string;  (** request id active at open; [""] when none *)
 }
 
 val span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
@@ -119,6 +142,21 @@ module Snapshot : sig
 
   val merge : t -> t -> t
   (** Pointwise by name; histogram merge requires identical edges. *)
+
+  val diff : t -> t -> t
+  (** [diff newer older]: counters and histogram buckets subtract
+      (clamped at 0), gauges keep the newer reading.  Names only in
+      [newer] are kept; names only in [older] are dropped.  When the
+      registry grows monotonically between snapshots,
+      [merge (diff b a) (diff c b) = diff c a] — the identity the
+      rolling window ({!Window}) is built on. *)
+
+  val quantile : value -> float -> float option
+  (** [quantile v q] estimates the [q]-th quantile ([0..1]) of a
+      [Histogram] by linear interpolation within the bucket holding the
+      q-th observation (lower edge of the first bucket is 0; the
+      overflow bucket reports the last finite edge).  [None] for
+      non-histograms and empty histograms. *)
 end
 
 val snapshot : unit -> Snapshot.t
@@ -145,6 +183,7 @@ type query = {
   q_conflicts : int;  (** CDCL conflicts spent on this query *)
   q_latency_s : float;
   q_dom : int;
+  q_req : string;  (** request id active at record time; [""] when none *)
 }
 
 val record_query :

@@ -1,0 +1,73 @@
+(* Rolling-window aggregation over registry snapshots (DESIGN.md §4.16).
+
+   The registry's counters and histograms only ever grow, which is the
+   right shape for end-of-run exports but useless for a live server that
+   wants "p99 over the last few minutes".  This module keeps a fixed
+   ring of per-window *delta* snapshots: at each roll it takes a
+   cumulative snapshot, stores [Snapshot.diff current base] in the ring
+   slot, and advances the base.  The live view is then the associative
+   [Snapshot.merge] fold of the ring's deltas plus the live tail
+   (current cumulative minus base) — so quantiles are non-trivial
+   immediately, before the first roll completes.
+
+   Not thread-safe by itself: the server ticks it from the single
+   dispatch thread.  Snapshot-taking itself is thread-safe (registry
+   locks), so concurrent workers bumping metrics during a tick are
+   fine. *)
+
+type t = {
+  slots : int;
+  width_s : float;
+  ring : Obs.Snapshot.t array;  (* delta per completed window *)
+  mutable next : int;  (* ring write cursor *)
+  mutable filled : int;  (* completed windows retained, <= slots *)
+  mutable base : Obs.Snapshot.t;  (* cumulative snapshot at last roll *)
+  mutable last_roll : float;
+  mutable rolls : int;  (* total windows ever completed *)
+}
+
+let create ?(slots = 18) ?(width_s = 10.0) ~now () =
+  {
+    slots = max 1 slots;
+    width_s = Float.max 0.01 width_s;
+    ring = Array.make (max 1 slots) [];
+    next = 0;
+    filled = 0;
+    base = [];
+    last_roll = now;
+    rolls = 0;
+  }
+
+let slots t = t.slots
+let width_s t = t.width_s
+let filled t = t.filled
+let rolls t = t.rolls
+
+(* Roll completed windows into the ring.  [snap] is forced at most once
+   per call — when at least one window boundary has passed — so an idle
+   tick costs one float compare.  If several widths elapsed (a long
+   request stalled the dispatch loop), everything since the last roll is
+   folded into one window and the clock advances past [now]; windows
+   stay aligned to [last_roll + k * width_s]. *)
+let tick t ~now snap =
+  if now -. t.last_roll >= t.width_s then begin
+    let current = snap () in
+    t.ring.(t.next) <- Obs.Snapshot.diff current t.base;
+    t.next <- (t.next + 1) mod t.slots;
+    t.filled <- min t.slots (t.filled + 1);
+    t.rolls <- t.rolls + 1;
+    t.base <- current;
+    let elapsed = now -. t.last_roll in
+    let k = Float.max 1.0 (Float.of_int (int_of_float (elapsed /. t.width_s))) in
+    t.last_roll <- t.last_roll +. (k *. t.width_s)
+  end
+
+let view t ~current =
+  let folded = ref (Obs.Snapshot.diff current t.base) in
+  for i = 1 to t.filled do
+    (* newest completed window first; order is irrelevant (merge is
+       commutative) but bounded by [filled]. *)
+    let idx = (t.next - i + (t.slots * 2)) mod t.slots in
+    folded := Obs.Snapshot.merge t.ring.(idx) !folded
+  done;
+  !folded

@@ -1,0 +1,40 @@
+(** Rolling-window aggregation over registry snapshots.
+
+    A fixed-size ring of per-window {e delta} snapshots
+    ({!Obs.Snapshot.diff} between consecutive cumulative snapshots).
+    {!view} folds the retained deltas plus the live tail with
+    {!Obs.Snapshot.merge}, giving "the last [slots × width_s] seconds"
+    of every counter and histogram — from which
+    {!Obs.Snapshot.quantile} yields live p50/p95/p99.  The live tail is
+    always included, so quantiles are non-trivial before the first
+    window even completes.
+
+    Single ticker (the server's dispatch thread); metric {e recording}
+    from other domains during a tick is safe. *)
+
+type t
+
+val create : ?slots:int -> ?width_s:float -> now:float -> unit -> t
+(** [slots] completed windows are retained (default 18); each spans
+    [width_s] seconds (default 10.0) — 3 minutes of history by
+    default.  [now] seeds the window clock (pass the same clock used
+    for {!tick}). *)
+
+val tick : t -> now:float -> (unit -> Obs.Snapshot.t) -> unit
+(** Roll if at least one window width has elapsed since the last roll.
+    The snapshot thunk is forced at most once, and only when actually
+    rolling — an idle tick is one float comparison. *)
+
+val view : t -> current:Obs.Snapshot.t -> Obs.Snapshot.t
+(** Merge of all retained window deltas plus the live tail
+    ([diff current base]).  [current] should be a fresh
+    {!Obs.snapshot}. *)
+
+val slots : t -> int
+val width_s : t -> float
+
+val filled : t -> int
+(** Completed windows currently retained ([<= slots]). *)
+
+val rolls : t -> int
+(** Total windows ever completed (monotonic). *)

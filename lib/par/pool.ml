@@ -54,7 +54,10 @@ type t = {
   ran : int array;     (* per-lane executed-task counts; last slot = helpers *)
   n_steals : int Atomic.t;  (* successful steal operations *)
   n_stolen : int Atomic.t;  (* tasks that changed lanes via a steal *)
-  published : bool Atomic.t;  (* par.* counters already folded into Obs *)
+  pub : Mutex.t;  (* serialises publish_obs' read-delta-write *)
+  mutable pub_steals : int;  (* par.* amounts already folded into Obs *)
+  mutable pub_stolen : int;
+  mutable pub_tasks : int;
 }
 
 let pool_uids = Atomic.make 0
@@ -84,10 +87,19 @@ let note t ~t0 exn =
    never kill the domain that happens to execute it (worker or helping
    caller).  [Out_of_memory] is swallowed too, deliberately: a dead worker
    would deadlock the waiters, which is strictly worse than degrading to a
-   dropped task + incident. *)
-let guard t task () =
-  let t0 = Metrics.now () in
-  try Obs.span "par.task" task with exn -> note t ~t0 exn
+   dropped task + incident.
+
+   The submitter's ambient request id is captured here (wrap time) and
+   re-installed on whichever domain ends up running the task, so spans
+   and profiler rows recorded inside stolen work still attribute to the
+   originating server request. *)
+let guard t task =
+  let req = Obs.request_id () in
+  let run () = Obs.span "par.task" task in
+  let run = if req = "" then run else fun () -> Obs.with_request req run in
+  fun () ->
+    let t0 = Metrics.now () in
+    try run () with exn -> note t ~t0 exn
 
 (* ---- deque primitives (caller holds [d.dm]) ---- *)
 
@@ -312,7 +324,10 @@ let create ?log ~jobs () =
       ran = Array.make (n_workers + 1) 0;
       n_steals = Atomic.make 0;
       n_stolen = Atomic.make 0;
-      published = Atomic.make false;
+      pub = Mutex.create ();
+      pub_steals = 0;
+      pub_stolen = 0;
+      pub_tasks = 0;
     }
   in
   t.domains <-
@@ -356,9 +371,15 @@ let parallel_map (type a b) t (f : a -> b) (arr : a array) : b option array =
     let m = Mutex.create () in
     let fin = Condition.create () in
     let remaining = ref n in
+    (* Same request re-attribution as [guard]: the closures run on
+       arbitrary worker domains. *)
+    let req = Obs.request_id () in
+    let with_req g = if req = "" then g () else Obs.with_request req g in
     let run i () =
       let t0 = Metrics.now () in
-      (try res.(i) <- Some (Obs.span "par.task" (fun () -> f arr.(i)))
+      (try
+         res.(i) <-
+           Some (with_req (fun () -> Obs.span "par.task" (fun () -> f arr.(i))))
        with exn -> note t ~t0 exn);
       Mutex.lock m;
       decr remaining;
@@ -394,15 +415,26 @@ let steal_stats t =
   }
 
 (* Scheduling observability (DESIGN.md §4.15): lifetime counters, folded
-   into the registry at shutdown so [--metrics-json] reports how the run
-   was load-balanced.  Purely observational — never read by the analysis. *)
+   into the registry so [--metrics-json] and the server's live window
+   report how the run was load-balanced.  Delta-republishing: each call
+   adds only what accumulated since the last publish, so a long-lived
+   server can refresh par.* on every [status]/[metrics] op and the
+   registry counters stay equal to the pool's lifetime totals — and a
+   second publish with no new work adds exactly 0 (idempotence).
+   Purely observational — never read by the analysis. *)
 let publish_obs t =
-  if Obs.metrics_on () && not (Atomic.exchange t.published true) then begin
-    Obs.add (Obs.counter "par.steals") (Atomic.get t.n_steals);
-    Obs.add (Obs.counter "par.stolen_tasks") (Atomic.get t.n_stolen);
-    Obs.add (Obs.counter "par.tasks") (Array.fold_left ( + ) 0 t.ran);
-    Obs.set_gauge (Obs.gauge "par.busy_s") (Obs.Agg.sum_f t.busy)
-  end
+  if Obs.metrics_on () then
+    Mutex.protect t.pub (fun () ->
+        let steals = Atomic.get t.n_steals in
+        let stolen = Atomic.get t.n_stolen in
+        let tasks = Array.fold_left ( + ) 0 t.ran in
+        Obs.add (Obs.counter "par.steals") (steals - t.pub_steals);
+        Obs.add (Obs.counter "par.stolen_tasks") (stolen - t.pub_stolen);
+        Obs.add (Obs.counter "par.tasks") (tasks - t.pub_tasks);
+        t.pub_steals <- steals;
+        t.pub_stolen <- stolen;
+        t.pub_tasks <- tasks;
+        Obs.set_gauge (Obs.gauge "par.busy_s") (Obs.Agg.sum_f t.busy))
 
 let shutdown t =
   if t.jobs > 1 then begin

@@ -98,7 +98,10 @@ val steal_stats : t -> steal_stats
 
 val publish_obs : t -> unit
 (** Fold the [par.*] counters and [par.busy_s] gauge into the Obs
-    registry now (no-op when metrics are off).  Idempotent — {!shutdown}
-    calls it too, so callers that export metrics before the pool dies
-    (the CLI writes [--metrics-json] inside the pool's scope) publish
-    once and the shutdown call becomes a no-op. *)
+    registry now (no-op when metrics are off).  Delta-republishing: each
+    call adds only what accumulated since the previous one, so the
+    registry always equals the pool's lifetime totals however often it
+    is called — a long-lived server refreshes on every [status] /
+    [metrics] op, and a second publish with no intervening work adds
+    exactly 0 (the idempotence {!shutdown}, which also calls this,
+    relies on). *)

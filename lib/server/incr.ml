@@ -24,6 +24,7 @@
    (counted in [update_stats.full_rebuild]). *)
 
 open Pinpoint_frontend
+module Obs = Pinpoint_obs.Obs
 module Resilience = Pinpoint_util.Resilience
 module Prog = Pinpoint_ir.Prog
 module Func = Pinpoint_ir.Func
@@ -216,7 +217,8 @@ let force_symbols_of (f : Func.t) =
 (* Apply one request's file set.  Parsing and re-lowering happen before
    any state is mutated, so a front-end error (raised to the caller)
    leaves the resident state untouched and the next request unaffected. *)
-let update (st : state) (changed : (string * string) list) : update_stats =
+let update_impl (st : state) (changed : (string * string) list) : update_stats
+    =
   let changed_parsed = List.map parse_file changed in
   (* Splice the new per-file ASTs into load order; unknown files append. *)
   let known = List.map fst st.files in
@@ -412,9 +414,18 @@ let update (st : state) (changed : (string * string) list) : update_stats =
     end
   end
 
+(* Span wrapper: the update lands on the per-request trace slice (the
+   server dispatches inside [Obs.with_request]) with its input size as
+   an attribute; the cone size only exists afterwards, so the server
+   reports it via the [server.dirty_cone] histogram instead. *)
+let update (st : state) (changed : (string * string) list) : update_stats =
+  Obs.span "incr.update"
+    ~attrs:[ ("files", string_of_int (List.length changed)) ]
+    (fun () -> update_impl st changed)
+
 (* ---------- checking ---------- *)
 
-let check ?config (st : state) (spec : Pinpoint.Checker_spec.t) :
+let check_impl ?config (st : state) (spec : Pinpoint.Checker_spec.t) :
     Pinpoint.Report.t list * Pinpoint.Engine.stats =
   let seg_of = seg_of st in
   let vf =
@@ -438,3 +449,9 @@ let check ?config (st : state) (spec : Pinpoint.Checker_spec.t) :
   in
   Pinpoint.Engine.run ?config ~resilience:st.resilience ?pool:st.pool ?vf
     st.prog ~seg_of ~rv:st.rv spec
+
+let check ?config (st : state) (spec : Pinpoint.Checker_spec.t) :
+    Pinpoint.Report.t list * Pinpoint.Engine.stats =
+  Obs.span "incr.check"
+    ~attrs:[ ("checker", spec.Pinpoint.Checker_spec.name) ]
+    (fun () -> check_impl ?config st spec)

@@ -22,6 +22,9 @@
 module Resilience = Pinpoint_util.Resilience
 module Metrics = Pinpoint_util.Metrics
 module Obs = Pinpoint_obs.Obs
+module Window = Pinpoint_obs.Window
+module Flight = Pinpoint_obs.Flight
+module Export = Pinpoint_obs.Export
 
 type config = {
   queue_depth : int;        (** max queued requests before shedding *)
@@ -37,6 +40,16 @@ type config = {
   store : Pinpoint_store.Store.t option;
       (** artifact store for the resident subject; kept unsealed so
           incremental updates can keep appending *)
+  prom_file : string option;
+      (** Prometheus text exposition refreshed here on the request-time
+          timer (at most every [prom_every_s]) *)
+  prom_every_s : float;
+  flight_file : string;
+      (** where crash / RSS-shed flight dumps land (and the default for
+          the [dump] op) *)
+  flight : bool;  (** enable the flight recorder at [create] *)
+  window_width_s : float;  (** rolling-window slot width *)
+  window_slots : int;  (** rolling-window slot count *)
 }
 
 let default_config =
@@ -52,6 +65,12 @@ let default_config =
     solver_conflicts = Pinpoint_smt.Sat.default_budget;
     pool = None;
     store = None;
+    prom_file = None;
+    prom_every_s = 5.0;
+    flight_file = "flight.json";
+    flight = true;
+    window_width_s = 10.0;
+    window_slots = 18;
   }
 
 type rungs = {
@@ -62,12 +81,25 @@ type rungs = {
   mutable cached : int;
 }
 
+type ops = {
+  mutable op_check : int;
+  mutable op_status : int;
+  mutable op_metrics : int;
+  mutable op_dump : int;
+  mutable op_shutdown : int;
+  mutable op_unknown : int;
+}
+
 type t = {
   cfg : config;
   mutable st : Incr.state option;
   mutable epoch_base : int;  (** epoch of the snapshot we recovered from *)
   started_at : float;
   rungs : rungs;  (** accumulated over every check served *)
+  ops : ops;  (** per-op request counters, independent of the obs level *)
+  window : Window.t;  (** rolling metrics window, ticked per request *)
+  mutable last_prom : float;  (** monotonic time of the last prom-file write *)
+  mutable last_snapshot_epoch : int;  (** abs epoch at last snapshot; -1 never *)
   mutable n_requests : int;
   mutable n_checks : int;
   mutable n_errors : int;
@@ -153,6 +185,7 @@ let write_snapshot t =
     output_char oc '\n';
     close_out oc;
     Sys.rename tmp (snapshot_path dir);
+    t.last_snapshot_epoch <- abs_epoch t;
     Option.iter close_out_noerr t.journal;
     t.journal <- Some (open_out (journal_path dir))
 
@@ -180,12 +213,27 @@ let journal_update t changed =
 
 let create ?(config = default_config) () =
   Option.iter (fun c -> Pinpoint_smt.Qcache.set_capacity (Some c)) config.qcache_cap;
+  if config.flight then Flight.set_enabled true;
   {
     cfg = config;
     st = None;
     epoch_base = 0;
     started_at = Metrics.now ();
     rungs = { full = 0; halved = 0; linear = 0; gave_up = 0; cached = 0 };
+    ops =
+      {
+        op_check = 0;
+        op_status = 0;
+        op_metrics = 0;
+        op_dump = 0;
+        op_shutdown = 0;
+        op_unknown = 0;
+      };
+    window =
+      Window.create ~slots:config.window_slots ~width_s:config.window_width_s
+        ~now:(Metrics.now_mono ()) ();
+    last_prom = neg_infinity;
+    last_snapshot_epoch = -1;
     n_requests = 0;
     n_checks = 0;
     n_errors = 0;
@@ -308,20 +356,68 @@ let accumulate_rungs t (s : Pinpoint.Engine.stats) =
   t.rungs.halved <- t.rungs.halved + s.Pinpoint.Engine.n_rung_halved;
   t.rungs.linear <- t.rungs.linear + s.Pinpoint.Engine.n_rung_linear;
   t.rungs.gave_up <- t.rungs.gave_up + s.Pinpoint.Engine.n_rung_gave_up;
-  t.rungs.cached <- t.rungs.cached + s.Pinpoint.Engine.n_rung_cached
+  t.rungs.cached <- t.rungs.cached + s.Pinpoint.Engine.n_rung_cached;
+  (* Mirror into the registry so the rolling window sees per-interval
+     rung rates, not just lifetime totals. *)
+  if Obs.metrics_on () then begin
+    Obs.add (Obs.counter "server.rungs.full") s.Pinpoint.Engine.n_rung_full;
+    Obs.add (Obs.counter "server.rungs.halved") s.Pinpoint.Engine.n_rung_halved;
+    Obs.add (Obs.counter "server.rungs.linear") s.Pinpoint.Engine.n_rung_linear;
+    Obs.add (Obs.counter "server.rungs.gave_up")
+      s.Pinpoint.Engine.n_rung_gave_up;
+    Obs.add (Obs.counter "server.rungs.cached") s.Pinpoint.Engine.n_rung_cached
+  end
 
 (* ---------- the status view ---------- *)
 
-let status_json t =
-  let qstats = Pinpoint_smt.Qcache.stats () in
-  let solver_total =
+let solver_hit_rate t =
+  let total =
     t.rungs.full + t.rungs.halved + t.rungs.linear + t.rungs.gave_up
     + t.rungs.cached
   in
-  let hit_rate =
-    if solver_total = 0 then 0.0
-    else float_of_int t.rungs.cached /. float_of_int solver_total
-  in
+  if total = 0 then 0.0 else float_of_int t.rungs.cached /. float_of_int total
+
+(* Force-publish every registry contributor so the gauges and the
+   par.* / store.* counters a status/metrics reader sees are fresh at
+   read time rather than stale-from-last-export.  Pool and store publish
+   deltas, so repeated refreshes keep the registry equal to lifetime
+   totals. *)
+let refresh_obs t =
+  if Obs.metrics_on () then begin
+    Option.iter Pinpoint_par.Pool.publish_obs t.cfg.pool;
+    Option.iter Pinpoint_store.Store.publish_obs t.cfg.store;
+    Obs.set_gauge (Obs.gauge "server.uptime_s") (Metrics.now () -. t.started_at);
+    Obs.set_gauge (Obs.gauge "server.rss_mb") (rss_mb ());
+    Obs.set_gauge (Obs.gauge "server.requests") (float_of_int t.n_requests);
+    Obs.set_gauge (Obs.gauge "server.overloaded")
+      (float_of_int (t.n_overloaded + t.n_shed_rss));
+    Obs.set_gauge (Obs.gauge "server.qcache_hit_rate") (solver_hit_rate t)
+  end
+
+let ops_json t =
+  Json.Obj
+    [
+      ("check", Json.Int t.ops.op_check);
+      ("status", Json.Int t.ops.op_status);
+      ("metrics", Json.Int t.ops.op_metrics);
+      ("dump", Json.Int t.ops.op_dump);
+      ("shutdown", Json.Int t.ops.op_shutdown);
+      ("unknown", Json.Int t.ops.op_unknown);
+    ]
+
+let window_info_json t =
+  Json.Obj
+    [
+      ("width_s", Json.Float (Window.width_s t.window));
+      ("slots", Json.Int (Window.slots t.window));
+      ("filled", Json.Int (Window.filled t.window));
+      ("rolls", Json.Int (Window.rolls t.window));
+    ]
+
+let status_json t =
+  refresh_obs t;
+  let qstats = Pinpoint_smt.Qcache.stats () in
+  let hit_rate = solver_hit_rate t in
   let incidents =
     match t.st with
     | None -> []
@@ -353,19 +449,15 @@ let status_json t =
         ("functions", Json.Int (Incr.n_functions st));
       ]
   in
-  if Obs.metrics_on () then begin
-    Obs.set_gauge (Obs.gauge "server.uptime_s") (Metrics.now () -. t.started_at);
-    Obs.set_gauge (Obs.gauge "server.rss_mb") (rss_mb ());
-    Obs.set_gauge (Obs.gauge "server.requests") (float_of_int t.n_requests);
-    Obs.set_gauge (Obs.gauge "server.overloaded")
-      (float_of_int (t.n_overloaded + t.n_shed_rss));
-    Obs.set_gauge (Obs.gauge "server.qcache_hit_rate") hit_rate
-  end;
   Json.Obj
     ([
        ("ok", Json.Bool true);
        ("uptime_s", Json.Float (Metrics.now () -. t.started_at));
        ("requests", Json.Int t.n_requests);
+       ("ops", ops_json t);
+       ("last_snapshot_epoch", Json.Int t.last_snapshot_epoch);
+       ("window", window_info_json t);
+       ("flight", Json.Bool (Flight.enabled ()));
        ("checks", Json.Int t.n_checks);
        ("errors", Json.Int t.n_errors);
        ("overloaded", Json.Int t.n_overloaded);
@@ -394,6 +486,134 @@ let status_json t =
            ] );
      ]
     @ state @ incidents)
+
+(* ---------- the metrics view ---------- *)
+
+let level_name () =
+  match Obs.level () with
+  | Obs.Off -> "off"
+  | Obs.Metrics_only -> "metrics"
+  | Obs.Trace -> "trace"
+
+(* Registry snapshot -> response JSON.  Histograms are summarised to
+   (n, sum, p50/p95/p99) — the full bucket vectors stay in the
+   [--metrics-json] batch export; a live poller wants the quantiles. *)
+let snapshot_fields (snap : Obs.Snapshot.t) =
+  let counters, gauges, histograms =
+    List.fold_left
+      (fun (cs, gs, hs) (name, v) ->
+        match (v : Obs.Snapshot.value) with
+        | Obs.Snapshot.Counter n -> ((name, Json.Int n) :: cs, gs, hs)
+        | Obs.Snapshot.Gauge g -> (cs, (name, Json.Float g) :: gs, hs)
+        | Obs.Snapshot.Histogram h ->
+          let q p =
+            Json.Float
+              (Option.value ~default:0.0 (Obs.Snapshot.quantile v p))
+          in
+          ( cs,
+            gs,
+            ( name,
+              Json.Obj
+                [
+                  ("n", Json.Int h.n);
+                  ("sum", Json.Float h.sum);
+                  ("p50", q 0.50);
+                  ("p95", q 0.95);
+                  ("p99", q 0.99);
+                ] )
+            :: hs ))
+      ([], [], []) snap
+  in
+  [
+    ("counters", Json.Obj (List.rev counters));
+    ("gauges", Json.Obj (List.rev gauges));
+    ("histograms", Json.Obj (List.rev histograms));
+  ]
+
+let metrics_response t ?id req =
+  refresh_obs t;
+  let base = match id with Some id -> [ ("id", id) ] | None -> [] in
+  let format =
+    Option.value ~default:"json"
+      (Option.bind (Json.member "format" req) Json.string_opt)
+  in
+  match format with
+  | "prometheus" ->
+    Json.to_string
+      (Json.Obj
+         (base
+         @ [
+             ("ok", Json.Bool true);
+             ("format", Json.String "prometheus");
+             ("prometheus", Json.String (Export.prometheus ()));
+           ]))
+  | _ ->
+    let current = Obs.snapshot () in
+    let windowed = Window.view t.window ~current in
+    let info =
+      match window_info_json t with Json.Obj kvs -> kvs | _ -> []
+    in
+    Json.to_string
+      (Json.Obj
+         (base
+         @ [
+             ("ok", Json.Bool true);
+             ("level", Json.String (level_name ()));
+             ("window", Json.Obj (info @ snapshot_fields windowed));
+             ("totals", Json.Obj (snapshot_fields current));
+             ("ops", ops_json t);
+           ]))
+
+(* ---------- the dump view (flight recorder / per-request traces) ---------- *)
+
+let dump_response t ?id req =
+  let base = match id with Some id -> [ ("id", id) ] | None -> [] in
+  let what =
+    Option.value ~default:"flight"
+      (Option.bind (Json.member "what" req) Json.string_opt)
+  in
+  match what with
+  | "trace" ->
+    (* Per-request Chrome trace slice: every span recorded under the
+       given request id, loadable in Perfetto as-is.  Needs --trace. *)
+    let request_id =
+      Option.bind (Json.member "request_id" req) Json.string_opt
+    in
+    Json.to_string
+      (Json.Obj
+         (base
+         @ [
+             ("ok", Json.Bool true);
+             ("what", Json.String "trace");
+             ("level", Json.String (level_name ()));
+             ("trace", Json.String (Export.trace_json ?request_id ()));
+           ]))
+  | "flight" ->
+    let path =
+      Option.value ~default:t.cfg.flight_file
+        (Option.bind (Json.member "path" req) Json.string_opt)
+    in
+    let n_events = List.length (Flight.events ()) in
+    let written = Flight.dump ~reason:"dump op" path in
+    let inline =
+      match Json.member "inline" req with
+      | Some (Json.Bool true) ->
+        [ ("flight", Json.String (Flight.to_json ~reason:"dump op" ())) ]
+      | _ -> []
+    in
+    Json.to_string
+      (Json.Obj
+         (base
+         @ [
+             ("ok", Json.Bool true);
+             ("what", Json.String "flight");
+             ("enabled", Json.Bool (Flight.enabled ()));
+             ("path", Json.String path);
+             ("written", Json.Bool written);
+             ("events", Json.Int n_events);
+           ]
+         @ inline))
+  | what -> error_response ?id (Printf.sprintf "unknown dump target %S" what)
 
 (* ---------- request handling ---------- *)
 
@@ -433,7 +653,17 @@ let checkers_of req =
     in
     resolve [] names
 
+(* Dirty-cone sizes are function counts, not latencies — own edges. *)
+let cone_buckets = [| 0.; 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000. |]
+
 let handle_check t ?id req =
+  (* Seeded crash injection for the flight-recorder crash path: only
+     honoured while fault injection is installed (tests, bench), so an
+     ordinary client cannot trip it. *)
+  if
+    Resilience.Inject.enabled ()
+    && Json.member "inject_crash" req = Some (Json.Bool true)
+  then raise Resilience.Injected_crash;
   let incidents_before =
     match t.st with Some st -> Resilience.count (Incr.resilience st) | None -> 0
   in
@@ -479,6 +709,10 @@ let handle_check t ?id req =
     match update_result with
     | Error msg -> error_response ?id msg
     | Ok ustats -> (
+      if Obs.metrics_on () then
+        Obs.observe
+          (Obs.histogram ~buckets:cone_buckets "server.dirty_cone")
+          (float_of_int ustats.Incr.dirty_cone);
       match checkers_of req with
       | Error msg -> error_response ?id msg
       | Ok checkers ->
@@ -532,87 +766,191 @@ let handle_check t ?id req =
                      ] );
                ]))))
 
+(* Request-time maintenance: roll the metrics window and refresh the
+   Prometheus file.  Both are cheap on the common path — the window tick
+   is one float compare until a width elapses, and the prom write is
+   rate-limited by [prom_every_s]. *)
+let maintain t =
+  let now = Metrics.now_mono () in
+  Window.tick t.window ~now Obs.snapshot;
+  match t.cfg.prom_file with
+  | Some path when now -. t.last_prom >= t.cfg.prom_every_s ->
+    t.last_prom <- now;
+    refresh_obs t;
+    (try
+       let oc = open_out path in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () -> output_string oc (Export.prometheus ()))
+     with Sys_error _ -> ())
+  | _ -> ()
+
 (* One request line -> one response line, plus a continue/stop signal.
    The whole handler runs inside an exception barrier: whatever a request
    does to itself, the server (and the resident state, whose mutation
    phases have their own per-function barriers) survives to serve the
-   next one. *)
+   next one.
+
+   Every request gets a fresh id ("r000001", …) installed as the ambient
+   Obs request context for the whole dispatch — spans, SMT profiler rows
+   and flight events recorded anywhere below (including on pool workers,
+   which re-install the submitter's id) carry it, and the response is
+   stamped with it so a client can correlate.  The id sequence depends
+   only on the request order, never on the obs level, so responses stay
+   byte-identical across levels. *)
 let handle_line t line : string * [ `Continue | `Stop ] =
   t.n_requests <- t.n_requests + 1;
+  let rid = Printf.sprintf "r%06d" t.n_requests in
   let t0 = Metrics.now_mono () in
-  let finish (resp, action) =
+  let finish ~op (resp, action) =
+    let latency_s = Metrics.now_mono () -. t0 in
+    Obs.observe (Obs.histogram "server.request_latency_s") latency_s;
+    if Flight.enabled () then
+      Flight.record ~req:rid ~kind:"response"
+        ~detail:(Printf.sprintf "%.6fs" latency_s)
+        op;
+    maintain t;
     let resp =
-      (* Stamp latency into successful top-level objects. *)
+      (* Stamp the request id and latency into top-level objects. *)
       match Json.parse resp with
       | Ok (Json.Obj kvs) when not (List.mem_assoc "latency_s" kvs) ->
         Json.to_string
-          (Json.Obj (kvs @ [ ("latency_s", Json.Float (Metrics.now_mono () -. t0)) ]))
+          (Json.Obj
+             (kvs
+             @ [
+                 ("request", Json.String rid);
+                 ("latency_s", Json.Float latency_s);
+               ]))
       | _ -> resp
     in
     (resp, action)
   in
-  match Json.parse line with
-  | Error msg ->
-    t.n_errors <- t.n_errors + 1;
-    finish (error_response (Printf.sprintf "bad request: %s" msg), `Continue)
-  | Ok req -> (
-    let id = Json.member "id" req in
-    let op =
-      Option.value ~default:"check"
-        (Option.bind (Json.member "op" req) Json.string_opt)
-    in
-    match op with
-    | "status" -> finish (Json.to_string (status_json t), `Continue)
-    | "shutdown" ->
-      let base = match id with Some id -> [ ("id", id) ] | None -> [] in
-      finish
-        ( Json.to_string
-            (Json.Obj (base @ [ ("ok", Json.Bool true); ("shutdown", Json.Bool true) ])),
-          `Stop )
-    | "check" -> (
-      (* RSS watermark: one forced major GC gets a second opinion before
-         shedding — transient garbage from the previous request must not
-         count against this one. *)
-      let over_watermark () =
-        t.cfg.max_rss_mb > 0.0
-        && rss_mb () > t.cfg.max_rss_mb
-        && begin
-             Gc.full_major ();
-             rss_mb () > t.cfg.max_rss_mb
-           end
-      in
-      if over_watermark () then begin
-        t.n_shed_rss <- t.n_shed_rss + 1;
-        finish
-          ( error_response ?id
-              ~extra:
-                [
-                  ("overloaded", Json.Bool true);
-                  ("rss_mb", Json.Float (rss_mb ()));
-                ]
-              "overloaded: resident set above watermark",
-            `Continue )
-      end
-      else
-        let resp =
-          try handle_check t ?id req with
-          | Pinpoint_frontend.Parser.Error (msg, line) ->
-            t.n_errors <- t.n_errors + 1;
-            error_response ?id (Printf.sprintf "parse error at line %d: %s" line msg)
-          | Pinpoint_frontend.Lower.Error (msg, loc) ->
-            t.n_errors <- t.n_errors + 1;
-            error_response ?id
-              (Printf.sprintf "%s:%d: %s" loc.Pinpoint_ir.Stmt.file
-                 loc.Pinpoint_ir.Stmt.line msg)
-          | exn ->
-            t.n_errors <- t.n_errors + 1;
-            error_response ?id
-              (Printf.sprintf "internal error: %s" (Printexc.to_string exn))
+  Obs.with_request rid (fun () ->
+      match Json.parse line with
+      | Error msg ->
+        t.n_errors <- t.n_errors + 1;
+        if Flight.enabled () then
+          Flight.record ~req:rid ~kind:"request" ~detail:"unparseable" "?";
+        finish ~op:"?"
+          (error_response (Printf.sprintf "bad request: %s" msg), `Continue)
+      | Ok req ->
+        let id = Json.member "id" req in
+        let op =
+          Option.value ~default:"check"
+            (Option.bind (Json.member "op" req) Json.string_opt)
         in
-        finish (resp, `Continue))
-    | op ->
-      t.n_errors <- t.n_errors + 1;
-      finish (error_response ?id (Printf.sprintf "unknown op %S" op), `Continue))
+        if Flight.enabled () then Flight.record ~req:rid ~kind:"request" op;
+        let known =
+          List.mem op [ "check"; "status"; "metrics"; "dump"; "shutdown" ]
+        in
+        if Obs.metrics_on () then
+          Obs.add
+            (Obs.counter
+               ("server.op." ^ if known then op else "unknown"))
+            1;
+        let finish r = finish ~op r in
+        Obs.span "server.request"
+          ~attrs:[ ("op", op); ("request", rid) ]
+          (fun () ->
+            match op with
+            | "status" ->
+              t.ops.op_status <- t.ops.op_status + 1;
+              let base =
+                match id with Some id -> [ ("id", id) ] | None -> []
+              in
+              let body =
+                match status_json t with
+                | Json.Obj kvs -> Json.Obj (base @ kvs)
+                | j -> j
+              in
+              finish (Json.to_string body, `Continue)
+            | "metrics" ->
+              t.ops.op_metrics <- t.ops.op_metrics + 1;
+              finish (metrics_response t ?id req, `Continue)
+            | "dump" ->
+              t.ops.op_dump <- t.ops.op_dump + 1;
+              finish (dump_response t ?id req, `Continue)
+            | "shutdown" ->
+              t.ops.op_shutdown <- t.ops.op_shutdown + 1;
+              let base =
+                match id with Some id -> [ ("id", id) ] | None -> []
+              in
+              finish
+                ( Json.to_string
+                    (Json.Obj
+                       (base
+                       @ [
+                           ("ok", Json.Bool true);
+                           ("shutdown", Json.Bool true);
+                         ])),
+                  `Stop )
+            | "check" -> (
+              t.ops.op_check <- t.ops.op_check + 1;
+              (* RSS watermark: one forced major GC gets a second opinion
+                 before shedding — transient garbage from the previous
+                 request must not count against this one. *)
+              let over_watermark () =
+                t.cfg.max_rss_mb > 0.0
+                && rss_mb () > t.cfg.max_rss_mb
+                && begin
+                     Gc.full_major ();
+                     rss_mb () > t.cfg.max_rss_mb
+                   end
+              in
+              if over_watermark () then begin
+                t.n_shed_rss <- t.n_shed_rss + 1;
+                if Flight.enabled () then begin
+                  Flight.record ~req:rid ~kind:"shed"
+                    ~detail:(Printf.sprintf "rss_mb=%.1f" (rss_mb ()))
+                    "rss-watermark";
+                  ignore (Flight.dump ~reason:"rss-shed" t.cfg.flight_file)
+                end;
+                finish
+                  ( error_response ?id
+                      ~extra:
+                        [
+                          ("overloaded", Json.Bool true);
+                          ("rss_mb", Json.Float (rss_mb ()));
+                        ]
+                      "overloaded: resident set above watermark",
+                    `Continue )
+              end
+              else
+                let resp =
+                  try handle_check t ?id req with
+                  | Pinpoint_frontend.Parser.Error (msg, line) ->
+                    t.n_errors <- t.n_errors + 1;
+                    error_response ?id
+                      (Printf.sprintf "parse error at line %d: %s" line msg)
+                  | Pinpoint_frontend.Lower.Error (msg, loc) ->
+                    t.n_errors <- t.n_errors + 1;
+                    error_response ?id
+                      (Printf.sprintf "%s:%d: %s" loc.Pinpoint_ir.Stmt.file
+                         loc.Pinpoint_ir.Stmt.line msg)
+                  | exn ->
+                    (* A crash that reached the top barrier is exactly
+                       what the flight recorder exists for: dump the ring
+                       before answering. *)
+                    t.n_errors <- t.n_errors + 1;
+                    if Flight.enabled () then begin
+                      Flight.record ~req:rid ~kind:"crash"
+                        ~detail:(Printexc.to_string exn) "server.check";
+                      ignore
+                        (Flight.dump
+                           ~reason:("crash: " ^ Printexc.to_string exn)
+                           t.cfg.flight_file)
+                    end;
+                    error_response ?id
+                      (Printf.sprintf "internal error: %s"
+                         (Printexc.to_string exn))
+                in
+                finish (resp, `Continue))
+            | op ->
+              t.ops.op_unknown <- t.ops.op_unknown + 1;
+              t.n_errors <- t.n_errors + 1;
+              finish
+                ( error_response ?id (Printf.sprintf "unknown op %S" op),
+                  `Continue )))
 
 (* ---------- transports ---------- *)
 

@@ -23,6 +23,18 @@ type config = {
   store : Pinpoint_store.Store.t option;
       (** artifact store for the resident subject (DESIGN.md §4.14);
           kept unsealed so incremental updates can keep appending *)
+  prom_file : string option;
+      (** Prometheus text exposition written here at request-processing
+          time, at most every [prom_every_s] seconds *)
+  prom_every_s : float;  (** min seconds between prom-file refreshes *)
+  flight_file : string;
+      (** flight-recorder dump target for crashes, RSS sheds and the
+          [dump] op's default (default ["flight.json"]) *)
+  flight : bool;
+      (** enable the always-on flight recorder at {!create}; independent
+          of the obs level (default [true]) *)
+  window_width_s : float;  (** rolling metrics window: slot width *)
+  window_slots : int;  (** … and slot count (default 18 × 10 s) *)
 }
 
 val default_config : config
@@ -46,7 +58,17 @@ val handle_line : t -> string -> string * [ `Continue | `Stop ]
 (** One request line -> one response line.  Never raises: every failure
     mode is an ["ok": false] response.  [`Stop] is returned for the
     [shutdown] op.  Exposed so tests and custom transports can drive the
-    server without sockets. *)
+    server without sockets.
+
+    Each request is assigned an id (["r000001"], …) installed as the
+    ambient {!Pinpoint_obs.Obs} request context for the whole dispatch
+    and stamped into the response (["request"] field); the id sequence
+    depends only on request order, so responses are byte-identical at
+    every obs level.  Ops: [check] (default), [status], [metrics]
+    (live rolling-window + lifetime snapshot; ["format":"prometheus"]
+    for text exposition), [dump] (flight-recorder dump, or
+    ["what":"trace"] + ["request_id"] for a per-request Chrome trace
+    slice), [shutdown]. *)
 
 val rss_mb : unit -> float
 (** Resident set size via /proc/self/statm (major-heap size as the

@@ -1,6 +1,7 @@
 module Metrics = Pinpoint_util.Metrics
 module Resilience = Pinpoint_util.Resilience
 module Obs = Pinpoint_obs.Obs
+module Flight = Pinpoint_obs.Flight
 
 type verdict = Sat | Unsat | Unknown
 
@@ -401,24 +402,32 @@ let check ?max_iters ?conflict_budget ?deadline e =
    [Obs.reset] replaces the registry's entries, and a cached handle would
    go on feeding an orphan. *)
 let profile_query ~subject ~qt0 ~conf0 e ((v, _, rung) as result) =
-  if Obs.metrics_on () then begin
-    let latency_s = Metrics.now_mono () -. qt0 in
+  let flight = Flight.enabled () in
+  if Obs.metrics_on () || flight then begin
     let rung_s = rung_name rung and verdict_s = verdict_name v in
-    let atoms = List.length (Expr.atoms e) in
-    let conflicts = (stats ()).n_conflicts - conf0 in
-    Obs.record_query ~subject ~rung:rung_s ~verdict:verdict_s ~atoms ~conflicts
-      ~latency_s;
-    Obs.observe (Obs.histogram "smt.query.latency_s") latency_s;
-    if Obs.tracing_on () then
-      Obs.end_span
-        ~attrs:
-          [
-            ("subject", subject);
-            ("rung", rung_s);
-            ("verdict", verdict_s);
-            ("atoms", string_of_int atoms);
-          ]
-        ()
+    (* Flight is independent of the obs level: rung decisions land in the
+       post-mortem ring even at Off.  The row carries the ambient request
+       id implicitly (both recorders read it from the domain). *)
+    if flight then
+      Flight.record ~kind:"rung" ~detail:(subject ^ " " ^ verdict_s) rung_s;
+    if Obs.metrics_on () then begin
+      let latency_s = Metrics.now_mono () -. qt0 in
+      let atoms = List.length (Expr.atoms e) in
+      let conflicts = (stats ()).n_conflicts - conf0 in
+      Obs.record_query ~subject ~rung:rung_s ~verdict:verdict_s ~atoms
+        ~conflicts ~latency_s;
+      Obs.observe (Obs.histogram "smt.query.latency_s") latency_s;
+      if Obs.tracing_on () then
+        Obs.end_span
+          ~attrs:
+            [
+              ("subject", subject);
+              ("rung", rung_s);
+              ("verdict", verdict_s);
+              ("atoms", string_of_int atoms);
+            ]
+          ()
+    end
   end;
   result
 

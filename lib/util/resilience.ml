@@ -75,12 +75,22 @@ let trim_locked log =
     log.n <- log.capacity
   end
 
+(* A single global observer, called outside the log's lock on every
+   recorded incident.  The flight recorder (lib/obs, which depends on
+   this library and therefore cannot be called from here directly)
+   installs one so incidents show up in post-mortem dumps. *)
+let observer : (incident -> unit) option Atomic.t = Atomic.make None
+let set_observer f = Atomic.set observer f
+
 let record log i =
   Mutex.protect log.lock (fun () ->
       log.rev_incidents <- i :: log.rev_incidents;
       log.n <- log.n + 1;
       if log.capacity < max_int && log.n >= 2 * log.capacity then
-        trim_locked log)
+        trim_locked log);
+  match Atomic.get observer with
+  | None -> ()
+  | Some f -> ( try f i with _ -> ())
 
 let set_capacity log c =
   Mutex.protect log.lock (fun () ->

@@ -45,6 +45,13 @@ val create : ?capacity:int -> unit -> log
 
 val record : log -> incident -> unit
 
+val set_observer : (incident -> unit) option -> unit
+(** Install (or clear) a single global observer called after every
+    {!record}, on the recording thread, outside the log's lock.
+    Exceptions it raises are swallowed.  Used by the flight recorder
+    (which lives above this library in the dependency order) to capture
+    incidents into its post-mortem ring. *)
+
 val incidents : log -> incident list
 (** Chronological order; at most [capacity] entries (the newest). *)
 

@@ -5,6 +5,7 @@
 
 module Obs = Pinpoint_obs.Obs
 module Export = Pinpoint_obs.Export
+module Window = Pinpoint_obs.Window
 module Metrics = Pinpoint_util.Metrics
 
 (* The level and the registry are process-global: every test restores
@@ -206,6 +207,116 @@ let test_counters_off_by_default () =
     (List.length (Obs.span "x" (fun () -> Obs.spans ())));
   Obs.reset ()
 
+(* Snapshot.diff: the window algebra.  merge (diff b a) (diff c b) must
+   equal diff c a on monotone snapshot chains — that identity is what
+   makes the rolling window's per-slot deltas recombine correctly. *)
+let test_diff_algebra () =
+  let h counts sum n =
+    Obs.Snapshot.Histogram { edges = [| 0.1; 1.0 |]; counts; sum; n }
+  in
+  let a =
+    [ ("c", Obs.Snapshot.Counter 3); ("g", Obs.Snapshot.Gauge 1.0);
+      ("h", h [| 1; 0; 0 |] 0.05 1) ]
+  in
+  let b =
+    [ ("c", Obs.Snapshot.Counter 10); ("g", Obs.Snapshot.Gauge 2.0);
+      ("h", h [| 1; 2; 0 |] 1.05 3) ]
+  in
+  let c =
+    [ ("c", Obs.Snapshot.Counter 11); ("g", Obs.Snapshot.Gauge 2.5);
+      ("h", h [| 2; 2; 1 |] 6.1 5); ("new", Obs.Snapshot.Counter 4) ]
+  in
+  let d = Obs.Snapshot.diff and m = Obs.Snapshot.merge in
+  (* gauge chain is non-decreasing here: merge maxes gauges across
+     window slots while diff keeps the newer reading, so recombination
+     is exact on counters/histograms and max-vs-latest on gauges *)
+  Alcotest.check snap_testable "window recombination" (d c a)
+    (m (d b a) (d c b));
+  (* counters subtract, gauges keep the newer reading even when lower *)
+  (match List.assoc "c" (d b a) with
+  | Obs.Snapshot.Counter n -> Alcotest.(check int) "counter delta" 7 n
+  | _ -> Alcotest.fail "kind changed");
+  (match List.assoc "g" (d [ ("g", Obs.Snapshot.Gauge 0.5) ] b) with
+  | Obs.Snapshot.Gauge v -> Alcotest.(check (float 0.0)) "gauge newer" 0.5 v
+  | _ -> Alcotest.fail "kind changed");
+  (* names only in newer are kept; clamping never goes negative *)
+  Alcotest.(check bool) "new name kept" true (List.mem_assoc "new" (d c a));
+  match List.assoc "h" (d c b) with
+  | Obs.Snapshot.Histogram hh ->
+    Alcotest.(check (array int)) "hist delta" [| 1; 0; 1 |] hh.counts;
+    Alcotest.(check int) "hist delta n" 2 hh.n
+  | _ -> Alcotest.fail "kind changed"
+
+(* Quantile interpolation: a known bucket layout with hand-computed
+   answers. *)
+let test_quantiles () =
+  let v =
+    Obs.Snapshot.Histogram
+      {
+        edges = [| 1.0; 2.0; 4.0 |];
+        counts = [| 10; 0; 10; 0 |];  (* 20 obs: 10 in (0,1], 10 in (2,4] *)
+        sum = 35.0;
+        n = 20;
+      }
+  in
+  let q p =
+    match Obs.Snapshot.quantile v p with
+    | Some x -> x
+    | None -> Alcotest.fail "quantile on non-empty histogram"
+  in
+  (* p50: 10th obs closes the first bucket -> interpolates to its edge *)
+  Alcotest.(check (float 1e-9)) "p50" 1.0 (q 0.50);
+  (* p95: 19th obs = 9/10 through bucket (2,4] -> 2 + 2*0.9 *)
+  Alcotest.(check (float 1e-9)) "p95" 3.8 (q 0.95);
+  Alcotest.(check (float 1e-9)) "p100" 4.0 (q 1.0);
+  (* overflow-only histogram reports the last finite edge *)
+  let over =
+    Obs.Snapshot.Histogram
+      { edges = [| 1.0; 2.0 |]; counts = [| 0; 0; 5 |]; sum = 50.0; n = 5 }
+  in
+  (match Obs.Snapshot.quantile over 0.5 with
+  | Some x -> Alcotest.(check (float 1e-9)) "overflow -> last edge" 2.0 x
+  | None -> Alcotest.fail "overflow quantile");
+  (* empty histogram and non-histograms have no quantiles *)
+  Alcotest.(check bool) "empty -> None" true
+    (Obs.Snapshot.quantile
+       (Obs.Snapshot.Histogram
+          { edges = [| 1.0 |]; counts = [| 0; 0 |]; sum = 0.0; n = 0 })
+       0.5
+    = None);
+  Alcotest.(check bool) "counter -> None" true
+    (Obs.Snapshot.quantile (Obs.Snapshot.Counter 3) 0.5 = None)
+
+(* Rolling window: deltas land in slots as the clock crosses widths, the
+   view is live before any roll, and old slots age out of the ring. *)
+let test_rolling_window () =
+  with_level Obs.Metrics_only @@ fun () ->
+  let w = Window.create ~slots:3 ~width_s:10.0 ~now:0.0 () in
+  let c = Obs.counter "win.c" in
+  Obs.add c 5;
+  (* live tail: visible before the first roll *)
+  (match List.assoc_opt "win.c" (Window.view w ~current:(Obs.snapshot ())) with
+  | Some (Obs.Snapshot.Counter n) -> Alcotest.(check int) "live tail" 5 n
+  | _ -> Alcotest.fail "counter missing from window view");
+  (* idle tick: nothing rolls before the width elapses *)
+  Window.tick w ~now:9.0 Obs.snapshot;
+  Alcotest.(check int) "no roll yet" 0 (Window.rolls w);
+  Window.tick w ~now:10.5 Obs.snapshot;
+  Alcotest.(check int) "first roll" 1 (Window.rolls w);
+  Obs.add c 7;
+  (match List.assoc_opt "win.c" (Window.view w ~current:(Obs.snapshot ())) with
+  | Some (Obs.Snapshot.Counter n) -> Alcotest.(check int) "slot + tail" 12 n
+  | _ -> Alcotest.fail "counter missing");
+  (* roll three more times with nothing new: the +5 slot ages out of the
+     3-slot ring, leaving only the +7 *)
+  Window.tick w ~now:21.0 Obs.snapshot;
+  Window.tick w ~now:31.0 Obs.snapshot;
+  Window.tick w ~now:41.0 Obs.snapshot;
+  Alcotest.(check int) "ring full" 3 (Window.filled w);
+  match List.assoc_opt "win.c" (Window.view w ~current:(Obs.snapshot ())) with
+  | Some (Obs.Snapshot.Counter n) -> Alcotest.(check int) "aged out" 7 n
+  | _ -> Alcotest.fail "counter missing"
+
 (* --------------------------------------------------------------- *)
 (* Histogram bucket edges *)
 
@@ -369,7 +480,135 @@ let test_metrics_json_golden () =
     [
       "counters"; "gauges"; "histograms"; "smt"; "rungs"; "top_slowest";
       "engine.n_sources"; "solver.n_queries"; "smt.query.latency_s";
+      "p50"; "p95"; "p99";
     ]
+
+(* --------------------------------------------------------------- *)
+(* Prometheus text exposition *)
+
+let test_prometheus_golden () =
+  with_level Obs.Metrics_only @@ fun () ->
+  let a = Pinpoint.Analysis.prepare_source ~file:"<obs-test>" uaf_src in
+  let _ = Pinpoint.Analysis.check a Pinpoint.Checkers.use_after_free in
+  let text = Export.prometheus () in
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check bool) "non-empty exposition" true (lines <> []);
+  let is_name_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = ':'
+  in
+  let name_of line =
+    let n = String.length line in
+    let i = ref 0 in
+    while !i < n && is_name_char line.[!i] do incr i done;
+    String.sub line 0 !i
+  in
+  (* every line is a TYPE comment or a [name{labels} value] sample whose
+     name is sanitized + pinpoint_-prefixed and whose value is a float *)
+  List.iter
+    (fun line ->
+      if line.[0] = '#' then
+        Alcotest.(check bool) ("comment is a TYPE line: " ^ line) true
+          (Pinpoint_util.Pp.contains line "# TYPE pinpoint_")
+      else begin
+        Alcotest.(check bool) ("sample name prefixed: " ^ line) true
+          (String.starts_with ~prefix:"pinpoint_" (name_of line));
+        let j = String.rindex line ' ' in
+        let v = String.sub line (j + 1) (String.length line - j - 1) in
+        match float_of_string_opt v with
+        | Some _ -> ()
+        | None -> Alcotest.failf "bad sample value in %S" line
+      end)
+    lines;
+  let sample_value prefix =
+    List.filter_map
+      (fun l ->
+        if String.starts_with ~prefix l then
+          let j = String.rindex l ' ' in
+          Some (float_of_string (String.sub l (j + 1) (String.length l - j - 1)))
+        else None)
+      lines
+  in
+  (* histogram wellformedness for the SMT latency metric: cumulative
+     buckets monotone, ending in a +Inf bucket that equals _count *)
+  let h = "pinpoint_smt_query_latency_s" in
+  let buckets = sample_value (h ^ "_bucket{le=") in
+  Alcotest.(check bool) "has buckets" true (List.length buckets >= 2);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "buckets cumulative-monotone" true (monotone buckets);
+  Alcotest.(check bool) "last bucket is +Inf" true
+    (List.exists
+       (fun l -> String.starts_with ~prefix:(h ^ "_bucket{le=\"+Inf\"}") l)
+       lines);
+  (match (sample_value (h ^ "_count "), List.rev buckets) with
+  | [ count ], inf :: _ ->
+    Alcotest.(check (float 0.0)) "+Inf bucket = _count" count inf;
+    Alcotest.(check bool) "histogram non-empty" true (count > 0.0)
+  | _ -> Alcotest.fail "missing _count or buckets");
+  (match sample_value (h ^ "_sum ") with
+  | [ sum ] -> Alcotest.(check bool) "_sum >= 0" true (sum >= 0.0)
+  | _ -> Alcotest.fail "missing _sum");
+  (* a counter that the engine always bumps is present *)
+  Alcotest.(check bool) "solver counter present" true
+    (sample_value "pinpoint_solver_n_queries " <> [])
+
+(* --------------------------------------------------------------- *)
+(* Flight recorder *)
+
+let test_flight_recorder () =
+  let module Flight = Pinpoint_obs.Flight in
+  let was = Flight.enabled () in
+  Flight.set_enabled true;
+  Flight.clear ();
+  Obs.with_request "r000042" (fun () ->
+      Flight.record ~kind:"request" "check";
+      Flight.record ~kind:"response" ~detail:"ok" "check");
+  Flight.record ~kind:"rung" ~detail:"s -> t sat" "full";
+  let evs = Flight.events () in
+  Alcotest.(check int) "three events" 3 (List.length evs);
+  let ts = List.map (fun (e : Flight.event) -> e.Flight.e_t) evs in
+  Alcotest.(check bool) "time-ordered" true
+    (List.sort compare ts = ts);
+  let reqs =
+    List.filter_map
+      (fun (e : Flight.event) ->
+        if e.Flight.e_kind = "request" || e.Flight.e_kind = "response" then
+          Some e.Flight.e_req
+        else None)
+      evs
+  in
+  Alcotest.(check (list string)) "ambient request id captured"
+    [ "r000042"; "r000042" ] reqs;
+  (* the JSON artifact parses and a dump round-trips to disk *)
+  let json = Flight.to_json ~reason:"unit test" () in
+  (match parse_json (String.trim json) with
+  | () -> ()
+  | exception Bad_json msg -> Alcotest.failf "flight JSON: %s" msg);
+  Alcotest.(check bool) "reason embedded" true
+    (Pinpoint_util.Pp.contains json "unit test");
+  let path = Filename.temp_file "pinpoint_flight" ".json" in
+  Alcotest.(check bool) "dump succeeds" true (Flight.dump ~reason:"t" path);
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "dump has events" true
+    (Pinpoint_util.Pp.contains contents "\"flight\"");
+  (* disabled recorder is a no-op *)
+  Flight.clear ();
+  Flight.set_enabled false;
+  Flight.record ~kind:"request" "ignored";
+  Alcotest.(check int) "disabled -> no events" 0
+    (List.length (Flight.events ()));
+  Flight.set_enabled was
 
 (* --------------------------------------------------------------- *)
 (* SMT query profiler *)
@@ -461,6 +700,9 @@ let suite =
     Alcotest.test_case "phase names present" `Quick test_span_names_present;
     Alcotest.test_case "snapshot merge associativity" `Quick
       test_merge_associative;
+    Alcotest.test_case "snapshot diff window algebra" `Quick test_diff_algebra;
+    Alcotest.test_case "histogram quantiles" `Quick test_quantiles;
+    Alcotest.test_case "rolling window" `Quick test_rolling_window;
     Alcotest.test_case "registry counters and gauges" `Quick
       test_registry_counters;
     Alcotest.test_case "hooks are no-ops when off" `Quick
@@ -468,6 +710,9 @@ let suite =
     Alcotest.test_case "histogram bucket edges" `Quick test_histogram_buckets;
     Alcotest.test_case "trace JSON golden" `Quick test_trace_json_golden;
     Alcotest.test_case "metrics JSON golden" `Quick test_metrics_json_golden;
+    Alcotest.test_case "Prometheus exposition golden" `Quick
+      test_prometheus_golden;
+    Alcotest.test_case "flight recorder" `Quick test_flight_recorder;
     Alcotest.test_case "SMT query profile" `Quick test_query_profile;
     Alcotest.test_case "report identity obs on/off" `Quick
       test_report_identity;

@@ -533,6 +533,425 @@ let test_json_roundtrip () =
       | Error _ -> ())
     [ "{"; "[1,]"; "{\"a\":1} trailing"; "nul"; "\"unterminated" ]
 
+(* ---------- live telemetry (DESIGN.md §4.16) ---------- *)
+
+module Obs = Pinpoint_obs.Obs
+module Flight = Pinpoint_obs.Flight
+
+let op_req ?(fields = []) op =
+  Json.to_string (Json.Obj (("op", Json.String op) :: fields))
+
+(* Run [f] at an obs level, restoring [Off] and disabling the flight
+   recorder on the way out so telemetry never leaks across tests. *)
+let with_obs level f =
+  Obs.reset ();
+  Obs.set_level level;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_level Obs.Off;
+      Obs.reset ();
+      Flight.set_enabled false;
+      Flight.clear ())
+    f
+
+let member_path path j =
+  List.fold_left (fun acc k -> Option.bind acc (Json.member k)) (Some j) path
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let tmp_flight_file tag =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "pinpoint_flight_%d_%s.json" (Unix.getpid ()) tag)
+
+(* Every span recorded while a request is in flight — including the ones
+   run on jobs-4 pool workers — carries that request's id, and the spans
+   of one request form a properly nested tree per domain. *)
+let test_request_spans_jobs4 () =
+  with_obs Obs.Trace @@ fun () ->
+  Pinpoint_par.Pool.with_pool ~jobs:4 @@ fun pool ->
+  let chunks = split_subject 2 (subject ~seed:71 ~loc:300 ()) in
+  let t =
+    Server.create
+      ~config:{ Server.default_config with Server.pool = Some pool }
+      ()
+  in
+  Server.load_files t (contents_of chunks);
+  let rids = ref [] in
+  for i = 1 to 4 do
+    ignore (bump_nth_function chunks ~chunk:(i mod 2) ~i);
+    let name, fds = chunks.(i mod 2) in
+    let resp, _ =
+      Server.handle_line t
+        (req_of_files ~id:i ~checkers:[ "use-after-free" ]
+           [ (name, emit_fdecls fds) ])
+    in
+    let j = parse_response resp in
+    Alcotest.(check bool) "check ok" true (response_ok j);
+    match Option.bind (Json.member "request" j) Json.string_opt with
+    | Some r -> rids := r :: !rids
+    | None -> Alcotest.fail "response missing request id"
+  done;
+  let rids = List.rev !rids in
+  Alcotest.(check (list string)) "ids are the request sequence"
+    [ "r000001"; "r000002"; "r000003"; "r000004" ]
+    rids;
+  let spans = Obs.spans () in
+  let tagged = List.filter (fun (s : Obs.span) -> s.Obs.req <> "") spans in
+  Alcotest.(check bool) "request-tagged spans exist" true (tagged <> []);
+  List.iter
+    (fun (s : Obs.span) ->
+      if not (List.mem s.Obs.req rids) then
+        Alcotest.failf "span %s carries unknown request id %S" s.Obs.name
+          s.Obs.req)
+    tagged;
+  List.iter
+    (fun rid ->
+      let mine = List.filter (fun (s : Obs.span) -> s.Obs.req = rid) spans in
+      Alcotest.(check bool) (rid ^ " has a root span") true
+        (List.exists (fun (s : Obs.span) -> s.Obs.name = "server.request") mine);
+      Alcotest.(check bool) (rid ^ " reaches the engine") true
+        (List.exists
+           (fun (s : Obs.span) ->
+             s.Obs.name = "incr.check" || s.Obs.name = "incr.update")
+           mine);
+      (* per-domain stack discipline over the request's own spans: replay
+         open/close events in per-domain sequence order *)
+      let doms =
+        List.sort_uniq compare
+          (List.map (fun (s : Obs.span) -> s.Obs.dom) mine)
+      in
+      List.iter
+        (fun dom ->
+          let evs =
+            List.filter (fun (s : Obs.span) -> s.Obs.dom = dom) mine
+            |> List.concat_map (fun (s : Obs.span) ->
+                   [ (s.Obs.open_seq, `Open s); (s.Obs.close_seq, `Close s) ])
+            |> List.sort (fun (a, _) (b, _) -> compare a b)
+          in
+          let stack = ref [] in
+          List.iter
+            (fun (_, e) ->
+              match e with
+              | `Open s -> stack := s :: !stack
+              | `Close s -> (
+                match !stack with
+                | top :: rest when top == s -> stack := rest
+                | _ ->
+                  Alcotest.failf "%s domain %d: ill-nested span %s" rid dom
+                    s.Obs.name))
+            evs;
+          Alcotest.(check int)
+            (Printf.sprintf "%s domain %d: all spans closed" rid dom)
+            0
+            (List.length !stack))
+        doms)
+    rids
+
+(* status: uptime, per-op counters, window info, flight flag and the
+   request/latency stamp on the response itself. *)
+let test_status_telemetry () =
+  with_obs Obs.Off @@ fun () ->
+  let chunks = split_subject 1 (subject ~seed:79 ~loc:150 ()) in
+  let t = Server.create () in
+  Server.load_files t (contents_of chunks);
+  let resp, _ =
+    Server.handle_line t (req_of_files ~id:1 ~checkers:[ "use-after-free" ] [])
+  in
+  Alcotest.(check bool) "check ok" true (response_ok (parse_response resp));
+  let resp, _ = Server.handle_line t (op_req "status") in
+  let j = parse_response resp in
+  Alcotest.(check bool) "status ok" true (response_ok j);
+  (match Option.bind (Json.member "uptime_s" j) Json.number_opt with
+  | Some u -> Alcotest.(check bool) "uptime >= 0" true (u >= 0.0)
+  | None -> Alcotest.fail "status missing uptime_s");
+  List.iter
+    (fun (op, expected) ->
+      Alcotest.(check (option int)) ("ops." ^ op) (Some expected)
+        (Option.bind (member_path [ "ops"; op ] j) Json.int_opt))
+    [ ("check", 1); ("status", 1); ("metrics", 0); ("dump", 0) ];
+  Alcotest.(check bool) "window slots > 0" true
+    (match Option.bind (member_path [ "window"; "slots" ] j) Json.int_opt with
+    | Some n -> n > 0
+    | None -> false);
+  Alcotest.(check (option bool)) "flight on by default" (Some true)
+    (Option.bind (Json.member "flight" j) Json.bool_opt);
+  Alcotest.(check bool) "last_snapshot_epoch present" true
+    (Option.bind (Json.member "last_snapshot_epoch" j) Json.int_opt <> None);
+  Alcotest.(check (option string)) "request id stamped" (Some "r000002")
+    (Option.bind (Json.member "request" j) Json.string_opt);
+  Alcotest.(check bool) "latency stamped" true
+    (Option.bind (Json.member "latency_s" j) Json.number_opt <> None)
+
+(* metrics op after a 25-request stream: non-trivial, ordered latency
+   quantiles in both the lifetime totals and the rolling window, per-op
+   counters, and the Prometheus rendering of the same registry. *)
+let test_metrics_op_quantiles () =
+  with_obs Obs.Metrics_only @@ fun () ->
+  let chunks = split_subject 1 (subject ~seed:73 ~loc:250 ()) in
+  let t = Server.create () in
+  Server.load_files t (contents_of chunks);
+  for i = 1 to 25 do
+    ignore (bump_nth_function chunks ~chunk:0 ~i);
+    let name, fds = chunks.(0) in
+    let resp, _ =
+      Server.handle_line t
+        (req_of_files ~id:i ~checkers:[ "use-after-free" ]
+           [ (name, emit_fdecls fds) ])
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "request %d ok" i)
+      true
+      (response_ok (parse_response resp))
+  done;
+  let resp, _ = Server.handle_line t (op_req "metrics") in
+  let j = parse_response resp in
+  Alcotest.(check bool) "metrics ok" true (response_ok j);
+  let lat = "server.request_latency_s" in
+  let num section field =
+    match
+      Option.bind
+        (member_path [ section; "histograms"; lat; field ] j)
+        Json.number_opt
+    with
+    | Some v -> v
+    | None -> Alcotest.failf "metrics missing %s.%s.%s" section lat field
+  in
+  Alcotest.(check bool) "25 observations" true (num "totals" "n" >= 25.0);
+  let p50 = num "totals" "p50"
+  and p95 = num "totals" "p95"
+  and p99 = num "totals" "p99" in
+  Alcotest.(check bool)
+    (Printf.sprintf "0 < p50(%g) <= p95(%g) <= p99(%g)" p50 p95 p99)
+    true
+    (p50 > 0.0 && p50 <= p95 && p95 <= p99);
+  Alcotest.(check bool) "window view sees latency too" true
+    (num "window" "p50" > 0.0);
+  Alcotest.(check (option int)) "ops.check counted" (Some 25)
+    (Option.bind (member_path [ "ops"; "check" ] j) Json.int_opt);
+  Alcotest.(check (option int)) "ops.metrics counted" (Some 1)
+    (Option.bind (member_path [ "ops"; "metrics" ] j) Json.int_opt);
+  let resp, _ =
+    Server.handle_line t
+      (op_req "metrics" ~fields:[ ("format", Json.String "prometheus") ])
+  in
+  let j = parse_response resp in
+  Alcotest.(check bool) "prometheus ok" true (response_ok j);
+  match Option.bind (Json.member "prometheus" j) Json.string_opt with
+  | None -> Alcotest.fail "prometheus payload missing"
+  | Some text ->
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool) ("exposition has " ^ needle) true
+          (Pinpoint_util.Pp.contains text needle))
+      [
+        "# TYPE pinpoint_server_request_latency_s histogram";
+        "pinpoint_server_request_latency_s_bucket{le=\"+Inf\"}";
+        "pinpoint_server_op_check";
+        "pinpoint_server_uptime_s";
+      ]
+
+(* dump op: flight-recorder dump to the configured path, and a
+   per-request Chrome trace slice. *)
+let test_dump_op () =
+  with_obs Obs.Trace @@ fun () ->
+  let path = tmp_flight_file "dump" in
+  if Sys.file_exists path then Sys.remove path;
+  let t =
+    Server.create
+      ~config:{ Server.default_config with Server.flight_file = path }
+      ()
+  in
+  let chunks = split_subject 1 (subject ~seed:97 ~loc:150 ()) in
+  Server.load_files t (contents_of chunks);
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let resp, _ =
+        Server.handle_line t (req_of_files ~id:1 ~checkers:[ "use-after-free" ] [])
+      in
+      let rid =
+        match
+          Option.bind (Json.member "request" (parse_response resp))
+            Json.string_opt
+        with
+        | Some r -> r
+        | None -> Alcotest.fail "check response missing request id"
+      in
+      let resp, _ = Server.handle_line t (op_req "dump") in
+      let j = parse_response resp in
+      Alcotest.(check bool) "dump ok" true (response_ok j);
+      Alcotest.(check (option bool)) "written" (Some true)
+        (Option.bind (Json.member "written" j) Json.bool_opt);
+      Alcotest.(check (option string)) "configured path" (Some path)
+        (Option.bind (Json.member "path" j) Json.string_opt);
+      Alcotest.(check bool) "events recorded" true
+        (match Option.bind (Json.member "events" j) Json.int_opt with
+        | Some n -> n > 0
+        | None -> false);
+      let flight = read_file path in
+      (match Json.parse flight with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "flight dump is not JSON: %s" e);
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("flight has " ^ needle) true
+            (Pinpoint_util.Pp.contains flight needle))
+        [ "\"flight\""; "\"request\""; rid ];
+      (* per-request trace slice *)
+      let resp, _ =
+        Server.handle_line t
+          (op_req "dump"
+             ~fields:
+               [ ("what", Json.String "trace"); ("request_id", Json.String rid) ])
+      in
+      let j = parse_response resp in
+      Alcotest.(check bool) "trace dump ok" true (response_ok j);
+      match Option.bind (Json.member "trace" j) Json.string_opt with
+      | None -> Alcotest.fail "trace payload missing"
+      | Some trace ->
+        Alcotest.(check bool) "trace is chrome format" true
+          (Pinpoint_util.Pp.contains trace "\"traceEvents\"");
+        Alcotest.(check bool) "trace slice mentions the request" true
+          (Pinpoint_util.Pp.contains trace rid))
+
+(* A crash that reaches the top barrier dumps the flight ring before
+   answering, and the server keeps serving. *)
+let test_flight_crash_dump () =
+  with_obs Obs.Off @@ fun () ->
+  let path = tmp_flight_file "crash" in
+  if Sys.file_exists path then Sys.remove path;
+  let t =
+    Server.create
+      ~config:{ Server.default_config with Server.flight_file = path }
+      ()
+  in
+  let chunks = split_subject 1 (subject ~seed:83 ~loc:150 ()) in
+  Server.load_files t (contents_of chunks);
+  Fun.protect
+    ~finally:(fun () ->
+      Resilience.Inject.clear ();
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      (* inject_crash is only honoured while fault injection is armed *)
+      Resilience.Inject.(install default);
+      let resp, action =
+        Server.handle_line t
+          (Json.to_string
+             (Json.Obj
+                [ ("op", Json.String "check"); ("inject_crash", Json.Bool true) ]))
+      in
+      Alcotest.(check bool) "server continues" true (action = `Continue);
+      Alcotest.(check bool) "crash answered as error" false
+        (response_ok (parse_response resp));
+      Alcotest.(check bool) "flight file written on crash" true
+        (Sys.file_exists path);
+      let flight = read_file path in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("flight has " ^ needle) true
+            (Pinpoint_util.Pp.contains flight needle))
+        [ "\"crash\""; "injected: crash"; "\"r000001\"" ];
+      (* the resident state survived the crash *)
+      let resp, _ =
+        Server.handle_line t (req_of_files ~id:2 ~checkers:[ "use-after-free" ] [])
+      in
+      Alcotest.(check bool) "next request ok" true
+        (response_ok (parse_response resp)))
+
+(* An RSS shed also dumps the ring: the recorder is the post-mortem for
+   "why did my server refuse work". *)
+let test_flight_shed_dump () =
+  with_obs Obs.Off @@ fun () ->
+  let path = tmp_flight_file "shed" in
+  if Sys.file_exists path then Sys.remove path;
+  let t =
+    Server.create
+      ~config:
+        {
+          Server.default_config with
+          Server.max_rss_mb = 0.001;
+          flight_file = path;
+        }
+      ()
+  in
+  let chunks = split_subject 1 (subject ~seed:59 ~loc:150 ()) in
+  Server.load_files t (contents_of chunks);
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let resp, _ = Server.handle_line t (req_of_files ~id:1 []) in
+      let j = parse_response resp in
+      Alcotest.(check (option bool)) "overloaded" (Some true)
+        (Option.bind (Json.member "overloaded" j) Json.bool_opt);
+      Alcotest.(check bool) "flight file written on shed" true
+        (Sys.file_exists path);
+      let flight = read_file path in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("flight has " ^ needle) true
+            (Pinpoint_util.Pp.contains flight needle))
+        [ "\"shed\""; "rss-watermark" ])
+
+(* The standing invariant: a serve session produces byte-identical
+   responses (modulo the wall-clock latency stamp) at every obs level,
+   flight recorder on or off. *)
+let rec strip_latency j =
+  match j with
+  | Json.Obj kvs ->
+    Json.Obj
+      (List.filter (fun (k, _) -> k <> "latency_s") kvs
+      |> List.map (fun (k, v) -> (k, strip_latency v)))
+  | Json.List l -> Json.List (List.map strip_latency l)
+  | j -> j
+
+let serve_session level ~flight () =
+  Obs.reset ();
+  Obs.set_level level;
+  Flight.clear ();
+  Flight.set_enabled flight;
+  let chunks = split_subject 2 (subject ~seed:89 ~loc:300 ()) in
+  let t =
+    Server.create ~config:{ Server.default_config with Server.flight } ()
+  in
+  Server.load_files t (contents_of chunks);
+  let out = ref [] in
+  for i = 1 to 6 do
+    ignore (bump_nth_function chunks ~chunk:(i mod 2) ~i);
+    let name, fds = chunks.(i mod 2) in
+    let resp, _ =
+      Server.handle_line t
+        (req_of_files ~id:i ~checkers:[ "use-after-free" ]
+           [ (name, emit_fdecls fds) ])
+    in
+    out := Json.to_string (strip_latency (parse_response resp)) :: !out
+  done;
+  let resp, _ =
+    Server.handle_line t
+      (req_of_files ~id:99 ~checkers:[ "use-after-free"; "double-free" ] [])
+  in
+  out := Json.to_string (strip_latency (parse_response resp)) :: !out;
+  List.rev !out
+
+let test_serve_report_identity () =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_level Obs.Off;
+      Obs.reset ();
+      Flight.set_enabled false;
+      Flight.clear ())
+    (fun () ->
+      let off = serve_session Obs.Off ~flight:false () in
+      let metrics = serve_session Obs.Metrics_only ~flight:true () in
+      let trace = serve_session Obs.Trace ~flight:true () in
+      Alcotest.(check (list string))
+        "Off = Metrics_only + flight" off metrics;
+      Alcotest.(check (list string)) "Off = Trace + flight" off trace)
+
 let suite =
   [
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
@@ -545,6 +964,15 @@ let suite =
     Alcotest.test_case "warm restart" `Quick test_warm_restart;
     Alcotest.test_case "qcache cap" `Quick test_qcache_cap;
     Alcotest.test_case "incident rotation" `Quick test_incident_rotation;
+    Alcotest.test_case "request span trees (jobs 4)" `Quick
+      test_request_spans_jobs4;
+    Alcotest.test_case "status telemetry" `Quick test_status_telemetry;
+    Alcotest.test_case "metrics op quantiles" `Quick test_metrics_op_quantiles;
+    Alcotest.test_case "dump op (flight + trace slice)" `Quick test_dump_op;
+    Alcotest.test_case "flight dump on crash" `Quick test_flight_crash_dump;
+    Alcotest.test_case "flight dump on rss shed" `Quick test_flight_shed_dump;
+    Alcotest.test_case "serve report identity across obs levels" `Quick
+      test_serve_report_identity;
     Alcotest.test_case "fault-injected soak (200 req)" `Slow
       (fun () -> test_soak ());
     Alcotest.test_case "fault-injected soak (jobs 4)" `Slow
