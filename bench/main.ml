@@ -907,33 +907,49 @@ let par () =
   Format.printf "(wrote BENCH_par.json)@."
 
 (* ------------------------------------------------------------------ *)
-(* Prefix pruning + verdict cache: 2x2 ablation (DESIGN.md §4.10).
+(* Solver-work reuse: prefix pruning, whole-formula verdict cache and
+   unsat-core subsumption as a 2x2x2 ablation (DESIGN.md §4.10, §4.17),
+   plus focused legs for the other two §4.17 reuse channels:
 
-   A cell runs a *workload* — a sequence of checks sharing the
-   process-wide verdict cache — with prune and cache toggled
-   independently, clearing the cache between cells so configurations
-   cannot contaminate each other:
+   - a *refinement* leg: demand-driven re-checks with derived
+     nonnegativity facts remove exactly the planted nonlinear-trap false
+     positives, recall unchanged;
+   - a *carryover* leg: per-source theory-lemma re-seeding decides the
+     same verdicts with less CDCL work (all caches off, so every query
+     actually runs the solver).
+
+   A grid cell runs a *workload* — a sequence of checks sharing the
+   process-wide caches — with prune, qcache and corecache toggled
+   independently (refinement and carryover off), clearing both caches
+   between cells so configurations cannot contaminate each other:
 
    - the two fig7 subjects get two consecutive UAF passes (the repeated
-     analysis the cache is designed for: clone interning makes every
-     second-pass condition a cache hit);
+     analysis the verdict cache is designed for; mysql additionally
+     carries disjoint-interval guard families whose candidates are
+     distinct formulas sharing one unsat core — the subsumption cache's
+     target);
    - the corpus gets one UAF + double-free pass per file
-     (complement_guards.mc carries the literal-complement conditions the
-     linear prefix prune refutes on the first pass).
+     (complement_guards.mc feeds the linear prefix prune,
+     shared_core.mc the subsumption cache).
 
-   Verifies the reports are identical in all four cells, that the
+   Verifies the reports are identical in all eight cells, that the
    default config issues strictly fewer full-solver queries than the
-   fully-ablated baseline, and that the pruned-candidate and cache-replay
-   counters account for the whole gap.  Dumps BENCH_prune.json. *)
+   fully-ablated baseline with the gap fully accounted for, and that
+   adding corecache on top of qcache strictly lowers full-rung queries
+   on the workloads that share cores.  Dumps BENCH_prune.json, keeping
+   the prior file's numbers under "previous". *)
 
 type prune_cell = {
   pc_label : string;
   pc_prune : bool;
   pc_cache : bool;
+  pc_corecache : bool;
   pc_wall : float;
   pc_calls : int;
   pc_full : int;
   pc_cached : int;
+  pc_subsume : int;
+  pc_cores : int;  (* cores resident when the cell finished *)
   pc_pruned_cands : int;
   pc_checks : int;
   pc_pruned_prefixes : int;
@@ -942,15 +958,59 @@ type prune_cell = {
   pc_keys : (string * (string * int * string * int) * Pinpoint.Report.verdict) list;
 }
 
+type refine_leg = {
+  rl_name : string;
+  rl_wall_off : float;
+  rl_wall_on : float;
+  rl_reports_off : int;
+  rl_reports_on : int;
+  rl_checks : int;
+  rl_removed : int;
+  rl_subset : bool;  (* refined report set ⊆ unrefined report set *)
+  rl_truth : (int * int * int * int) option;
+      (* (found_off, fp_off, found_on, fp_on) when ground truth exists *)
+}
+
+type carry_leg = {
+  cl_name : string;
+  cl_identical : bool;
+  cl_props_off : int;
+  cl_props_on : int;
+  cl_conflicts_off : int;
+  cl_conflicts_on : int;
+  cl_stored : int;
+  cl_seeded : int;
+}
+
 let prune () =
-  Format.printf "@.== Prefix pruning + SMT verdict cache (2x2 ablation) ==@.@.";
+  Format.printf
+    "@.== Solver-work reuse: prune x qcache x corecache (2x2x2 ablation) \
+     ==@.@.";
   let cells =
-    [
-      ("baseline (no prune, no cache)", false, false);
-      ("prune only", true, false);
-      ("cache only", false, true);
-      ("default (prune + cache)", true, true);
-    ]
+    List.concat_map
+      (fun prune_on ->
+        List.concat_map
+          (fun cache_on ->
+            List.map
+              (fun core_on ->
+                let parts =
+                  List.filter_map Fun.id
+                    [
+                      (if prune_on then Some "prune" else None);
+                      (if cache_on then Some "qcache" else None);
+                      (if core_on then Some "corecache" else None);
+                    ]
+                in
+                let label =
+                  match parts with
+                  | [] -> "baseline (all off)"
+                  | [ _; _; _ ] -> "default (prune+qcache+corecache)"
+                  | l -> String.concat "+" l
+                in
+                (label, prune_on, cache_on, core_on))
+              [ false; true ])
+          [ false; true ])
+      [ false; true ]
   in
   (* tasks: (tag, analysis, checker); analyses are prepared once and
      shared by all four cells, so every cell conditions identical paths *)
@@ -984,13 +1044,17 @@ let prune () =
     in
     (str "corpus (%d files, UAF + double-free)" (List.length files), tasks)
   in
-  let run_cell tasks (label, prune_on, cache_on) =
+  let run_cell tasks (label, prune_on, cache_on, core_on) =
     Pinpoint_smt.Qcache.clear ();
+    Pinpoint_smt.Corecache.clear ();
     let cfg =
       {
         Pinpoint.Engine.default_config with
         prune_prefixes = prune_on;
         use_qcache = cache_on;
+        use_corecache = core_on;
+        use_refine = false;
+        use_carry = false;
       }
     in
     let acc =
@@ -999,10 +1063,13 @@ let prune () =
           pc_label = label;
           pc_prune = prune_on;
           pc_cache = cache_on;
+          pc_corecache = core_on;
           pc_wall = 0.0;
           pc_calls = 0;
           pc_full = 0;
           pc_cached = 0;
+          pc_subsume = 0;
+          pc_cores = 0;
           pc_pruned_cands = 0;
           pc_checks = 0;
           pc_pruned_prefixes = 0;
@@ -1032,6 +1099,7 @@ let prune () =
             pc_calls = !acc.pc_calls + st.Pinpoint.Engine.n_solver_calls;
             pc_full = !acc.pc_full + st.Pinpoint.Engine.n_rung_full;
             pc_cached = !acc.pc_cached + st.Pinpoint.Engine.n_rung_cached;
+            pc_subsume = !acc.pc_subsume + sv.Pinpoint_smt.Solver.n_subsume_hits;
             pc_pruned_cands =
               !acc.pc_pruned_cands + st.Pinpoint.Engine.n_pruned_candidates;
             pc_checks = !acc.pc_checks + st.Pinpoint.Engine.n_prefix_checks;
@@ -1042,8 +1110,10 @@ let prune () =
             pc_keys = !acc.pc_keys @ keys;
           })
       tasks;
+    let cell = { !acc with pc_cores = Pinpoint_smt.Corecache.length () } in
     Pinpoint_smt.Qcache.clear ();
-    !acc
+    Pinpoint_smt.Corecache.clear ();
+    cell
   in
   let measure (wname, tasks) =
     let runs = List.map (run_cell tasks) cells in
@@ -1059,15 +1129,22 @@ let prune () =
           rest
       | [] -> true
     in
-    (wname, runs, identical)
+    (wname, tasks, runs, identical)
   in
   let results =
     List.map measure
       [ subject_tasks "vortex"; subject_tasks "mysql"; corpus_tasks () ]
   in
+  let find_cell runs ~prune ~cache ~core =
+    List.find
+      (fun c ->
+        c.pc_prune = prune && c.pc_cache = cache && c.pc_corecache = core)
+      runs
+  in
+  let n_core_wins = ref 0 in
   List.iter
-    (fun (wname, runs, identical) ->
-      Format.printf "%s: reports %s across all four cells@." wname
+    (fun (wname, _, runs, identical) ->
+      Format.printf "%s: reports %s across all eight cells@." wname
         (if identical then "identical" else "DIFFER");
       let rows =
         List.map
@@ -1078,6 +1155,7 @@ let prune () =
               string_of_int c.pc_calls;
               string_of_int c.pc_full;
               string_of_int c.pc_cached;
+              string_of_int c.pc_subsume;
               string_of_int c.pc_pruned_cands;
               str "%d/%d" c.pc_pruned_prefixes c.pc_checks;
               str "%d/%d" c.pc_hits (c.pc_hits + c.pc_misses);
@@ -1088,12 +1166,13 @@ let prune () =
         ~header:
           [
             "configuration"; "check time"; "queries"; "full"; "cached";
-            "pruned cands"; "pruned/checks"; "hits/lookups";
+            "subsume"; "pruned cands"; "pruned/checks"; "hits/lookups";
           ]
         ~rows Format.std_formatter ();
-      (* acceptance: the default cell must issue strictly fewer full-solver
-         queries than the fully-ablated baseline, and the gap must be
-         exactly the pruned candidates plus the cache replays *)
+      (* acceptance 1: the default cell must issue strictly fewer
+         full-solver queries than the fully-ablated baseline, and the gap
+         must be exactly the pruned candidates plus the cache replays
+         (rung "cached" covers both qcache hits and subsumption hits) *)
       (match (runs, List.rev runs) with
       | base :: _, dflt :: _ ->
         let gap = base.pc_full - dflt.pc_full in
@@ -1106,31 +1185,268 @@ let prune () =
           gap dflt.pc_pruned_cands dflt.pc_cached
           (if gap = explained then "" else " (MISMATCH)")
       | _ -> ());
-      Format.printf "@.")
+      (* acceptance 2: adding corecache on top of qcache alone must lower
+         full-rung queries wherever the workload shares cores *)
+      let qc = find_cell runs ~prune:false ~cache:true ~core:false in
+      let qcc = find_cell runs ~prune:false ~cache:true ~core:true in
+      if qcc.pc_full < qc.pc_full then incr n_core_wins;
+      Format.printf
+        "qcache-only %d full vs qcache+corecache %d full (%d subsumption \
+         hits, %d cores filed)@.@."
+        qc.pc_full qcc.pc_full qcc.pc_subsume qcc.pc_cores)
     results;
+  Format.printf
+    "corecache strictly lowers full-rung queries on %d/%d workloads \
+     (acceptance: >= 2)@.@."
+    !n_core_wins (List.length results);
+  (* ---- refinement leg: seeded FPs removed, recall unchanged ---- *)
+  Format.printf "== Demand-driven refinement (seeded-FP removal) ==@.@.";
+  let refine_leg_of (wname, tasks, truth) =
+    let run use_refine =
+      Pinpoint_smt.Qcache.clear ();
+      Pinpoint_smt.Corecache.clear ();
+      let cfg = { Pinpoint.Engine.default_config with use_refine } in
+      let wall = ref 0.0
+      and checks = ref 0
+      and removed = ref 0
+      and keys = ref []
+      and lines = ref [] in
+      List.iter
+        (fun (tag, analysis, checker) ->
+          let (reports, st), m =
+            Metrics.measure (fun () ->
+                Pinpoint.Analysis.check ~config:cfg analysis checker)
+          in
+          wall := !wall +. m.Metrics.wall_s;
+          checks := !checks + st.Pinpoint.Engine.n_refine_checks;
+          removed := !removed + st.Pinpoint.Engine.n_refine_removed;
+          List.iter
+            (fun (r : Pinpoint.Report.t) ->
+              if Pinpoint.Report.is_reported r then begin
+                keys := (tag, Pinpoint.Report.key r) :: !keys;
+                lines := (r.source_loc.Pinpoint_ir.Stmt.line, 0) :: !lines
+              end)
+            reports)
+        tasks;
+      Pinpoint_smt.Qcache.clear ();
+      Pinpoint_smt.Corecache.clear ();
+      ( !wall,
+        List.sort_uniq compare !keys,
+        List.sort_uniq compare !lines,
+        !checks,
+        !removed )
+    in
+    let w_off, k_off, l_off, _, _ = run false in
+    let w_on, k_on, l_on, checks, removed = run true in
+    let subset = List.for_all (fun k -> List.mem k k_off) k_on in
+    let rl_truth =
+      Option.map
+        (fun planted ->
+          let s_off = Truth.classify ~kind:"use-after-free" planted l_off in
+          let s_on = Truth.classify ~kind:"use-after-free" planted l_on in
+          ( s_off.Truth.n_found,
+            s_off.Truth.n_fp,
+            s_on.Truth.n_found,
+            s_on.Truth.n_fp ))
+        truth
+    in
+    {
+      rl_name = wname;
+      rl_wall_off = w_off;
+      rl_wall_on = w_on;
+      rl_reports_off = List.length k_off;
+      rl_reports_on = List.length k_on;
+      rl_checks = checks;
+      rl_removed = removed;
+      rl_subset = subset;
+      rl_truth;
+    }
+  in
+  let refine_results =
+    let mysql_info =
+      match Subjects.find "mysql" with Some i -> i | None -> assert false
+    in
+    let mysql_subject = Subjects.generate mysql_info in
+    let mysql_analysis =
+      Pinpoint.Analysis.prepare (Gen.compile mysql_subject)
+    in
+    let _, corpus = corpus_tasks () in
+    List.map refine_leg_of
+      [
+        ( "mysql (1 UAF pass)",
+          [ ("uaf", mysql_analysis, Pinpoint.Checkers.use_after_free) ],
+          Some mysql_subject.Gen.truth );
+        ("corpus (UAF + double-free)", corpus, None);
+      ]
+  in
+  List.iter
+    (fun rl ->
+      Format.printf
+        "%s: %d reports refined vs %d unrefined (%d re-checks, %d removed, \
+         refined %s unrefined)@."
+        rl.rl_name rl.rl_reports_on rl.rl_reports_off rl.rl_checks
+        rl.rl_removed
+        (if rl.rl_subset then "subset of" else "NOT a subset of");
+      match rl.rl_truth with
+      | Some (found_off, fp_off, found_on, fp_on) ->
+        Format.printf
+        "  ground truth: recall %d -> %d real bugs (%s), false positives %d \
+         -> %d@."
+          found_off found_on
+          (if found_on = found_off then "unchanged, as required"
+           else "CHANGED")
+          fp_off fp_on
+      | None -> ())
+    refine_results;
+  (* ---- carryover leg: lemma re-seeding, all caches off ---- *)
+  Format.printf "@.== Per-source clause carryover (all caches off) ==@.@.";
+  let carry_leg_of (wname, tasks) =
+    let run use_carry =
+      let cfg =
+        {
+          Pinpoint.Engine.default_config with
+          prune_prefixes = false;
+          use_qcache = false;
+          use_corecache = false;
+          use_refine = false;
+          use_carry;
+        }
+      in
+      let props = ref 0
+      and conflicts = ref 0
+      and stored = ref 0
+      and seeded = ref 0
+      and keys = ref [] in
+      List.iter
+        (fun (tag, analysis, checker) ->
+          let reports, st = Pinpoint.Analysis.check ~config:cfg analysis checker in
+          let sv = st.Pinpoint.Engine.solver in
+          props := !props + sv.Pinpoint_smt.Solver.n_propagations;
+          conflicts := !conflicts + sv.Pinpoint_smt.Solver.n_conflicts;
+          stored := !stored + sv.Pinpoint_smt.Solver.n_carry_stored;
+          seeded := !seeded + sv.Pinpoint_smt.Solver.n_carry_seeded;
+          keys :=
+            !keys
+            @ List.map
+                (fun (r : Pinpoint.Report.t) ->
+                  (tag, Pinpoint.Report.key r, r.Pinpoint.Report.verdict))
+                reports)
+        tasks;
+      (!props, !conflicts, !stored, !seeded, List.sort compare !keys)
+    in
+    let p_off, c_off, _, _, k_off = run false in
+    let p_on, c_on, stored, seeded, k_on = run true in
+    {
+      cl_name = wname;
+      cl_identical = k_off = k_on;
+      cl_props_off = p_off;
+      cl_props_on = p_on;
+      cl_conflicts_off = c_off;
+      cl_conflicts_on = c_on;
+      cl_stored = stored;
+      cl_seeded = seeded;
+    }
+  in
+  let carry_results =
+    List.map (fun (wname, tasks, _, _) -> carry_leg_of (wname, tasks)) results
+  in
+  List.iter
+    (fun cl ->
+      Format.printf
+        "%s: reports %s; propagations %d -> %d (%s), conflicts %d -> %d; %d \
+         lemmas stored, %d re-seeded@."
+        cl.cl_name
+        (if cl.cl_identical then "identical" else "DIFFER")
+        cl.cl_props_off cl.cl_props_on
+        (if cl.cl_props_on < cl.cl_props_off then "strictly fewer"
+         else "not fewer")
+        cl.cl_conflicts_off cl.cl_conflicts_on cl.cl_stored cl.cl_seeded)
+    carry_results;
+  (* Keep the previous file's numbers (sans their own "previous") so the
+     regenerated BENCH_prune.json shows the before/after trajectory. *)
+  let previous =
+    match
+      let ic = open_in "BENCH_prune.json" in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception _ -> None
+    | s -> (
+      match Pinpoint_server.Json.parse s with
+      | Ok (Pinpoint_server.Json.Obj fields) ->
+        Some
+          (Pinpoint_server.Json.to_string
+             (Pinpoint_server.Json.Obj
+                (List.filter (fun (k, _) -> k <> "previous") fields)))
+      | _ -> None)
+  in
   let oc = open_out "BENCH_prune.json" in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"experiment\": \"prune\",\n  \"workloads\": [\n";
+  out "{\n  \"experiment\": \"prune\",\n  \"corecache_win_workloads\": %d,\n"
+    !n_core_wins;
+  out "  \"workloads\": [\n";
   List.iteri
-    (fun i (wname, runs, identical) ->
+    (fun i (wname, _, runs, identical) ->
       out "    {\"name\": %S, \"reports_identical\": %b, \"runs\": [\n" wname
         identical;
       List.iteri
         (fun j c ->
           out
             "      {\"config\": %S, \"prune\": %b, \"qcache\": %b, \
-             \"wall_s\": %.6f, \"n_solver_calls\": %d, \"n_rung_full\": %d, \
-             \"n_rung_cached\": %d, \"n_pruned_candidates\": %d, \
-             \"n_prefix_checks\": %d, \"n_pruned_prefixes\": %d, \
-             \"n_cache_hits\": %d, \"n_cache_misses\": %d}%s\n"
-            c.pc_label c.pc_prune c.pc_cache c.pc_wall c.pc_calls c.pc_full
-            c.pc_cached c.pc_pruned_cands c.pc_checks c.pc_pruned_prefixes
-            c.pc_hits c.pc_misses
+             \"corecache\": %b, \"wall_s\": %.6f, \"n_solver_calls\": %d, \
+             \"n_rung_full\": %d, \"n_rung_cached\": %d, \
+             \"n_subsume_hits\": %d, \"n_cores_filed\": %d, \
+             \"n_pruned_candidates\": %d, \"n_prefix_checks\": %d, \
+             \"n_pruned_prefixes\": %d, \"n_cache_hits\": %d, \
+             \"n_cache_misses\": %d}%s\n"
+            c.pc_label c.pc_prune c.pc_cache c.pc_corecache c.pc_wall
+            c.pc_calls c.pc_full c.pc_cached c.pc_subsume c.pc_cores
+            c.pc_pruned_cands c.pc_checks c.pc_pruned_prefixes c.pc_hits
+            c.pc_misses
             (if j = List.length runs - 1 then "" else ","))
         runs;
       out "    ]}%s\n" (if i = List.length results - 1 then "" else ","))
     results;
-  out "  ]\n}\n";
+  out "  ],\n  \"refine\": [\n";
+  List.iteri
+    (fun i rl ->
+      out
+        "    {\"name\": %S, \"wall_s_unrefined\": %.6f, \
+         \"wall_s_refined\": %.6f, \"n_reports_unrefined\": %d, \
+         \"n_reports_refined\": %d, \"n_refine_checks\": %d, \
+         \"n_refine_removed\": %d, \"refined_subset_of_unrefined\": %b%s}%s\n"
+        rl.rl_name rl.rl_wall_off rl.rl_wall_on rl.rl_reports_off
+        rl.rl_reports_on rl.rl_checks rl.rl_removed rl.rl_subset
+        (match rl.rl_truth with
+        | Some (found_off, fp_off, found_on, fp_on) ->
+          str
+            ", \"recall_unrefined\": %d, \"fp_unrefined\": %d, \
+             \"recall_refined\": %d, \"fp_refined\": %d"
+            found_off fp_off found_on fp_on
+        | None -> "")
+        (if i = List.length refine_results - 1 then "" else ","))
+    refine_results;
+  out "  ],\n  \"carryover\": [\n";
+  List.iteri
+    (fun i cl ->
+      out
+        "    {\"name\": %S, \"reports_identical\": %b, \
+         \"n_propagations_off\": %d, \"n_propagations_on\": %d, \
+         \"n_conflicts_off\": %d, \"n_conflicts_on\": %d, \
+         \"n_carry_stored\": %d, \"n_carry_seeded\": %d}%s\n"
+        cl.cl_name cl.cl_identical cl.cl_props_off cl.cl_props_on
+        cl.cl_conflicts_off cl.cl_conflicts_on cl.cl_stored cl.cl_seeded
+        (if i = List.length carry_results - 1 then "" else ","))
+    carry_results;
+  out "  ]%s\n"
+    (match previous with
+    | Some _ -> ","
+    | None -> "");
+  (match previous with
+  | Some p -> out "  \"previous\": %s\n" p
+  | None -> ());
+  out "}\n";
   close_out oc;
   Format.printf "(wrote BENCH_prune.json)@."
 

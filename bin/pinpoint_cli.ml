@@ -119,6 +119,24 @@ let no_qcache_arg =
           "Disable the shared SMT verdict cache (every query is solved from \
            scratch; the report set is unchanged).")
 
+let no_core_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-core-cache" ]
+        ~doc:
+          "Disable the unsat-core subsumption cache (queries whose conjunct \
+           set contains a previously stored core pay full CDCL again; the \
+           report set is unchanged).")
+
+let no_refine_arg =
+  Arg.(
+    value & flag
+    & info [ "no-refine" ]
+        ~doc:
+          "Disable demand-driven refinement of Sat feasibility verdicts \
+           (reports refuted only by derived linear facts — false positives \
+           of the weak nonlinear theory — are kept).")
+
 let prune_stride_arg =
   Arg.(
     value & opt int Pinpoint.Engine.default_config.Pinpoint.Engine.prune_stride
@@ -286,8 +304,9 @@ let print_incidents ~verbose (a : Pinpoint.Analysis.t) =
 
 let check_cmd =
   let run files checkers verbose confirm deadline_s budget_s solver_conflicts
-      seed rate seg_rate no_prune no_qcache prune_stride jobs chunk_size
-      store_dir max_resident rss_cap_mb trace metrics_json obs =
+      seed rate seg_rate no_prune no_qcache no_core_cache no_refine
+      prune_stride jobs chunk_size store_dir max_resident rss_cap_mb trace
+      metrics_json obs =
     install_injection ~seed ~rate ~seg_rate;
     set_obs_level ~trace ~metrics_json ~obs;
     with_jobs ~chunk_size jobs @@ fun pool ->
@@ -320,6 +339,8 @@ let check_cmd =
               prune_prefixes = not no_prune;
               prune_stride;
               use_qcache = not no_qcache;
+              use_corecache = not no_core_cache;
+              use_refine = not no_refine;
             }
           in
           let reports, stats = Pinpoint.Analysis.check ~config a spec in
@@ -371,7 +392,8 @@ let check_cmd =
       const run $ files_arg $ checkers_arg $ verbose_arg $ confirm_arg
       $ deadline_arg $ solver_budget_arg $ solver_conflicts_arg
       $ inject_seed_arg $ inject_rate_arg
-      $ inject_seg_rate_arg $ no_prune_arg $ no_qcache_arg $ prune_stride_arg
+      $ inject_seg_rate_arg $ no_prune_arg $ no_qcache_arg $ no_core_cache_arg
+      $ no_refine_arg $ prune_stride_arg
       $ jobs_arg $ chunk_size_arg $ store_dir_arg $ max_resident_arg
       $ rss_cap_arg $ trace_arg $ metrics_json_arg $ obs_arg)
   in

@@ -39,6 +39,26 @@ type config = {
   use_qcache : bool;
       (** enable the process-wide SMT verdict cache ({!Pinpoint_smt.Qcache})
           for the duration of the run (default [true], CLI [--no-qcache]) *)
+  use_corecache : bool;
+      (** enable the process-wide unsat-core subsumption cache
+          ({!Pinpoint_smt.Corecache}) for the duration of the run: full-rung
+          refutations store their shrunk cores, later queries whose conjunct
+          set contains a stored core are Unsat without running CDCL.  A hit
+          is exchangeable with recomputation, so reports are unchanged
+          (default [true], CLI [--no-core-cache]) *)
+  use_carry : bool;
+      (** per-source solver carryover ({!Pinpoint_smt.Solver.Carry}):
+          re-seed theory lemmas learned by earlier queries from the same
+          source into later ones.  Lemmas are theory-valid, so verdicts —
+          and reports — are unchanged; only propagations drop (default
+          [true]) *)
+  use_refine : bool;
+      (** demand-driven refinement ({!Pinpoint_pta.Refine}): on a Sat
+          feasibility verdict, re-check the condition strengthened with
+          derived linear facts and downgrade to [Infeasible] on Unsat.
+          Sound over integer semantics — only truly infeasible paths (false
+          positives of the weak nonlinear theory) are removed; recall is
+          unchanged (default [true], CLI [--no-refine]) *)
   deadline : Pinpoint_util.Metrics.deadline;
   solver_budget_s : float;
       (** per-feasibility-query wall budget for the full solver rung; on
@@ -72,6 +92,11 @@ type stats = {
   mutable n_pruned_candidates : int;
       (** candidates marked [Infeasible] without an SMT query because a
           refuted prefix covered them *)
+  mutable n_refine_checks : int;
+      (** Sat verdicts that produced refinement facts and were re-checked *)
+  mutable n_refine_removed : int;
+      (** refinement re-checks that came back Unsat — false positives of
+          the weak nonlinear theory, downgraded to [Infeasible] *)
   mutable n_incidents : int;    (** incidents recorded during this run *)
   mutable solver : Pinpoint_smt.Solver.stats;
       (** solver counters attributable to this run alone *)

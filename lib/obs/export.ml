@@ -138,6 +138,8 @@ let query_json (q : Obs.query) =
       ("verdict", jstr q.q_verdict);
       ("atoms", string_of_int q.q_atoms);
       ("conflicts", string_of_int q.q_conflicts);
+      ("shrinks", string_of_int q.q_shrinks);
+      ("core", string_of_int q.q_core);
       ("latency_s", jfloat q.q_latency_s);
       ("dom", string_of_int q.q_dom);
       ("request", jstr q.q_req);
@@ -330,7 +332,16 @@ let pp_summary ppf () =
     Format.fprintf ppf "== top slowest SMT queries ==@.";
     Pp.table
       ~header:
-        [ "source -> sink"; "rung"; "verdict"; "atoms"; "conflicts"; "latency" ]
+        [
+          "source -> sink";
+          "rung";
+          "verdict";
+          "atoms";
+          "conflicts";
+          "shrinks";
+          "core";
+          "latency";
+        ]
       ~rows:
         (List.map
            (fun (q : Obs.query) ->
@@ -340,6 +351,8 @@ let pp_summary ppf () =
                q.q_verdict;
                string_of_int q.q_atoms;
                string_of_int q.q_conflicts;
+               string_of_int q.q_shrinks;
+               string_of_int q.q_core;
                Pp.to_string Metrics.pp_duration q.q_latency_s;
              ])
            (top_slowest qs))

@@ -57,6 +57,8 @@ type query = {
   q_verdict : string;
   q_atoms : int;
   q_conflicts : int;
+  q_shrinks : int;
+  q_core : int;
   q_latency_s : float;
   q_dom : int;
   q_req : string;
@@ -151,7 +153,8 @@ let span ?attrs name f =
     Fun.protect ~finally:(fun () -> end_span ()) f
   end
 
-let record_query ~subject ~rung ~verdict ~atoms ~conflicts ~latency_s =
+let record_query ~subject ~rung ~verdict ~atoms ~conflicts ?(shrinks = 0)
+    ?(core = 0) ~latency_s () =
   if metrics_on () then begin
     let b = buf () in
     b.b_queries <-
@@ -161,6 +164,8 @@ let record_query ~subject ~rung ~verdict ~atoms ~conflicts ~latency_s =
         q_verdict = verdict;
         q_atoms = atoms;
         q_conflicts = conflicts;
+        q_shrinks = shrinks;
+        q_core = core;
         q_latency_s = latency_s;
         q_dom = b.b_dom;
         q_req = Domain.DLS.get req_key;

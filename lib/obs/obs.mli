@@ -181,6 +181,12 @@ type query = {
   q_verdict : string;  (** sat / unsat / unknown *)
   q_atoms : int;  (** atom count of the queried formula *)
   q_conflicts : int;  (** CDCL conflicts spent on this query *)
+  q_shrinks : int;
+      (** unsat-core deletion sub-checks spent shrinking this query's core
+          for the subsumption cache (0 when no core was stored) *)
+  q_core : int;
+      (** size (conjunct count) of the stored shrunk core; 0 when the
+          verdict produced none *)
   q_latency_s : float;
   q_dom : int;
   q_req : string;  (** request id active at record time; [""] when none *)
@@ -192,7 +198,10 @@ val record_query :
   verdict:string ->
   atoms:int ->
   conflicts:int ->
+  ?shrinks:int ->
+  ?core:int ->
   latency_s:float ->
+  unit ->
   unit
 
 val queries : unit -> query list

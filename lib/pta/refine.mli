@@ -1,0 +1,23 @@
+(** Demand-driven value-flow refinement (DESIGN.md §4.17).
+
+    A SUPA-style backward walk (Sui & Xue, "Demand-Driven Pointer Analysis
+    with Strong Updates via Value-Flow Refinement") over the definition
+    conjuncts of one candidate report's path condition.  Invoked by the
+    engine only when the feasibility verdict is Sat — the potential
+    false-positive case — it derives linear facts that the full solver's
+    weak (quasi-uninterpreted) treatment of nonlinear arithmetic cannot
+    see, currently nonnegativity of squares and of sums/products of
+    nonnegatives, propagated through the path's [v = rhs] bindings.
+
+    Every returned fact is entailed by [cond] under full integer
+    semantics, so conjoining them and re-checking is sound: a report is
+    only removed when its path is truly infeasible over ℤ.  Refinement can
+    therefore only ever remove false positives — recall against workload
+    ground truth is unchanged. *)
+
+val facts : Pinpoint_smt.Expr.t -> Pinpoint_smt.Expr.t list
+(** [facts cond] is the list of derived facts ([0 <= v] atoms), in
+    deterministic (conjunct first-occurrence) order; empty when the walk
+    derives nothing, which is the overwhelmingly common case.  The caller
+    re-checks [conj_balanced (cond :: facts)] and downgrades a Sat verdict
+    to infeasible iff the strengthened query is Unsat. *)

@@ -106,10 +106,16 @@ let note_probe (e : Expr.t) =
       match Hashtbl.find_opt nm_tbl sg with
       | Some r ->
         r.nm_probes <- r.nm_probes + 1;
-        if
-          (not (List.mem e.Expr.id r.nm_ids))
-          && List.length r.nm_ids < nm_max_ids
-        then r.nm_ids <- e.Expr.id :: r.nm_ids
+        (* Any repeat probe of a populated group is a near miss: the atom
+           multiset was seen before, whether under this id (a plain miss
+           that a structural key would not improve) or a different one.
+           Only the distinct-id case counts — that is the reuse a
+           coarser-grained key (or the {!Corecache}) could recover. *)
+        if not (List.mem e.Expr.id r.nm_ids) then begin
+          Obs.add (Obs.counter "qcache.n_near_miss") 1;
+          if List.length r.nm_ids < nm_max_ids then
+            r.nm_ids <- e.Expr.id :: r.nm_ids
+        end
       | None ->
         if Hashtbl.length nm_tbl < nm_max_groups then
           Hashtbl.add nm_tbl sg

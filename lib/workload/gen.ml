@@ -10,6 +10,7 @@ type params = {
   n_real_df : int;
   n_uaf_traps : int;
   n_hard_traps : int;
+  n_shared_core : int;
   n_use_before_free : int;
   n_taint_real : int;
   n_taint_traps : int;
@@ -28,6 +29,7 @@ let default_params =
     n_real_df = 1;
     n_uaf_traps = 4;
     n_hard_traps = 0;
+    n_shared_core = 0;
     n_use_before_free = 2;
     n_taint_real = 1;
     n_taint_traps = 1;
@@ -52,6 +54,7 @@ let scaled ?(seed = 1) ~mloc () =
     n_real_df = per_mloc 30;
     n_uaf_traps = per_mloc 120;
     n_hard_traps = per_mloc 20;
+    n_shared_core = per_mloc 10;
     n_use_before_free = per_mloc 60;
     n_taint_real = per_mloc 30;
     n_taint_traps = per_mloc 30;
@@ -462,6 +465,35 @@ let taint_hard_trap g ~unit_tag ~(checker : [ `Path | `Trans ]) =
   plant g ~kind ~fname:base ~line:src ~real:false
     ~descr:"nonlinear taint guard trap (soundy FP)"
 
+(* Shared-core family: one infeasible free guarded by a non-complementary
+   guard pair (s < 3 ∧ s > 5 — jointly unsat over ℤ, invisible to the
+   P/N-complement linear solver), followed by several uses under distinct
+   guards.  Every candidate is a distinct formula (a verdict-cache miss)
+   but shares the refuted guard-pair core, so the first full-rung Unsat
+   seeds the subsumption cache and the remaining candidates are answered
+   by it without CDCL. *)
+let shared_core_trap g ~unit_tag =
+  let base = fresh_name g (unit_tag ^ "_score") in
+  ignore (E.linef g.em "void %s(int *p) {" base);
+  ignore (E.linef g.em "  int s = input();");
+  ignore (E.linef g.em "  bool lo = s < 3;");
+  ignore (E.linef g.em "  bool hi = s > 5;");
+  ignore (E.linef g.em "  if (lo) {");
+  ignore (E.linef g.em "    if (hi) {");
+  let src = E.linef g.em "      free(p);" in
+  ignore (E.linef g.em "    }");
+  ignore (E.linef g.em "  }");
+  ignore (E.linef g.em "  bool u1 = s > 0;");
+  ignore (E.linef g.em "  if (u1) { print(*p); }");
+  ignore (E.linef g.em "  bool u2 = s > 1;");
+  ignore (E.linef g.em "  if (u2) { print(*p); }");
+  ignore (E.linef g.em "  bool u3 = s > 2;");
+  ignore (E.linef g.em "  if (u3) { print(*p); }");
+  ignore (E.linef g.em "}");
+  E.blank g.em;
+  plant g ~kind:"use-after-free" ~fname:base ~line:src ~real:false
+    ~descr:"disjoint-interval guard pair (shared unsat core)"
+
 (* Use before free: safe by ordering; only flow-insensitive tools flag. *)
 let use_before_free g ~unit_tag =
   let base = fresh_name g (unit_tag ^ "_ubf") in
@@ -560,6 +592,7 @@ let generate ~name (p : params) : subject =
   add_jobs p.n_uaf_traps `Uaf_trap;
   add_jobs (max 0 (p.n_uaf_traps / 2)) `Df_trap;
   add_jobs p.n_hard_traps `Hard_trap;
+  add_jobs p.n_shared_core `Shared_core;
   add_jobs p.n_use_before_free `Ubf;
   add_jobs p.n_taint_real `Taint_real_path;
   add_jobs p.n_taint_real `Taint_real_trans;
@@ -593,6 +626,7 @@ let generate ~name (p : params) : subject =
             hard_trap g ~unit_tag:tag;
             taint_hard_trap g ~unit_tag:tag ~checker:`Path;
             taint_hard_trap g ~unit_tag:tag ~checker:`Trans
+          | `Shared_core -> shared_core_trap g ~unit_tag:tag
           | `Ubf -> use_before_free g ~unit_tag:tag
           | `Taint_real_path -> taint_real g ~unit_tag:tag ~checker:`Path
           | `Taint_real_trans -> taint_real g ~unit_tag:tag ~checker:`Trans

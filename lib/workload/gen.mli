@@ -28,7 +28,12 @@ type params = {
   n_real_uaf_local : int;  (** planted real intra-procedural UAF bugs *)
   n_real_df : int;         (** planted real double-free bugs *)
   n_uaf_traps : int;       (** correlated-branch safe traps *)
-  n_hard_traps : int;      (** nonlinear traps (Pinpoint FPs) *)
+  n_hard_traps : int;      (** nonlinear traps (refinement-removable FPs) *)
+  n_shared_core : int;
+      (** disjoint-interval guard families: several infeasible candidates
+          per function sharing one unsat core the linear solver cannot see
+          — distinct formulas (verdict-cache misses) answered by the
+          subsumption cache after the first full refutation *)
   n_use_before_free : int; (** safe order patterns (SVF-only FPs) *)
   n_taint_real : int;      (** real taint flows (per taint checker) *)
   n_taint_traps : int;     (** infeasible taint flows *)

@@ -13,8 +13,8 @@ let scale = 10.0
 let loc_of_kloc kloc = max 120 (int_of_float (kloc *. scale))
 
 let mk ?(real_uaf = 0) ?(real_uaf_local = 0) ?(real_df = 0) ?(hard = 0)
-    ?(taint_real = 0) ?(taint_traps = 0) ?(leaks = 0) ?(with_frees = true)
-    ~cat ~kloc ~seed name =
+    ?(shared = 0) ?(taint_real = 0) ?(taint_traps = 0) ?(leaks = 0)
+    ?(with_frees = true) ~cat ~kloc ~seed name =
   let loc = loc_of_kloc kloc in
   {
     name;
@@ -30,6 +30,7 @@ let mk ?(real_uaf = 0) ?(real_uaf_local = 0) ?(real_df = 0) ?(hard = 0)
         n_real_df = real_df;
         n_uaf_traps = max 1 (loc / 700);
         n_hard_traps = hard;
+        n_shared_core = shared;
         n_use_before_free = max 1 (loc / 900);
         n_taint_real = taint_real;
         n_taint_traps = taint_traps;
@@ -77,7 +78,8 @@ let all =
     mk ~cat:Open_source ~kloc:863.0 ~seed:215 "php";
     mk ~cat:Open_source ~kloc:967.0 ~seed:216 "ffmpeg";
     mk ~cat:Open_source ~kloc:2030.0 ~seed:217 ~real_uaf:3 ~real_uaf_local:1
-      ~hard:1 ~real_df:1 ~taint_real:3 ~taint_traps:1 ~leaks:2 "mysql";
+      ~hard:1 ~shared:2 ~real_df:1 ~taint_real:3 ~taint_traps:1 ~leaks:2
+      "mysql";
     mk ~cat:Open_source ~kloc:7998.0 ~seed:218 ~real_uaf:1 ~hard:1 "firefox";
   ]
 

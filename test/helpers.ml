@@ -9,15 +9,15 @@ let func prog name =
   | Some f -> f
   | None -> Alcotest.failf "function %s not found" name
 
-let run_checker src spec =
+let run_checker ?config src spec =
   let a = prepare src in
-  let reports, _ = Pinpoint.Analysis.check a spec in
+  let reports, _ = Pinpoint.Analysis.check ?config a spec in
   reports
 
-let reported src spec =
-  List.filter Pinpoint.Report.is_reported (run_checker src spec)
+let reported ?config src spec =
+  List.filter Pinpoint.Report.is_reported (run_checker ?config src spec)
 
-let n_reported src spec = List.length (reported src spec)
+let n_reported ?config src spec = List.length (reported ?config src spec)
 
 let uaf = Pinpoint.Checkers.use_after_free
 let dfree = Pinpoint.Checkers.double_free

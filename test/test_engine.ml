@@ -160,10 +160,11 @@ void f(int z) {
        Helpers.taint_path)
 
 let test_nonlinear_soundy_fp () =
-  (* documents the intended soundy behaviour: x*x < 0 cannot be refuted *)
-  Alcotest.(check int) "nonlinear guard kept" 1
-    (count
-       {|
+  (* The solver's weak nonlinear theory cannot refute x*x < 0, so without
+     refinement the trap is the documented soundy FP; demand-driven
+     refinement (on by default) derives 0 <= y from y = x*x and kills it. *)
+  let src =
+    {|
 void f(int *p, int x) {
   int y = x * x;
   bool neg = y < 0;
@@ -171,7 +172,12 @@ void f(int *p, int x) {
   print(*p);
 }
 |}
-       Helpers.uaf)
+  in
+  Alcotest.(check int) "refinement removes the trap" 0
+    (count src Helpers.uaf);
+  let no_refine = { Pinpoint.Engine.default_config with use_refine = false } in
+  Alcotest.(check int) "nonlinear guard kept without refinement" 1
+    (count ~config:no_refine src Helpers.uaf)
 
 let test_malloc_not_null () =
   (* the guard p == null contradicts p = malloc() (allocation addresses

@@ -137,24 +137,37 @@ let test_juliet_each_type_detected () =
     (Juliet.cases ())
 
 let test_subject_ground_truth_detected () =
-  (* integration: the mysql-class subject's planted bugs are all found and
-     only the hard trap is a false positive *)
+  (* integration: the mysql-class subject's planted bugs are all found;
+     demand-driven refinement (on by default) removes the nonlinear hard
+     trap, the historical sole false positive, without losing any real
+     bug — disabling refinement restores it. *)
   let info = Option.get (Subjects.find "mysql") in
   let s = Subjects.generate info in
   let a = Pinpoint.Analysis.prepare (Gen.compile s) in
-  let reports, _ = Pinpoint.Analysis.check a Helpers.uaf in
-  let keys =
-    List.filter_map
-      (fun (r : Pinpoint.Report.t) ->
-        if Pinpoint.Report.is_reported r then
-          Some (r.source_loc.Pinpoint_ir.Stmt.line, 0)
-        else None)
-      reports
-    |> List.sort_uniq compare
+  let score config =
+    let reports, _ = Pinpoint.Analysis.check ?config a Helpers.uaf in
+    let keys =
+      List.filter_map
+        (fun (r : Pinpoint.Report.t) ->
+          if Pinpoint.Report.is_reported r then
+            Some (r.source_loc.Pinpoint_ir.Stmt.line, 0)
+          else None)
+        reports
+      |> List.sort_uniq compare
+    in
+    Truth.classify ~kind:"use-after-free" s.Gen.truth keys
   in
-  let score = Truth.classify ~kind:"use-after-free" s.Gen.truth keys in
-  Alcotest.(check int) "all 4 real bugs found" 4 score.Truth.n_found;
-  Alcotest.(check int) "exactly the hard trap is an FP" 1 score.Truth.n_fp
+  let refined = score None in
+  Alcotest.(check int) "all 4 real bugs found" 4 refined.Truth.n_found;
+  Alcotest.(check int) "refinement removes the hard-trap FP" 0
+    refined.Truth.n_fp;
+  let unrefined =
+    score (Some { Pinpoint.Engine.default_config with use_refine = false })
+  in
+  Alcotest.(check int) "recall unchanged without refinement" 4
+    unrefined.Truth.n_found;
+  Alcotest.(check int) "exactly the hard trap is an FP without refinement" 1
+    unrefined.Truth.n_fp
 
 let suite =
   [
